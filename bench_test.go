@@ -1,0 +1,349 @@
+package firehose
+
+// This file is the benchmark harness of the reproduction: one testing.B
+// benchmark per table and figure of the paper's evaluation, plus
+// per-algorithm micro-benchmarks. Benchmarks run on a reduced dataset (600
+// authors, ~6k posts) so `go test -bench=. -benchmem` finishes quickly;
+// cmd/experiments runs the same experiments at full scale.
+//
+// Custom metrics surface the machine-independent counters the paper plots:
+// comparisons/post and insertions/post alongside ns/op.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"firehose/internal/core"
+	"firehose/internal/experiments"
+	"firehose/internal/twittergen"
+)
+
+func milli(ms int64) time.Time { return time.UnixMilli(ms) }
+
+var (
+	benchOnce  sync.Once
+	benchDS    *experiments.Dataset
+	benchPairs []twittergen.LabeledPair
+	benchErr   error
+)
+
+func benchDataset(b *testing.B) (*experiments.Dataset, []twittergen.LabeledPair) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDS, benchErr = experiments.Build(experiments.DefaultConfig(600))
+		if benchErr != nil {
+			return
+		}
+		benchPairs, benchErr = experiments.LabeledPairs(benchDS, twittergen.PairSetConfig{
+			PairsPerBucket: 25, MinDistance: 3, MaxDistance: 22, CandidateBudget: 250_000,
+		})
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDS, benchPairs
+}
+
+// --- Section 3 studies -----------------------------------------------------
+
+func BenchmarkFig2HammingDistribution(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig2(ds, 20_000)
+		if r.Mean < 24 || r.Mean > 40 {
+			b.Fatalf("implausible mean %v", r.Mean)
+		}
+	}
+}
+
+func BenchmarkFig3PrecisionRecallRaw(b *testing.B) {
+	_, pairs := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig3(pairs); len(r.Points) != 20 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+func BenchmarkFig4PrecisionRecallNormalized(b *testing.B) {
+	_, pairs := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig4(pairs); len(r.Points) != 20 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+func BenchmarkSection3CosineStudy(b *testing.B) {
+	_, pairs := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.CosineStudy(pairs); len(r.Points) == 0 {
+			b.Fatal("bad curve")
+		}
+	}
+}
+
+func BenchmarkTable1Examples(b *testing.B) {
+	_, pairs := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := experiments.Table1(pairs, []int{3, 8, 13}); len(t.Rows) == 0 {
+			b.Fatal("no examples")
+		}
+	}
+}
+
+// --- Section 6 figures -----------------------------------------------------
+
+func BenchmarkFig9AuthorSimilarity(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig9(ds); r.At(0.2) <= 0 {
+			b.Fatal("empty CCDF")
+		}
+	}
+}
+
+func BenchmarkFig10DimensionAblation(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig10(ds); len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig11VaryLambdaT(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig11(ds); len(r.Results) != 15 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig12VaryLambdaC(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig12(ds); len(r.Results) != 12 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig13VaryLambdaA(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig13(ds); len(r.Results) != 12 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig14VaryPostRate(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig14(ds); len(r.Results) != 12 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkFig15VarySubscriptions(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Fig15(ds); len(r.Results) != 12 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+func BenchmarkTable2CostModel(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Table2(ds); len(r.Rows) != 9 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable3Qualitative(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if t := experiments.Table3(ds); len(t.Rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkFig16MultiUser(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig16(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Results) != 6 {
+			b.Fatal("bad results")
+		}
+	}
+}
+
+func BenchmarkSection3Preprocessing(b *testing.B) {
+	ds, _ := benchDataset(b)
+	cfg := twittergen.PairSetConfig{
+		PairsPerBucket: 20, MinDistance: 3, MaxDistance: 22, CandidateBudget: 150_000,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.Preprocessing(ds, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Variants) != 7 {
+			b.Fatal("bad study")
+		}
+	}
+}
+
+func BenchmarkThroughputScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Throughput(7, []int{300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 3 {
+			b.Fatal("bad scaling result")
+		}
+	}
+}
+
+func BenchmarkPruningQuality(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := experiments.Quality(ds); len(r.TotalByKind) == 0 {
+			b.Fatal("bad quality result")
+		}
+	}
+}
+
+func BenchmarkSection3IndexFeasibility(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.IndexStudy(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Plans) != 5 {
+			b.Fatal("bad study")
+		}
+	}
+}
+
+// --- ablations (design choices beyond the paper) ---------------------------
+
+func BenchmarkAblationCheckOrder(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.AblationCheckOrder(ds); len(rows) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+func BenchmarkAblationScanOrder(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.AblationScanOrder(ds); len(rows) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+func BenchmarkAblationCliqueCover(b *testing.B) {
+	ds, _ := benchDataset(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.AblationCliqueCover(ds); len(rows) != 2 {
+			b.Fatal("bad ablation")
+		}
+	}
+}
+
+// --- per-algorithm micro-benchmarks ----------------------------------------
+
+func benchAlgorithm(b *testing.B, alg core.Algorithm) {
+	ds, _ := benchDataset(b)
+	g := ds.Graph(experiments.DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	posts := ds.Posts()
+	authors := ds.AllAuthors()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var comparisons, insertions, offered uint64
+	for i := 0; i < b.N; i++ {
+		d, err := core.NewDiversifier(alg, g, authors, th)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.Run(d, posts)
+		c := d.Counters()
+		comparisons += c.Comparisons
+		insertions += c.Insertions
+		offered += c.Processed()
+	}
+	b.ReportMetric(float64(comparisons)/float64(offered), "comparisons/post")
+	b.ReportMetric(float64(insertions)/float64(offered), "insertions/post")
+	b.ReportMetric(float64(offered)/b.Elapsed().Seconds(), "posts/sec")
+}
+
+func BenchmarkUniBinStream(b *testing.B)      { benchAlgorithm(b, core.AlgUniBin) }
+func BenchmarkNeighborBinStream(b *testing.B) { benchAlgorithm(b, core.AlgNeighborBin) }
+func BenchmarkCliqueBinStream(b *testing.B)   { benchAlgorithm(b, core.AlgCliqueBin) }
+
+// BenchmarkPublicAPIOffer measures the end-to-end public API path including
+// fingerprinting, per single post.
+func BenchmarkPublicAPIOffer(b *testing.B) {
+	ds, _ := benchDataset(b)
+	g, err := BuildAuthorGraph(ds.Social.Followees, 0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := NewDiversifier(UniBin, g, nil, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	posts := ds.Posts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := posts[i%len(posts)]
+		// Advance time monotonically across wraps so ordering holds.
+		wrap := int64(i/len(posts)) * (24 * 60 * 60 * 1000)
+		d.Offer(Post{
+			Author: p.Author,
+			Time:   milli(p.Time + wrap),
+			Text:   p.Text,
+		})
+	}
+}

@@ -1,0 +1,102 @@
+package firehose
+
+import (
+	"fmt"
+	"math"
+
+	"firehose/internal/core"
+	"firehose/internal/simhash"
+)
+
+// This file exposes the paper's Section 3 threshold-calibration methodology
+// as a library utility: given pairs of posts labeled redundant or not (the
+// paper used a 12-student majority vote on 2,000 tweet pairs), compute the
+// precision/recall curve of the SimHash Hamming threshold and recommend the
+// crossover as LambdaC. Applications calibrate on their own domain's data —
+// the paper's 18 bits is specific to microblog text.
+
+// LabeledPair is one calibration example: two post texts and whether a
+// reader considers them redundant.
+type LabeledPair struct {
+	TextA, TextB string
+	Redundant    bool
+}
+
+// CalibrationPoint is one threshold of the calibration curve.
+type CalibrationPoint struct {
+	// Threshold is the Hamming distance cut-off (posts at distance <=
+	// Threshold are predicted redundant).
+	Threshold int
+	// Precision is the fraction of predicted-redundant pairs that are
+	// labeled redundant; Recall the fraction of labeled-redundant pairs
+	// predicted redundant.
+	Precision, Recall float64
+}
+
+// Calibration is the result of CalibrateContentThreshold.
+type Calibration struct {
+	// RecommendedLambdaC is the threshold where precision and recall cross —
+	// the paper's criterion for choosing λc = 18 (Figure 4).
+	RecommendedLambdaC int
+	// Curve holds one point per threshold 0..64.
+	Curve []CalibrationPoint
+	// Pairs and Redundant count the calibration inputs.
+	Pairs, Redundant int
+}
+
+// CalibrateContentThreshold computes the precision/recall curve of the
+// normalized-SimHash Hamming threshold over labeled pairs and recommends
+// the crossover. It needs at least one redundant and one non-redundant pair.
+func CalibrateContentThreshold(pairs []LabeledPair) (*Calibration, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("firehose: no calibration pairs")
+	}
+	distances := make([]int, len(pairs))
+	redundant := 0
+	for i, p := range pairs {
+		distances[i] = simhash.Distance(core.Fingerprint(p.TextA), core.Fingerprint(p.TextB))
+		if p.Redundant {
+			redundant++
+		}
+	}
+	if redundant == 0 || redundant == len(pairs) {
+		return nil, fmt.Errorf("firehose: calibration needs both redundant and non-redundant pairs (%d of %d redundant)",
+			redundant, len(pairs))
+	}
+
+	cal := &Calibration{Pairs: len(pairs), Redundant: redundant}
+	bestGap := math.Inf(1)
+	for h := 0; h <= simhash.Size; h++ {
+		detected, correct := 0, 0
+		for i, d := range distances {
+			if d <= h {
+				detected++
+				if pairs[i].Redundant {
+					correct++
+				}
+			}
+		}
+		pt := CalibrationPoint{Threshold: h, Precision: 1}
+		if detected > 0 {
+			pt.Precision = float64(correct) / float64(detected)
+		}
+		pt.Recall = float64(correct) / float64(redundant)
+		cal.Curve = append(cal.Curve, pt)
+		if detected > 0 {
+			if gap := math.Abs(pt.Precision - pt.Recall); gap < bestGap {
+				bestGap = gap
+				cal.RecommendedLambdaC = h
+			}
+		}
+	}
+	return cal, nil
+}
+
+// At returns the curve point for a threshold, or an all-zero point if the
+// threshold is out of range.
+func (c *Calibration) At(threshold int) CalibrationPoint {
+	if threshold < 0 || threshold >= len(c.Curve) {
+		return CalibrationPoint{}
+	}
+	return c.Curve[threshold]
+}

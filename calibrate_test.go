@@ -1,0 +1,114 @@
+package firehose
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// synthPairs fabricates a calibration set: redundant pairs differ by a few
+// words, non-redundant pairs are unrelated.
+func synthPairs(rng *rand.Rand, n int) []LabeledPair {
+	word := func() string {
+		letters := "abcdefghijklmnopqrstuvwxyz"
+		var sb strings.Builder
+		for i := 0; i < 4+rng.Intn(5); i++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		return sb.String()
+	}
+	sentence := func(k int) string {
+		parts := make([]string, k)
+		for i := range parts {
+			parts[i] = word()
+		}
+		return strings.Join(parts, " ")
+	}
+	var out []LabeledPair
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			base := sentence(10)
+			out = append(out, LabeledPair{
+				TextA:     base,
+				TextB:     base + " " + word(), // light edit
+				Redundant: true,
+			})
+		} else {
+			out = append(out, LabeledPair{
+				TextA:     sentence(10),
+				TextB:     sentence(10),
+				Redundant: false,
+			})
+		}
+	}
+	return out
+}
+
+func TestCalibrateContentThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cal, err := CalibrateContentThreshold(synthPairs(rng, 400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Pairs != 400 || cal.Redundant != 200 {
+		t.Fatalf("counts: %d pairs, %d redundant", cal.Pairs, cal.Redundant)
+	}
+	if len(cal.Curve) != 65 {
+		t.Fatalf("curve has %d points", len(cal.Curve))
+	}
+	// Clean separation: light edits sit near distance ≤10, unrelated near
+	// 32, so the crossover lands between and scores near-perfect P/R.
+	if cal.RecommendedLambdaC < 5 || cal.RecommendedLambdaC > 28 {
+		t.Fatalf("recommended λc = %d, want between the clusters", cal.RecommendedLambdaC)
+	}
+	at := cal.At(cal.RecommendedLambdaC)
+	if at.Precision < 0.95 || at.Recall < 0.95 {
+		t.Fatalf("crossover P=%v R=%v", at.Precision, at.Recall)
+	}
+	// Recall is monotone non-decreasing in the threshold.
+	for i := 1; i < len(cal.Curve); i++ {
+		if cal.Curve[i].Recall < cal.Curve[i-1].Recall {
+			t.Fatal("recall not monotone")
+		}
+	}
+	// Extremes: everything detected at 64, recall 1.
+	if last := cal.At(64); last.Recall != 1 {
+		t.Fatalf("recall at 64 = %v", last.Recall)
+	}
+	if cal.At(-1) != (CalibrationPoint{}) || cal.At(99) != (CalibrationPoint{}) {
+		t.Fatal("out-of-range At should be zero")
+	}
+}
+
+func TestCalibrateContentThresholdErrors(t *testing.T) {
+	if _, err := CalibrateContentThreshold(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	allRed := []LabeledPair{{TextA: "a b", TextB: "a b", Redundant: true}}
+	if _, err := CalibrateContentThreshold(allRed); err == nil {
+		t.Fatal("single-class input accepted")
+	}
+	allNon := []LabeledPair{{TextA: "a b", TextB: "c d", Redundant: false}}
+	if _, err := CalibrateContentThreshold(allNon); err == nil {
+		t.Fatal("single-class input accepted")
+	}
+}
+
+func ExampleCalibrateContentThreshold() {
+	pairs := []LabeledPair{
+		{TextA: "Ferry sinks off coast, 300 missing http://t.co/abc",
+			TextB: "Ferry sinks off coast, 300 missing http://t.co/xyz", Redundant: true},
+		{TextA: "Ferry sinks off coast, 300 missing",
+			TextB: "RT: Ferry sinks off coast, 300 missing #news", Redundant: true},
+		{TextA: "Alibaba files landmark technology listing",
+			TextB: "Championship decided by stoppage time penalty", Redundant: false},
+		{TextA: "Wildfire spreads across northern hills tonight",
+			TextB: "Central bank surprises markets with rate decision", Redundant: false},
+	}
+	cal, _ := CalibrateContentThreshold(pairs)
+	pt := cal.At(cal.RecommendedLambdaC)
+	fmt.Printf("P=%.2f R=%.2f\n", pt.Precision, pt.Recall)
+	// Output:
+	// P=1.00 R=1.00
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic Twitter substrate.
+//
+// Usage:
+//
+//	experiments [-authors N] [-seed S] [-pairs P] [-fig2 M] [-scale paper|default|small]
+//
+// The default scale (2,000 authors, ~21k posts) reproduces every relative
+// effect in seconds. -scale paper uses the paper's 20,150 authors and ~210k
+// posts and takes considerably longer (the offline author-similarity and
+// clique-cover precomputation dominates, as the paper notes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"firehose/internal/experiments"
+	"firehose/internal/twittergen"
+)
+
+func main() {
+	var (
+		authors = flag.Int("authors", 0, "number of authors (overrides -scale)")
+		seed    = flag.Int64("seed", 20160315, "generation seed")
+		pairs   = flag.Int("pairs", 100, "labeled pairs per Hamming-distance bucket (paper: 100)")
+		fig2    = flag.Int("fig2", 200_000, "random pairs sampled for Figure 2 (paper: 200k tweets)")
+		scale   = flag.String("scale", "default", "paper (20150 authors) | default (2000) | small (500)")
+	)
+	flag.Parse()
+
+	n := 0
+	switch *scale {
+	case "paper":
+		n = 20150
+	case "default":
+		n = 2000
+	case "small":
+		n = 500
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *authors > 0 {
+		n = *authors
+	}
+
+	cfg := experiments.DefaultConfig(n)
+	cfg.Seed = *seed
+	fmt.Printf("building dataset (%d authors, seed %d)...\n", n, *seed)
+	ds, err := experiments.Build(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "build:", err)
+		os.Exit(1)
+	}
+
+	pairCfg := twittergen.DefaultPairSetConfig()
+	pairCfg.PairsPerBucket = *pairs
+	if err := experiments.RunAll(os.Stdout, ds, pairCfg, *fig2); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

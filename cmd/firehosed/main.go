@@ -1,0 +1,103 @@
+// Command firehosed serves a multi-user stream diversification service over
+// HTTP — the deployment sketched in the paper's Figure 1b, where a central
+// engine diversifies the timeline of every user so clients need no
+// post-processing.
+//
+// Endpoints:
+//
+//	POST /ingest    {"author":12,"text":"...","timeMillis":1458000000000}
+//	                → {"delivered":[0,7,19]} (users whose timeline got the post)
+//	GET  /timeline?user=7&n=20
+//	                → {"user":7,"posts":[{...},...]}
+//	GET  /stats     → cost counters
+//	GET  /healthz   → ok
+//
+// For demonstration the author universe and subscriptions are synthetic
+// (seeded); a production deployment would load its own follower graph.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/corpusio"
+	"firehose/internal/httpapi"
+	"firehose/internal/twittergen"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		authors   = flag.Int("authors", 500, "number of authors (= users)")
+		seed      = flag.Int64("seed", 1, "generation seed")
+		algName   = flag.String("alg", "unibin", "unibin | neighborbin | cliquebin")
+		followees = flag.String("followees", "", "load followee vectors from this JSONL file instead of generating")
+	)
+	flag.Parse()
+
+	var alg core.Algorithm
+	switch *algName {
+	case "unibin":
+		alg = core.AlgUniBin
+	case "neighborbin":
+		alg = core.AlgNeighborBin
+	case "cliquebin":
+		alg = core.AlgCliqueBin
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -alg %q\n", *algName)
+		os.Exit(2)
+	}
+
+	var (
+		fs   [][]int32
+		subs [][]int32
+	)
+	if *followees != "" {
+		f, err := os.Open(*followees)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs, err = corpusio.ReadFollowees(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Subscriptions: followees that are themselves authors.
+		n := int32(len(fs))
+		subs = make([][]int32, len(fs))
+		for a, followed := range fs {
+			seen := make(map[int32]bool, len(followed))
+			for _, t := range followed {
+				if t < n && !seen[t] {
+					seen[t] = true
+					subs[a] = append(subs[a], t)
+				}
+			}
+		}
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		social, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(*authors))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fs = social.Followees
+		subs = social.Subscriptions()
+	}
+
+	g := authorsim.BuildGraph(authorsim.NewVectors(fs), 0.7)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(alg, g, subs, th)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := httpapi.New(md)
+	log.Printf("firehosed: %s over %d authors/users on %s", md.Name(), len(fs), *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

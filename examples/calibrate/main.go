@@ -1,0 +1,62 @@
+// Calibrate: choose the content threshold λc for your own domain, following
+// the paper's Section 3 methodology — label pairs of posts as redundant or
+// not, compute the precision/recall curve of the SimHash Hamming threshold,
+// and take the crossover.
+//
+// The paper ran this with 12 students over 2,000 tweet pairs and landed on
+// λc = 18; here the labels come from the synthetic pair generator, but the
+// calibration code path is exactly what an application would run on its own
+// labeled data.
+//
+// Run with: go run ./examples/calibrate
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"firehose"
+	"firehose/internal/twittergen"
+)
+
+func main() {
+	// Stand-in for "your labeled data": 2,000 generated pairs across
+	// SimHash distances 3-22, labeled by generation provenance.
+	rng := rand.New(rand.NewSource(2016))
+	vocab := twittergen.NewVocab(rng, 4000)
+	generated, err := twittergen.GenerateLabeledPairs(rng, vocab, twittergen.DefaultPairSetConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	pairs := make([]firehose.LabeledPair, len(generated))
+	for i, p := range generated {
+		pairs[i] = firehose.LabeledPair{TextA: p.TextA, TextB: p.TextB, Redundant: p.Redundant}
+	}
+
+	cal, err := firehose.CalibrateContentThreshold(pairs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("calibrated on %d pairs (%d redundant)\n\n", cal.Pairs, cal.Redundant)
+	fmt.Println("  h   precision  recall")
+	for h := 8; h <= 24; h += 2 {
+		pt := cal.At(h)
+		marker := ""
+		if h == cal.RecommendedLambdaC || h == cal.RecommendedLambdaC+1 && cal.RecommendedLambdaC%2 == 1 {
+			marker = "  <- crossover region"
+		}
+		fmt.Printf("  %-3d %.3f      %.3f%s\n", h, pt.Precision, pt.Recall, marker)
+	}
+	fmt.Printf("\nrecommended LambdaC: %d (paper, on human-labeled tweets: 18)\n", cal.RecommendedLambdaC)
+
+	// Use it.
+	graph, _ := firehose.BuildAuthorGraph([][]firehose.AuthorID{{1, 2, 3}, {1, 2, 4}}, 0.7)
+	cfg := firehose.DefaultConfig()
+	cfg.LambdaC = cal.RecommendedLambdaC
+	if _, err := firehose.NewDiversifier(firehose.UniBin, graph, nil, cfg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("diversifier configured with the calibrated threshold")
+}

@@ -1,0 +1,77 @@
+// Liveserver: concurrent ingestion through the stream engine with live
+// subscribers — the real-time deployment of the diversifier.
+//
+// Producer goroutines (one per author cluster) generate posts into a merged
+// time-ordered feed; the engine serializes the real-time decisions; a
+// consumer goroutine prints the diversified timeline as it materializes.
+//
+// Run with: go run ./examples/liveserver
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"firehose"
+	"firehose/internal/core"
+	"firehose/internal/stream"
+)
+
+func main() {
+	graph, err := firehose.BuildAuthorGraph([][]firehose.AuthorID{
+		{1, 2, 3, 4}, // authors 0 and 1: similar (breaking-news bots)
+		{1, 2, 3, 5},
+		{9, 10, 11, 12}, // author 2: independent commentator
+	}, 0.7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The stream engine wraps a core diversifier with a concurrency-safe
+	// facade: many producers, many subscribers, one serialized decision path.
+	th := core.Thresholds{LambdaC: 18, LambdaT: (30 * time.Minute).Milliseconds(), LambdaA: 0.7}
+	engine := stream.NewEngine(core.NewUniBin(graph, th))
+
+	timeline := engine.Subscribe(64)
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for p := range timeline {
+			fmt.Printf("TIMELINE  [a%d t+%02ds] %s\n", p.Author, p.Time/1000, p.Text)
+		}
+	}()
+
+	// A scripted "live" feed: the story breaks, gets re-shared by the
+	// similar bot, and is independently reported by the commentator.
+	feed := []struct {
+		author int32
+		atSec  int64
+		text   string
+	}{
+		{0, 0, "BREAKING: grid outage hits downtown, crews dispatched http://t.co/a1"},
+		{1, 12, "BREAKING: grid outage hits downtown, crews dispatched http://t.co/b2"},
+		{2, 20, "power is out across downtown; here is what we know so far"},
+		{1, 45, "utility says service restored to most customers http://t.co/c3"},
+		{0, 58, "utility says service restored to most customers http://t.co/d4"},
+	}
+	for _, f := range feed {
+		post := core.NewPost(0, f.author, f.atSec*1000, f.text)
+		emitted, err := engine.Offer(post)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !emitted {
+			fmt.Printf("pruned    [a%d t+%02ds] %s\n", f.author, f.atSec, f.text)
+		}
+		time.Sleep(30 * time.Millisecond) // pace the demo
+	}
+	engine.Close()
+	consumer.Wait()
+
+	c := engine.Counters()
+	fmt.Printf("\n%d offered, %d emitted, %d pruned (%d comparisons)\n",
+		c.Processed(), c.Accepted, c.Rejected, c.Comparisons)
+}

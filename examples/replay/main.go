@@ -1,0 +1,130 @@
+// Replay: persist a corpus to disk, then replay it as a live feed through
+// the streaming engine at high speedup — the offline/online split of a real
+// deployment (generate or crawl offline; diversify online).
+//
+// Run with: go run ./examples/replay
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/corpusio"
+	"firehose/internal/stream"
+	"firehose/internal/twittergen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "firehose-replay")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Offline: generate one day of posts for 200 authors and persist the
+	// corpus and the precomputed author graph.
+	rng := rand.New(rand.NewSource(11))
+	social, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(200))
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := authorsim.BuildGraph(authorsim.NewVectors(social.Followees), 0.7)
+	vocab := twittergen.NewVocab(rand.New(rand.NewSource(12)), 2000)
+	gen, err := twittergen.GenerateStream(rand.New(rand.NewSource(13)), social, g, vocab,
+		twittergen.DefaultStreamConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	corpusPath := filepath.Join(dir, "corpus.jsonl")
+	graphPath := filepath.Join(dir, "graph.jsonl")
+	mustWrite(corpusPath, func(f *os.File) error { return corpusio.WritePosts(f, gen.Posts) })
+	mustWrite(graphPath, func(f *os.File) error { return corpusio.WriteGraph(f, g) })
+	fmt.Printf("offline: wrote %d posts and a %d-edge author graph to %s\n",
+		len(gen.Posts), g.NumEdges(), dir)
+
+	// Online: reload both artifacts and replay the day at 500,000× (a whole
+	// day in ~0.2s), streaming through the engine with a live subscriber.
+	posts := mustRead(corpusPath, corpusio.ReadPosts)
+	loadedGraph := mustReadGraph(graphPath)
+
+	th := core.Thresholds{LambdaC: 18, LambdaT: (30 * time.Minute).Milliseconds(), LambdaA: 0.7}
+	engine := stream.NewEngine(core.NewUniBin(loadedGraph, th))
+	timeline := engine.Subscribe(1024)
+	done := make(chan int)
+	go func() {
+		n := 0
+		for range timeline {
+			n++
+		}
+		done <- n
+	}()
+
+	src, err := stream.NewSliceSource(posts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	replay, err := stream.NewReplay(src, 500_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	emitted, err := engine.Consume(replay)
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine.Close()
+	delivered := <-done
+
+	c := engine.Counters()
+	fmt.Printf("online: replayed the day in %s; %d of %d posts reached the timeline (%.1f%% pruned)\n",
+		time.Since(start).Round(time.Millisecond), len(emitted), c.Processed(),
+		100*c.PruneRatio())
+	fmt.Printf("subscriber observed %d deliveries\n", delivered)
+}
+
+func mustWrite(path string, write func(*os.File) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustRead(path string, read func(r io.Reader) ([]*core.Post, error)) []*core.Post {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	v, err := read(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return v
+}
+
+func mustReadGraph(path string) *authorsim.Graph {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	g, err := corpusio.ReadGraph(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,446 @@
+// Package firehose is a streaming multi-dimensional diversifier for social
+// post streams, implementing Cheng, Chrobak and Hristidis, "Slowing the
+// Firehose: Multi-Dimensional Diversity on Social Post Streams" (EDBT 2016).
+//
+// Given a stream of posts — each with an author, text and timestamp — a
+// Diversifier decides in real time, post by post, whether each post carries
+// new information or is redundant with respect to an already-emitted post.
+// Two posts are mutually redundant ("cover" each other) only when they are
+// close in all three dimensions at once:
+//
+//   - content: Hamming distance of 64-bit SimHash fingerprints ≤ LambdaC,
+//   - time: timestamp distance ≤ LambdaT,
+//   - author: author distance (1 − cosine similarity of the authors'
+//     followee sets) ≤ LambdaA.
+//
+// The emitted sub-stream covers the full stream: every pruned post is
+// similar, in all three dimensions, to some emitted post.
+//
+// Three interchangeable algorithms trade memory for comparisons (paper
+// Table 3): UniBin (one bin, least RAM, most comparisons), NeighborBin (a
+// bin per author, most RAM, fewest comparisons) and CliqueBin (a bin per
+// clique of a clique edge cover, in between). Use UniBin for low-throughput
+// or dense-graph feeds (news, scholarly alerts), NeighborBin for
+// high-throughput feeds with long time thresholds, CliqueBin for
+// high-throughput feeds with moderate time thresholds (paper Table 4).
+//
+// For a service diversifying timelines of many users at once, use
+// MultiUserService: users whose subscription graphs share a connected
+// component share diversification state and computation (the paper's S_*
+// optimization).
+package firehose
+
+import (
+	"fmt"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/cosine"
+	"firehose/internal/metrics"
+	"firehose/internal/simhash"
+	"firehose/internal/textnorm"
+)
+
+// AuthorID identifies an author: a dense index 0..NumAuthors-1 into the
+// author similarity graph.
+type AuthorID = int32
+
+// UserID identifies a user of a MultiUserService, a dense index into the
+// subscriptions slice it was built with.
+type UserID = int32
+
+// Post is one social post. The zero Time is allowed but posts must be
+// offered in non-decreasing Time order.
+type Post struct {
+	// ID is an optional caller-assigned identifier, echoed back in results.
+	ID uint64
+	// Author must be a valid AuthorID of the service's author graph.
+	Author AuthorID
+	// Time is the post timestamp.
+	Time time.Time
+	// Text is the raw post content; fingerprinting normalizes it internally.
+	Text string
+}
+
+// Algorithm selects the SPSD algorithm backing a diversifier.
+type Algorithm = core.Algorithm
+
+// Available algorithms (paper Section 4).
+const (
+	UniBin      = core.AlgUniBin
+	NeighborBin = core.AlgNeighborBin
+	CliqueBin   = core.AlgCliqueBin
+)
+
+// Config holds the three diversity thresholds of the coverage model.
+type Config struct {
+	// LambdaC is the maximum SimHash Hamming distance (bits) for two posts
+	// to be content-similar. 0..64.
+	LambdaC int
+	// LambdaT is the maximum time distance for two posts to be time-similar.
+	LambdaT time.Duration
+	// LambdaA is the maximum author distance in [0,1) for two authors to be
+	// similar; it is baked into the author graph at build time and must
+	// match the graph passed to the constructors.
+	LambdaA float64
+}
+
+// DefaultConfig returns the paper's default thresholds: λc = 18 bits,
+// λt = 30 minutes, λa = 0.7 (authors similar at cosine ≥ 0.3).
+func DefaultConfig() Config {
+	return Config{LambdaC: 18, LambdaT: 30 * time.Minute, LambdaA: 0.7}
+}
+
+func (c Config) thresholds() core.Thresholds {
+	return core.Thresholds{
+		LambdaC: c.LambdaC,
+		LambdaT: c.LambdaT.Milliseconds(),
+		LambdaA: c.LambdaA,
+	}
+}
+
+// Stats reports the cost counters of a diversifier, mirroring the metrics
+// of the paper's evaluation.
+type Stats struct {
+	// Comparisons is the number of pairwise post coverage checks performed.
+	Comparisons uint64
+	// Insertions is the number of post copies inserted into bins.
+	Insertions uint64
+	// Evictions is the number of post copies expired out of the λt window.
+	Evictions uint64
+	// Accepted and Rejected count emitted and pruned posts.
+	Accepted, Rejected uint64
+	// PeakCopies is the maximum number of post copies simultaneously stored.
+	PeakCopies int64
+	// EstRAMBytes converts PeakCopies into an approximate byte footprint.
+	EstRAMBytes int64
+}
+
+// PruneRatio returns the fraction of offered posts pruned as redundant.
+func (s Stats) PruneRatio() float64 {
+	if t := s.Accepted + s.Rejected; t > 0 {
+		return float64(s.Rejected) / float64(t)
+	}
+	return 0
+}
+
+// AuthorGraph is the precomputed author similarity graph G(λa): an edge
+// connects two authors whose followee-cosine distance is at most λa. Build
+// it offline (author similarity drifts slowly — the paper suggests weekly
+// recomputation) and share it read-only across any number of diversifiers;
+// it is safe for concurrent use.
+type AuthorGraph struct {
+	g       *authorsim.Graph
+	lambdaA float64
+}
+
+// BuildAuthorGraph computes the author similarity graph from followee
+// vectors: followees[a] lists the account ids author a follows (ids may
+// exceed the author range, as with accounts outside the corpus). lambdaA
+// must be in [0,1).
+func BuildAuthorGraph(followees [][]AuthorID, lambdaA float64) (*AuthorGraph, error) {
+	if lambdaA < 0 || lambdaA >= 1 {
+		return nil, fmt.Errorf("firehose: lambdaA must be in [0,1), got %v", lambdaA)
+	}
+	v := authorsim.NewVectors(followees)
+	return &AuthorGraph{g: authorsim.BuildGraph(v, lambdaA), lambdaA: lambdaA}, nil
+}
+
+// NewAuthorGraphFromEdges builds an author graph directly from a similar-pair
+// edge list — for callers that precompute author similarity externally.
+func NewAuthorGraphFromEdges(numAuthors int, edges [][2]AuthorID, lambdaA float64) (g *AuthorGraph, err error) {
+	if lambdaA < 0 || lambdaA >= 1 {
+		return nil, fmt.Errorf("firehose: lambdaA must be in [0,1), got %v", lambdaA)
+	}
+	defer func() {
+		// authorsim panics on malformed edges; surface that as an error at
+		// the public boundary.
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("firehose: %v", r)
+		}
+	}()
+	pairs := make([]authorsim.SimPair, len(edges))
+	for i, e := range edges {
+		pairs[i] = authorsim.SimPair{A: e[0], B: e[1]}
+	}
+	return &AuthorGraph{g: authorsim.NewGraph(numAuthors, pairs, lambdaA), lambdaA: lambdaA}, nil
+}
+
+// NumAuthors returns the number of authors in the graph.
+func (ag *AuthorGraph) NumAuthors() int { return ag.g.NumAuthors() }
+
+// NumEdges returns the number of similar author pairs.
+func (ag *AuthorGraph) NumEdges() int { return ag.g.NumEdges() }
+
+// Similar reports whether two authors are the same or similar (distance ≤ λa).
+func (ag *AuthorGraph) Similar(a, b AuthorID) bool { return ag.g.Similar(a, b) }
+
+// Neighbors returns the authors similar to a (excluding a itself). The
+// returned slice must not be modified.
+func (ag *AuthorGraph) Neighbors(a AuthorID) []AuthorID { return ag.g.Neighbors(a) }
+
+// AvgDegree returns the average number of similar authors per author (the
+// paper's topology parameter d).
+func (ag *AuthorGraph) AvgDegree() float64 { return ag.g.AvgDegree() }
+
+// LambdaA returns the author distance threshold the graph encodes.
+func (ag *AuthorGraph) LambdaA() float64 { return ag.lambdaA }
+
+// AuthorSimilarity computes the cosine similarity of two followee sets —
+// the measure baked into BuildAuthorGraph, exposed for inspection and for
+// callers computing similarity pairs themselves.
+func AuthorSimilarity(followeesA, followeesB []AuthorID) float64 {
+	va := authorsim.NewVectors([][]int32{followeesA, followeesB})
+	return va.Similarity(0, 1)
+}
+
+// allAuthors enumerates 0..n-1.
+func allAuthors(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// Diversifier solves the single-user problem (SPSD): offer it the merged
+// stream of one user's subscriptions and it answers, per post and in real
+// time, whether the post belongs on the diversified timeline.
+//
+// Posts must be offered in non-decreasing time order. A Diversifier is not
+// safe for concurrent use — decisions are inherently sequential; serialize
+// access or use one goroutine.
+type Diversifier struct {
+	inner  core.Diversifier
+	nextID uint64
+}
+
+// NewDiversifier builds a diversifier running alg over the authors the user
+// subscribes to. Pass subscribed = nil to subscribe to every author of the
+// graph. The config's LambdaA must equal the graph's.
+func NewDiversifier(alg Algorithm, g *AuthorGraph, subscribed []AuthorID, cfg Config) (*Diversifier, error) {
+	if err := checkConfig(cfg, g); err != nil {
+		return nil, err
+	}
+	if subscribed == nil {
+		subscribed = allAuthors(g.NumAuthors())
+	}
+	if err := checkAuthors(subscribed, g.NumAuthors()); err != nil {
+		return nil, err
+	}
+	inner, err := core.NewDiversifier(alg, g.g, subscribed, cfg.thresholds())
+	if err != nil {
+		return nil, err
+	}
+	return &Diversifier{inner: inner}, nil
+}
+
+func checkConfig(cfg Config, g *AuthorGraph) error {
+	if g == nil {
+		return fmt.Errorf("firehose: nil author graph")
+	}
+	if err := cfg.thresholds().Validate(); err != nil {
+		return err
+	}
+	if cfg.LambdaA != g.lambdaA {
+		return fmt.Errorf("firehose: config LambdaA %v does not match graph LambdaA %v",
+			cfg.LambdaA, g.lambdaA)
+	}
+	return nil
+}
+
+func checkAuthors(authors []AuthorID, n int) error {
+	for _, a := range authors {
+		if a < 0 || int(a) >= n {
+			return fmt.Errorf("firehose: author %d outside graph range [0,%d)", a, n)
+		}
+	}
+	return nil
+}
+
+// Offer decides whether p joins the diversified timeline. The decision is
+// immediate and irrevocable (Problem 1's real-time semantics). Offer panics
+// if posts arrive out of time order.
+func (d *Diversifier) Offer(p Post) bool {
+	return d.inner.Offer(d.toCore(p))
+}
+
+func (d *Diversifier) toCore(p Post) *core.Post {
+	id := p.ID
+	if id == 0 {
+		d.nextID++
+		id = d.nextID
+	}
+	return core.NewPost(id, p.Author, p.Time.UnixMilli(), p.Text)
+}
+
+// NewIndexedDiversifier builds a single-user diversifier whose content
+// lookup uses a Manku-style block-permutation SimHash index instead of a
+// linear scan. It requires a strict content threshold: the index stores one
+// copy per table and the table count is exponential in LambdaC (which is
+// why the paper's default λc=18 uses the scan-based algorithms — the
+// constructor fails for such thresholds). blocks is the bit-block count;
+// LambdaC+3 is a reasonable default, giving C(blocks, LambdaC) tables.
+//
+// The emitted stream is identical to NewDiversifier's at equal thresholds.
+func NewIndexedDiversifier(g *AuthorGraph, subscribed []AuthorID, cfg Config, blocks int) (*Diversifier, error) {
+	if err := checkConfig(cfg, g); err != nil {
+		return nil, err
+	}
+	if subscribed == nil {
+		subscribed = allAuthors(g.NumAuthors())
+	}
+	if err := checkAuthors(subscribed, g.NumAuthors()); err != nil {
+		return nil, err
+	}
+	inner, err := core.NewIndexedUniBin(g.g.Induced(subscribed), cfg.thresholds(), blocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Diversifier{inner: inner}, nil
+}
+
+// Filter drains in-order posts from a slice and returns the diversified
+// sub-stream.
+func (d *Diversifier) Filter(posts []Post) []Post {
+	var out []Post
+	for _, p := range posts {
+		if d.Offer(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Algorithm returns the name of the backing algorithm.
+func (d *Diversifier) Algorithm() string { return d.inner.Name() }
+
+// Stats snapshots the run's cost counters.
+func (d *Diversifier) Stats() Stats { return statsOf(d.inner.Counters()) }
+
+// MultiUserService solves the multi-user problem (M-SPSD): one central
+// engine diversifies the timeline of every user. Users subscribing to the
+// same connected component of similar authors share state and computation
+// (the paper's S_* algorithms); pass Shared: false to run one independent
+// diversifier per user (M_*), which is only useful as a baseline.
+//
+// A MultiUserService is not safe for concurrent use; serialize Offer calls.
+type MultiUserService struct {
+	inner core.MultiDiversifier
+}
+
+// MultiUserOptions configures NewMultiUserService.
+type MultiUserOptions struct {
+	// Algorithm is the per-component SPSD algorithm. Default UniBin — the
+	// paper found S_UniBin superior in the multi-user setting.
+	Algorithm Algorithm
+	// Independent disables cross-user sharing (the M_* baselines).
+	Independent bool
+}
+
+// NewMultiUserService builds the service. subscriptions[u] lists the authors
+// user u follows.
+func NewMultiUserService(g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts MultiUserOptions) (*MultiUserService, error) {
+	if err := checkConfig(cfg, g); err != nil {
+		return nil, err
+	}
+	for u, subs := range subscriptions {
+		if err := checkAuthors(subs, g.NumAuthors()); err != nil {
+			return nil, fmt.Errorf("user %d: %w", u, err)
+		}
+	}
+	var (
+		inner core.MultiDiversifier
+		err   error
+	)
+	if opts.Independent {
+		inner, err = core.NewMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), cfg.thresholds())
+	} else {
+		inner, err = core.NewSharedMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), cfg.thresholds())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &MultiUserService{inner: inner}, nil
+}
+
+func int32Slices(s [][]AuthorID) [][]int32 { return s }
+
+// NewCustomMultiUserService builds an M-SPSD service where every user has
+// individual LambdaC and LambdaT thresholds (configs[u] applies to
+// subscriptions[u]). Per-user customization precludes the cross-user state
+// sharing of NewMultiUserService — each user runs an independent instance —
+// and every config must carry the graph's LambdaA, since the author
+// dimension is precomputed into the shared graph.
+func NewCustomMultiUserService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, configs []Config) (*MultiUserService, error) {
+	if g == nil {
+		return nil, fmt.Errorf("firehose: nil author graph")
+	}
+	if len(subscriptions) != len(configs) {
+		return nil, fmt.Errorf("firehose: %d subscription lists but %d configs",
+			len(subscriptions), len(configs))
+	}
+	ths := make([]core.Thresholds, len(configs))
+	for u, cfg := range configs {
+		if err := checkConfig(cfg, g); err != nil {
+			return nil, fmt.Errorf("user %d: %w", u, err)
+		}
+		ths[u] = cfg.thresholds()
+	}
+	inner, err := core.NewCustomMultiUser(alg, g.g, int32Slices(subscriptions), ths)
+	if err != nil {
+		return nil, err
+	}
+	return &MultiUserService{inner: inner}, nil
+}
+
+// Offer routes one post through every affected user's diversification state
+// and returns the ids of the users whose timelines receive it (sorted).
+// Posts must arrive in non-decreasing time order.
+func (m *MultiUserService) Offer(p Post) []UserID {
+	return m.inner.Offer(core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text))
+}
+
+// Algorithm returns the name of the backing algorithm (e.g. "S_UniBin").
+func (m *MultiUserService) Algorithm() string { return m.inner.Name() }
+
+// SharedComponents returns the number of distinct diversification states the
+// service maintains — the shared connected components of Section 5. It
+// returns 0 for the Independent (M_*) and per-user-custom variants, which
+// keep one state per user instead.
+func (m *MultiUserService) SharedComponents() int {
+	if s, ok := m.inner.(*core.SharedMultiUser); ok {
+		return s.NumComponents()
+	}
+	return 0
+}
+
+// Stats snapshots the merged cost counters across all internal instances.
+func (m *MultiUserService) Stats() Stats { return statsOf(m.inner.Counters()) }
+
+func statsOf(c *metrics.Counters) Stats {
+	return Stats{
+		Comparisons: c.Comparisons,
+		Insertions:  c.Insertions,
+		Evictions:   c.Evictions,
+		Accepted:    c.Accepted,
+		Rejected:    c.Rejected,
+		PeakCopies:  c.StoredPeak,
+		EstRAMBytes: c.EstimateRAMBytes(core.StoredCopyBytes),
+	}
+}
+
+// ContentDistance returns the SimHash Hamming distance between two texts
+// under the paper's normalization — the content measure behind LambdaC,
+// exposed so applications can calibrate thresholds on their own data.
+func ContentDistance(textA, textB string) int {
+	return simhash.Distance(core.Fingerprint(textA), core.Fingerprint(textB))
+}
+
+// ContentSimilarityCosine returns the term-frequency cosine similarity of
+// two normalized texts — the slower baseline SimHash approximates (paper
+// Section 3).
+func ContentSimilarityCosine(textA, textB string) float64 {
+	return cosine.TextSimilarity(textnorm.NormalizedTokens(textA), textnorm.NormalizedTokens(textB))
+}

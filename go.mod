@@ -1,0 +1,3 @@
+module firehose
+
+go 1.22

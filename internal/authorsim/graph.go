@@ -1,0 +1,170 @@
+package authorsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is the author similarity graph G: nodes are authors, and an edge
+// connects two authors whose author distance (1 − cosine similarity of
+// followee sets) is at most λa. The graph is immutable after construction;
+// following the paper it is precomputed offline and consulted read-only by
+// the streaming algorithms, so it is safe for concurrent use.
+type Graph struct {
+	adj     [][]int32 // sorted neighbor lists
+	lambdaA float64
+	edges   int
+}
+
+// BuildGraph computes G(λa) from followee vectors: an edge joins a and b iff
+// 1 − Similarity(a,b) <= lambdaA. lambdaA must be in [0, 1).
+// lambdaA == 1 would make every pair adjacent (distance is always <= 1) and
+// is rejected; use a value strictly below 1.
+func BuildGraph(v *Vectors, lambdaA float64) *Graph {
+	if lambdaA < 0 || lambdaA >= 1 {
+		panic(fmt.Sprintf("authorsim: lambdaA must be in [0,1), got %v", lambdaA))
+	}
+	minSim := 1 - lambdaA
+	return NewGraph(v.NumAuthors(), v.PairsAbove(minSim), lambdaA)
+}
+
+// NewGraph builds a Graph over n authors from an explicit edge list. Pairs
+// are interpreted as undirected edges; duplicates and self-loops are
+// rejected. The lambdaA value is recorded for reporting only.
+func NewGraph(n int, pairs []SimPair, lambdaA float64) *Graph {
+	g := &Graph{adj: make([][]int32, n), lambdaA: lambdaA}
+	for _, p := range pairs {
+		if p.A == p.B {
+			panic(fmt.Sprintf("authorsim: self-loop on author %d", p.A))
+		}
+		if p.A < 0 || int(p.A) >= n || p.B < 0 || int(p.B) >= n {
+			panic(fmt.Sprintf("authorsim: edge (%d,%d) out of range [0,%d)", p.A, p.B, n))
+		}
+		g.adj[p.A] = append(g.adj[p.A], p.B)
+		g.adj[p.B] = append(g.adj[p.B], p.A)
+	}
+	for i := range g.adj {
+		a := g.adj[i]
+		sort.Slice(a, func(x, y int) bool { return a[x] < a[y] })
+		g.adj[i] = dedupSortedInPlace(a)
+		g.edges += len(g.adj[i])
+	}
+	g.edges /= 2
+	return g
+}
+
+// NumAuthors returns the number of nodes.
+func (g *Graph) NumAuthors() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// LambdaA returns the author-distance threshold the graph was built with.
+func (g *Graph) LambdaA() float64 { return g.lambdaA }
+
+// Degree returns the number of neighbors of author a.
+func (g *Graph) Degree(a int32) int { return len(g.adj[a]) }
+
+// Neighbors returns the sorted neighbor list of author a. The returned
+// slice must not be modified.
+func (g *Graph) Neighbors(a int32) []int32 { return g.adj[a] }
+
+// Adjacent reports whether authors a and b are connected by an edge
+// (author distance <= λa, a != b).
+func (g *Graph) Adjacent(a, b int32) bool {
+	adj := g.adj[a]
+	if len(g.adj[b]) < len(adj) {
+		adj, b = g.adj[b], a
+	}
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= b })
+	return i < len(adj) && adj[i] == b
+}
+
+// Similar implements the paper's author-dimension coverage test: authors are
+// similar if they are the same author (distance 0) or neighbors in G.
+func (g *Graph) Similar(a, b int32) bool {
+	return a == b || g.Adjacent(a, b)
+}
+
+// AvgDegree returns the average number of neighbors per author (the paper's
+// parameter d).
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.edges) / float64(len(g.adj))
+}
+
+// InducedComponents returns the connected components of the subgraph of g
+// induced by the given author set (a user's Gi in the paper). Every input
+// author appears in exactly one component, including authors isolated in the
+// induced subgraph. Each component is sorted ascending, and components are
+// ordered by their smallest member, so the result is canonical: two users
+// subscribing to the same author set get identical output. Duplicate input
+// authors are ignored.
+func (g *Graph) InducedComponents(authors []int32) [][]int32 {
+	in := make(map[int32]bool, len(authors))
+	for _, a := range authors {
+		in[a] = true
+	}
+	visited := make(map[int32]bool, len(in))
+	var comps [][]int32
+
+	// Iterate over sorted unique authors so output order is canonical.
+	uniq := make([]int32, 0, len(in))
+	for a := range in {
+		uniq = append(uniq, a)
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+
+	for _, start := range uniq {
+		if visited[start] {
+			continue
+		}
+		comp := []int32{}
+		queue := []int32{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			comp = append(comp, a)
+			for _, b := range g.adj[a] {
+				if in[b] && !visited[b] {
+					visited[b] = true
+					queue = append(queue, b)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// ComponentKey returns a canonical string key for a component (its sorted
+// author ids), used to deduplicate identical components across users in the
+// shared multi-user algorithms (Section 5).
+func ComponentKey(comp []int32) string {
+	// Components from InducedComponents are already sorted; be defensive
+	// about callers passing unsorted sets.
+	if !sort.SliceIsSorted(comp, func(i, j int) bool { return comp[i] < comp[j] }) {
+		c := make([]int32, len(comp))
+		copy(c, comp)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		comp = c
+	}
+	buf := make([]byte, 0, len(comp)*5)
+	for _, a := range comp {
+		buf = appendVarint(buf, a)
+	}
+	return string(buf)
+}
+
+func appendVarint(buf []byte, v int32) []byte {
+	u := uint32(v)
+	for u >= 0x80 {
+		buf = append(buf, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(buf, byte(u))
+}

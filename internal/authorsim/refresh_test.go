@@ -1,0 +1,214 @@
+package authorsim
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestMutableVectorsSetFollowees(t *testing.T) {
+	mv := NewMutableVectors(NewVectors([][]int32{
+		{1, 2, 3, 4},
+		{1, 2, 3, 5},
+		{9, 10},
+	}))
+	if got := mv.Similarity(0, 1); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("initial similarity = %v", got)
+	}
+	// Author 2 pivots to follow the same accounts as author 0.
+	if err := mv.SetFollowees(2, []int32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if got := mv.Similarity(0, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("similarity after update = %v, want 1", got)
+	}
+	// The update is reflected in SimilaritiesOf through the index.
+	pairs, err := mv.SimilaritiesOf(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := NeighborsFromPairs(2, pairs)
+	if !reflect.DeepEqual(ns, []int32{0, 1}) {
+		t.Fatalf("neighbors of 2 = %v, want [0 1]", ns)
+	}
+	if err := mv.SetFollowees(9, nil); err == nil {
+		t.Fatal("out-of-range author accepted")
+	}
+}
+
+func TestSetFolloweesMatchesRebuild(t *testing.T) {
+	// Incremental maintenance must agree with a from-scratch rebuild after
+	// any sequence of updates.
+	rng := rand.New(rand.NewSource(31))
+	base := make([][]int32, 25)
+	for i := range base {
+		for j := 0; j < 3+rng.Intn(8); j++ {
+			base[i] = append(base[i], int32(rng.Intn(30)))
+		}
+	}
+	mv := NewMutableVectors(NewVectors(base))
+	current := make([][]int32, len(base))
+	for i := range base {
+		current[i] = append([]int32(nil), base[i]...)
+	}
+
+	for step := 0; step < 40; step++ {
+		a := int32(rng.Intn(len(base)))
+		var nf []int32
+		for j := 0; j < rng.Intn(10); j++ {
+			nf = append(nf, int32(rng.Intn(30)))
+		}
+		if err := mv.SetFollowees(a, nf); err != nil {
+			t.Fatal(err)
+		}
+		current[a] = nf
+
+		fresh := NewMutableVectors(NewVectors(current))
+		for probe := 0; probe < 5; probe++ {
+			x := int32(rng.Intn(len(base)))
+			got, err := mv.SimilaritiesOf(x, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := fresh.SimilaritiesOf(x, 0.3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d author %d: incremental %v != rebuild %v", step, x, got, want)
+			}
+		}
+	}
+}
+
+func TestSimilaritiesOfMatchesPairsAbove(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	v := randomVectors(rng, 30, 25, 8)
+	mv := NewMutableVectors(NewVectors(func() [][]int32 {
+		fs := make([][]int32, v.NumAuthors())
+		for i := range fs {
+			fs[i] = v.Followees(int32(i))
+		}
+		return fs
+	}()))
+	all := v.PairsAbove(0.25)
+	for a := int32(0); a < int32(v.NumAuthors()); a++ {
+		got, err := mv.SimilaritiesOf(a, 0.25)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []SimPair
+		for _, p := range all {
+			if p.A == a || p.B == a {
+				want = append(want, p)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("author %d: %v vs %v", a, got, want)
+		}
+	}
+	if _, err := mv.SimilaritiesOf(0, 0); err == nil {
+		t.Fatal("minSim 0 accepted")
+	}
+	if _, err := mv.SimilaritiesOf(-1, 0.5); err == nil {
+		t.Fatal("bad author accepted")
+	}
+}
+
+func TestWithUpdatedAuthor(t *testing.T) {
+	g := NewGraph(5, []SimPair{{A: 0, B: 1}, {A: 1, B: 2}, {A: 3, B: 4}}, 0.7)
+	// Rewire author 1: drop 0 and 2, connect to 3.
+	g2, err := g.WithUpdatedAuthor(1, []int32{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original untouched.
+	if !g.Adjacent(0, 1) || !g.Adjacent(1, 2) || g.Adjacent(1, 3) {
+		t.Fatal("original graph mutated")
+	}
+	// New graph rewired and symmetric.
+	if g2.Adjacent(0, 1) || g2.Adjacent(1, 2) {
+		t.Fatal("old edges survived")
+	}
+	if !g2.Adjacent(1, 3) || !g2.Adjacent(3, 1) {
+		t.Fatal("new edge missing or asymmetric")
+	}
+	if !g2.Adjacent(3, 4) {
+		t.Fatal("unrelated edge lost")
+	}
+	if g2.NumEdges() != 2 {
+		t.Fatalf("NumEdges = %d, want 2", g2.NumEdges())
+	}
+	// Neighbor lists stay sorted.
+	ns := g2.Neighbors(3)
+	if !reflect.DeepEqual(ns, []int32{1, 4}) {
+		t.Fatalf("Neighbors(3) = %v", ns)
+	}
+}
+
+func TestWithUpdatedAuthorValidation(t *testing.T) {
+	g := NewGraph(3, []SimPair{{A: 0, B: 1}}, 0.7)
+	if _, err := g.WithUpdatedAuthor(9, nil); err == nil {
+		t.Fatal("out-of-range author accepted")
+	}
+	if _, err := g.WithUpdatedAuthor(0, []int32{0}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := g.WithUpdatedAuthor(0, []int32{7}); err == nil {
+		t.Fatal("out-of-range neighbor accepted")
+	}
+	// Duplicates in the neighbor list are tolerated (deduplicated).
+	g2, err := g.WithUpdatedAuthor(0, []int32{2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Degree(0) != 1 {
+		t.Fatalf("Degree(0) = %d", g2.Degree(0))
+	}
+}
+
+func TestWithUpdatedAuthorMatchesRebuild(t *testing.T) {
+	// Updating one author's followees then patching the graph must equal a
+	// full rebuild from the updated vectors.
+	rng := rand.New(rand.NewSource(33))
+	fs := make([][]int32, 40)
+	for i := range fs {
+		for j := 0; j < 5+rng.Intn(10); j++ {
+			fs[i] = append(fs[i], int32(rng.Intn(25)))
+		}
+	}
+	lambdaA := 0.6
+	mv := NewMutableVectors(NewVectors(fs))
+	g := BuildGraph(mv.Vectors(), lambdaA)
+
+	for step := 0; step < 20; step++ {
+		a := int32(rng.Intn(len(fs)))
+		var nf []int32
+		for j := 0; j < 5+rng.Intn(10); j++ {
+			nf = append(nf, int32(rng.Intn(25)))
+		}
+		if err := mv.SetFollowees(a, nf); err != nil {
+			t.Fatal(err)
+		}
+		pairs, err := mv.SimilaritiesOf(a, 1-lambdaA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err = g.WithUpdatedAuthor(a, NeighborsFromPairs(a, pairs))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		want := BuildGraph(mv.Vectors(), lambdaA)
+		if g.NumEdges() != want.NumEdges() {
+			t.Fatalf("step %d: edges %d vs rebuild %d", step, g.NumEdges(), want.NumEdges())
+		}
+		for x := int32(0); x < int32(len(fs)); x++ {
+			if !reflect.DeepEqual(g.Neighbors(x), want.Neighbors(x)) {
+				t.Fatalf("step %d: neighbors of %d diverge: %v vs %v",
+					step, x, g.Neighbors(x), want.Neighbors(x))
+			}
+		}
+	}
+}

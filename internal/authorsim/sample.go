@@ -1,0 +1,84 @@
+package authorsim
+
+import "sort"
+
+// BFSSample reproduces the paper's dataset preparation (Section 6.1): starting
+// from a seed author, it walks the follower/followee graph breadth-first —
+// treating follow edges as undirected, since reachability through either a
+// follower or a followee relation adds the account — and returns the first
+// `size` distinct authors reached, sorted ascending. If the seed's component
+// is smaller than size, the entire component is returned.
+//
+// followees[a] lists the accounts a follows; all ids must be in
+// [0, len(followees)), i.e. the sample runs over a closed account universe.
+func BFSSample(followees [][]int32, seed int32, size int) []int32 {
+	n := len(followees)
+	if size <= 0 || int(seed) >= n || seed < 0 {
+		return nil
+	}
+	// Build undirected adjacency: a—b if a follows b or b follows a.
+	followers := make([][]int32, n)
+	for a, fs := range followees {
+		for _, t := range fs {
+			followers[t] = append(followers[t], int32(a))
+		}
+	}
+
+	visited := make([]bool, n)
+	visited[seed] = true
+	queue := []int32{seed}
+	out := make([]int32, 0, size)
+	for len(queue) > 0 && len(out) < size {
+		a := queue[0]
+		queue = queue[1:]
+		out = append(out, a)
+		// Deterministic expansion order: followees first, then followers,
+		// each in stored order.
+		for _, b := range followees[a] {
+			if !visited[b] {
+				visited[b] = true
+				queue = append(queue, b)
+			}
+		}
+		for _, b := range followers[a] {
+			if !visited[b] {
+				visited[b] = true
+				queue = append(queue, b)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reindex maps a sampled author set to a dense id space 0..len(sample)-1 and
+// rewrites the followee vectors accordingly. Followees outside the sample are
+// kept (they still contribute to cosine similarity, as on Twitter where a
+// sampled author follows unsampled accounts) and are remapped to ids at and
+// above len(sample) so the new universe stays closed. It returns the new
+// followee vectors and the mapping from new id to original id.
+func Reindex(followees [][]int32, sample []int32) (newFollowees [][]int32, origID []int32) {
+	toNew := make(map[int32]int32, len(sample))
+	origID = make([]int32, len(sample))
+	for i, a := range sample {
+		toNew[a] = int32(i)
+		origID[i] = a
+	}
+	next := int32(len(sample))
+	newFollowees = make([][]int32, len(sample))
+	for i, a := range sample {
+		fs := followees[a]
+		nf := make([]int32, 0, len(fs))
+		for _, t := range fs {
+			id, ok := toNew[t]
+			if !ok {
+				id = next
+				toNew[t] = id
+				next++
+			}
+			nf = append(nf, id)
+		}
+		newFollowees[i] = nf
+	}
+	return newFollowees, origID
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"firehose/internal/authorsim"
+	"firehose/internal/metrics"
+	"firehose/internal/postbin"
+	"firehose/internal/simhash"
+)
+
+// CliqueBin solves SPSD with one post bin per clique of a clique edge cover
+// of the author similarity graph (Section 4.3). A post is stored once per
+// clique containing its author — fewer copies than NeighborBin's one per
+// neighbor — and coverage of a new post is checked against the bins of the
+// cliques containing its author. Because every edge of the graph lies inside
+// some clique (and isolated authors get singleton cliques), the candidate
+// set still contains every author-similar accepted post; because clique
+// members are pairwise similar, only the content check runs per candidate.
+// A post may be compared twice when two candidates share several cliques,
+// which is the comparison overhead the paper trades against RAM.
+type CliqueBin struct {
+	th    Thresholds
+	cover *authorsim.CliqueCover
+	bins  []*postbin.Bin[stored] // indexed by clique id
+	c     metrics.Counters
+}
+
+// NewCliqueBin returns a CliqueBin diversifier over a precomputed clique
+// edge cover (the paper computes the cover offline together with the author
+// similarity graph).
+func NewCliqueBin(cover *authorsim.CliqueCover, th Thresholds) *CliqueBin {
+	return &CliqueBin{
+		th:    th,
+		cover: cover,
+		bins:  make([]*postbin.Bin[stored], cover.NumCliques()),
+	}
+}
+
+// Name implements Diversifier.
+func (cb *CliqueBin) Name() string { return "CliqueBin" }
+
+// Counters implements Diversifier.
+func (cb *CliqueBin) Counters() *metrics.Counters { return &cb.c }
+
+func (cb *CliqueBin) bin(clique int) *postbin.Bin[stored] {
+	b := cb.bins[clique]
+	if b == nil {
+		b = postbin.New[stored]()
+		cb.bins[clique] = b
+	}
+	return b
+}
+
+// Offer implements Diversifier. Posts from authors absent from the cover
+// (never seen when the cover spans all subscribed authors) are accepted
+// without storage: they have no similar authors, so nothing can cover them
+// and they can cover nothing within the author dimension... except their own
+// later posts — which is why the cover must include singleton cliques for
+// isolated authors; authorsim.GreedyCliqueCover guarantees that.
+func (cb *CliqueBin) Offer(p *Post) bool {
+	cutoff := p.Time - cb.th.LambdaT
+	cliques := cb.cover.CliquesOf(p.Author)
+
+	covered := false
+	for _, ci := range cliques {
+		b := cb.bin(ci)
+		if n := b.PruneBefore(cutoff); n > 0 {
+			cb.c.Evictions += uint64(n)
+			cb.c.RemoveStored(n)
+		}
+		b.ScanNewestFirst(func(_ int64, s stored) bool {
+			cb.c.Comparisons++
+			// Clique co-membership implies author similarity; content decides.
+			if simhash.Distance(p.FP, s.fp) <= cb.th.LambdaC {
+				covered = true
+				return false
+			}
+			return true
+		})
+		if covered {
+			break
+		}
+	}
+	if covered {
+		cb.c.Rejected++
+		return false
+	}
+
+	copyOf := stored{fp: p.FP, author: p.Author}
+	for _, ci := range cliques {
+		cb.bin(ci).Push(p.Time, copyOf)
+	}
+	cb.c.Insertions += uint64(len(cliques))
+	cb.c.AddStored(len(cliques))
+	cb.c.Accepted++
+	return true
+}

@@ -1,0 +1,93 @@
+package core
+
+// This file implements the analytic performance model of Section 4.4
+// (Table 2). The model estimates, for one λt window, the RAM footprint (in
+// stored post copies), the number of pairwise post comparisons and the
+// number of bin insertions of each algorithm, from six data/topology
+// parameters. The experiments validate measured counters against these
+// estimates (Table 2 reproduction).
+
+// ModelParams are the parameters of the Section 4.4 analysis.
+type ModelParams struct {
+	// M is the number of subscribed authors.
+	M int
+	// N is the total number of posts arriving in one λt window.
+	N float64
+	// R is the fraction of posts that survive diversification (r <= 1).
+	R float64
+	// D is the average number of neighbors per author in G (d).
+	D float64
+	// C is the average number of cliques containing an author (c <= d).
+	C float64
+	// S is the average number of authors in a clique (s).
+	S float64
+}
+
+// Estimate is one row of Table 2: expected costs over a λt window.
+type Estimate struct {
+	// RAMCopies is the number of post copies resident in bins (r·n scaled by
+	// the per-algorithm copy factor).
+	RAMCopies float64
+	// Comparisons is the number of pairwise post comparisons over the window.
+	Comparisons float64
+	// Insertions is the number of bin insertions over the window.
+	Insertions float64
+}
+
+// UniBinEstimate returns Table 2's UniBin column: one copy per surviving
+// post, and each of the n arrivals scans the full bin of r·n survivors.
+func (p ModelParams) UniBinEstimate() Estimate {
+	return Estimate{
+		RAMCopies:   p.R * p.N,
+		Comparisons: p.R * p.N * p.N,
+		Insertions:  p.R * p.N,
+	}
+}
+
+// NeighborBinEstimate returns Table 2's NeighborBin column: d+1 copies per
+// surviving post, and each arrival scans its author's bin holding a
+// (d+1)/m share of the surviving posts.
+func (p ModelParams) NeighborBinEstimate() Estimate {
+	f := p.D + 1
+	return Estimate{
+		RAMCopies:   f * p.R * p.N,
+		Comparisons: f / float64(p.M) * p.R * p.N * p.N,
+		Insertions:  f * p.R * p.N,
+	}
+}
+
+// CliqueBinEstimate returns Table 2's CliqueBin column: c copies per
+// surviving post, and each arrival scans the bins of its c cliques, each
+// holding an s/m share of the surviving posts.
+func (p ModelParams) CliqueBinEstimate() Estimate {
+	return Estimate{
+		RAMCopies:   p.C * p.R * p.N,
+		Comparisons: p.S * p.C / float64(p.M) * p.R * p.N * p.N,
+		Insertions:  p.C * p.R * p.N,
+	}
+}
+
+// Estimate dispatches to the column for alg.
+func (p ModelParams) Estimate(alg Algorithm) Estimate {
+	switch alg {
+	case AlgUniBin:
+		return p.UniBinEstimate()
+	case AlgNeighborBin:
+		return p.NeighborBinEstimate()
+	case AlgCliqueBin:
+		return p.CliqueBinEstimate()
+	default:
+		return Estimate{}
+	}
+}
+
+// CliqueOverlapQ returns the paper's overlap ratio q — the number of edges
+// of G divided by the total number of edges inside the cover's cliques —
+// which ties the parameters together as c·(s−1)·q = d. It is reported by the
+// Table 2 experiment as a consistency check of the topology parameters.
+func (p ModelParams) CliqueOverlapQ() float64 {
+	if p.C == 0 || p.S <= 1 {
+		return 0
+	}
+	return p.D / (p.C * (p.S - 1))
+}

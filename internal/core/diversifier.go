@@ -1,0 +1,48 @@
+package core
+
+import (
+	"firehose/internal/metrics"
+	"firehose/internal/simhash"
+)
+
+// Diversifier is a single-user SPSD solver: posts are offered in stream
+// (non-decreasing time) order, and Offer answers the real-time decision of
+// Problem 1 — true means the post joins the diversified sub-stream Z, false
+// means it is covered by an already-emitted post and is pruned.
+//
+// Diversifiers are not safe for concurrent use; the real-time decision
+// semantics make each instance inherently sequential. Wrap instances in the
+// stream package's engine for concurrent multi-stream deployments.
+type Diversifier interface {
+	// Offer decides, immediately and irrevocably, whether p enters Z.
+	Offer(p *Post) bool
+	// Counters exposes the run's cost metrics.
+	Counters() *metrics.Counters
+	// Name identifies the algorithm ("UniBin", "NeighborBin", "CliqueBin").
+	Name() string
+}
+
+// Run feeds posts (already in time order) through d and returns the
+// diversified sub-stream.
+func Run(d Diversifier, posts []*Post) []*Post {
+	var out []*Post
+	for _, p := range posts {
+		if d.Offer(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// stored is the per-copy payload kept in bins: everything the coverage check
+// needs without retaining the post text, so a bin copy costs a fingerprint,
+// an author id and the bin's own timestamp.
+type stored struct {
+	fp     simhash.Fingerprint
+	author int32
+}
+
+// StoredCopyBytes is the approximate in-memory footprint of one bin copy
+// (fingerprint + author + timestamp + amortized ring-buffer slot overhead),
+// used to convert peak copy counts into the RAM figures of Section 6.
+const StoredCopyBytes = 24

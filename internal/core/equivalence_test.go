@@ -1,0 +1,240 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/simhash"
+)
+
+// randomScenario builds a random author graph and a random time-ordered post
+// stream whose fingerprints cluster around a few bases, so that content
+// coverage actually fires at small λc.
+func randomScenario(rng *rand.Rand, nAuthors, nPosts int, edgeP float64) (*authorsim.Graph, []*Post) {
+	var pairs []authorsim.SimPair
+	for a := int32(0); a < int32(nAuthors); a++ {
+		for b := a + 1; b < int32(nAuthors); b++ {
+			if rng.Float64() < edgeP {
+				pairs = append(pairs, authorsim.SimPair{A: a, B: b})
+			}
+		}
+	}
+	g := authorsim.NewGraph(nAuthors, pairs, 0.7)
+
+	bases := make([]simhash.Fingerprint, 6)
+	for i := range bases {
+		bases[i] = simhash.Fingerprint(rng.Uint64())
+	}
+	posts := make([]*Post, nPosts)
+	now := int64(0)
+	for i := range posts {
+		now += int64(rng.Intn(50))
+		fp := bases[rng.Intn(len(bases))]
+		// Flip up to 6 random bits so distances to the base stay small.
+		for k := rng.Intn(7); k > 0; k-- {
+			fp ^= 1 << uint(rng.Intn(64))
+		}
+		posts[i] = &Post{
+			ID:     uint64(i + 1),
+			Author: int32(rng.Intn(nAuthors)),
+			Time:   now,
+			FP:     fp,
+		}
+	}
+	return g, posts
+}
+
+func allAuthorIDs(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// bruteForce is the specification oracle: a post joins Z iff no earlier
+// member of Z covers it (Definition 1 checked directly, no indexes).
+func bruteForce(posts []*Post, th Thresholds, g AuthorGraph) []*Post {
+	var z []*Post
+	for _, p := range posts {
+		covered := false
+		for _, q := range z {
+			if Covers(p, q, th, g) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			z = append(z, p)
+		}
+	}
+	return z
+}
+
+func TestAlgorithmsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 40; trial++ {
+		nAuthors := 2 + rng.Intn(20)
+		g, posts := randomScenario(rng, nAuthors, 150, 0.2)
+		th := Thresholds{
+			LambdaC: 4 + rng.Intn(10),
+			LambdaT: int64(100 + rng.Intn(2000)),
+			LambdaA: 0.7,
+		}
+		want := idsOf(bruteForce(posts, th, g))
+		authors := allAuthorIDs(nAuthors)
+
+		algos := []Diversifier{
+			NewUniBin(g, th),
+			NewNeighborBin(g, th),
+			NewCliqueBin(authorsim.GreedyCliqueCover(g, authors), th),
+		}
+		for _, d := range algos {
+			got := idsOf(Run(d, posts))
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: %s output %v, oracle %v (th=%+v)",
+					trial, d.Name(), got, want, th)
+			}
+		}
+	}
+}
+
+// TestCoverageInvariant verifies Problem 1's guarantee directly: every post
+// of the stream is either in Z or covered (at its arrival time) by a member
+// of Z that arrived before it.
+func TestCoverageInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	g, posts := randomScenario(rng, 15, 400, 0.25)
+	th := Thresholds{LambdaC: 8, LambdaT: 500, LambdaA: 0.7}
+
+	d := NewUniBin(g, th)
+	inZ := make(map[uint64]bool)
+	var z []*Post
+	for _, p := range posts {
+		if d.Offer(p) {
+			inZ[p.ID] = true
+			z = append(z, p)
+			// An accepted post must not be covered by any earlier Z member.
+			for _, q := range z[:len(z)-1] {
+				if Covers(p, q, th, g) {
+					t.Fatalf("accepted post %d is covered by %d", p.ID, q.ID)
+				}
+			}
+		} else {
+			covered := false
+			for _, q := range z {
+				if Covers(p, q, th, g) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				t.Fatalf("rejected post %d is not covered by Z", p.ID)
+			}
+		}
+	}
+	if len(z) == 0 || len(z) == len(posts) {
+		t.Fatalf("degenerate scenario: |Z|=%d of %d", len(z), len(posts))
+	}
+}
+
+// TestCounterConsistency checks the bookkeeping identities that hold for
+// every algorithm: insertions = accepted × copies, live + evicted = inserted.
+func TestCounterConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	g, posts := randomScenario(rng, 12, 300, 0.3)
+	th := Thresholds{LambdaC: 6, LambdaT: 400, LambdaA: 0.7}
+	authors := allAuthorIDs(12)
+
+	for _, d := range []Diversifier{
+		NewUniBin(g, th),
+		NewNeighborBin(g, th),
+		NewCliqueBin(authorsim.GreedyCliqueCover(g, authors), th),
+	} {
+		Run(d, posts)
+		c := d.Counters()
+		if c.Accepted+c.Rejected != uint64(len(posts)) {
+			t.Fatalf("%s: processed %d != %d", d.Name(), c.Processed(), len(posts))
+		}
+		if int64(c.Insertions) != c.StoredLive()+int64(c.Evictions) {
+			t.Fatalf("%s: insertions %d != live %d + evictions %d",
+				d.Name(), c.Insertions, c.StoredLive(), c.Evictions)
+		}
+		if c.StoredPeak < c.StoredLive() {
+			t.Fatalf("%s: peak %d < live %d", d.Name(), c.StoredPeak, c.StoredLive())
+		}
+	}
+}
+
+// TestComparisonOrdering checks the Table 3 qualitative relations on a
+// dense-enough scenario: UniBin makes the most comparisons, NeighborBin the
+// fewest; UniBin stores the fewest copies, NeighborBin the most.
+func TestComparisonOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	g, posts := randomScenario(rng, 30, 3000, 0.15)
+	th := Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7}
+	authors := allAuthorIDs(30)
+
+	ub := NewUniBin(g, th)
+	nb := NewNeighborBin(g, th)
+	cb := NewCliqueBin(authorsim.GreedyCliqueCover(g, authors), th)
+	Run(ub, posts)
+	Run(nb, posts)
+	Run(cb, posts)
+
+	if !(ub.Counters().Comparisons > nb.Counters().Comparisons) {
+		t.Fatalf("UniBin comparisons %d should exceed NeighborBin %d",
+			ub.Counters().Comparisons, nb.Counters().Comparisons)
+	}
+	if !(cb.Counters().Comparisons >= nb.Counters().Comparisons) {
+		t.Fatalf("CliqueBin comparisons %d should be >= NeighborBin %d",
+			cb.Counters().Comparisons, nb.Counters().Comparisons)
+	}
+	if !(ub.Counters().StoredPeak <= cb.Counters().StoredPeak) {
+		t.Fatalf("UniBin peak %d should be <= CliqueBin %d",
+			ub.Counters().StoredPeak, cb.Counters().StoredPeak)
+	}
+	if !(cb.Counters().StoredPeak <= nb.Counters().StoredPeak) {
+		t.Fatalf("CliqueBin peak %d should be <= NeighborBin %d",
+			cb.Counters().StoredPeak, nb.Counters().StoredPeak)
+	}
+}
+
+func TestRunEmptyStream(t *testing.T) {
+	g := pairGraph(1)
+	d := NewUniBin(g, Thresholds{LambdaC: 18, LambdaT: 1000, LambdaA: 0.7})
+	if got := Run(d, nil); got != nil {
+		t.Fatalf("Run(nil) = %v", got)
+	}
+}
+
+func TestZeroLambdaTOnlyExactTies(t *testing.T) {
+	// With λt = 0 only simultaneous posts can cover each other.
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 64, LambdaT: 0, LambdaA: 0.7}
+	d := NewUniBin(g, th)
+	if !d.Offer(&Post{ID: 1, Author: 0, Time: 100, FP: 0}) {
+		t.Fatal("first post accepted")
+	}
+	if d.Offer(&Post{ID: 2, Author: 1, Time: 100, FP: 0}) {
+		t.Fatal("simultaneous duplicate must be covered at λt=0")
+	}
+	if !d.Offer(&Post{ID: 3, Author: 1, Time: 101, FP: 0}) {
+		t.Fatal("1ms-later duplicate must be fresh at λt=0")
+	}
+}
+
+func TestZeroLambdaCOnlyIdenticalFingerprints(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 0, LambdaT: 1000, LambdaA: 0.7}
+	d := NewUniBin(g, th)
+	d.Offer(&Post{ID: 1, Author: 0, Time: 100, FP: 0xABC})
+	if d.Offer(&Post{ID: 2, Author: 1, Time: 101, FP: 0xABD}) == false {
+		t.Fatal("distance-1 fingerprint must be fresh at λc=0")
+	}
+	if d.Offer(&Post{ID: 3, Author: 1, Time: 102, FP: 0xABC}) {
+		t.Fatal("identical fingerprint must be covered at λc=0")
+	}
+}

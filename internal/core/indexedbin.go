@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+
+	"firehose/internal/metrics"
+	"firehose/internal/simindex"
+)
+
+// IndexedUniBin is UniBin with the linear content scan replaced by a
+// Manku-style block-permutation SimHash index (internal/simindex). The paper
+// rules this design out for its default λc = 18 — the table count is
+// exponential in λc (Section 3) — but for applications with a strict content
+// threshold (λc ≲ 6: exact re-shares, mirror detection) the index retrieves
+// the content-similar candidates directly instead of scanning the whole λt
+// window, trading memory (one copy per table) for comparisons.
+//
+// It emits exactly the same diversified stream as UniBin at the same
+// thresholds (property-tested); only the lookup mechanics differ. The
+// comparison counter accounts index bucket probes, the analogue of the
+// pairwise checks the scan-based algorithms count.
+type IndexedUniBin struct {
+	th  Thresholds
+	g   AuthorGraph
+	idx *simindex.Index
+	c   metrics.Counters
+	// lastSweep is the arrival time of the last full eviction sweep. A
+	// sweep walks every bucket of every table, so running one per arrival
+	// would be quadratic in the stream length; sweeping once per quarter
+	// window keeps amortized cost constant while bounding stale copies to
+	// 1.25 windows. Query correctness never depends on sweeping — it
+	// filters candidates by timestamp.
+	lastSweep int64
+}
+
+// NewIndexedUniBin builds the index-backed diversifier. It fails where the
+// paper says it must: when λc requires an infeasible table count.
+func NewIndexedUniBin(g AuthorGraph, th Thresholds, blocks int) (*IndexedUniBin, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := simindex.New(simindex.Params{K: th.LambdaC, Blocks: blocks})
+	if err != nil {
+		return nil, fmt.Errorf("core: IndexedUniBin: %w", err)
+	}
+	return &IndexedUniBin{th: th, g: g, idx: idx}, nil
+}
+
+// Name implements Diversifier.
+func (ib *IndexedUniBin) Name() string { return "IndexedUniBin" }
+
+// Counters implements Diversifier.
+func (ib *IndexedUniBin) Counters() *metrics.Counters { return &ib.c }
+
+// TableCount returns the number of index tables in use (the per-post copy
+// factor).
+func (ib *IndexedUniBin) TableCount() int64 { return ib.idx.Params().TableCount() }
+
+// Offer implements Diversifier.
+func (ib *IndexedUniBin) Offer(p *Post) bool {
+	cutoff := p.Time - ib.th.LambdaT
+	if sweepEvery := max(ib.th.LambdaT/4, 1); p.Time-ib.lastSweep >= sweepEvery {
+		ib.lastSweep = p.Time
+		if n := ib.idx.PruneBefore(cutoff); n > 0 {
+			// Copies: each pruned entry existed once per table.
+			ib.c.Evictions += uint64(n) * uint64(ib.TableCount())
+			ib.c.RemoveStored(n * int(ib.TableCount()))
+		}
+	}
+
+	matches, probes := ib.idx.Query(p.FP, cutoff)
+	ib.c.Comparisons += uint64(probes)
+	for _, m := range matches {
+		if ib.g.Similar(p.Author, m.Aux) {
+			ib.c.Rejected++
+			return false
+		}
+	}
+
+	ib.idx.Add(simindex.Entry{FP: p.FP, ID: p.ID, Aux: p.Author, Time: p.Time})
+	copies := int(ib.TableCount())
+	ib.c.Insertions += uint64(copies)
+	ib.c.AddStored(copies)
+	ib.c.Accepted++
+	return true
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestIndexedUniBinInfeasibleAtPaperDefault(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 18, LambdaT: 1000, LambdaA: 0.7}
+	// The Section 3 argument: λc=18 cannot be indexed with a sane table
+	// count. Any block layout admissible for k=18 must be rejected.
+	if _, err := NewIndexedUniBin(g, th, 36); err == nil {
+		t.Fatal("λc=18 index accepted; the paper's infeasibility argument should hold")
+	}
+}
+
+func TestIndexedUniBinMatchesUniBin(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		nAuthors := 3 + rng.Intn(12)
+		g, posts := randomScenario(rng, nAuthors, 300, 0.25)
+		th := Thresholds{
+			LambdaC: rng.Intn(5), // the strict-content regime the index serves
+			LambdaT: int64(200 + rng.Intn(1500)),
+			LambdaA: 0.7,
+		}
+		ib, err := NewIndexedUniBin(g, th, th.LambdaC+3)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ub := NewUniBin(g, th)
+		got := idsOf(Run(ib, posts))
+		want := idsOf(Run(ub, posts))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (λc=%d): indexed %v != scan %v", trial, th.LambdaC, got, want)
+		}
+	}
+}
+
+func TestIndexedUniBinCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	g, posts := randomScenario(rng, 8, 400, 0.3)
+	th := Thresholds{LambdaC: 3, LambdaT: 600, LambdaA: 0.7}
+	ib, err := NewIndexedUniBin(g, th, 6) // C(6,3) = 20 tables
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(ib, posts)
+	c := ib.Counters()
+	if c.Processed() != uint64(len(posts)) {
+		t.Fatalf("processed %d of %d", c.Processed(), len(posts))
+	}
+	if ib.TableCount() != 20 {
+		t.Fatalf("TableCount = %d", ib.TableCount())
+	}
+	// Every accepted post is stored once per table.
+	if c.Insertions != c.Accepted*20 {
+		t.Fatalf("insertions %d != accepted %d × 20", c.Insertions, c.Accepted)
+	}
+	if int64(c.Insertions) != c.StoredLive()+int64(c.Evictions) {
+		t.Fatalf("copy accounting broken: %d != %d + %d",
+			c.Insertions, c.StoredLive(), c.Evictions)
+	}
+	if ib.Name() != "IndexedUniBin" {
+		t.Fatalf("Name = %q", ib.Name())
+	}
+}
+
+func TestIndexedUniBinSavesComparisons(t *testing.T) {
+	// At a strict threshold over a long window the index probes far fewer
+	// candidates than UniBin's full-window scan.
+	rng := rand.New(rand.NewSource(73))
+	g, posts := randomScenario(rng, 10, 2000, 0.2)
+	th := Thresholds{LambdaC: 3, LambdaT: 50_000, LambdaA: 0.7}
+	ib, err := NewIndexedUniBin(g, th, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ub := NewUniBin(g, th)
+	Run(ib, posts)
+	Run(ub, posts)
+	if ib.Counters().Comparisons*2 > ub.Counters().Comparisons {
+		t.Fatalf("index should probe far fewer candidates: %d vs %d",
+			ib.Counters().Comparisons, ub.Counters().Comparisons)
+	}
+}
+
+func TestIndexedUniBinValidation(t *testing.T) {
+	g := pairGraph(1)
+	if _, err := NewIndexedUniBin(g, Thresholds{LambdaC: -1}, 6); err == nil {
+		t.Fatal("invalid thresholds accepted")
+	}
+	if _, err := NewIndexedUniBin(g, Thresholds{LambdaC: 3, LambdaT: 1, LambdaA: 0.5}, 3); err == nil {
+		t.Fatal("blocks <= K accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"slices"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/metrics"
+)
+
+// Algorithm selects which SPSD algorithm backs a (multi-user) diversifier.
+type Algorithm int
+
+const (
+	// AlgUniBin is the single-bin algorithm of Section 4.1.
+	AlgUniBin Algorithm = iota
+	// AlgNeighborBin is the per-author-bin algorithm of Section 4.2.
+	AlgNeighborBin
+	// AlgCliqueBin is the per-clique-bin algorithm of Section 4.3.
+	AlgCliqueBin
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgUniBin:
+		return "UniBin"
+	case AlgNeighborBin:
+		return "NeighborBin"
+	case AlgCliqueBin:
+		return "CliqueBin"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NewDiversifier builds a single-user SPSD diversifier running algorithm alg
+// over the subgraph of g induced by the subscribed authors (the user's Gi).
+func NewDiversifier(alg Algorithm, g *authorsim.Graph, authors []int32, th Thresholds) (Diversifier, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	switch alg {
+	case AlgUniBin:
+		return NewUniBin(g.Induced(authors), th), nil
+	case AlgNeighborBin:
+		return NewNeighborBin(g.Induced(authors), th), nil
+	case AlgCliqueBin:
+		return NewCliqueBin(authorsim.GreedyCliqueCover(g, authors), th), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", alg)
+	}
+}
+
+// newRoutedDiversifier builds the per-user / per-component instances of the
+// multi-user solvers. Unlike NewDiversifier it may consult the global graph
+// for UniBin's author test: the multi-user routing layer only ever offers an
+// instance posts authored within its subscription/component set, and for two
+// authors inside that set global adjacency coincides with induced adjacency.
+// This keeps the hot author check a pure binary search. NeighborBin still
+// needs the induced view (its insertion fan-out must not leak outside the
+// set) and CliqueBin's cover is computed on the induced subgraph anyway.
+func newRoutedDiversifier(alg Algorithm, g *authorsim.Graph, authors []int32, th Thresholds) (Diversifier, error) {
+	if alg == AlgUniBin {
+		if err := th.Validate(); err != nil {
+			return nil, err
+		}
+		return NewUniBin(g, th), nil
+	}
+	return NewDiversifier(alg, g, authors, th)
+}
+
+// MultiDiversifier solves M-SPSD (Problem 2): one post stream, many users
+// with author subscriptions. Offer routes an arriving post to every
+// subscribed user's diversification state and returns the sorted ids of the
+// users whose timeline receives the post.
+type MultiDiversifier interface {
+	Offer(p *Post) []int32
+	// Counters returns a merged snapshot of the cost counters across all
+	// internal diversifier instances.
+	Counters() *metrics.Counters
+	Name() string
+}
+
+// MultiUser is the baseline M_* family: one independent SPSD instance per
+// user, no computation shared (Section 5's M_UniBin / M_NeighborBin /
+// M_CliqueBin).
+type MultiUser struct {
+	alg           Algorithm
+	divs          []Diversifier // one per user
+	authorToUsers [][]int32     // dense, indexed by author id
+}
+
+// NewMultiUser builds the M_* solver. subscriptions[u] lists the authors
+// user u follows; authors must be node ids of g.
+func NewMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int32, th Thresholds) (*MultiUser, error) {
+	m := &MultiUser{
+		alg:           alg,
+		divs:          make([]Diversifier, len(subscriptions)),
+		authorToUsers: make([][]int32, g.NumAuthors()),
+	}
+	for u, subs := range subscriptions {
+		d, err := newRoutedDiversifier(alg, g, subs, th)
+		if err != nil {
+			return nil, err
+		}
+		m.divs[u] = d
+		seen := make(map[int32]bool, len(subs))
+		for _, a := range subs {
+			if !seen[a] {
+				seen[a] = true
+				m.authorToUsers[a] = append(m.authorToUsers[a], int32(u))
+			}
+		}
+	}
+	// Users were appended in increasing order, so the routing lists are
+	// already sorted; delivery order is deterministic.
+	return m, nil
+}
+
+// Name implements MultiDiversifier.
+func (m *MultiUser) Name() string { return "M_" + m.alg.String() }
+
+// Offer implements MultiDiversifier.
+func (m *MultiUser) Offer(p *Post) []int32 {
+	if int(p.Author) >= len(m.authorToUsers) {
+		return nil
+	}
+	var delivered []int32
+	for _, u := range m.authorToUsers[p.Author] {
+		if m.divs[u].Offer(p) {
+			delivered = append(delivered, u)
+		}
+	}
+	return delivered
+}
+
+// Counters implements MultiDiversifier.
+func (m *MultiUser) Counters() *metrics.Counters {
+	var total metrics.Counters
+	for _, d := range m.divs {
+		if d != nil {
+			total.Merge(*d.Counters())
+		}
+	}
+	return &total
+}
+
+// UserCounters returns the counters of one user's instance (for tests and
+// per-user reporting).
+func (m *MultiUser) UserCounters(user int32) *metrics.Counters {
+	return m.divs[user].Counters()
+}
+
+// SharedMultiUser is the optimized S_* family of Section 5: users whose
+// subscription subgraphs Gi share an identical connected component share one
+// SPSD instance for that component. A component is identified by its author
+// set — components are induced subgraphs of the global G, so an identical
+// author set implies an identical subgraph, which is the paper's strict
+// condition for reuse. Posts from authors outside every similarity relation
+// still flow through their (singleton) components.
+type SharedMultiUser struct {
+	alg           Algorithm
+	comps         []*sharedComponent
+	authorToComps [][]int32 // component indices, dense by author id
+}
+
+type sharedComponent struct {
+	authors []int32
+	div     Diversifier
+	users   []int32 // subscribers of exactly this component, sorted
+}
+
+// NewSharedMultiUser builds the S_* solver from per-user subscriptions.
+func NewSharedMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int32, th Thresholds) (*SharedMultiUser, error) {
+	s := &SharedMultiUser{
+		alg:           alg,
+		authorToComps: make([][]int32, g.NumAuthors()),
+	}
+	byKey := make(map[string]int)
+	for u, subs := range subscriptions {
+		for _, comp := range g.InducedComponents(subs) {
+			key := authorsim.ComponentKey(comp)
+			idx, ok := byKey[key]
+			if !ok {
+				div, err := newRoutedDiversifier(alg, g, comp, th)
+				if err != nil {
+					return nil, err
+				}
+				idx = len(s.comps)
+				byKey[key] = idx
+				s.comps = append(s.comps, &sharedComponent{authors: comp, div: div})
+				for _, a := range comp {
+					s.authorToComps[a] = append(s.authorToComps[a], int32(idx))
+				}
+			}
+			s.comps[idx].users = append(s.comps[idx].users, int32(u))
+		}
+	}
+	return s, nil
+}
+
+// Name implements MultiDiversifier.
+func (s *SharedMultiUser) Name() string { return "S_" + s.alg.String() }
+
+// NumComponents returns the number of distinct shared components — the
+// number of SPSD instances actually running.
+func (s *SharedMultiUser) NumComponents() int { return len(s.comps) }
+
+// Offer implements MultiDiversifier. Each distinct component containing the
+// post's author decides once; on acceptance the post is delivered to every
+// user subscribed to that component. A user sees the author in at most one
+// of its own components, so the per-component user sets touched here are
+// disjoint and the result needs only sorting, not deduplication.
+func (s *SharedMultiUser) Offer(p *Post) []int32 {
+	if int(p.Author) >= len(s.authorToComps) {
+		return nil
+	}
+	var delivered []int32
+	contributing := 0
+	for _, ci := range s.authorToComps[p.Author] {
+		comp := s.comps[ci]
+		if comp.div.Offer(p) {
+			delivered = append(delivered, comp.users...)
+			contributing++
+		}
+	}
+	// Per-component user lists are built in increasing user order, so a
+	// single contributing component is already sorted; only a multi-component
+	// delivery needs the sort.
+	if contributing > 1 {
+		slices.Sort(delivered)
+	}
+	return delivered
+}
+
+// Counters implements MultiDiversifier.
+func (s *SharedMultiUser) Counters() *metrics.Counters {
+	var total metrics.Counters
+	for _, comp := range s.comps {
+		total.Merge(*comp.div.Counters())
+	}
+	return &total
+}

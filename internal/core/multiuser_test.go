@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"firehose/internal/authorsim"
+)
+
+// randomSubscriptions gives each of nUsers a random non-empty author subset.
+func randomSubscriptions(rng *rand.Rand, nUsers, nAuthors int) [][]int32 {
+	subs := make([][]int32, nUsers)
+	for u := range subs {
+		for a := 0; a < nAuthors; a++ {
+			if rng.Float64() < 0.4 {
+				subs[u] = append(subs[u], int32(a))
+			}
+		}
+		if len(subs[u]) == 0 {
+			subs[u] = []int32{int32(rng.Intn(nAuthors))}
+		}
+	}
+	return subs
+}
+
+// timelinesOf replays the stream through a MultiDiversifier and collects the
+// per-user timeline of post ids.
+func timelinesOf(md MultiDiversifier, posts []*Post, nUsers int) [][]uint64 {
+	tl := make([][]uint64, nUsers)
+	for _, p := range posts {
+		for _, u := range md.Offer(p) {
+			tl[u] = append(tl[u], p.ID)
+		}
+	}
+	return tl
+}
+
+func TestSharedMatchesIndependentPerUser(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, alg := range []Algorithm{AlgUniBin, AlgNeighborBin, AlgCliqueBin} {
+		t.Run(alg.String(), func(t *testing.T) {
+			for trial := 0; trial < 10; trial++ {
+				nAuthors := 4 + rng.Intn(15)
+				nUsers := 2 + rng.Intn(8)
+				g, posts := randomScenario(rng, nAuthors, 200, 0.25)
+				subs := randomSubscriptions(rng, nUsers, nAuthors)
+				th := Thresholds{LambdaC: 6, LambdaT: 800, LambdaA: 0.7}
+
+				m, err := NewMultiUser(alg, g, subs, th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s, err := NewSharedMultiUser(alg, g, subs, th)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mt := timelinesOf(m, posts, nUsers)
+				st := timelinesOf(s, posts, nUsers)
+				for u := range mt {
+					if !reflect.DeepEqual(mt[u], st[u]) {
+						t.Fatalf("trial %d user %d: M timeline %v != S timeline %v",
+							trial, u, mt[u], st[u])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSharedMatchesSingleUserOracle: each user's M-SPSD timeline must equal
+// running single-user SPSD on the user's own sub-stream.
+func TestSharedMatchesSingleUserOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	nAuthors, nUsers := 12, 5
+	g, posts := randomScenario(rng, nAuthors, 300, 0.3)
+	subs := randomSubscriptions(rng, nUsers, nAuthors)
+	th := Thresholds{LambdaC: 7, LambdaT: 600, LambdaA: 0.7}
+
+	s, err := NewSharedMultiUser(AlgUniBin, g, subs, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := timelinesOf(s, posts, nUsers)
+
+	for u := 0; u < nUsers; u++ {
+		subscribed := make(map[int32]bool)
+		for _, a := range subs[u] {
+			subscribed[a] = true
+		}
+		var userStream []*Post
+		for _, p := range posts {
+			if subscribed[p.Author] {
+				userStream = append(userStream, p)
+			}
+		}
+		want := idsOf(bruteForce(userStream, th, g.Induced(subs[u])))
+		if !reflect.DeepEqual(got[u], want) {
+			t.Fatalf("user %d: shared timeline %v != oracle %v", u, got[u], want)
+		}
+	}
+}
+
+func TestSharedDeduplicatesComponents(t *testing.T) {
+	// Authors 0-1-2 form one component, 3-4 another, 5 isolated.
+	g := pairGraph(6, [2]int32{0, 1}, [2]int32{1, 2}, [2]int32{3, 4})
+	th := Thresholds{LambdaC: 18, LambdaT: 1000, LambdaA: 0.7}
+	subs := [][]int32{
+		{0, 1, 2, 3, 4}, // user 0: components {0,1,2}, {3,4}
+		{0, 1, 2, 5},    // user 1: components {0,1,2}, {5} — shares {0,1,2}
+		{0, 2},          // user 2: components {0}, {2} — {0,1,2} minus the bridge 1 splits
+	}
+	s, err := NewSharedMultiUser(AlgUniBin, g, subs, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct components: {0,1,2}, {3,4}, {5}, {0}, {2} → 5 instances,
+	// versus 6 total components across users.
+	if got := s.NumComponents(); got != 5 {
+		t.Fatalf("NumComponents = %d, want 5", got)
+	}
+}
+
+func TestSharedDeliveryRouting(t *testing.T) {
+	g := pairGraph(3, [2]int32{0, 1}) // 0-1 similar, 2 isolated
+	th := Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	subs := [][]int32{
+		{0, 1}, // user 0
+		{0, 1}, // user 1: identical → shares the component instance
+		{2},    // user 2
+	}
+	s, err := NewSharedMultiUser(AlgUniBin, g, subs, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", s.NumComponents())
+	}
+	// Post by author 0 is delivered to users 0 and 1, not 2.
+	got := s.Offer(&Post{ID: 1, Author: 0, Time: 1, FP: 0})
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("delivered = %v, want [0 1]", got)
+	}
+	// Near-duplicate by similar author 1 is covered — delivered to nobody.
+	got = s.Offer(&Post{ID: 2, Author: 1, Time: 2, FP: 1})
+	if len(got) != 0 {
+		t.Fatalf("covered post delivered to %v", got)
+	}
+	// Post by isolated author 2 goes only to user 2.
+	got = s.Offer(&Post{ID: 3, Author: 2, Time: 3, FP: 0})
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Fatalf("delivered = %v, want [2]", got)
+	}
+	// A post by an author nobody subscribes to is delivered nowhere.
+	if got := s.Offer(&Post{ID: 4, Author: 2, Time: 4, FP: ^Fingerprint("x")}); len(got) > 1 {
+		t.Fatalf("unexpected delivery %v", got)
+	}
+}
+
+func TestSharedSavesWorkOverIndependent(t *testing.T) {
+	// Many users with identical subscriptions: S_UniBin runs one instance,
+	// M_UniBin runs one per user — comparisons and copies scale with users.
+	rng := rand.New(rand.NewSource(55))
+	g, posts := randomScenario(rng, 10, 500, 0.3)
+	authors := allAuthorIDs(10)
+	subs := make([][]int32, 20)
+	for u := range subs {
+		subs[u] = authors
+	}
+	th := Thresholds{LambdaC: 6, LambdaT: 700, LambdaA: 0.7}
+
+	m, _ := NewMultiUser(AlgUniBin, g, subs, th)
+	s, _ := NewSharedMultiUser(AlgUniBin, g, subs, th)
+	for _, p := range posts {
+		m.Offer(p)
+		s.Offer(p)
+	}
+	mc, sc := m.Counters(), s.Counters()
+	if sc.Comparisons >= mc.Comparisons {
+		t.Fatalf("S comparisons %d should be < M comparisons %d", sc.Comparisons, mc.Comparisons)
+	}
+	if sc.StoredPeak >= mc.StoredPeak {
+		t.Fatalf("S peak %d should be < M peak %d", sc.StoredPeak, mc.StoredPeak)
+	}
+	if sc.Comparisons*10 > mc.Comparisons {
+		t.Fatalf("with 20 identical users sharing should cut work ~20x: S=%d M=%d",
+			sc.Comparisons, mc.Comparisons)
+	}
+}
+
+func TestMultiUserNames(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 3, LambdaT: 10, LambdaA: 0.5}
+	subs := [][]int32{{0, 1}}
+	for alg, wantM := range map[Algorithm]string{
+		AlgUniBin:      "M_UniBin",
+		AlgNeighborBin: "M_NeighborBin",
+		AlgCliqueBin:   "M_CliqueBin",
+	} {
+		m, err := NewMultiUser(alg, g, subs, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Name() != wantM {
+			t.Fatalf("Name = %q, want %q", m.Name(), wantM)
+		}
+		s, err := NewSharedMultiUser(alg, g, subs, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := "S_" + alg.String(); s.Name() != want {
+			t.Fatalf("Name = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestNewDiversifierErrors(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	if _, err := NewDiversifier(AlgUniBin, g, []int32{0}, Thresholds{LambdaC: -1}); err == nil {
+		t.Fatal("expected threshold validation error")
+	}
+	if _, err := NewDiversifier(Algorithm(42), g, []int32{0}, Thresholds{LambdaC: 18}); err == nil {
+		t.Fatal("expected unknown algorithm error")
+	}
+	if _, err := NewMultiUser(Algorithm(42), g, [][]int32{{0}}, Thresholds{}); err == nil {
+		t.Fatal("expected error from MultiUser with bad algorithm")
+	}
+	if _, err := NewSharedMultiUser(Algorithm(42), g, [][]int32{{0}}, Thresholds{}); err == nil {
+		t.Fatal("expected error from SharedMultiUser with bad algorithm")
+	}
+}
+
+func TestUserCounters(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	m, err := NewMultiUser(AlgUniBin, g, [][]int32{{0}, {0, 1}}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Offer(&Post{ID: 1, Author: 1, Time: 1, FP: 0})
+	if got := m.UserCounters(0).Processed(); got != 0 {
+		t.Fatalf("user 0 (not subscribed to author 1) processed %d posts", got)
+	}
+	if got := m.UserCounters(1).Processed(); got != 1 {
+		t.Fatalf("user 1 processed %d posts, want 1", got)
+	}
+}
+
+func ExampleSharedMultiUser_Offer() {
+	g := authorsim.NewGraph(2, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := Thresholds{LambdaC: 3, LambdaT: 60_000, LambdaA: 0.7}
+	s, _ := NewSharedMultiUser(AlgUniBin, g, [][]int32{{0, 1}, {0, 1}}, th)
+	fmt.Println(s.Offer(NewPost(1, 0, 0, "breaking news: ferry sinks off coast")))
+	fmt.Println(s.Offer(NewPost(2, 1, 1000, "breaking news: ferry sinks off coast")))
+	// Output:
+	// [0 1]
+	// []
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"firehose/internal/metrics"
+	"firehose/internal/postbin"
+	"firehose/internal/simhash"
+)
+
+// NeighborBin solves SPSD with one post bin per author (Section 4.2). The
+// bin of author a holds the accepted posts of a and of a's neighbors in the
+// author similarity graph, so checking coverage of a new post touches only
+// its own author's bin — every candidate there already passes the author
+// dimension, and only the content check remains. The price is fan-out on
+// insertion: an accepted post is copied into the bins of its author and all
+// of the author's neighbors, giving the highest RAM of the three algorithms.
+type NeighborBin struct {
+	th   Thresholds
+	g    AuthorGraph
+	bins map[int32]*postbin.Bin[stored]
+	c    metrics.Counters
+}
+
+// NewNeighborBin returns a NeighborBin diversifier over the given author
+// graph. Per-author bins are created lazily on first touch.
+func NewNeighborBin(g AuthorGraph, th Thresholds) *NeighborBin {
+	return &NeighborBin{th: th, g: g, bins: make(map[int32]*postbin.Bin[stored])}
+}
+
+// Name implements Diversifier.
+func (nb *NeighborBin) Name() string { return "NeighborBin" }
+
+// Counters implements Diversifier.
+func (nb *NeighborBin) Counters() *metrics.Counters { return &nb.c }
+
+func (nb *NeighborBin) bin(author int32) *postbin.Bin[stored] {
+	b := nb.bins[author]
+	if b == nil {
+		b = postbin.New[stored]()
+		nb.bins[author] = b
+	}
+	return b
+}
+
+// prune evicts out-of-window copies from b, keeping the counters exact.
+func (nb *NeighborBin) prune(b *postbin.Bin[stored], cutoff int64) {
+	if n := b.PruneBefore(cutoff); n > 0 {
+		nb.c.Evictions += uint64(n)
+		nb.c.RemoveStored(n)
+	}
+}
+
+// Offer implements Diversifier.
+func (nb *NeighborBin) Offer(p *Post) bool {
+	cutoff := p.Time - nb.th.LambdaT
+	own := nb.bin(p.Author)
+	nb.prune(own, cutoff)
+
+	covered := false
+	own.ScanNewestFirst(func(_ int64, s stored) bool {
+		nb.c.Comparisons++
+		// Author similarity holds by bin construction; content decides.
+		if simhash.Distance(p.FP, s.fp) <= nb.th.LambdaC {
+			covered = true
+			return false
+		}
+		return true
+	})
+	if covered {
+		nb.c.Rejected++
+		return false
+	}
+
+	copyOf := stored{fp: p.FP, author: p.Author}
+	own.Push(p.Time, copyOf)
+	inserted := 1
+	for _, n := range nb.g.Neighbors(p.Author) {
+		b := nb.bin(n)
+		// Neighbor bins are touched here anyway; pruning them now keeps the
+		// live copy count tight without a separate sweep.
+		nb.prune(b, cutoff)
+		b.Push(p.Time, copyOf)
+		inserted++
+	}
+	nb.c.Insertions += uint64(inserted)
+	nb.c.AddStored(inserted)
+	nb.c.Accepted++
+	return true
+}

@@ -1,0 +1,115 @@
+// Package core implements the paper's diversification model and its stream
+// algorithms: the three-dimensional coverage predicate (Definition 1), the
+// three SPSD algorithms UniBin, NeighborBin and CliqueBin (Section 4), the
+// multi-user M_* and shared S_* algorithms for M-SPSD (Section 5), and the
+// analytic cost model of Table 2 (Section 4.4).
+//
+// All timestamps are int64 Unix milliseconds and all time thresholds are
+// millisecond spans; the public firehose package converts from time.Time and
+// time.Duration at the boundary.
+package core
+
+import (
+	"fmt"
+
+	"firehose/internal/simhash"
+	"firehose/internal/textnorm"
+)
+
+// Post is one element of a social post stream: an author, a timestamp, the
+// textual content and its precomputed SimHash fingerprint. Posts are handed
+// to diversifiers by pointer and treated as immutable after creation.
+type Post struct {
+	// ID identifies the post; diversifiers never interpret it.
+	ID uint64
+	// Author is the dense author id (index into the author similarity graph).
+	Author int32
+	// Time is the post timestamp in Unix milliseconds.
+	Time int64
+	// Text is the raw post content. Algorithms only consult FP; Text is kept
+	// for delivery to the consuming user.
+	Text string
+	// FP is the SimHash fingerprint of the (normalized) text.
+	FP simhash.Fingerprint
+}
+
+// NewPost builds a Post, fingerprinting the text with the paper's default
+// pipeline (normalize, tokenize, SimHash).
+func NewPost(id uint64, author int32, timeMillis int64, text string) *Post {
+	return &Post{
+		ID:     id,
+		Author: author,
+		Time:   timeMillis,
+		Text:   text,
+		FP:     Fingerprint(text),
+	}
+}
+
+// Fingerprint computes the SimHash fingerprint of a post text using the
+// normalization the paper found best (Figure 4): lowercase, collapse
+// whitespace, strip non-alphanumerics, then hash the token bag.
+func Fingerprint(text string) simhash.Fingerprint {
+	return simhash.Hash(textnorm.NormalizedTokens(text))
+}
+
+// RawFingerprint computes the SimHash of the unnormalized token bag, the
+// Figure 3 baseline.
+func RawFingerprint(text string) simhash.Fingerprint {
+	return simhash.Hash(textnorm.RawTokens(text))
+}
+
+// Thresholds bundles the three diversity thresholds of Definition 1.
+type Thresholds struct {
+	// LambdaC is the maximum Hamming distance between SimHash fingerprints
+	// for two posts to count as content-similar. The paper's default is 18.
+	LambdaC int
+	// LambdaT is the maximum timestamp distance in milliseconds. The paper's
+	// default is 30 minutes.
+	LambdaT int64
+	// LambdaA is the maximum author distance (1 − cosine similarity of
+	// followee vectors). It is applied when precomputing the author
+	// similarity graph; streaming algorithms consult the graph. Recorded
+	// here for validation and reporting. The paper's default is 0.7.
+	LambdaA float64
+}
+
+// Validate reports whether the thresholds are usable.
+func (th Thresholds) Validate() error {
+	if th.LambdaC < 0 || th.LambdaC > simhash.Size {
+		return fmt.Errorf("core: LambdaC must be in [0,%d], got %d", simhash.Size, th.LambdaC)
+	}
+	if th.LambdaT < 0 {
+		return fmt.Errorf("core: LambdaT must be non-negative, got %d", th.LambdaT)
+	}
+	if th.LambdaA < 0 || th.LambdaA >= 1 {
+		return fmt.Errorf("core: LambdaA must be in [0,1), got %v", th.LambdaA)
+	}
+	return nil
+}
+
+// AuthorGraph is the author-dimension oracle consumed by the algorithms:
+// Similar answers the dista(Pi,Pj) <= λa test (true for the same author or
+// graph neighbors), Neighbors drives NeighborBin's bin fan-out. Both
+// *authorsim.Graph and *authorsim.Induced implement it.
+type AuthorGraph interface {
+	Similar(a, b int32) bool
+	Neighbors(a int32) []int32
+}
+
+// Covers implements Definition 1: p and q cover each other iff they are
+// within all three thresholds. The content check runs first (a single XOR
+// and popcount), then time, then the author lookup — cheapest first, so a
+// failing dimension prunes the rest, as Section 1 suggests.
+func Covers(p, q *Post, th Thresholds, g AuthorGraph) bool {
+	if simhash.Distance(p.FP, q.FP) > th.LambdaC {
+		return false
+	}
+	dt := p.Time - q.Time
+	if dt < 0 {
+		dt = -dt
+	}
+	if dt > th.LambdaT {
+		return false
+	}
+	return g.Similar(p.Author, q.Author)
+}

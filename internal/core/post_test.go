@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/simhash"
+)
+
+func TestThresholdsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		th   Thresholds
+		ok   bool
+	}{
+		{"paper defaults", Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}, true},
+		{"zero everything", Thresholds{}, true},
+		{"max lambdaC", Thresholds{LambdaC: 64}, true},
+		{"negative lambdaC", Thresholds{LambdaC: -1}, false},
+		{"lambdaC too big", Thresholds{LambdaC: 65}, false},
+		{"negative lambdaT", Thresholds{LambdaT: -5}, false},
+		{"lambdaA one", Thresholds{LambdaA: 1}, false},
+		{"lambdaA negative", Thresholds{LambdaA: -0.2}, false},
+		{"lambdaA fractional", Thresholds{LambdaA: 0.999}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.th.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
+func TestNewPostFingerprints(t *testing.T) {
+	p := NewPost(1, 2, 1000, "Hello, World!")
+	if p.ID != 1 || p.Author != 2 || p.Time != 1000 || p.Text != "Hello, World!" {
+		t.Fatalf("fields not set: %+v", p)
+	}
+	if p.FP != Fingerprint("Hello, World!") {
+		t.Fatal("FP not the normalized fingerprint")
+	}
+	// Normalization means case and punctuation changes do not alter FP.
+	q := NewPost(2, 2, 1000, "hello world")
+	if p.FP != q.FP {
+		t.Fatalf("normalized fingerprints should match: %x vs %x", p.FP, q.FP)
+	}
+	// Raw fingerprints of differently-cased texts differ.
+	if RawFingerprint("Hello, World!") == RawFingerprint("hello world") {
+		t.Fatal("raw fingerprints should differ")
+	}
+}
+
+// pairGraph builds a tiny graph where exactly the given pairs are similar.
+func pairGraph(n int, pairs ...[2]int32) *authorsim.Graph {
+	sp := make([]authorsim.SimPair, len(pairs))
+	for i, p := range pairs {
+		sp[i] = authorsim.SimPair{A: p[0], B: p[1]}
+	}
+	return authorsim.NewGraph(n, sp, 0.7)
+}
+
+func TestCoversDimensionGating(t *testing.T) {
+	g := pairGraph(3, [2]int32{0, 1}) // authors 0,1 similar; 2 dissimilar
+	th := Thresholds{LambdaC: 3, LambdaT: 100, LambdaA: 0.7}
+	base := &Post{Author: 0, Time: 1000, FP: 0}
+
+	tests := []struct {
+		name string
+		q    *Post
+		want bool
+	}{
+		{"all dimensions within", &Post{Author: 1, Time: 1050, FP: 0b11}, true},
+		{"same author counts as similar", &Post{Author: 0, Time: 1050, FP: 0b1}, true},
+		{"content too far", &Post{Author: 1, Time: 1050, FP: 0b11111}, false},
+		{"time too far", &Post{Author: 1, Time: 1101, FP: 0}, false},
+		{"time exactly at threshold (inclusive)", &Post{Author: 1, Time: 1100, FP: 0}, true},
+		{"time before, inclusive", &Post{Author: 1, Time: 900, FP: 0}, true},
+		{"author dissimilar", &Post{Author: 2, Time: 1050, FP: 0}, false},
+		{"content exactly at threshold", &Post{Author: 1, Time: 1050, FP: 0b111}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Covers(base, tc.q, th, g); got != tc.want {
+				t.Fatalf("Covers = %v, want %v", got, tc.want)
+			}
+			// Coverage is symmetric (Definition 1).
+			if got := Covers(tc.q, base, th, g); got != tc.want {
+				t.Fatalf("Covers not symmetric")
+			}
+		})
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgUniBin.String() != "UniBin" || AlgNeighborBin.String() != "NeighborBin" ||
+		AlgCliqueBin.String() != "CliqueBin" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(99).String() != "Algorithm(99)" {
+		t.Fatal("unknown algorithm formatting wrong")
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	// The content distance of the paper's Table 1 examples should be small
+	// for near-duplicates and large for unrelated tweets.
+	a := Fingerprint("Over 300 people missing after South Korean ferry sinks. (Reuters) Story: link1")
+	b := Fingerprint("Over 300 people missing after South Korean ferry sinks. (Reuters) Story: link2")
+	c := Fingerprint("Alibaba's growth accelerates, U.S. IPO filing expected next week")
+	if d := simhash.Distance(a, b); d > 10 {
+		t.Fatalf("near-duplicate distance %d too large", d)
+	}
+	if d := simhash.Distance(a, c); d < 16 {
+		t.Fatalf("unrelated distance %d too small", d)
+	}
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/simhash"
+)
+
+// TestCoversProperties checks Definition 1's algebra with testing/quick:
+// reflexivity at zero time distance, symmetry, and monotonicity in every
+// threshold.
+func TestCoversProperties(t *testing.T) {
+	g := pairGraph(4, [2]int32{0, 1}, [2]int32{2, 3})
+	mkPost := func(fp uint64, author uint8, tm uint16) *Post {
+		return &Post{FP: simhash.Fingerprint(fp), Author: int32(author % 4), Time: int64(tm)}
+	}
+
+	reflexive := func(fp uint64, author uint8, tm uint16) bool {
+		p := mkPost(fp, author, tm)
+		return Covers(p, p, Thresholds{LambdaC: 0, LambdaT: 0, LambdaA: 0}, g)
+	}
+	symmetric := func(fpA, fpB uint64, aA, aB uint8, tA, tB uint16, lc uint8, lt uint16) bool {
+		th := Thresholds{LambdaC: int(lc % 65), LambdaT: int64(lt), LambdaA: 0.7}
+		p, q := mkPost(fpA, aA, tA), mkPost(fpB, aB, tB)
+		return Covers(p, q, th, g) == Covers(q, p, th, g)
+	}
+	monotone := func(fpA, fpB uint64, aA, aB uint8, tA, tB uint16, lc uint8, lt uint16) bool {
+		p, q := mkPost(fpA, aA, tA), mkPost(fpB, aB, tB)
+		small := Thresholds{LambdaC: int(lc % 64), LambdaT: int64(lt), LambdaA: 0.7}
+		bigger := Thresholds{LambdaC: small.LambdaC + 1, LambdaT: small.LambdaT + 1000, LambdaA: 0.7}
+		// Anything covered under tight thresholds stays covered under looser ones.
+		return !Covers(p, q, small, g) || Covers(p, q, bigger, g)
+	}
+	for name, prop := range map[string]any{
+		"reflexive": reflexive, "symmetric": symmetric, "monotone": monotone,
+	} {
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("%s violated: %v", name, err)
+		}
+	}
+}
+
+// TestOutOfOrderOfferPanics: the real-time model requires stream order; all
+// algorithms surface violations instead of silently corrupting their bins.
+func TestOutOfOrderOfferPanics(t *testing.T) {
+	g := pairGraph(2, [2]int32{0, 1})
+	th := Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	cover := authorsim.GreedyCliqueCover(g, []int32{0, 1})
+	for _, d := range []Diversifier{
+		NewUniBin(g, th),
+		NewNeighborBin(g, th),
+		NewCliqueBin(cover, th),
+	} {
+		t.Run(d.Name(), func(t *testing.T) {
+			// Both posts are accepted (distinct content); the second arrives
+			// earlier in time than the first.
+			if !d.Offer(&Post{ID: 1, Author: 0, Time: 100, FP: 0}) {
+				t.Fatal("first post should be accepted")
+			}
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic on out-of-order accepted post")
+				}
+			}()
+			d.Offer(&Post{ID: 2, Author: 0, Time: 50, FP: ^simhash.Fingerprint(0)})
+		})
+	}
+}
+
+// TestDecisionsIndependentOfIDs: post IDs are opaque; decisions must depend
+// only on (author, time, fingerprint).
+func TestDecisionsIndependentOfIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	g, posts := randomScenario(rng, 10, 200, 0.3)
+	th := Thresholds{LambdaC: 6, LambdaT: 500, LambdaA: 0.7}
+
+	shuffledIDs := make([]*Post, len(posts))
+	for i, p := range posts {
+		q := *p
+		q.ID = uint64(1_000_000 - i)
+		shuffledIDs[i] = &q
+	}
+	a := Run(NewUniBin(g, th), posts)
+	b := Run(NewUniBin(g, th), shuffledIDs)
+	if len(a) != len(b) {
+		t.Fatalf("ID relabeling changed decisions: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Time != b[i].Time || a[i].Author != b[i].Author || a[i].FP != b[i].FP {
+			t.Fatalf("decision %d differs", i)
+		}
+	}
+}
+
+// TestSingleAuthorStream: with one author, coverage degenerates to
+// content+time and all algorithms agree with the oracle.
+func TestSingleAuthorStream(t *testing.T) {
+	g := pairGraph(1)
+	th := Thresholds{LambdaC: 5, LambdaT: 300, LambdaA: 0.7}
+	rng := rand.New(rand.NewSource(9))
+	var posts []*Post
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		now += int64(rng.Intn(100))
+		fp := simhash.Fingerprint(0)
+		if rng.Intn(2) == 0 {
+			fp = ^fp
+		}
+		for k := rng.Intn(3); k > 0; k-- {
+			fp ^= 1 << uint(rng.Intn(64))
+		}
+		posts = append(posts, &Post{ID: uint64(i + 1), Author: 0, Time: now, FP: fp})
+	}
+	want := idsOf(bruteForce(posts, th, g))
+	cover := authorsim.GreedyCliqueCover(g, []int32{0})
+	for _, d := range []Diversifier{NewUniBin(g, th), NewNeighborBin(g, th), NewCliqueBin(cover, th)} {
+		if got := idsOf(Run(d, posts)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s disagrees with oracle on single-author stream", d.Name())
+		}
+	}
+}
+
+// TestIsolatedAuthorsSelfCoverage: isolated authors must still have their
+// own near-duplicates pruned (the singleton-clique requirement of
+// CliqueBin).
+func TestIsolatedAuthorsSelfCoverage(t *testing.T) {
+	g := pairGraph(3) // no edges at all
+	th := Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	cover := authorsim.GreedyCliqueCover(g, []int32{0, 1, 2})
+	if cover.NumCliques() != 3 {
+		t.Fatalf("expected 3 singleton cliques, got %v", cover.Cliques)
+	}
+	for _, d := range []Diversifier{NewUniBin(g, th), NewNeighborBin(g, th), NewCliqueBin(cover, th)} {
+		if !d.Offer(&Post{ID: 1, Author: 1, Time: 1, FP: 0}) {
+			t.Fatalf("%s: first post rejected", d.Name())
+		}
+		if d.Offer(&Post{ID: 2, Author: 1, Time: 2, FP: 1}) {
+			t.Fatalf("%s: isolated author's self-duplicate not pruned", d.Name())
+		}
+		if !d.Offer(&Post{ID: 3, Author: 2, Time: 3, FP: 0}) {
+			t.Fatalf("%s: other isolated author's duplicate wrongly pruned", d.Name())
+		}
+	}
+}
+
+// TestInducedSimilarMatchesDefinition: quick-check the induced view against
+// the set-theoretic definition.
+func TestInducedSimilarMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := func() *authorsim.Graph {
+		var pairs []authorsim.SimPair
+		for a := int32(0); a < 20; a++ {
+			for b := a + 1; b < 20; b++ {
+				if rng.Float64() < 0.2 {
+					pairs = append(pairs, authorsim.SimPair{A: a, B: b})
+				}
+			}
+		}
+		return authorsim.NewGraph(20, pairs, 0.7)
+	}()
+	prop := func(subsetBits uint32, ai, bi uint8) bool {
+		var subset []int32
+		for i := 0; i < 20; i++ {
+			if subsetBits&(1<<uint(i)) != 0 {
+				subset = append(subset, int32(i))
+			}
+		}
+		ig := g.Induced(subset)
+		a, b := int32(ai%20), int32(bi%20)
+		in := func(x int32) bool {
+			for _, s := range subset {
+				if s == x {
+					return true
+				}
+			}
+			return false
+		}
+		want := a == b || (in(a) && in(b) && g.Adjacent(a, b))
+		return ig.Similar(a, b) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

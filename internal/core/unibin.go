@@ -1,0 +1,68 @@
+package core
+
+import (
+	"firehose/internal/metrics"
+	"firehose/internal/postbin"
+	"firehose/internal/simhash"
+)
+
+// UniBin solves SPSD with a single time-windowed post bin holding all
+// accepted posts (Section 4.1). Each arrival is compared, newest first,
+// against every post of the last λt time units; a post covers the arrival
+// when both the content and the author dimension pass (the time dimension
+// holds by construction of the window). UniBin stores exactly one copy per
+// accepted post — the lowest RAM of the three algorithms — at the price of
+// comparing against posts from dissimilar authors.
+type UniBin struct {
+	th  Thresholds
+	g   AuthorGraph
+	bin *postbin.Bin[stored]
+	c   metrics.Counters
+}
+
+// NewUniBin returns a UniBin diversifier. The author graph must encode the
+// λa threshold (edge iff author distance <= λa).
+func NewUniBin(g AuthorGraph, th Thresholds) *UniBin {
+	return &UniBin{th: th, g: g, bin: postbin.New[stored]()}
+}
+
+// Name implements Diversifier.
+func (u *UniBin) Name() string { return "UniBin" }
+
+// Counters implements Diversifier.
+func (u *UniBin) Counters() *metrics.Counters { return &u.c }
+
+// SetGraph swaps the author graph consulted from the next Offer on. Unlike
+// NeighborBin and CliqueBin, whose bin layout bakes in the old graph, a
+// UniBin's single time-ordered bin is graph-independent, so refreshed author
+// similarities (the paper's periodic recomputation) apply immediately with
+// no state loss. Not safe to call concurrently with Offer; serialize via
+// the stream engine's Swap.
+func (u *UniBin) SetGraph(g AuthorGraph) { u.g = g }
+
+// Offer implements Diversifier.
+func (u *UniBin) Offer(p *Post) bool {
+	cutoff := p.Time - u.th.LambdaT
+	if n := u.bin.PruneBefore(cutoff); n > 0 {
+		u.c.Evictions += uint64(n)
+		u.c.RemoveStored(n)
+	}
+	covered := false
+	u.bin.ScanNewestFirst(func(_ int64, s stored) bool {
+		u.c.Comparisons++
+		if simhash.Distance(p.FP, s.fp) <= u.th.LambdaC && u.g.Similar(p.Author, s.author) {
+			covered = true
+			return false
+		}
+		return true
+	})
+	if covered {
+		u.c.Rejected++
+		return false
+	}
+	u.bin.Push(p.Time, stored{fp: p.FP, author: p.Author})
+	u.c.Insertions++
+	u.c.AddStored(1)
+	u.c.Accepted++
+	return true
+}

@@ -1,0 +1,304 @@
+// Package corpusio defines the on-disk formats for the library's offline
+// artifacts: post corpora, followee vectors, author similarity graphs and
+// clique covers. The paper's pipeline separates an offline preparation step
+// (crawl, pairwise author similarity, clique partition — recomputed, e.g.,
+// weekly) from the streaming step; these formats are the hand-off between
+// the two.
+//
+// All formats are line-oriented JSON (JSONL): a single header line
+// identifying the kind and version, then one record per line. JSONL keeps
+// the files streamable, diffable and trivially concatenable, and needs no
+// dependency beyond encoding/json.
+package corpusio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+)
+
+// maxLineBytes bounds a single JSONL line (a post text is ≤ a few hundred
+// bytes; headers and followee lists a few KiB — 1 MiB is comfortably safe).
+const maxLineBytes = 1 << 20
+
+type header struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+	// Count is informational (readers do not preallocate from it blindly).
+	Count int `json:"count"`
+	// NumAuthors and LambdaA apply to graph and cover files.
+	NumAuthors int     `json:"numAuthors,omitempty"`
+	LambdaA    float64 `json:"lambdaA,omitempty"`
+}
+
+const (
+	kindPosts     = "firehose/posts"
+	kindFollowees = "firehose/followees"
+	kindGraph     = "firehose/authorgraph"
+	kindCover     = "firehose/cliquecover"
+	version       = 1
+)
+
+func writeHeader(w *bufio.Writer, h header) error {
+	h.Version = version
+	return writeLine(w, h)
+}
+
+func writeLine(w *bufio.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return w.WriteByte('\n')
+}
+
+func readHeader(sc *bufio.Scanner, wantKind string) (header, error) {
+	var h header
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, err
+		}
+		return h, fmt.Errorf("corpusio: empty input, expected %s header", wantKind)
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, fmt.Errorf("corpusio: bad header: %w", err)
+	}
+	if h.Kind != wantKind {
+		return h, fmt.Errorf("corpusio: kind %q, expected %q", h.Kind, wantKind)
+	}
+	if h.Version != version {
+		return h, fmt.Errorf("corpusio: unsupported version %d", h.Version)
+	}
+	return h, nil
+}
+
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxLineBytes)
+	return sc
+}
+
+// ---------------------------------------------------------------------------
+// Posts
+
+// PostRecord is the JSONL form of one post. Fingerprints are not stored:
+// they are a pure function of the text and the reader recomputes them, so a
+// corpus stays valid if the fingerprinting pipeline evolves.
+type PostRecord struct {
+	ID         uint64 `json:"id"`
+	Author     int32  `json:"author"`
+	TimeMillis int64  `json:"timeMillis"`
+	Text       string `json:"text"`
+}
+
+// WritePosts streams a corpus.
+func WritePosts(w io.Writer, posts []*core.Post) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, header{Kind: kindPosts, Count: len(posts)}); err != nil {
+		return err
+	}
+	for _, p := range posts {
+		rec := PostRecord{ID: p.ID, Author: p.Author, TimeMillis: p.Time, Text: p.Text}
+		if err := writeLine(bw, rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPosts loads a corpus, recomputing fingerprints and validating stream
+// order (non-decreasing timestamps).
+func ReadPosts(r io.Reader) ([]*core.Post, error) {
+	sc := newScanner(r)
+	h, err := readHeader(sc, kindPosts)
+	if err != nil {
+		return nil, err
+	}
+	posts := make([]*core.Post, 0, min(h.Count, 1<<20))
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec PostRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		if n := len(posts); n > 0 && rec.TimeMillis < posts[n-1].Time {
+			return nil, fmt.Errorf("corpusio: line %d: post out of time order", line)
+		}
+		posts = append(posts, core.NewPost(rec.ID, rec.Author, rec.TimeMillis, rec.Text))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return posts, nil
+}
+
+// ---------------------------------------------------------------------------
+// Followee vectors
+
+type followeeRecord struct {
+	Author    int32   `json:"author"`
+	Followees []int32 `json:"followees"`
+}
+
+// WriteFollowees streams per-author followee vectors; the record order is
+// the author id order.
+func WriteFollowees(w io.Writer, followees [][]int32) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, header{Kind: kindFollowees, Count: len(followees)}); err != nil {
+		return err
+	}
+	for a, f := range followees {
+		if err := writeLine(bw, followeeRecord{Author: int32(a), Followees: f}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFollowees loads followee vectors. Records must appear in author-id
+// order 0..n-1 with no gaps.
+func ReadFollowees(r io.Reader) ([][]int32, error) {
+	sc := newScanner(r)
+	if _, err := readHeader(sc, kindFollowees); err != nil {
+		return nil, err
+	}
+	var out [][]int32
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec followeeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		if int(rec.Author) != len(out) {
+			return nil, fmt.Errorf("corpusio: line %d: author %d out of order (expected %d)",
+				line, rec.Author, len(out))
+		}
+		out = append(out, rec.Followees)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Author similarity graph
+
+type edgeRecord struct {
+	A int32 `json:"a"`
+	B int32 `json:"b"`
+}
+
+// WriteGraph persists a precomputed author similarity graph as its edge
+// list plus λa.
+func WriteGraph(w io.Writer, g *authorsim.Graph) error {
+	bw := bufio.NewWriter(w)
+	h := header{Kind: kindGraph, Count: g.NumEdges(), NumAuthors: g.NumAuthors(), LambdaA: g.LambdaA()}
+	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	for a := int32(0); a < int32(g.NumAuthors()); a++ {
+		for _, b := range g.Neighbors(a) {
+			if b > a {
+				if err := writeLine(bw, edgeRecord{A: a, B: b}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraph loads a persisted author similarity graph.
+func ReadGraph(r io.Reader) (*authorsim.Graph, error) {
+	sc := newScanner(r)
+	h, err := readHeader(sc, kindGraph)
+	if err != nil {
+		return nil, err
+	}
+	if h.NumAuthors <= 0 {
+		return nil, fmt.Errorf("corpusio: graph header missing numAuthors")
+	}
+	var pairs []authorsim.SimPair
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec edgeRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		if rec.A == rec.B || rec.A < 0 || rec.B < 0 ||
+			int(rec.A) >= h.NumAuthors || int(rec.B) >= h.NumAuthors {
+			return nil, fmt.Errorf("corpusio: line %d: bad edge (%d,%d)", line, rec.A, rec.B)
+		}
+		pairs = append(pairs, authorsim.SimPair{A: rec.A, B: rec.B})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return authorsim.NewGraph(h.NumAuthors, pairs, h.LambdaA), nil
+}
+
+// ---------------------------------------------------------------------------
+// Clique cover
+
+type cliqueRecord struct {
+	Members []int32 `json:"members"`
+}
+
+// WriteCover persists a clique cover as one record per clique.
+func WriteCover(w io.Writer, cc *authorsim.CliqueCover, lambdaA float64) error {
+	bw := bufio.NewWriter(w)
+	h := header{Kind: kindCover, Count: cc.NumCliques(), LambdaA: lambdaA}
+	if err := writeHeader(bw, h); err != nil {
+		return err
+	}
+	for _, clique := range cc.Cliques {
+		if err := writeLine(bw, cliqueRecord{Members: clique}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCover loads a persisted clique cover and rebuilds the Author2Cliques
+// index. It optionally validates against a graph (pass nil to skip): every
+// clique must be complete and every induced edge covered is NOT checked here
+// (covers may be partial views); use CliqueCover.CoversAllEdges for that.
+func ReadCover(r io.Reader, validateAgainst *authorsim.Graph) (*authorsim.CliqueCover, float64, error) {
+	sc := newScanner(r)
+	h, err := readHeader(sc, kindCover)
+	if err != nil {
+		return nil, 0, err
+	}
+	var cliques [][]int32
+	line := 1
+	for sc.Scan() {
+		line++
+		var rec cliqueRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil, 0, fmt.Errorf("corpusio: line %d: %w", line, err)
+		}
+		if len(rec.Members) == 0 {
+			return nil, 0, fmt.Errorf("corpusio: line %d: empty clique", line)
+		}
+		cliques = append(cliques, rec.Members)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	cc := authorsim.CoverFromCliques(cliques)
+	if validateAgainst != nil && !cc.IsValid(validateAgainst) {
+		return nil, 0, fmt.Errorf("corpusio: cover contains a non-clique of the graph")
+	}
+	return cc, h.LambdaA, nil
+}

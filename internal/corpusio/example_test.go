@@ -1,0 +1,35 @@
+package corpusio_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"firehose/internal/core"
+	"firehose/internal/corpusio"
+)
+
+// ExampleWritePosts shows the corpus round trip: the offline hand-off format
+// between dataset preparation and the streaming engine.
+func ExampleWritePosts() {
+	posts := []*core.Post{
+		core.NewPost(1, 0, 1000, "ferry sinks off coast, 300 missing"),
+		core.NewPost(2, 3, 2000, "alibaba files landmark listing"),
+	}
+	var buf bytes.Buffer
+	if err := corpusio.WritePosts(&buf, posts); err != nil {
+		panic(err)
+	}
+	loaded, err := corpusio.ReadPosts(&buf)
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range loaded {
+		fmt.Println(p.ID, p.Author, p.Text)
+	}
+	// Fingerprints are recomputed on load.
+	fmt.Println(loaded[0].FP == core.Fingerprint(loaded[0].Text))
+	// Output:
+	// 1 0 ferry sinks off coast, 300 missing
+	// 2 3 alibaba files landmark listing
+	// true
+}

@@ -1,0 +1,72 @@
+package corpusio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"firehose/internal/core"
+)
+
+// FuzzReadPosts ensures arbitrary input never panics the reader and that
+// write→read→write is a fixed point.
+func FuzzReadPosts(f *testing.F) {
+	var good bytes.Buffer
+	_ = WritePosts(&good, []*core.Post{
+		core.NewPost(1, 2, 100, "hello world news"),
+		core.NewPost(2, 3, 200, `quotes " and \ slashes`),
+	})
+	f.Add(good.String())
+	f.Add("")
+	f.Add("{\"kind\":\"firehose/posts\",\"version\":1}\n{bad json")
+	f.Add("{\"kind\":\"firehose/posts\",\"version\":1}\n" +
+		`{"id":1,"author":-5,"timeMillis":-99,"text":""}`)
+	f.Fuzz(func(t *testing.T, in string) {
+		posts, err := ReadPosts(strings.NewReader(in))
+		if err != nil {
+			return // malformed input must fail cleanly, which it did
+		}
+		// Valid parse: the round trip must be a fixed point.
+		var buf bytes.Buffer
+		if err := WritePosts(&buf, posts); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadPosts(&buf)
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if len(again) != len(posts) {
+			t.Fatalf("round trip changed count: %d vs %d", len(again), len(posts))
+		}
+		for i := range posts {
+			if *again[i] != *posts[i] {
+				t.Fatalf("round trip changed post %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadGraph ensures arbitrary graph files never panic the reader.
+func FuzzReadGraph(f *testing.F) {
+	f.Add(`{"kind":"firehose/authorgraph","version":1,"numAuthors":3}` + "\n" + `{"a":0,"b":1}`)
+	f.Add(`{"kind":"firehose/authorgraph","version":1,"numAuthors":0}`)
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadGraph(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// A successfully parsed graph must survive a round trip.
+		var buf bytes.Buffer
+		if err := WriteGraph(&buf, g); err != nil {
+			t.Fatalf("rewrite failed: %v", err)
+		}
+		again, err := ReadGraph(&buf)
+		if err != nil {
+			t.Fatalf("reread failed: %v", err)
+		}
+		if again.NumEdges() != g.NumEdges() || again.NumAuthors() != g.NumAuthors() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Package cosine implements term-frequency cosine similarity between texts.
+// The paper uses it as the (slower) baseline that SimHash approximates: on
+// their labeled tweet pairs, thresholding cosine similarity at 0.7 gives the
+// same precision/recall (0.96/0.95) as SimHash at Hamming distance 18.
+package cosine
+
+import "math"
+
+// Vector is a sparse term-frequency vector keyed by token.
+type Vector map[string]float64
+
+// NewVector builds a term-frequency vector from a token bag.
+func NewVector(tokens []string) Vector {
+	v := make(Vector, len(tokens))
+	for _, t := range tokens {
+		v[t]++
+	}
+	return v
+}
+
+// Norm returns the Euclidean norm of the vector.
+func (v Vector) Norm() float64 {
+	var s float64
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the dot product of two sparse vectors.
+func Dot(a, b Vector) float64 {
+	// Iterate the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var s float64
+	for t, wa := range a {
+		if wb, ok := b[t]; ok {
+			s += wa * wb
+		}
+	}
+	return s
+}
+
+// Similarity returns the cosine similarity between two vectors, in [0, 1]
+// for non-negative weights. Empty vectors have similarity 0 with everything.
+func Similarity(a, b Vector) float64 {
+	na, nb := a.Norm(), b.Norm()
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// TextSimilarity is a convenience wrapper: cosine similarity of the TF
+// vectors of two token bags.
+func TextSimilarity(a, b []string) float64 {
+	return Similarity(NewVector(a), NewVector(b))
+}
+
+// Distance returns 1 - Similarity, a dissimilarity in [0, 1].
+func Distance(a, b Vector) float64 {
+	return 1 - Similarity(a, b)
+}
+
+// SetSimilarity returns the cosine similarity between two sets interpreted
+// as binary vectors: |A∩B| / sqrt(|A|·|B|). This is the author-similarity
+// measure the paper applies to followee sets; it lives here so both content
+// and author similarity share one definition of "cosine".
+func SetSimilarity(a, b []int32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Both slices must be sorted ascending; intersect by merge.
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			inter++
+			i++
+			j++
+		}
+	}
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}

@@ -1,0 +1,166 @@
+package cosine
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestNewVector(t *testing.T) {
+	v := NewVector([]string{"a", "b", "a", "c", "a"})
+	if v["a"] != 3 || v["b"] != 1 || v["c"] != 1 {
+		t.Fatalf("unexpected vector %v", v)
+	}
+}
+
+func TestSimilarityIdentical(t *testing.T) {
+	toks := []string{"over", "300", "people", "missing"}
+	if got := TextSimilarity(toks, toks); !almostEqual(got, 1) {
+		t.Fatalf("self similarity = %v, want 1", got)
+	}
+}
+
+func TestSimilarityDisjoint(t *testing.T) {
+	if got := TextSimilarity([]string{"a", "b"}, []string{"c", "d"}); !almostEqual(got, 0) {
+		t.Fatalf("disjoint similarity = %v, want 0", got)
+	}
+}
+
+func TestSimilarityEmpty(t *testing.T) {
+	if got := TextSimilarity(nil, []string{"a"}); got != 0 {
+		t.Fatalf("empty similarity = %v, want 0", got)
+	}
+	if got := TextSimilarity(nil, nil); got != 0 {
+		t.Fatalf("both-empty similarity = %v, want 0", got)
+	}
+}
+
+func TestSimilarityKnownValue(t *testing.T) {
+	// a = {x:1, y:1}, b = {x:1, z:1} → dot 1, norms sqrt(2) → 0.5
+	got := TextSimilarity([]string{"x", "y"}, []string{"x", "z"})
+	if !almostEqual(got, 0.5) {
+		t.Fatalf("similarity = %v, want 0.5", got)
+	}
+}
+
+func TestSimilaritySymmetricAndBounded(t *testing.T) {
+	prop := func(a, b []string) bool {
+		s1 := TextSimilarity(a, b)
+		s2 := TextSimilarity(b, a)
+		return almostEqual(s1, s2) && s1 >= 0 && s1 <= 1+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceComplement(t *testing.T) {
+	a := NewVector([]string{"x", "y"})
+	b := NewVector([]string{"x", "z"})
+	if got := Distance(a, b); !almostEqual(got, 0.5) {
+		t.Fatalf("Distance = %v, want 0.5", got)
+	}
+}
+
+func TestDotIteratesSmaller(t *testing.T) {
+	big := NewVector([]string{"a", "b", "c", "d", "e", "f"})
+	small := NewVector([]string{"a", "z"})
+	if got := Dot(big, small); !almostEqual(got, 1) {
+		t.Fatalf("Dot = %v, want 1", got)
+	}
+	if got := Dot(small, big); !almostEqual(got, 1) {
+		t.Fatalf("Dot (swapped) = %v, want 1", got)
+	}
+}
+
+func TestSetSimilarity(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b []int32
+		want float64
+	}{
+		{"identical", []int32{1, 2, 3}, []int32{1, 2, 3}, 1},
+		{"disjoint", []int32{1, 2}, []int32{3, 4}, 0},
+		{"half overlap", []int32{1, 2}, []int32{2, 3}, 0.5},
+		{"empty", nil, []int32{1}, 0},
+		{"both empty", nil, nil, 0},
+		{"subset", []int32{1, 2, 3, 4}, []int32{2, 3}, 2 / math.Sqrt(8)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := SetSimilarity(tc.a, tc.b); !almostEqual(got, tc.want) {
+				t.Fatalf("SetSimilarity = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSetSimilarityMatchesVectorCosine(t *testing.T) {
+	// Binary-set cosine must agree with the generic TF cosine on 0/1 vectors.
+	prop := func(xs, ys []uint8) bool {
+		a := dedupSorted(xs)
+		b := dedupSorted(ys)
+		at := make([]string, len(a))
+		for i, v := range a {
+			at[i] = string(rune('A' + v%64))
+		}
+		// build token bags from ints directly to avoid rune collisions
+		atoks := make([]string, len(a))
+		for i, v := range a {
+			atoks[i] = itoa(v)
+		}
+		btoks := make([]string, len(b))
+		for i, v := range b {
+			btoks[i] = itoa(v)
+		}
+		_ = at
+		return almostEqual(SetSimilarity(a, b), TextSimilarity(atoks, btoks))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(v int32) string {
+	// minimal base-10 for test purposes
+	if v == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func dedupSorted(xs []uint8) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, x := range xs {
+		v := int32(x)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func BenchmarkSetSimilarity(b *testing.B) {
+	a := make([]int32, 200)
+	c := make([]int32, 200)
+	for i := range a {
+		a[i] = int32(i * 2)
+		c[i] = int32(i * 3)
+	}
+	for i := 0; i < b.N; i++ {
+		SetSimilarity(a, c)
+	}
+}

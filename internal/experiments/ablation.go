@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/simhash"
+)
+
+// This file holds the ablation studies DESIGN.md calls out — measurements of
+// the implementation's design choices, beyond what the paper reports:
+//
+//   - check order: content check before author check (Section 1 suggests
+//     using one dimension's result to prune the other's work);
+//   - scan order: newest-first versus oldest-first candidate scanning;
+//   - early termination: stop at the first covering post versus full scan;
+//   - clique cover quality: the greedy extension heuristic versus the
+//     trivial one-clique-per-edge cover.
+
+// replayConfig controls the instrumented coverage replay.
+type replayConfig struct {
+	authorFirst bool // evaluate the author dimension before content
+	oldestFirst bool // scan candidates oldest-first
+	fullScan    bool // do not stop at the first cover
+}
+
+// replayCost tallies the work done by one replay.
+type replayCost struct {
+	ContentEvals uint64
+	AuthorEvals  uint64
+	Comparisons  uint64
+	Time         time.Duration
+}
+
+// replay re-executes UniBin's decision sequence (which is order-invariant)
+// while counting per-dimension evaluations under the given configuration.
+func replay(posts []*core.Post, g core.AuthorGraph, th core.Thresholds, cfg replayConfig) replayCost {
+	type entry struct {
+		fp     simhash.Fingerprint
+		author int32
+		time   int64
+	}
+	var window []entry
+	var cost replayCost
+
+	start := time.Now()
+	for _, p := range posts {
+		cutoff := p.Time - th.LambdaT
+		// Evict expired entries from the front.
+		i := 0
+		for i < len(window) && window[i].time < cutoff {
+			i++
+		}
+		window = window[i:]
+
+		covered := false
+		check := func(e entry) bool {
+			cost.Comparisons++
+			if cfg.authorFirst {
+				cost.AuthorEvals++
+				if !g.Similar(p.Author, e.author) {
+					return false
+				}
+				cost.ContentEvals++
+				return simhash.Distance(p.FP, e.fp) <= th.LambdaC
+			}
+			cost.ContentEvals++
+			if simhash.Distance(p.FP, e.fp) > th.LambdaC {
+				return false
+			}
+			cost.AuthorEvals++
+			return g.Similar(p.Author, e.author)
+		}
+		if cfg.oldestFirst {
+			for j := 0; j < len(window); j++ {
+				if check(window[j]) {
+					covered = true
+					if !cfg.fullScan {
+						break
+					}
+				}
+			}
+		} else {
+			for j := len(window) - 1; j >= 0; j-- {
+				if check(window[j]) {
+					covered = true
+					if !cfg.fullScan {
+						break
+					}
+				}
+			}
+		}
+		if !covered {
+			window = append(window, entry{fp: p.FP, author: p.Author, time: p.Time})
+		}
+	}
+	cost.Time = time.Since(start)
+	return cost
+}
+
+// AblationResult is one ablation row.
+type AblationResult struct {
+	Variant string
+	Cost    replayCost
+}
+
+// AblationCheckOrder compares content-first against author-first dimension
+// evaluation in the coverage check.
+func AblationCheckOrder(ds *Dataset) []AblationResult {
+	g := ds.Graph(DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	posts := ds.Posts()
+	return []AblationResult{
+		{"content-first (shipped)", replay(posts, g, th, replayConfig{})},
+		{"author-first", replay(posts, g, th, replayConfig{authorFirst: true})},
+	}
+}
+
+// AblationScanOrder compares newest-first against oldest-first candidate
+// scanning (both with early termination).
+func AblationScanOrder(ds *Dataset) []AblationResult {
+	g := ds.Graph(DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	posts := ds.Posts()
+	return []AblationResult{
+		{"newest-first (shipped)", replay(posts, g, th, replayConfig{})},
+		{"oldest-first", replay(posts, g, th, replayConfig{oldestFirst: true})},
+	}
+}
+
+// AblationEarlyTermination compares stopping at the first cover against a
+// full window scan.
+func AblationEarlyTermination(ds *Dataset) []AblationResult {
+	g := ds.Graph(DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	posts := ds.Posts()
+	return []AblationResult{
+		{"stop at first cover (shipped)", replay(posts, g, th, replayConfig{})},
+		{"full scan", replay(posts, g, th, replayConfig{fullScan: true})},
+	}
+}
+
+// AblationTable renders replay-based ablation rows.
+func AblationTable(title string, rows []AblationResult) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{"variant", "time", "comparisons", "content evals", "author evals"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Variant, fmtDur(r.Cost.Time), fmtInt(r.Cost.Comparisons),
+			fmtInt(r.Cost.ContentEvals), fmtInt(r.Cost.AuthorEvals),
+		})
+	}
+	return t
+}
+
+// CoverAblationRow measures CliqueBin under one clique cover.
+type CoverAblationRow struct {
+	Cover       string
+	NumCliques  int
+	TotalSize   int
+	C, S        float64
+	Perf        PerfResult
+	CoversEdges bool
+}
+
+// AblationCliqueCover compares the greedy cover against the trivial
+// one-clique-per-edge cover, both as cover statistics and as CliqueBin
+// runtime behaviour.
+func AblationCliqueCover(ds *Dataset) []CoverAblationRow {
+	g := ds.Graph(DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	posts := ds.Posts()
+	authors := ds.AllAuthors()
+
+	rows := make([]CoverAblationRow, 0, 2)
+	for _, v := range []struct {
+		name  string
+		cover *authorsim.CliqueCover
+	}{
+		{"greedy (shipped)", ds.Cover(DefaultLambdaA)},
+		{"one clique per edge", authorsim.TrivialEdgeCover(g, authors)},
+	} {
+		perf := measure(core.NewCliqueBin(v.cover, th), posts, v.name)
+		rows = append(rows, CoverAblationRow{
+			Cover:       v.name,
+			NumCliques:  v.cover.NumCliques(),
+			TotalSize:   v.cover.TotalSize(),
+			C:           v.cover.AvgCliquesPerAuthor(),
+			S:           v.cover.AvgCliqueSize(),
+			Perf:        perf,
+			CoversEdges: v.cover.CoversAllEdges(g, authors),
+		})
+	}
+	return rows
+}
+
+// CoverAblationTable renders the clique-cover ablation.
+func CoverAblationTable(rows []CoverAblationRow) *Table {
+	t := &Table{
+		Title: "Ablation: clique cover quality (CliqueBin at defaults)",
+		Columns: []string{"cover", "cliques", "total size", "c", "s",
+			"runtime", "RAM", "comparisons", "insertions"},
+	}
+	for _, r := range rows {
+		t.Rows = append(t.Rows, []string{
+			r.Cover, fmtInt(uint64(r.NumCliques)), fmtInt(uint64(r.TotalSize)),
+			fmtFloat(r.C), fmtFloat(r.S),
+			fmtDur(r.Perf.RunTime), fmtBytes(r.Perf.RAMBytes),
+			fmtInt(r.Perf.Comparisons), fmtInt(r.Perf.Insertions),
+		})
+		if !r.CoversEdges {
+			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: cover %q misses edges", r.Cover))
+		}
+	}
+	return t
+}

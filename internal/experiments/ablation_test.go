@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"firehose/internal/authorsim"
+)
+
+func TestAblationCheckOrder(t *testing.T) {
+	rows := AblationCheckOrder(testDataset(t))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cf, af := rows[0].Cost, rows[1].Cost
+	// Both orders make identical accept decisions, hence identical
+	// comparison counts.
+	if cf.Comparisons != af.Comparisons {
+		t.Fatalf("comparison counts diverged: %d vs %d", cf.Comparisons, af.Comparisons)
+	}
+	// Content-first evaluates the author dimension only for the (rare)
+	// content-similar candidates; author-first evaluates it for everyone.
+	if cf.AuthorEvals >= af.AuthorEvals {
+		t.Fatalf("content-first author evals %d should be < author-first %d",
+			cf.AuthorEvals, af.AuthorEvals)
+	}
+	// Symmetrically, author-first saves content evaluations.
+	if af.ContentEvals >= cf.ContentEvals {
+		t.Fatalf("author-first content evals %d should be < content-first %d",
+			af.ContentEvals, cf.ContentEvals)
+	}
+	// The author check passes for ~1% of candidates, so author-first must
+	// skip the vast majority of content evaluations.
+	if af.ContentEvals*10 > cf.ContentEvals {
+		t.Fatalf("author-first should evaluate <10%% of contents: %d vs %d",
+			af.ContentEvals, cf.ContentEvals)
+	}
+}
+
+func TestAblationScanOrder(t *testing.T) {
+	rows := AblationScanOrder(testDataset(t))
+	nf, of := rows[0].Cost, rows[1].Cost
+	// Near-duplicates cluster in time, so scanning from the newest post
+	// finds a cover sooner; oldest-first must not beat it.
+	if nf.Comparisons > of.Comparisons {
+		t.Fatalf("newest-first comparisons %d should be <= oldest-first %d",
+			nf.Comparisons, of.Comparisons)
+	}
+}
+
+func TestAblationEarlyTermination(t *testing.T) {
+	rows := AblationEarlyTermination(testDataset(t))
+	stop, full := rows[0].Cost, rows[1].Cost
+	if stop.Comparisons >= full.Comparisons {
+		t.Fatalf("early termination should save comparisons: %d vs %d",
+			stop.Comparisons, full.Comparisons)
+	}
+	tbl := AblationTable("x", rows)
+	if !strings.Contains(tbl.String(), "full scan") {
+		t.Fatal("table missing variant")
+	}
+}
+
+func TestAblationCliqueCover(t *testing.T) {
+	rows := AblationCliqueCover(testDataset(t))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	greedy, trivial := rows[0], rows[1]
+	for _, r := range rows {
+		if !r.CoversEdges {
+			t.Fatalf("cover %q is not a valid edge cover", r.Cover)
+		}
+	}
+	// The greedy extension merges edges into larger cliques: fewer cliques,
+	// larger s, smaller total size (fewer copies per post).
+	if greedy.NumCliques >= trivial.NumCliques {
+		t.Fatalf("greedy cliques %d should be < trivial %d", greedy.NumCliques, trivial.NumCliques)
+	}
+	if greedy.S <= trivial.S {
+		t.Fatalf("greedy s %v should be > trivial %v", greedy.S, trivial.S)
+	}
+	if greedy.TotalSize >= trivial.TotalSize {
+		t.Fatalf("greedy total size %d should be < trivial %d", greedy.TotalSize, trivial.TotalSize)
+	}
+	// Fewer copies per post means fewer insertions and less RAM at runtime.
+	if greedy.Perf.Insertions >= trivial.Perf.Insertions {
+		t.Fatalf("greedy insertions %d should be < trivial %d",
+			greedy.Perf.Insertions, trivial.Perf.Insertions)
+	}
+	if greedy.Perf.PeakCopies >= trivial.Perf.PeakCopies {
+		t.Fatalf("greedy RAM should be below trivial")
+	}
+	// The diversified output must not depend on the cover.
+	if greedy.Perf.Accepted != trivial.Perf.Accepted {
+		t.Fatal("covers disagree on the output stream")
+	}
+	if !strings.Contains(CoverAblationTable(rows).String(), "greedy") {
+		t.Fatal("table missing cover name")
+	}
+}
+
+func TestTrivialEdgeCoverProperties(t *testing.T) {
+	ds := testDataset(t)
+	g := ds.Graph(DefaultLambdaA)
+	authors := ds.AllAuthors()
+	cc := authorsim.TrivialEdgeCover(g, authors)
+	if !cc.IsValid(g) {
+		t.Fatal("trivial cover contains a non-clique")
+	}
+	if !cc.CoversAllEdges(g, authors) {
+		t.Fatal("trivial cover misses an edge")
+	}
+	for _, a := range authors {
+		if len(cc.CliquesOf(a)) == 0 {
+			t.Fatalf("author %d in no clique", a)
+		}
+	}
+	// Every non-singleton clique has exactly 2 members.
+	for _, c := range cc.Cliques {
+		if len(c) != 1 && len(c) != 2 {
+			t.Fatalf("trivial clique of size %d", len(c))
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+
+	"firehose/internal/core"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 9: author similarity distribution — for each similarity value x, the
+// fraction of author pairs with similarity >= x. The paper reports 2.3% of
+// pairs at >= 0.2 and 0.6% at >= 0.3 on its 20,150-author sample.
+
+// Fig9Result is the complementary CDF of pairwise author similarity.
+type Fig9Result struct {
+	Thresholds []float64
+	Fractions  []float64
+}
+
+// Fig9 computes the CCDF at the standard thresholds.
+func Fig9(ds *Dataset) *Fig9Result {
+	ths := []float64{0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.5, 0.6, 0.7, 0.8}
+	return &Fig9Result{Thresholds: ths, Fractions: ds.Vectors.SimilarityCCDF(ths)}
+}
+
+// At returns the fraction of pairs at or above the given threshold, which
+// must be one of the computed thresholds.
+func (r *Fig9Result) At(th float64) float64 {
+	for i, t := range r.Thresholds {
+		if t == th {
+			return r.Fractions[i]
+		}
+	}
+	return -1
+}
+
+// Table renders the CCDF.
+func (r *Fig9Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 9: author similarity distribution (fraction of pairs >= x)",
+		Columns: []string{"similarity", "fraction of pairs"},
+	}
+	for i := range r.Thresholds {
+		t.Rows = append(t.Rows, []string{fmtFloat(r.Thresholds[i]), fmtPct(r.Fractions[i])})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("paper: 2.3%% of pairs >= 0.2, 0.6%% >= 0.3; here: %s >= 0.2, %s >= 0.3",
+			fmtPct(r.At(0.2)), fmtPct(r.At(0.3))))
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: number of tweets left after diversification under different
+// combinations of the three dimensions and threshold settings. With all
+// three dimensions at the defaults the model prunes about 10% of the stream;
+// removing a dimension prunes much more (every dimension matters).
+
+// Fig10Row is one diversification setting and its surviving stream size.
+type Fig10Row struct {
+	Setting  string
+	Left     int
+	Total    int
+	LeftFrac float64
+}
+
+// Fig10Result is the dimension/threshold ablation.
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// allSimilarGraph treats every author pair as similar — dropping the author
+// dimension from the coverage predicate.
+type allSimilarGraph struct{}
+
+func (allSimilarGraph) Similar(a, b int32) bool { return true }
+func (allSimilarGraph) Neighbors(a int32) []int32 {
+	panic("experiments: allSimilarGraph supports UniBin only")
+}
+
+// Fig10 runs UniBin (all three algorithms emit identical streams, so one
+// suffices) under each setting.
+func Fig10(ds *Dataset) *Fig10Result {
+	posts := ds.Posts()
+	total := len(posts)
+	duration := ds.streamDurationMillis()
+	g := ds.Graph(DefaultLambdaA)
+
+	type setting struct {
+		name string
+		th   core.Thresholds
+		g    core.AuthorGraph
+	}
+	settings := []setting{
+		{"content+time+author (defaults)", ds.DefaultThresholds(), g},
+		{"content+time (author dropped)", ds.DefaultThresholds(), allSimilarGraph{}},
+		{"content+author (time dropped)",
+			core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: duration, LambdaA: DefaultLambdaA}, g},
+		{"content only",
+			core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: duration, LambdaA: 0.999}, allSimilarGraph{}},
+		{"defaults with λt=10min",
+			core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: 10 * 60 * 1000, LambdaA: DefaultLambdaA}, g},
+		{"defaults with λt=120min",
+			core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: 120 * 60 * 1000, LambdaA: DefaultLambdaA}, g},
+		{"defaults with λc=10",
+			core.Thresholds{LambdaC: 10, LambdaT: DefaultLambdaTMillis, LambdaA: DefaultLambdaA}, g},
+		{"defaults with λa=0.8",
+			core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: DefaultLambdaTMillis, LambdaA: 0.8},
+			ds.Graph(0.8)},
+	}
+
+	res := &Fig10Result{}
+	for _, s := range settings {
+		d := core.NewUniBin(s.g, s.th)
+		left := len(core.Run(d, posts))
+		res.Rows = append(res.Rows, Fig10Row{
+			Setting:  s.name,
+			Left:     left,
+			Total:    total,
+			LeftFrac: float64(left) / float64(total),
+		})
+	}
+	return res
+}
+
+func (ds *Dataset) streamDurationMillis() int64 {
+	if ds.Cfg.Stream != nil {
+		return ds.Cfg.Stream.DurationMillis
+	}
+	return 24 * 60 * 60 * 1000
+}
+
+// Row returns the row with the given setting name, or nil.
+func (r *Fig10Result) Row(setting string) *Fig10Row {
+	for i := range r.Rows {
+		if r.Rows[i].Setting == setting {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the ablation.
+func (r *Fig10Result) Table() *Table {
+	t := &Table{
+		Title:   "Figure 10: tweets left after diversification",
+		Columns: []string{"setting", "tweets left", "of total", "fraction left"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Setting, fmtInt(uint64(row.Left)), fmtInt(uint64(row.Total)), fmtPct(row.LeftFrac),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: ~10% pruned with all three dimensions at the defaults; removing any dimension changes the output size substantially")
+	return t
+}

@@ -1,0 +1,190 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6) plus the Section 3 content-similarity studies, on
+// the synthetic Twitter substrate of internal/twittergen. Each experiment
+// returns a structured result with a text rendering; cmd/experiments runs
+// them all and bench_test.go exposes one testing.B benchmark per experiment.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/twittergen"
+)
+
+// Config sizes a dataset. The paper's scale is 20,150 authors and 213,175
+// posts; the default CLI scale is 2,000 authors (~21k posts), which
+// preserves every relative effect at a laptop-friendly runtime.
+type Config struct {
+	// Seed drives all generation; equal seeds give identical datasets.
+	Seed int64
+	// NumAuthors is the author count (paper: 20,150).
+	NumAuthors int
+	// VocabSize is the tweet vocabulary size.
+	VocabSize int
+	// Graph configures the follower graph; zero value means
+	// twittergen.DefaultGraphConfig(NumAuthors).
+	Graph *twittergen.GraphConfig
+	// Stream configures the post stream; zero value means
+	// twittergen.DefaultStreamConfig().
+	Stream *twittergen.StreamConfig
+}
+
+// DefaultConfig returns the standard experiment configuration at the given
+// author scale.
+func DefaultConfig(numAuthors int) Config {
+	return Config{Seed: 20160315, NumAuthors: numAuthors, VocabSize: 5000}
+}
+
+// Defaults mirror the paper's default thresholds.
+const (
+	DefaultLambdaC       = 18
+	DefaultLambdaTMillis = 30 * 60 * 1000
+	DefaultLambdaA       = 0.7
+)
+
+// Dataset bundles everything the experiments consume: the follower graph,
+// followee vectors, the post stream, and lazily built author similarity
+// graphs and clique covers per λa.
+type Dataset struct {
+	Cfg     Config
+	Social  *twittergen.SocialGraph
+	Vectors *authorsim.Vectors
+	Vocab   *twittergen.Vocab
+	Stream  *twittergen.GeneratedStream
+
+	graphs map[float64]*authorsim.Graph
+	covers map[float64]*authorsim.CliqueCover
+}
+
+// Build generates a dataset. The stream's duplicate injection uses the
+// default-λa similarity graph, so "similar author" duplicates are pruneable
+// under the default thresholds.
+func Build(cfg Config) (*Dataset, error) {
+	if cfg.NumAuthors <= 0 {
+		return nil, fmt.Errorf("experiments: NumAuthors must be positive")
+	}
+	if cfg.VocabSize == 0 {
+		cfg.VocabSize = 5000
+	}
+	gcfg := twittergen.DefaultGraphConfig(cfg.NumAuthors)
+	if cfg.Graph != nil {
+		gcfg = *cfg.Graph
+	}
+	scfg := twittergen.DefaultStreamConfig()
+	if cfg.Stream != nil {
+		scfg = *cfg.Stream
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	social, err := twittergen.GenerateGraph(rng, gcfg)
+	if err != nil {
+		return nil, err
+	}
+	ds := &Dataset{
+		Cfg:     cfg,
+		Social:  social,
+		Vectors: authorsim.NewVectors(social.Followees),
+		Vocab:   twittergen.NewVocab(rand.New(rand.NewSource(cfg.Seed+1)), cfg.VocabSize),
+		graphs:  make(map[float64]*authorsim.Graph),
+		covers:  make(map[float64]*authorsim.CliqueCover),
+	}
+	stream, err := twittergen.GenerateStream(
+		rand.New(rand.NewSource(cfg.Seed+2)), social, ds.Graph(DefaultLambdaA), ds.Vocab, scfg)
+	if err != nil {
+		return nil, err
+	}
+	ds.Stream = stream
+	return ds, nil
+}
+
+// Graph returns (building and caching on first use) the author similarity
+// graph at the given λa.
+func (ds *Dataset) Graph(lambdaA float64) *authorsim.Graph {
+	if g, ok := ds.graphs[lambdaA]; ok {
+		return g
+	}
+	g := authorsim.BuildGraph(ds.Vectors, lambdaA)
+	ds.graphs[lambdaA] = g
+	return g
+}
+
+// Cover returns (building and caching on first use) the greedy clique edge
+// cover over all authors at the given λa.
+func (ds *Dataset) Cover(lambdaA float64) *authorsim.CliqueCover {
+	if c, ok := ds.covers[lambdaA]; ok {
+		return c
+	}
+	c := authorsim.GreedyCliqueCover(ds.Graph(lambdaA), ds.AllAuthors())
+	ds.covers[lambdaA] = c
+	return c
+}
+
+// AllAuthors enumerates every author id.
+func (ds *Dataset) AllAuthors() []int32 {
+	out := make([]int32, ds.Cfg.NumAuthors)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// Posts returns the full time-ordered post stream.
+func (ds *Dataset) Posts() []*core.Post { return ds.Stream.Posts }
+
+// DefaultThresholds returns the paper's default thresholds.
+func (ds *Dataset) DefaultThresholds() core.Thresholds {
+	return core.Thresholds{
+		LambdaC: DefaultLambdaC,
+		LambdaT: DefaultLambdaTMillis,
+		LambdaA: DefaultLambdaA,
+	}
+}
+
+// SamplePosts keeps each post independently with probability ratio,
+// deterministically per seed — the post-rate sweep of Figure 14.
+func (ds *Dataset) SamplePosts(ratio float64, seed int64) []*core.Post {
+	if ratio >= 1 {
+		return ds.Posts()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []*core.Post
+	for _, p := range ds.Posts() {
+		if rng.Float64() < ratio {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// SampleAuthors picks a uniform random author subset of the given size — the
+// subscription-count sweep of Figure 15.
+func (ds *Dataset) SampleAuthors(size int, seed int64) []int32 {
+	if size >= ds.Cfg.NumAuthors {
+		return ds.AllAuthors()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(ds.Cfg.NumAuthors)
+	out := make([]int32, size)
+	for i := 0; i < size; i++ {
+		out[i] = int32(perm[i])
+	}
+	return out
+}
+
+// PostsByAuthors filters the stream to posts authored by the given set.
+func (ds *Dataset) PostsByAuthors(authors []int32) []*core.Post {
+	in := make(map[int32]bool, len(authors))
+	for _, a := range authors {
+		in[a] = true
+	}
+	var out []*core.Post
+	for _, p := range ds.Posts() {
+		if in[p.Author] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+)
+
+// PerfResult is one measured run of one algorithm: the four panels of the
+// paper's performance figures (running time, RAM, post comparisons, post
+// insertions) plus the accept/reject split.
+type PerfResult struct {
+	Algorithm   string
+	Setting     string // the varied parameter value, e.g. "30min"
+	RunTime     time.Duration
+	PeakCopies  int64
+	RAMBytes    int64
+	Comparisons uint64
+	Insertions  uint64
+	Accepted    uint64
+	Rejected    uint64
+}
+
+// measure streams posts through d and collects counters and wall time. A GC
+// cycle runs first so one run's garbage does not bill the next run's clock.
+func measure(d core.Diversifier, posts []*core.Post, setting string) PerfResult {
+	runtime.GC()
+	start := time.Now()
+	for _, p := range posts {
+		d.Offer(p)
+	}
+	elapsed := time.Since(start)
+	c := d.Counters()
+	return PerfResult{
+		Algorithm:   d.Name(),
+		Setting:     setting,
+		RunTime:     elapsed,
+		PeakCopies:  c.StoredPeak,
+		RAMBytes:    c.EstimateRAMBytes(core.StoredCopyBytes),
+		Comparisons: c.Comparisons,
+		Insertions:  c.Insertions,
+		Accepted:    c.Accepted,
+		Rejected:    c.Rejected,
+	}
+}
+
+// measureAll runs the three SPSD algorithms over the same workload: the
+// user subscribes to `authors`, the graph and clique cover are induced on
+// that set, and posts is the user's merged stream.
+func measureAll(g *authorsim.Graph, cover *authorsim.CliqueCover, authors []int32, th core.Thresholds, posts []*core.Post, setting string) []PerfResult {
+	results := make([]PerfResult, 0, 3)
+	results = append(results,
+		measure(core.NewUniBin(g.Induced(authors), th), posts, setting),
+		measure(core.NewNeighborBin(g.Induced(authors), th), posts, setting),
+		measure(core.NewCliqueBin(cover, th), posts, setting),
+	)
+	return results
+}
+
+// perfTable renders PerfResults grouped by setting.
+func perfTable(title string, varied string, results []PerfResult) *Table {
+	t := &Table{
+		Title:   title,
+		Columns: []string{varied, "algorithm", "runtime", "RAM", "comparisons", "insertions", "kept", "pruned"},
+	}
+	for _, r := range results {
+		t.Rows = append(t.Rows, []string{
+			r.Setting, r.Algorithm, fmtDur(r.RunTime), fmtBytes(r.RAMBytes),
+			fmtInt(r.Comparisons), fmtInt(r.Insertions),
+			fmtInt(r.Accepted), fmtInt(r.Rejected),
+		})
+	}
+	return t
+}
+
+// byAlgorithm indexes results of one setting by algorithm name.
+func byAlgorithm(results []PerfResult) map[string]PerfResult {
+	m := make(map[string]PerfResult, len(results))
+	for _, r := range results {
+		m[r.Algorithm] = r
+	}
+	return m
+}

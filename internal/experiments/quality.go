@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"firehose/internal/core"
+	"firehose/internal/twittergen"
+)
+
+// QualityResult measures *what* the diversification model prunes, using the
+// generator's provenance as ground truth — an analysis the paper could not
+// run without labels. Under the default thresholds the model should prune
+// most injected similar-recent duplicates (they are redundant by
+// construction), keep dissimilar-author and old self-duplicates (they are
+// outside the author and time thresholds respectively), and keep almost all
+// fresh posts.
+type QualityResult struct {
+	// PrunedByKind[k] / TotalByKind[k] count pruned and total posts per
+	// provenance kind.
+	PrunedByKind map[twittergen.ProvKind]int
+	TotalByKind  map[twittergen.ProvKind]int
+}
+
+// Quality replays the dataset stream through UniBin at the default
+// thresholds and tallies decisions by provenance.
+func Quality(ds *Dataset) *QualityResult {
+	th := ds.DefaultThresholds()
+	d := core.NewUniBin(ds.Graph(DefaultLambdaA), th)
+	res := &QualityResult{
+		PrunedByKind: make(map[twittergen.ProvKind]int),
+		TotalByKind:  make(map[twittergen.ProvKind]int),
+	}
+	for i, p := range ds.Posts() {
+		kind := ds.Stream.Provenance[i].Kind
+		res.TotalByKind[kind]++
+		if !d.Offer(p) {
+			res.PrunedByKind[kind]++
+		}
+	}
+	return res
+}
+
+// PruneRate returns the pruned fraction for one provenance kind.
+func (r *QualityResult) PruneRate(k twittergen.ProvKind) float64 {
+	if t := r.TotalByKind[k]; t > 0 {
+		return float64(r.PrunedByKind[k]) / float64(t)
+	}
+	return 0
+}
+
+// Table renders the per-kind decision rates.
+func (r *QualityResult) Table() *Table {
+	t := &Table{
+		Title:   "Pruning quality by provenance (defaults, ground truth from generation)",
+		Columns: []string{"provenance", "posts", "pruned", "prune rate"},
+	}
+	for _, k := range []twittergen.ProvKind{
+		twittergen.Fresh, twittergen.DupSimilarRecent,
+		twittergen.DupDissimilarRecent, twittergen.DupSimilarOld,
+	} {
+		t.Rows = append(t.Rows, []string{
+			k.String(),
+			fmtInt(uint64(r.TotalByKind[k])),
+			fmtInt(uint64(r.PrunedByKind[k])),
+			fmtPct(r.PruneRate(k)),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"the model targets exactly the similar-recent duplicates (pruned %s) while sparing cross-perspective re-shares (%s) and resurfaced old stories (%s) — the three-dimensional semantics in action",
+		fmtPct(r.PruneRate(twittergen.DupSimilarRecent)),
+		fmtPct(r.PruneRate(twittergen.DupDissimilarRecent)),
+		fmtPct(r.PruneRate(twittergen.DupSimilarOld))))
+	return t
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table is a rendered experiment result: a title, column headers, string
+// rows and free-form notes. Experiments return structured results that
+// convert to Tables for cmd/experiments output.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// String renders the table as aligned monospace text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("== " + t.Title + " ==\n")
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+func fmtInt(v uint64) string {
+	// Thousands separators keep 9-digit comparison counts readable.
+	s := fmt.Sprintf("%d", v)
+	if len(s) <= 3 {
+		return s
+	}
+	var parts []string
+	for len(s) > 3 {
+		parts = append([]string{s[len(s)-3:]}, parts...)
+		s = s[:len(s)-3]
+	}
+	return s + "," + strings.Join(parts, ",")
+}
+
+func fmtFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+func fmtDur(d time.Duration) string { return d.Round(time.Microsecond).String() }
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func fmtMillisAsMinutes(ms int64) string {
+	d := time.Duration(ms) * time.Millisecond
+	if d%time.Minute == 0 {
+		return fmt.Sprintf("%dmin", int(d.Minutes()))
+	}
+	return d.String()
+}

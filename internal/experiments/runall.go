@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"firehose/internal/twittergen"
+)
+
+// RunAll executes every experiment on one dataset and writes the rendered
+// tables to w, in the order they appear in the paper. pairCfg sizes the
+// content study; fig2Pairs sizes the Figure 2 sample.
+func RunAll(w io.Writer, ds *Dataset, pairCfg twittergen.PairSetConfig, fig2Pairs int) error {
+	logf := func(format string, args ...any) { fmt.Fprintf(w, format+"\n", args...) }
+	section := func(name string, f func() error) error {
+		start := time.Now()
+		logf("--- %s ---", name)
+		if err := f(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		logf("(%s in %s)\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	logf("dataset: %d authors, %d posts, %d communities, seed %d\n",
+		ds.Cfg.NumAuthors, len(ds.Posts()), ds.Social.NumCommunities(), ds.Cfg.Seed)
+
+	var pairs []twittergen.LabeledPair
+	steps := []struct {
+		name string
+		f    func() error
+	}{
+		{"Figure 2", func() error {
+			fmt.Fprint(w, Fig2(ds, fig2Pairs).Table())
+			return nil
+		}},
+		{"Labeled pairs", func() error {
+			var err error
+			pairs, err = LabeledPairs(ds, pairCfg)
+			if err == nil {
+				logf("generated %d labeled pairs", len(pairs))
+			}
+			return err
+		}},
+		{"Table 1", func() error {
+			fmt.Fprint(w, Table1(pairs, []int{3, 8, 13}).String())
+			return nil
+		}},
+		{"Figure 3", func() error { fmt.Fprint(w, Fig3(pairs).Table()); return nil }},
+		{"Figure 4", func() error { fmt.Fprint(w, Fig4(pairs).Table()); return nil }},
+		{"Cosine study", func() error { fmt.Fprint(w, CosineStudy(pairs).Table()); return nil }},
+		{"Preprocessing variants", func() error {
+			study, err := Preprocessing(ds, twittergen.PairSetConfig{
+				PairsPerBucket:  pairCfg.PairsPerBucket,
+				MinDistance:     pairCfg.MinDistance,
+				MaxDistance:     pairCfg.MaxDistance,
+				CandidateBudget: pairCfg.CandidateBudget,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, study.Table())
+			return nil
+		}},
+		{"Index feasibility", func() error {
+			r, err := IndexStudy(ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, r.Table())
+			return nil
+		}},
+		{"Figure 9", func() error { fmt.Fprint(w, Fig9(ds).Table()); return nil }},
+		{"Figure 10", func() error { fmt.Fprint(w, Fig10(ds).Table()); return nil }},
+		{"Figure 11", func() error { fmt.Fprint(w, Fig11(ds).Table()); return nil }},
+		{"Figure 12", func() error { fmt.Fprint(w, Fig12(ds).Table()); return nil }},
+		{"Figure 13", func() error {
+			r := Fig13(ds)
+			fmt.Fprint(w, r.Table())
+			fmt.Fprint(w, r.TopologyTable())
+			return nil
+		}},
+		{"Figure 14", func() error { fmt.Fprint(w, Fig14(ds).Table()); return nil }},
+		{"Figure 15", func() error { fmt.Fprint(w, Fig15(ds).Table()); return nil }},
+		{"Table 2", func() error { fmt.Fprint(w, Table2(ds).Table()); return nil }},
+		{"Table 3", func() error { fmt.Fprint(w, Table3(ds).String()); return nil }},
+		{"Table 4", func() error { fmt.Fprint(w, Table4().String()); return nil }},
+		{"Figure 16", func() error {
+			r, err := Fig16(ds)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, r.Table())
+			return nil
+		}},
+		{"Throughput scaling", func() error {
+			scales := []int{ds.Cfg.NumAuthors / 4, ds.Cfg.NumAuthors / 2, ds.Cfg.NumAuthors}
+			r, err := Throughput(ds.Cfg.Seed, scales)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, r.Table())
+			return nil
+		}},
+		{"Pruning quality", func() error {
+			fmt.Fprint(w, Quality(ds).Table())
+			return nil
+		}},
+		{"Ablations", func() error {
+			fmt.Fprint(w, AblationTable("Ablation: dimension check order", AblationCheckOrder(ds)))
+			fmt.Fprint(w, AblationTable("Ablation: candidate scan order", AblationScanOrder(ds)))
+			fmt.Fprint(w, AblationTable("Ablation: early termination", AblationEarlyTermination(ds)))
+			fmt.Fprint(w, CoverAblationTable(AblationCliqueCover(ds)))
+			return nil
+		}},
+	}
+	for _, s := range steps {
+		if err := section(s.name, s.f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+)
+
+// This file implements the single-user performance sweeps of Section 6.2:
+// Figures 11 (λt), 12 (λc), 13 (λa), 14 (post rate) and 15 (number of
+// subscribed authors). Each sweep runs UniBin, NeighborBin and CliqueBin on
+// the same workload and reports running time, RAM, comparisons, insertions.
+
+// SweepResult bundles the per-setting runs of one figure.
+type SweepResult struct {
+	Figure  string
+	Varied  string
+	Results []PerfResult
+	Notes   []string
+}
+
+// Table renders the sweep.
+func (r *SweepResult) Table() *Table {
+	t := perfTable(r.Figure, r.Varied, r.Results)
+	t.Notes = append(t.Notes, r.Notes...)
+	return t
+}
+
+// Setting returns the results of one setting value, indexed by algorithm.
+func (r *SweepResult) Setting(s string) map[string]PerfResult {
+	var sub []PerfResult
+	for _, pr := range r.Results {
+		if pr.Setting == s {
+			sub = append(sub, pr)
+		}
+	}
+	return byAlgorithm(sub)
+}
+
+// Fig11 varies the time diversity threshold λt at λc=18, λa=0.7.
+// Paper findings: all algorithms get cheaper with smaller λt; NeighborBin
+// and CliqueBin beat UniBin on running time at λt=30min; CliqueBin beats
+// NeighborBin at small λt; at λt=1min UniBin is best (Section 6.2.2).
+func Fig11(ds *Dataset) *SweepResult {
+	lambdaTs := []int64{
+		1 * 60 * 1000, 5 * 60 * 1000, 10 * 60 * 1000, 30 * 60 * 1000, 60 * 60 * 1000,
+	}
+	g := ds.Graph(DefaultLambdaA)
+	cover := ds.Cover(DefaultLambdaA)
+	authors := ds.AllAuthors()
+	posts := ds.Posts()
+
+	res := &SweepResult{Figure: "Figure 11: performance vs time threshold λt", Varied: "λt"}
+	for _, lt := range lambdaTs {
+		th := core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: lt, LambdaA: DefaultLambdaA}
+		res.Results = append(res.Results,
+			measureAll(g, cover, authors, th, posts, fmtMillisAsMinutes(lt))...)
+	}
+	res.Notes = append(res.Notes, "paper: runtime and comparisons shrink with λt; NeighborBin/CliqueBin beat UniBin at 30min; UniBin wins at 1min")
+	return res
+}
+
+// Fig12 varies the content threshold λc at λt=30min, λa=0.7. The paper finds
+// performance nearly flat in λc because SimHash detection is already stable
+// at λc >= 9.
+func Fig12(ds *Dataset) *SweepResult {
+	g := ds.Graph(DefaultLambdaA)
+	cover := ds.Cover(DefaultLambdaA)
+	authors := ds.AllAuthors()
+	posts := ds.Posts()
+
+	res := &SweepResult{Figure: "Figure 12: performance vs content threshold λc", Varied: "λc"}
+	for _, lc := range []int{9, 12, 15, 18} {
+		th := core.Thresholds{LambdaC: lc, LambdaT: DefaultLambdaTMillis, LambdaA: DefaultLambdaA}
+		res.Results = append(res.Results,
+			measureAll(g, cover, authors, th, posts, fmt.Sprintf("%d", lc))...)
+	}
+	res.Notes = append(res.Notes, "paper: λc only slightly affects all three algorithms")
+	return res
+}
+
+// Fig13Result extends the sweep with the topology parameters the paper
+// quotes per λa (d = neighbors/author, c = cliques/author, s = clique size).
+type Fig13Result struct {
+	SweepResult
+	Topology []TopologyRow
+}
+
+// TopologyRow records graph/cover shape at one λa.
+type TopologyRow struct {
+	LambdaA float64
+	D       float64 // avg neighbors per author
+	C       float64 // avg cliques per author
+	S       float64 // avg clique size
+	Edges   int
+}
+
+// Fig13 varies the author threshold λa at λt=30min, λc=18. Paper findings:
+// larger λa densifies G, so d and c grow and NeighborBin/CliqueBin degrade
+// sharply in both RAM and time, while UniBin stays flat.
+func Fig13(ds *Dataset) *Fig13Result {
+	authors := ds.AllAuthors()
+	posts := ds.Posts()
+
+	res := &Fig13Result{}
+	res.Figure = "Figure 13: performance vs author threshold λa"
+	res.Varied = "λa"
+	for _, la := range []float64{0.5, 0.6, 0.7, 0.8} {
+		g := ds.Graph(la)
+		cover := ds.Cover(la)
+		th := core.Thresholds{LambdaC: DefaultLambdaC, LambdaT: DefaultLambdaTMillis, LambdaA: la}
+		res.Results = append(res.Results,
+			measureAll(g, cover, authors, th, posts, fmt.Sprintf("%.2f", la))...)
+		res.Topology = append(res.Topology, TopologyRow{
+			LambdaA: la,
+			D:       g.AvgDegree(),
+			C:       cover.AvgCliquesPerAuthor(),
+			S:       cover.AvgCliqueSize(),
+			Edges:   g.NumEdges(),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: at λa=0.7 d=113.7, c=29, s=20; at λa=0.8 d=437.3, c=106, s=38 (20,150 authors); NeighborBin/CliqueBin RAM and time rise sharply with λa while UniBin stays flat")
+	return res
+}
+
+// TopologyTable renders the per-λa graph shape.
+func (r *Fig13Result) TopologyTable() *Table {
+	t := &Table{
+		Title:   "Figure 13 topology: author graph shape vs λa",
+		Columns: []string{"λa", "edges", "d (neighbors/author)", "c (cliques/author)", "s (clique size)"},
+	}
+	for _, row := range r.Topology {
+		t.Rows = append(t.Rows, []string{
+			fmtFloat(row.LambdaA), fmtInt(uint64(row.Edges)),
+			fmtFloat(row.D), fmtFloat(row.C), fmtFloat(row.S),
+		})
+	}
+	return t
+}
+
+// Fig14 varies the post generation rate by sampling the stream at the
+// paper's ratios. Paper finding: at low throughput UniBin outperforms both;
+// CliqueBin beats NeighborBin at moderate/small rates.
+func Fig14(ds *Dataset) *SweepResult {
+	g := ds.Graph(DefaultLambdaA)
+	cover := ds.Cover(DefaultLambdaA)
+	authors := ds.AllAuthors()
+	th := ds.DefaultThresholds()
+
+	res := &SweepResult{Figure: "Figure 14: performance vs post rate", Varied: "sample"}
+	for i, ratio := range []float64{1.0, 0.25, 0.05, 0.01} {
+		posts := ds.SamplePosts(ratio, ds.Cfg.Seed+300+int64(i))
+		res.Results = append(res.Results,
+			measureAll(g, cover, authors, th, posts, fmtPct(ratio))...)
+	}
+	res.Notes = append(res.Notes, "paper: UniBin wins at low throughput; CliqueBin beats NeighborBin at moderate/small rates")
+	return res
+}
+
+// Fig15 varies the number of subscribed authors: the user follows a random
+// author sample, the graph and cover are induced on it, and the stream is
+// filtered to it. Paper finding: UniBin slightly wins when the subscription
+// count is small.
+func Fig15(ds *Dataset) *SweepResult {
+	g := ds.Graph(DefaultLambdaA)
+	th := ds.DefaultThresholds()
+	n := ds.Cfg.NumAuthors
+
+	res := &SweepResult{Figure: "Figure 15: performance vs number of subscribed authors", Varied: "authors"}
+	for i, frac := range []float64{1.0, 0.5, 0.25, 0.1} {
+		size := int(float64(n) * frac)
+		authors := ds.SampleAuthors(size, ds.Cfg.Seed+400+int64(i))
+		posts := ds.PostsByAuthors(authors)
+		cover := authorsim.GreedyCliqueCover(g, authors)
+		res.Results = append(res.Results,
+			measureAll(g, cover, authors, th, posts, fmtInt(uint64(size)))...)
+	}
+	res.Notes = append(res.Notes, "paper: UniBin slightly outperforms the others with few subscriptions")
+	return res
+}

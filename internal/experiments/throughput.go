@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// ThroughputRow reports one algorithm's sustained single-user ingest rate at
+// one dataset scale.
+type ThroughputRow struct {
+	Authors     int
+	Posts       int
+	Algorithm   string
+	PostsPerSec float64
+	NsPerPost   float64
+}
+
+// ThroughputResult is the scaling study: how ingest rate varies with the
+// author-universe size (and hence stream rate and graph density) at the
+// default thresholds. The paper motivates the problem with Twitter's 500M
+// posts/day firehose (≈5,800 posts/sec); this table shows how far a single
+// stream of each algorithm goes toward that on one core.
+type ThroughputResult struct {
+	Rows []ThroughputRow
+}
+
+// Throughput builds datasets at each author scale and measures all three
+// algorithms.
+func Throughput(seed int64, scales []int) (*ThroughputResult, error) {
+	res := &ThroughputResult{}
+	for _, n := range scales {
+		cfg := DefaultConfig(n)
+		cfg.Seed = seed
+		ds, err := Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		g := ds.Graph(DefaultLambdaA)
+		cover := ds.Cover(DefaultLambdaA)
+		th := ds.DefaultThresholds()
+		posts := ds.Posts()
+		for _, pr := range measureAll(g, cover, ds.AllAuthors(), th, posts, fmt.Sprintf("%d", n)) {
+			row := ThroughputRow{
+				Authors:   n,
+				Posts:     len(posts),
+				Algorithm: pr.Algorithm,
+			}
+			if pr.RunTime > 0 {
+				row.PostsPerSec = float64(len(posts)) / pr.RunTime.Seconds()
+				row.NsPerPost = float64(pr.RunTime.Nanoseconds()) / float64(len(posts))
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// Best returns the highest posts/sec among the rows at one scale.
+func (r *ThroughputResult) Best(authors int) (ThroughputRow, bool) {
+	var best ThroughputRow
+	found := false
+	for _, row := range r.Rows {
+		if row.Authors == authors && (!found || row.PostsPerSec > best.PostsPerSec) {
+			best = row
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Table renders the scaling study.
+func (r *ThroughputResult) Table() *Table {
+	t := &Table{
+		Title:   "Throughput scaling: single-stream ingest rate vs author count (defaults)",
+		Columns: []string{"authors", "posts/day", "algorithm", "posts/sec", "ns/post"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmtInt(uint64(row.Authors)), fmtInt(uint64(row.Posts)), row.Algorithm,
+			fmtInt(uint64(row.PostsPerSec)), fmtFloat(row.NsPerPost),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"Twitter's full firehose averages ≈5,800 posts/sec; a user timeline is orders of magnitude below that")
+	return t
+}

@@ -1,0 +1,180 @@
+// Package httpapi exposes a multi-user diversification engine over HTTP —
+// the central-service deployment of the paper's Figure 1b. It wraps a
+// core.MultiDiversifier behind the stream engine's serialization and serves
+// JSON endpoints for ingestion, timeline reads and statistics.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"firehose/internal/core"
+	"firehose/internal/stream"
+)
+
+// Server is an http.Handler serving one multi-user diversification engine.
+type Server struct {
+	mux    *http.ServeMux
+	engine *stream.MultiEngine
+	broker *broker
+
+	mu     sync.Mutex
+	nextID uint64
+	lastT  int64
+}
+
+// New builds a Server around a multi-user diversifier.
+func New(md core.MultiDiversifier) *Server {
+	s := &Server{
+		mux:    http.NewServeMux(),
+		engine: stream.NewMultiEngine(md),
+		broker: newBroker(),
+	}
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
+	s.mux.HandleFunc("GET /stream", s.handleStream)
+	s.mux.HandleFunc("GET /users/{id}/stats", s.handleUserStats)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// IngestRequest is the POST /ingest body.
+type IngestRequest struct {
+	// Author is the posting author's id.
+	Author int32 `json:"author"`
+	// Text is the post content.
+	Text string `json:"text"`
+	// TimeMillis is the post timestamp (Unix milliseconds). Posts must be
+	// ingested in non-decreasing time order; out-of-order posts are
+	// rejected with 409.
+	TimeMillis int64 `json:"timeMillis"`
+}
+
+// IngestResponse reports the users whose timelines received the post.
+type IngestResponse struct {
+	ID        uint64  `json:"id"`
+	Delivered []int32 `json:"delivered"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if req.Text == "" {
+		httpError(w, http.StatusBadRequest, "empty text")
+		return
+	}
+
+	s.mu.Lock()
+	if req.TimeMillis < s.lastT {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict,
+			"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, s.lastT)
+		return
+	}
+	s.lastT = req.TimeMillis
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	post := core.NewPost(id, req.Author, req.TimeMillis, req.Text)
+	users, err := s.engine.Offer(post)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if users == nil {
+		users = []int32{}
+	}
+	if len(users) > 0 {
+		s.broker.publish(users, TimelinePost{
+			ID: post.ID, Author: post.Author, TimeMillis: post.Time, Text: post.Text,
+		})
+	}
+	writeJSON(w, IngestResponse{ID: id, Delivered: users})
+}
+
+// TimelinePost is one delivered post in a timeline response.
+type TimelinePost struct {
+	ID         uint64 `json:"id"`
+	Author     int32  `json:"author"`
+	TimeMillis int64  `json:"timeMillis"`
+	Text       string `json:"text"`
+}
+
+// TimelineResponse is the GET /timeline body.
+type TimelineResponse struct {
+	User  int32          `json:"user"`
+	Posts []TimelinePost `json:"posts"`
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	user, err := strconv.ParseInt(r.URL.Query().Get("user"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad or missing user parameter")
+		return
+	}
+	n := 50
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v <= 0 {
+			httpError(w, http.StatusBadRequest, "bad n parameter")
+			return
+		}
+		n = v
+	}
+	tl := s.engine.Timeline(int32(user))
+	if len(tl) > n {
+		tl = tl[len(tl)-n:] // most recent n
+	}
+	resp := TimelineResponse{User: int32(user), Posts: make([]TimelinePost, len(tl))}
+	for i, p := range tl {
+		resp.Posts[i] = TimelinePost{ID: p.ID, Author: p.Author, TimeMillis: p.Time, Text: p.Text}
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse is the GET /stats body.
+type StatsResponse struct {
+	Comparisons uint64 `json:"comparisons"`
+	Insertions  uint64 `json:"insertions"`
+	Evictions   uint64 `json:"evictions"`
+	Accepted    uint64 `json:"accepted"`
+	Rejected    uint64 `json:"rejected"`
+	PeakCopies  int64  `json:"peakCopies"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	c := s.engine.Counters()
+	writeJSON(w, StatsResponse{
+		Comparisons: c.Comparisons,
+		Insertions:  c.Insertions,
+		Evictions:   c.Evictions,
+		Accepted:    c.Accepted,
+		Rejected:    c.Rejected,
+		PeakCopies:  c.StoredPeak,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}

@@ -1,0 +1,119 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// This file adds live delivery to the service: GET /stream?user=N holds the
+// connection open and pushes every future delivery for that user as a
+// server-sent event (SSE) — the push half of the paper's Figure 1b
+// deployment, where clients receive their diversified timeline without
+// polling.
+
+// subscriber is one open SSE connection.
+type subscriber struct {
+	user int32
+	ch   chan TimelinePost
+}
+
+// broker fans deliveries out to SSE subscribers.
+type broker struct {
+	mu   sync.Mutex
+	subs map[*subscriber]struct{}
+}
+
+func newBroker() *broker {
+	return &broker{subs: make(map[*subscriber]struct{})}
+}
+
+func (b *broker) subscribe(user int32) *subscriber {
+	s := &subscriber{user: user, ch: make(chan TimelinePost, 64)}
+	b.mu.Lock()
+	b.subs[s] = struct{}{}
+	b.mu.Unlock()
+	return s
+}
+
+func (b *broker) unsubscribe(s *subscriber) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+}
+
+// publish pushes a delivered post to every matching subscriber. A slow
+// subscriber (full buffer) misses the event rather than blocking ingestion —
+// SSE consumers needing completeness re-read /timeline.
+func (b *broker) publish(users []int32, p TimelinePost) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for s := range b.subs {
+		for _, u := range users {
+			if s.user == u {
+				select {
+				case s.ch <- p:
+				default:
+				}
+				break
+			}
+		}
+	}
+}
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	user, err := strconv.ParseInt(r.URL.Query().Get("user"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad or missing user parameter")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	sub := s.broker.subscribe(int32(user))
+	defer s.broker.unsubscribe(sub)
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p := <-sub.ch:
+			data, err := json.Marshal(p)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "event: post\ndata: %s\n\n", data)
+			flusher.Flush()
+		}
+	}
+}
+
+// UserStatsResponse is the GET /users/{id}/stats body.
+type UserStatsResponse struct {
+	User          int32 `json:"user"`
+	TimelineSize  int   `json:"timelineSize"`
+	LastTimeMilli int64 `json:"lastTimeMillis"`
+}
+
+func (s *Server) handleUserStats(w http.ResponseWriter, r *http.Request) {
+	user, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad user id")
+		return
+	}
+	tl := s.engine.Timeline(int32(user))
+	resp := UserStatsResponse{User: int32(user), TimelineSize: len(tl)}
+	if len(tl) > 0 {
+		resp.LastTimeMilli = tl[len(tl)-1].Time
+	}
+	writeJSON(w, resp)
+}

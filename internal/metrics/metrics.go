@@ -1,0 +1,88 @@
+// Package metrics provides the instrumentation counters the paper reports in
+// its evaluation (Section 6): pairwise post comparisons, post-copy insertions
+// into bins, and memory consumption measured as stored post copies. Counters
+// are plain integers — the streaming algorithms are single-goroutine by
+// design (a real-time decision per arrival); concurrent engines own one
+// Counters per worker and merge.
+package metrics
+
+import "fmt"
+
+// Counters accumulates the cost metrics of a diversification run.
+type Counters struct {
+	// Comparisons counts pairwise post coverage checks (one per candidate
+	// post examined on an arrival).
+	Comparisons uint64
+	// Insertions counts post-copy insertions into bins. A post stored in k
+	// bins contributes k insertions, matching the paper's accounting.
+	Insertions uint64
+	// Evictions counts post copies removed from bins by the λt window.
+	Evictions uint64
+	// Accepted counts posts emitted into the diversified sub-stream Z.
+	Accepted uint64
+	// Rejected counts posts pruned as redundant.
+	Rejected uint64
+
+	storedLive int64
+	// StoredPeak is the maximum number of post copies simultaneously
+	// resident across all bins — the paper's RAM metric up to a constant
+	// per-copy factor.
+	StoredPeak int64
+}
+
+// AddStored records n new live post copies and updates the peak.
+func (c *Counters) AddStored(n int) {
+	c.storedLive += int64(n)
+	if c.storedLive > c.StoredPeak {
+		c.StoredPeak = c.storedLive
+	}
+}
+
+// RemoveStored records n evicted post copies.
+func (c *Counters) RemoveStored(n int) {
+	c.storedLive -= int64(n)
+	if c.storedLive < 0 {
+		panic(fmt.Sprintf("metrics: live stored copies went negative (%d)", c.storedLive))
+	}
+}
+
+// StoredLive returns the current number of live post copies.
+func (c *Counters) StoredLive() int64 { return c.storedLive }
+
+// Processed returns the total number of posts offered.
+func (c *Counters) Processed() uint64 { return c.Accepted + c.Rejected }
+
+// PruneRatio returns the fraction of posts pruned as redundant.
+func (c *Counters) PruneRatio() float64 {
+	if p := c.Processed(); p > 0 {
+		return float64(c.Rejected) / float64(p)
+	}
+	return 0
+}
+
+// EstimateRAMBytes converts the peak stored-copy count into bytes given an
+// average per-copy footprint (fingerprint + timestamp + author + text
+// reference and bin bookkeeping).
+func (c *Counters) EstimateRAMBytes(bytesPerCopy int) int64 {
+	return c.StoredPeak * int64(bytesPerCopy)
+}
+
+// Merge adds other's counts into c. Peaks are summed, which upper-bounds the
+// true combined peak; callers merging workers that ran concurrently get a
+// conservative RAM estimate, and callers merging sequential phases get an
+// over-estimate they can ignore in favor of per-phase peaks.
+func (c *Counters) Merge(other Counters) {
+	c.Comparisons += other.Comparisons
+	c.Insertions += other.Insertions
+	c.Evictions += other.Evictions
+	c.Accepted += other.Accepted
+	c.Rejected += other.Rejected
+	c.storedLive += other.storedLive
+	c.StoredPeak += other.StoredPeak
+}
+
+// String formats the counters for experiment output.
+func (c *Counters) String() string {
+	return fmt.Sprintf("comparisons=%d insertions=%d evictions=%d accepted=%d rejected=%d peakCopies=%d",
+		c.Comparisons, c.Insertions, c.Evictions, c.Accepted, c.Rejected, c.StoredPeak)
+}

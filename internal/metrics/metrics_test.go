@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStoredPeakTracking(t *testing.T) {
+	var c Counters
+	c.AddStored(3)
+	c.AddStored(2)
+	if c.StoredLive() != 5 || c.StoredPeak != 5 {
+		t.Fatalf("live=%d peak=%d", c.StoredLive(), c.StoredPeak)
+	}
+	c.RemoveStored(4)
+	if c.StoredLive() != 1 || c.StoredPeak != 5 {
+		t.Fatalf("after removal live=%d peak=%d", c.StoredLive(), c.StoredPeak)
+	}
+	c.AddStored(2)
+	if c.StoredPeak != 5 {
+		t.Fatalf("peak should stay 5, got %d", c.StoredPeak)
+	}
+	c.AddStored(10)
+	if c.StoredPeak != 13 {
+		t.Fatalf("peak should rise to 13, got %d", c.StoredPeak)
+	}
+}
+
+func TestRemoveStoredPanicsOnNegative(t *testing.T) {
+	var c Counters
+	c.AddStored(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when live copies go negative")
+		}
+	}()
+	c.RemoveStored(2)
+}
+
+func TestProcessedAndPruneRatio(t *testing.T) {
+	var c Counters
+	if c.PruneRatio() != 0 {
+		t.Fatal("empty counters should have prune ratio 0")
+	}
+	c.Accepted = 90
+	c.Rejected = 10
+	if c.Processed() != 100 {
+		t.Fatalf("Processed = %d", c.Processed())
+	}
+	if got := c.PruneRatio(); got != 0.1 {
+		t.Fatalf("PruneRatio = %v", got)
+	}
+}
+
+func TestEstimateRAMBytes(t *testing.T) {
+	var c Counters
+	c.AddStored(100)
+	if got := c.EstimateRAMBytes(64); got != 6400 {
+		t.Fatalf("EstimateRAMBytes = %d", got)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := Counters{Comparisons: 1, Insertions: 2, Evictions: 3, Accepted: 4, Rejected: 5}
+	a.AddStored(7)
+	b := Counters{Comparisons: 10, Insertions: 20, Evictions: 30, Accepted: 40, Rejected: 50}
+	b.AddStored(3)
+	a.Merge(b)
+	if a.Comparisons != 11 || a.Insertions != 22 || a.Evictions != 33 ||
+		a.Accepted != 44 || a.Rejected != 55 {
+		t.Fatalf("merged counters wrong: %+v", a)
+	}
+	if a.StoredLive() != 10 || a.StoredPeak != 10 {
+		t.Fatalf("merged stored wrong: live=%d peak=%d", a.StoredLive(), a.StoredPeak)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Counters{Comparisons: 5, Accepted: 1}
+	s := c.String()
+	for _, want := range []string{"comparisons=5", "accepted=1", "peakCopies=0"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestMergeAccumulates: merging k single-run counters equals one counter
+// that saw all the events (for the additive fields).
+func TestMergeAccumulates(t *testing.T) {
+	prop := func(events [][5]uint8) bool {
+		var merged Counters
+		var direct Counters
+		for _, e := range events {
+			var c Counters
+			c.Comparisons = uint64(e[0])
+			c.Insertions = uint64(e[1])
+			c.Evictions = uint64(e[2])
+			c.Accepted = uint64(e[3])
+			c.Rejected = uint64(e[4])
+			merged.Merge(c)
+
+			direct.Comparisons += uint64(e[0])
+			direct.Insertions += uint64(e[1])
+			direct.Evictions += uint64(e[2])
+			direct.Accepted += uint64(e[3])
+			direct.Rejected += uint64(e[4])
+		}
+		return merged.Comparisons == direct.Comparisons &&
+			merged.Insertions == direct.Insertions &&
+			merged.Evictions == direct.Evictions &&
+			merged.Accepted == direct.Accepted &&
+			merged.Rejected == direct.Rejected &&
+			merged.Processed() == direct.Processed()
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoredNeverExceedsPeak: under any add/remove sequence that stays
+// non-negative, live <= peak always holds.
+func TestStoredNeverExceedsPeak(t *testing.T) {
+	prop := func(deltas []int8) bool {
+		var c Counters
+		for _, d := range deltas {
+			n := int(d)
+			if n >= 0 {
+				c.AddStored(n)
+			} else {
+				if c.StoredLive()+int64(n) < 0 {
+					continue // would panic by design; skip
+				}
+				c.RemoveStored(-n)
+			}
+			if c.StoredLive() > c.StoredPeak {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package postbin implements the time-windowed post bin of Section 4: a
+// circular array holding the diversified posts of the last λt time units,
+// with two tracked positions — the oldest in-window entry and the most
+// recent one. All three SPSD algorithms are built on this structure: UniBin
+// keeps one bin for the whole stream, NeighborBin one per author, CliqueBin
+// one per clique.
+//
+// Entries must be pushed in non-decreasing time order (posts arrive as a
+// stream). Scanning visits entries newest-first, matching the paper's
+// comparison order; pruning drops entries older than a cutoff from the old
+// end.
+package postbin
+
+import "fmt"
+
+// Bin is a growable circular array of timestamped values.
+type Bin[T any] struct {
+	buf   []entry[T]
+	head  int // index of oldest entry
+	count int
+	last  int64 // time of most recent entry, valid when count > 0
+}
+
+type entry[T any] struct {
+	time int64
+	val  T
+}
+
+// New returns an empty bin with a small initial capacity.
+func New[T any]() *Bin[T] {
+	return &Bin[T]{}
+}
+
+// Len returns the number of entries currently stored.
+func (b *Bin[T]) Len() int { return b.count }
+
+// Cap returns the current capacity of the underlying circular array.
+func (b *Bin[T]) Cap() int { return len(b.buf) }
+
+// Push appends a value with the given timestamp. Timestamps must be
+// non-decreasing; Push panics otherwise, because out-of-order insertion
+// would silently break the windowed scan semantics.
+func (b *Bin[T]) Push(t int64, v T) {
+	if b.count > 0 && t < b.last {
+		panic(fmt.Sprintf("postbin: out-of-order push: %d after %d", t, b.last))
+	}
+	if b.count == len(b.buf) {
+		b.grow()
+	}
+	idx := b.head + b.count
+	if idx >= len(b.buf) {
+		idx -= len(b.buf)
+	}
+	b.buf[idx] = entry[T]{time: t, val: v}
+	b.count++
+	b.last = t
+}
+
+func (b *Bin[T]) grow() {
+	newCap := len(b.buf) * 2
+	if newCap < 8 {
+		newCap = 8
+	}
+	nb := make([]entry[T], newCap)
+	for i := 0; i < b.count; i++ {
+		nb[i] = b.buf[(b.head+i)%len(b.buf)]
+	}
+	b.buf = nb
+	b.head = 0
+}
+
+// PruneBefore removes all entries with time < cutoff from the old end and
+// returns the number removed.
+func (b *Bin[T]) PruneBefore(cutoff int64) int {
+	removed := 0
+	var zero entry[T]
+	for b.count > 0 {
+		e := &b.buf[b.head]
+		if e.time >= cutoff {
+			break
+		}
+		*e = zero // release references for GC
+		b.head++
+		if b.head == len(b.buf) {
+			b.head = 0
+		}
+		b.count--
+		removed++
+	}
+	if b.count == 0 {
+		b.head = 0
+	}
+	return removed
+}
+
+// ScanNewestFirst calls f for each entry from the most recent to the oldest,
+// stopping early if f returns false. This is the comparison order of the
+// paper's algorithms: recent posts are the most likely to cover a new
+// arrival, and the scan can stop as soon as the λt window is exhausted.
+func (b *Bin[T]) ScanNewestFirst(f func(t int64, v T) bool) {
+	for i := b.count - 1; i >= 0; i-- {
+		e := &b.buf[(b.head+i)%len(b.buf)]
+		if !f(e.time, e.val) {
+			return
+		}
+	}
+}
+
+// OldestTime returns the timestamp of the oldest entry, or ok=false when the
+// bin is empty.
+func (b *Bin[T]) OldestTime() (t int64, ok bool) {
+	if b.count == 0 {
+		return 0, false
+	}
+	return b.buf[b.head].time, true
+}
+
+// NewestTime returns the timestamp of the most recent entry, or ok=false
+// when the bin is empty.
+func (b *Bin[T]) NewestTime() (t int64, ok bool) {
+	if b.count == 0 {
+		return 0, false
+	}
+	return b.last, true
+}
+
+// Snapshot returns the entries oldest-first. It allocates; intended for
+// tests and diagnostics, not the hot path.
+func (b *Bin[T]) Snapshot() []T {
+	out := make([]T, 0, b.count)
+	for i := 0; i < b.count; i++ {
+		out = append(out, b.buf[(b.head+i)%len(b.buf)].val)
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package postbin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestEmptyBin(t *testing.T) {
+	b := New[int]()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if _, ok := b.OldestTime(); ok {
+		t.Fatal("OldestTime on empty should report !ok")
+	}
+	if _, ok := b.NewestTime(); ok {
+		t.Fatal("NewestTime on empty should report !ok")
+	}
+	if got := b.PruneBefore(100); got != 0 {
+		t.Fatalf("PruneBefore on empty = %d", got)
+	}
+	called := false
+	b.ScanNewestFirst(func(int64, int) bool { called = true; return true })
+	if called {
+		t.Fatal("scan on empty bin must not call f")
+	}
+}
+
+func TestPushScanOrder(t *testing.T) {
+	b := New[string]()
+	b.Push(1, "a")
+	b.Push(2, "b")
+	b.Push(2, "c") // ties allowed
+	b.Push(5, "d")
+	var got []string
+	b.ScanNewestFirst(func(_ int64, v string) bool {
+		got = append(got, v)
+		return true
+	})
+	want := []string{"d", "c", "b", "a"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan order = %v, want %v", got, want)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 10; i++ {
+		b.Push(int64(i), i)
+	}
+	var got []int
+	b.ScanNewestFirst(func(_ int64, v int) bool {
+		got = append(got, v)
+		return len(got) < 3
+	})
+	if !reflect.DeepEqual(got, []int{9, 8, 7}) {
+		t.Fatalf("early-stop scan = %v", got)
+	}
+}
+
+func TestOutOfOrderPushPanics(t *testing.T) {
+	b := New[int]()
+	b.Push(10, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order push")
+		}
+	}()
+	b.Push(9, 2)
+}
+
+func TestPruneBefore(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 10; i++ {
+		b.Push(int64(i*10), i)
+	}
+	if got := b.PruneBefore(35); got != 4 { // times 0,10,20,30
+		t.Fatalf("pruned %d, want 4", got)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", b.Len())
+	}
+	old, _ := b.OldestTime()
+	if old != 40 {
+		t.Fatalf("OldestTime = %d, want 40", old)
+	}
+	if got := b.PruneBefore(35); got != 0 {
+		t.Fatalf("second prune removed %d", got)
+	}
+	if got := b.PruneBefore(1000); got != 6 {
+		t.Fatalf("full prune removed %d", got)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len after full prune = %d", b.Len())
+	}
+}
+
+func TestWraparound(t *testing.T) {
+	b := New[int]()
+	// Interleave pushes and prunes to force head to wrap.
+	time := int64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 5; i++ {
+			time++
+			b.Push(time, int(time))
+		}
+		b.PruneBefore(time - 2)
+	}
+	snap := b.Snapshot()
+	if len(snap) != b.Len() {
+		t.Fatalf("snapshot len %d vs Len %d", len(snap), b.Len())
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i] < snap[i-1] {
+			t.Fatalf("snapshot out of order: %v", snap)
+		}
+	}
+}
+
+func TestGrowth(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 1000; i++ {
+		b.Push(int64(i), i)
+	}
+	if b.Len() != 1000 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	newest, _ := b.NewestTime()
+	oldest, _ := b.OldestTime()
+	if newest != 999 || oldest != 0 {
+		t.Fatalf("times = %d..%d", oldest, newest)
+	}
+}
+
+// TestAgainstReferenceModel drives the bin with random operations and checks
+// every observable against a simple slice-based reference implementation.
+func TestAgainstReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	type refEntry struct {
+		time int64
+		val  int
+	}
+	b := New[int]()
+	var ref []refEntry
+	time := int64(0)
+	for op := 0; op < 5000; op++ {
+		switch rng.Intn(3) {
+		case 0, 1: // push
+			time += int64(rng.Intn(3))
+			v := rng.Int()
+			b.Push(time, v)
+			ref = append(ref, refEntry{time, v})
+		case 2: // prune
+			cutoff := time - int64(rng.Intn(10))
+			got := b.PruneBefore(cutoff)
+			want := 0
+			for len(ref) > 0 && ref[0].time < cutoff {
+				ref = ref[1:]
+				want++
+			}
+			if got != want {
+				t.Fatalf("op %d: pruned %d, want %d", op, got, want)
+			}
+		}
+		if b.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d vs ref %d", op, b.Len(), len(ref))
+		}
+		var scanned []int
+		b.ScanNewestFirst(func(_ int64, v int) bool {
+			scanned = append(scanned, v)
+			return true
+		})
+		for i := range scanned {
+			if scanned[i] != ref[len(ref)-1-i].val {
+				t.Fatalf("op %d: scan mismatch at %d", op, i)
+			}
+		}
+	}
+}
+
+func BenchmarkPushPruneScan(b *testing.B) {
+	bin := New[uint64]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := int64(i)
+		bin.Push(t, uint64(i))
+		bin.PruneBefore(t - 1000)
+		n := 0
+		bin.ScanNewestFirst(func(_ int64, _ uint64) bool {
+			n++
+			return n < 16
+		})
+	}
+}

@@ -1,0 +1,99 @@
+// Package simhash implements 64-bit SimHash fingerprinting (Charikar's
+// similarity hash) and Hamming distance, as used by the paper to estimate
+// content similarity between social posts.
+//
+// A fingerprint is computed from a weighted bag of tokens: every token is
+// hashed to 64 bits, each bit position accumulates +weight when the bit is
+// set and -weight when clear, and the fingerprint keeps one bit per position
+// recording the sign of the accumulated value. Texts sharing many tokens
+// produce fingerprints at small Hamming distance, while independent texts
+// land near distance 32 (each bit agreeing with probability 1/2).
+package simhash
+
+import (
+	"math/bits"
+)
+
+// Fingerprint is a 64-bit SimHash value.
+type Fingerprint uint64
+
+// Size is the number of bits in a Fingerprint.
+const Size = 64
+
+// Feature is a token (already hashed) together with its weight.
+// Callers that need custom token weighting (e.g. boosting hashtags)
+// construct Features directly; most callers use Hash or HashWeighted.
+type Feature struct {
+	Hash   uint64
+	Weight int
+}
+
+// fnv-1a 64-bit constants.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// HashToken hashes a single token to 64 bits using FNV-1a. It is exported so
+// that callers building Feature slices use the same hash as Hash/HashWeighted.
+func HashToken(token string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(token); i++ {
+		h ^= uint64(token[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Hash computes the SimHash fingerprint of a bag of tokens with unit weights.
+func Hash(tokens []string) Fingerprint {
+	var v [Size]int
+	for _, t := range tokens {
+		addFeature(&v, HashToken(t), 1)
+	}
+	return collapse(&v)
+}
+
+// HashWeighted computes the SimHash fingerprint of a weighted feature bag.
+func HashWeighted(features []Feature) Fingerprint {
+	var v [Size]int
+	for _, f := range features {
+		addFeature(&v, f.Hash, f.Weight)
+	}
+	return collapse(&v)
+}
+
+func addFeature(v *[Size]int, h uint64, w int) {
+	for i := 0; i < Size; i++ {
+		if h&(1<<uint(i)) != 0 {
+			v[i] += w
+		} else {
+			v[i] -= w
+		}
+	}
+}
+
+func collapse(v *[Size]int) Fingerprint {
+	var f Fingerprint
+	for i := 0; i < Size; i++ {
+		if v[i] > 0 {
+			f |= 1 << uint(i)
+		}
+	}
+	return f
+}
+
+// Distance returns the Hamming distance between two fingerprints: the number
+// of bit positions at which they differ. It is a metric on Fingerprints
+// (non-negative, zero iff equal, symmetric, triangle inequality).
+func Distance(a, b Fingerprint) int {
+	return bits.OnesCount64(uint64(a ^ b))
+}
+
+// Near reports whether the Hamming distance between a and b is at most d.
+// It short-circuits via popcount, which is a single instruction on amd64, so
+// it is not meaningfully cheaper than Distance; it exists for readability at
+// call sites implementing the paper's coverage predicate (dist_c <= lambda_c).
+func Near(a, b Fingerprint, d int) bool {
+	return Distance(a, b) <= d
+}

@@ -1,0 +1,185 @@
+package simhash
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	tokens := []string{"over", "300", "people", "missing", "after", "ferry", "sinks"}
+	a := Hash(tokens)
+	b := Hash(tokens)
+	if a != b {
+		t.Fatalf("Hash not deterministic: %x vs %x", a, b)
+	}
+}
+
+func TestHashOrderInvariant(t *testing.T) {
+	a := Hash([]string{"alpha", "beta", "gamma"})
+	b := Hash([]string{"gamma", "alpha", "beta"})
+	if a != b {
+		t.Fatalf("Hash should be order-invariant (bag semantics): %x vs %x", a, b)
+	}
+}
+
+func TestHashEmpty(t *testing.T) {
+	if got := Hash(nil); got != 0 {
+		t.Fatalf("Hash(nil) = %x, want 0", got)
+	}
+	if got := Hash([]string{}); got != 0 {
+		t.Fatalf("Hash(empty) = %x, want 0", got)
+	}
+}
+
+func TestHashWeightedMatchesRepeatedTokens(t *testing.T) {
+	// A token with weight 3 must behave like three copies of the token.
+	byRepeat := Hash([]string{"news", "news", "news", "ipo", "alibaba"})
+	byWeight := HashWeighted([]Feature{
+		{Hash: HashToken("news"), Weight: 3},
+		{Hash: HashToken("ipo"), Weight: 1},
+		{Hash: HashToken("alibaba"), Weight: 1},
+	})
+	if byRepeat != byWeight {
+		t.Fatalf("weighted hash mismatch: %x vs %x", byRepeat, byWeight)
+	}
+}
+
+func TestDistanceBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Fingerprint
+		want int
+	}{
+		{"equal", 0xdeadbeef, 0xdeadbeef, 0},
+		{"zero vs zero", 0, 0, 0},
+		{"one bit", 0, 1, 1},
+		{"all bits", 0, ^Fingerprint(0), 64},
+		{"alternating", 0xAAAAAAAAAAAAAAAA, 0x5555555555555555, 64},
+		{"half", 0x00000000FFFFFFFF, 0, 32},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Distance(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Distance(%x,%x) = %d, want %d", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNear(t *testing.T) {
+	a, b := Fingerprint(0), Fingerprint(0b111) // distance 3
+	if !Near(a, b, 3) {
+		t.Fatal("Near(d=3) should hold at distance 3")
+	}
+	if Near(a, b, 2) {
+		t.Fatal("Near(d=2) should fail at distance 3")
+	}
+}
+
+func TestDistanceMetricAxioms(t *testing.T) {
+	identity := func(a uint64) bool { return Distance(Fingerprint(a), Fingerprint(a)) == 0 }
+	symmetry := func(a, b uint64) bool {
+		return Distance(Fingerprint(a), Fingerprint(b)) == Distance(Fingerprint(b), Fingerprint(a))
+	}
+	triangle := func(a, b, c uint64) bool {
+		ab := Distance(Fingerprint(a), Fingerprint(b))
+		bc := Distance(Fingerprint(b), Fingerprint(c))
+		ac := Distance(Fingerprint(a), Fingerprint(c))
+		return ac <= ab+bc
+	}
+	nonneg := func(a, b uint64) bool {
+		d := Distance(Fingerprint(a), Fingerprint(b))
+		return d >= 0 && d <= 64
+	}
+	for name, prop := range map[string]any{
+		"identity": identity, "symmetry": symmetry, "triangle": triangle, "range": nonneg,
+	} {
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("metric axiom %s violated: %v", name, err)
+		}
+	}
+}
+
+func TestSimilarTextsCloserThanIndependent(t *testing.T) {
+	// The core behavioural promise: small edits produce small Hamming
+	// distances, unrelated texts produce distances near 32.
+	base := strings.Fields("over 300 people missing after south korean ferry sinks reuters story link")
+	edited := append(append([]string{}, base...), "breaking") // one token added
+	other := strings.Fields("alibaba growth accelerates us ipo filing expected next week technology market")
+
+	dEdit := Distance(Hash(base), Hash(edited))
+	dOther := Distance(Hash(base), Hash(other))
+	if dEdit >= dOther {
+		t.Fatalf("edited distance %d should be < independent distance %d", dEdit, dOther)
+	}
+	if dEdit > 16 {
+		t.Fatalf("single-token edit distance %d unexpectedly large", dEdit)
+	}
+	if dOther < 16 {
+		t.Fatalf("independent texts distance %d unexpectedly small", dOther)
+	}
+}
+
+func TestIndependentTextDistanceDistribution(t *testing.T) {
+	// Pairs of random token bags must have mean Hamming distance near 32
+	// (each bit independent fair coin), reproducing the shape of Figure 2.
+	rng := rand.New(rand.NewSource(42))
+	const pairs = 2000
+	sum := 0
+	for i := 0; i < pairs; i++ {
+		a := randomBag(rng, 8+rng.Intn(8))
+		b := randomBag(rng, 8+rng.Intn(8))
+		sum += Distance(Hash(a), Hash(b))
+	}
+	mean := float64(sum) / pairs
+	if mean < 30 || mean > 34 {
+		t.Fatalf("mean distance of independent texts = %.2f, want ~32", mean)
+	}
+}
+
+func randomBag(rng *rand.Rand, n int) []string {
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	out := make([]string, n)
+	for i := range out {
+		var sb strings.Builder
+		l := 3 + rng.Intn(8)
+		for j := 0; j < l; j++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		out[i] = sb.String()
+	}
+	return out
+}
+
+func TestHashTokenSpread(t *testing.T) {
+	// FNV-1a over short tokens should not collide across a modest vocabulary.
+	seen := make(map[uint64]string)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		tok := randomBag(rng, 1)[0]
+		h := HashToken(tok)
+		if prev, ok := seen[h]; ok && prev != tok {
+			t.Fatalf("hash collision between %q and %q", prev, tok)
+		}
+		seen[h] = tok
+	}
+}
+
+func BenchmarkHash(b *testing.B) {
+	tokens := strings.Fields("over 300 people missing after south korean ferry sinks reuters story link breaking news update")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Hash(tokens)
+	}
+}
+
+func BenchmarkDistance(b *testing.B) {
+	x, y := Fingerprint(0xdeadbeefcafebabe), Fingerprint(0x123456789abcdef0)
+	for i := 0; i < b.N; i++ {
+		if Distance(x, y) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}

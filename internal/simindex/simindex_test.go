@@ -1,0 +1,223 @@
+package simindex
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"firehose/internal/simhash"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := []Params{{K: 3, Blocks: 6}, {K: 0, Blocks: 1}, {K: 6, Blocks: 16}}
+	for _, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%+v rejected: %v", p, err)
+		}
+	}
+	bad := []Params{{K: -1, Blocks: 4}, {K: 64, Blocks: 65}, {K: 3, Blocks: 3}, {K: 3, Blocks: 65}}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("%+v accepted", p)
+		}
+	}
+}
+
+func TestTableCountBinomial(t *testing.T) {
+	tests := []struct {
+		p    Params
+		want int64
+	}{
+		{Params{K: 3, Blocks: 6}, 20},           // C(6,3)
+		{Params{K: 3, Blocks: 4}, 4},            // C(4,3)... C(4,3)=4
+		{Params{K: 1, Blocks: 4}, 4},            // C(4,1)
+		{Params{K: 0, Blocks: 1}, 1},            // exact match, one table
+		{Params{K: 2, Blocks: 8}, 28},           // C(8,2)
+		{Params{K: 18, Blocks: 36}, 9075135300}, // C(36,18)
+	}
+	for _, tc := range tests {
+		if got := tc.p.TableCount(); got != tc.want {
+			t.Fatalf("TableCount(%+v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestKeyBits(t *testing.T) {
+	if got := (Params{K: 3, Blocks: 4}).KeyBits(); got != 16 {
+		t.Fatalf("KeyBits = %d, want 16 (one of four 16-bit blocks)", got)
+	}
+	if got := (Params{K: 3, Blocks: 6}).KeyBits(); got != 32 {
+		t.Fatalf("KeyBits = %d, want 32", got)
+	}
+}
+
+func TestFeasiblePlansBlowUp(t *testing.T) {
+	plans := FeasiblePlans([]int{3, 6, 10, 14, 18}, 24)
+	if len(plans) != 5 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	// Monotone explosion: each threshold needs at least as many tables.
+	for i := 1; i < len(plans); i++ {
+		if plans[i].Tables < plans[i-1].Tables {
+			t.Fatalf("tables should grow with k: %+v", plans)
+		}
+	}
+	// λc=3 is cheap (paper: the web-crawling regime)...
+	if plans[0].Tables > 100 {
+		t.Fatalf("k=3 needs %d tables, should be small", plans[0].Tables)
+	}
+	// ...and λc=18 is astronomically out of reach (the Section 3 claim).
+	if plans[4].Tables < 1_000_000 {
+		t.Fatalf("k=18 needs only %d tables; the infeasibility argument failed", plans[4].Tables)
+	}
+}
+
+func TestNewRejectsInfeasible(t *testing.T) {
+	// The Section 3 claim as an exhaustive check: NO block layout makes
+	// λc=18 indexable — small block counts fail the key-selectivity floor,
+	// large ones the table budget.
+	for b := 19; b <= 64; b++ {
+		if _, err := New(Params{K: 18, Blocks: b}); err == nil {
+			t.Fatalf("λc=18 layout with %d blocks accepted", b)
+		}
+	}
+	if _, err := New(Params{K: 3, Blocks: 2}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestCombinations(t *testing.T) {
+	got := combinations(4, 2)
+	want := [][]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("combinations(4,2) = %v", got)
+	}
+	if len(combinations(6, 3)) != 20 {
+		t.Fatal("combinations(6,3) wrong size")
+	}
+}
+
+func mustIndex(t *testing.T, p Params) *Index {
+	t.Helper()
+	idx, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+func TestQueryExactRecall(t *testing.T) {
+	// Pigeonhole guarantee: Query finds exactly the brute-force matches.
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []Params{{K: 3, Blocks: 6}, {K: 2, Blocks: 8}, {K: 5, Blocks: 8}, {K: 0, Blocks: 1}} {
+		idx := mustIndex(t, p)
+		var all []Entry
+		base := simhash.Fingerprint(rng.Uint64())
+		for i := 0; i < 400; i++ {
+			fp := base
+			// Half the entries cluster near base, half are random.
+			if i%2 == 0 {
+				for f := rng.Intn(p.K + 3); f > 0; f-- {
+					fp ^= 1 << uint(rng.Intn(64))
+				}
+			} else {
+				fp = simhash.Fingerprint(rng.Uint64())
+			}
+			e := Entry{FP: fp, ID: uint64(i + 1), Aux: int32(i), Time: int64(i)}
+			idx.Add(e)
+			all = append(all, e)
+		}
+		for trial := 0; trial < 50; trial++ {
+			q := base
+			for f := rng.Intn(p.K + 4); f > 0; f-- {
+				q ^= 1 << uint(rng.Intn(64))
+			}
+			minTime := int64(rng.Intn(300))
+			got, _ := idx.Query(q, minTime)
+			var want []uint64
+			for _, e := range all {
+				if e.Time >= minTime && simhash.Distance(e.FP, q) <= p.K {
+					want = append(want, e.ID)
+				}
+			}
+			gotIDs := make([]uint64, len(got))
+			for i, e := range got {
+				gotIDs[i] = e.ID
+			}
+			if len(gotIDs) != len(want) {
+				t.Fatalf("params %+v: got %d matches, want %d", p, len(gotIDs), len(want))
+			}
+			for i := range want {
+				if gotIDs[i] != want[i] {
+					t.Fatalf("params %+v: query mismatch: got %v want %v", p, gotIDs, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryReturnsAux(t *testing.T) {
+	idx := mustIndex(t, Params{K: 1, Blocks: 4})
+	idx.Add(Entry{FP: 0xABC, ID: 7, Aux: 42, Time: 1})
+	got, _ := idx.Query(0xABC, 0)
+	if len(got) != 1 || got[0].Aux != 42 {
+		t.Fatalf("Query = %+v", got)
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	idx := mustIndex(t, Params{K: 2, Blocks: 6})
+	for i := 0; i < 100; i++ {
+		idx.Add(Entry{FP: simhash.Fingerprint(i) * 0x9E3779B97F4A7C15, ID: uint64(i + 1), Time: int64(i)})
+	}
+	if idx.Len() != 100 {
+		t.Fatalf("Len = %d", idx.Len())
+	}
+	if got := idx.PruneBefore(50); got != 50 {
+		t.Fatalf("pruned %d, want 50", got)
+	}
+	if idx.Len() != 50 {
+		t.Fatalf("Len after prune = %d", idx.Len())
+	}
+	// No pruned entry is ever returned.
+	for i := 0; i < 50; i++ {
+		got, _ := idx.Query(simhash.Fingerprint(i)*0x9E3779B97F4A7C15, 0)
+		if len(got) != 0 {
+			t.Fatalf("pruned entry %d still queryable", i)
+		}
+	}
+	if got := idx.PruneBefore(50); got != 0 {
+		t.Fatalf("double prune removed %d", got)
+	}
+	if got := idx.PruneBefore(1000); got != 50 {
+		t.Fatalf("full prune removed %d", got)
+	}
+	if idx.Len() != 0 {
+		t.Fatalf("Len after full prune = %d", idx.Len())
+	}
+}
+
+func TestCopies(t *testing.T) {
+	idx := mustIndex(t, Params{K: 3, Blocks: 6}) // 20 tables
+	idx.Add(Entry{FP: 1, ID: 1, Time: 1})
+	idx.Add(Entry{FP: 2, ID: 2, Time: 2})
+	if got := idx.Copies(); got != 40 {
+		t.Fatalf("Copies = %d, want 40", got)
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	idx, err := New(Params{K: 3, Blocks: 6})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		idx.Add(Entry{FP: simhash.Fingerprint(rng.Uint64()), ID: uint64(i), Time: int64(i)})
+	}
+	q := simhash.Fingerprint(rng.Uint64())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Query(q, 0)
+	}
+}

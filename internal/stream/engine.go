@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"firehose/internal/core"
+	"firehose/internal/metrics"
+)
+
+// Engine runs a single-user diversifier over a live feed. It serializes
+// Offer calls (the algorithms are inherently sequential — each decision
+// depends on all earlier ones) and fans accepted posts out to subscribers,
+// so many goroutines can ingest and many consumers can observe one timeline.
+type Engine struct {
+	mu    sync.Mutex
+	div   core.Diversifier
+	subs  []chan *core.Post
+	done  bool
+	total uint64
+}
+
+// NewEngine wraps a diversifier.
+func NewEngine(div core.Diversifier) *Engine {
+	return &Engine{div: div}
+}
+
+// Offer pushes one post through the diversifier; it reports whether the post
+// was emitted and delivers emitted posts to all subscribers. Posts must
+// still arrive in global time order across callers.
+func (e *Engine) Offer(p *core.Post) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return false, fmt.Errorf("stream: engine is closed")
+	}
+	e.total++
+	if !e.div.Offer(p) {
+		return false, nil
+	}
+	for _, ch := range e.subs {
+		ch <- p
+	}
+	return true, nil
+}
+
+// Subscribe returns a channel receiving every emitted post from now on. The
+// channel is buffered; a consumer that stops reading will eventually block
+// ingestion, which is the backpressure a timeline service wants.
+func (e *Engine) Subscribe(buffer int) <-chan *core.Post {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ch := make(chan *core.Post, buffer)
+	e.subs = append(e.subs, ch)
+	return ch
+}
+
+// Close closes all subscriber channels; further Offers fail.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.done {
+		return
+	}
+	e.done = true
+	for _, ch := range e.subs {
+		close(ch)
+	}
+}
+
+// Counters snapshots the underlying diversifier's counters.
+func (e *Engine) Counters() metrics.Counters {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return *e.div.Counters()
+}
+
+// Swap atomically replaces or mutates the diversifier between decisions —
+// the safe point for applying a refreshed author graph (the paper's
+// periodic similarity recomputation). The function receives the current
+// diversifier and returns the one to use next; returning the same instance
+// (e.g. after calling UniBin.SetGraph on it) keeps all window state, while
+// returning a fresh instance resets it, which can transiently re-admit
+// duplicates for up to λt.
+func (e *Engine) Swap(f func(core.Diversifier) core.Diversifier) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.div = f(e.div)
+}
+
+// Consume drains a source through the engine, returning the emitted posts.
+func (e *Engine) Consume(src Source) ([]*core.Post, error) {
+	var out []*core.Post
+	for {
+		p, ok := src.Next()
+		if !ok {
+			return out, nil
+		}
+		emitted, err := e.Offer(p)
+		if err != nil {
+			return out, err
+		}
+		if emitted {
+			out = append(out, p)
+		}
+	}
+}
+
+// MultiEngine runs an M-SPSD solver over a live feed, delivering each
+// accepted post to the per-user timelines. Like Engine it serializes the
+// decision step behind a mutex.
+type MultiEngine struct {
+	mu        sync.Mutex
+	md        core.MultiDiversifier
+	timelines map[int32][]*core.Post
+	done      bool
+}
+
+// NewMultiEngine wraps a multi-user diversifier.
+func NewMultiEngine(md core.MultiDiversifier) *MultiEngine {
+	return &MultiEngine{md: md, timelines: make(map[int32][]*core.Post)}
+}
+
+// Offer routes a post and returns the users it was delivered to.
+func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, fmt.Errorf("stream: engine is closed")
+	}
+	users := m.md.Offer(p)
+	for _, u := range users {
+		m.timelines[u] = append(m.timelines[u], p)
+	}
+	return users, nil
+}
+
+// Timeline returns a copy of user u's accumulated timeline.
+func (m *MultiEngine) Timeline(u int32) []*core.Post {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tl := m.timelines[u]
+	out := make([]*core.Post, len(tl))
+	copy(out, tl)
+	return out
+}
+
+// Close stops the engine.
+func (m *MultiEngine) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done = true
+}
+
+// Counters snapshots the merged counters of the underlying solver.
+func (m *MultiEngine) Counters() metrics.Counters {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return *m.md.Counters()
+}

@@ -1,0 +1,50 @@
+package stream_test
+
+import (
+	"fmt"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/stream"
+)
+
+// ExampleMerge shows the fan-in a subscription timeline performs: per-author
+// feeds merge into one time-ordered stream.
+func ExampleMerge() {
+	feedA, _ := stream.NewSliceSource([]*core.Post{
+		core.NewPost(1, 0, 100, "first story breaks"),
+		core.NewPost(3, 0, 300, "first story follow-up"),
+	})
+	feedB, _ := stream.NewSliceSource([]*core.Post{
+		core.NewPost(2, 1, 200, "unrelated second story"),
+	})
+	for _, p := range stream.Drain(stream.NewMerge(feedA, feedB)) {
+		fmt.Println(p.ID, p.Text)
+	}
+	// Output:
+	// 1 first story breaks
+	// 2 unrelated second story
+	// 3 first story follow-up
+}
+
+// ExampleEngine shows the concurrent facade over a diversifier: offers are
+// serialized, subscribers receive the emitted sub-stream.
+func ExampleEngine() {
+	g := authorsim.NewGraph(2, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 60_000, LambdaA: 0.7}
+	e := stream.NewEngine(core.NewUniBin(g, th))
+	timeline := e.Subscribe(8)
+
+	e.Offer(core.NewPost(1, 0, 0, "ferry sinks off coast http://t.co/a"))
+	e.Offer(core.NewPost(2, 1, 1000, "ferry sinks off coast http://t.co/b")) // pruned
+	e.Close()
+
+	for p := range timeline {
+		fmt.Println(p.ID)
+	}
+	c := e.Counters()
+	fmt.Println("pruned:", c.Rejected)
+	// Output:
+	// 1
+	// pruned: 1
+}

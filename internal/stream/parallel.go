@@ -1,0 +1,160 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/metrics"
+)
+
+// ParallelMultiEngine runs M-SPSD across worker goroutines by exploiting the
+// independence the paper's Section 5 analysis establishes: posts from
+// different connected components of the author similarity graph can never
+// cover each other, so each component's decision sequence is independent of
+// every other's. The engine shards the *global* graph's components across
+// workers; each worker owns a SharedMultiUser instance over the users'
+// subscriptions restricted to its shard, preserving per-component arrival
+// order (each author maps to exactly one worker) while processing disjoint
+// shards concurrently.
+//
+// Offer returns a ticket immediately; Wait (or the ticket's Users method)
+// joins the decision. For every user, the union of deliveries equals the
+// sequential SharedMultiUser's — property-tested against it.
+type ParallelMultiEngine struct {
+	workers []*parallelWorker
+	// authorWorker maps author id → worker index.
+	authorWorker []int32
+	wg           sync.WaitGroup
+	closed       bool
+}
+
+type parallelWorker struct {
+	md *core.SharedMultiUser
+	ch chan parallelJob
+}
+
+type parallelJob struct {
+	post   *core.Post
+	ticket *Ticket
+}
+
+// Ticket is a pending decision handle.
+type Ticket struct {
+	done  chan struct{}
+	users []int32
+}
+
+// Users blocks until the decision is made and returns the delivered users.
+func (t *Ticket) Users() []int32 {
+	<-t.done
+	return t.users
+}
+
+// NewParallelMultiEngine shards the components of g across `workers`
+// goroutines and builds one shared multi-user solver per shard. Components
+// are assigned round-robin by their smallest author, balancing load for
+// homogeneous communities. subscriptions[u] lists user u's authors.
+func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscriptions [][]int32, th core.Thresholds, workers int) (*ParallelMultiEngine, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("stream: workers must be positive, got %d", workers)
+	}
+	// Global components partition the author universe; a user's own
+	// components are always subsets of global ones, so any two authors that
+	// can ever share a decision land in the same global component — and
+	// therefore on the same worker.
+	all := make([]int32, g.NumAuthors())
+	for i := range all {
+		all[i] = int32(i)
+	}
+	comps := g.InducedComponents(all)
+
+	e := &ParallelMultiEngine{
+		workers:      make([]*parallelWorker, workers),
+		authorWorker: make([]int32, g.NumAuthors()),
+	}
+	// Assign components round-robin; record author → worker.
+	shardAuthors := make([]map[int32]bool, workers)
+	for i := range shardAuthors {
+		shardAuthors[i] = make(map[int32]bool)
+	}
+	for ci, comp := range comps {
+		w := ci % workers
+		for _, a := range comp {
+			e.authorWorker[a] = int32(w)
+			shardAuthors[w][a] = true
+		}
+	}
+	// Restrict each user's subscriptions to each shard.
+	for w := 0; w < workers; w++ {
+		shardSubs := make([][]int32, len(subscriptions))
+		for u, subs := range subscriptions {
+			for _, a := range subs {
+				if shardAuthors[w][a] {
+					shardSubs[u] = append(shardSubs[u], a)
+				}
+			}
+		}
+		md, err := core.NewSharedMultiUser(alg, g, shardSubs, th)
+		if err != nil {
+			return nil, err
+		}
+		e.workers[w] = &parallelWorker{md: md, ch: make(chan parallelJob, 256)}
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go func(w *parallelWorker) {
+			defer e.wg.Done()
+			for job := range w.ch {
+				job.ticket.users = w.md.Offer(job.post)
+				close(job.ticket.done)
+			}
+		}(w)
+	}
+	return e, nil
+}
+
+// Offer routes the post to its component's worker and returns a ticket.
+// Posts must be offered in global time order; per-worker channels preserve
+// that order within every component, which is all correctness requires.
+func (e *ParallelMultiEngine) Offer(p *core.Post) (*Ticket, error) {
+	if e.closed {
+		return nil, fmt.Errorf("stream: engine is closed")
+	}
+	if int(p.Author) >= len(e.authorWorker) || p.Author < 0 {
+		// Unknown author: no component, no deliveries.
+		t := &Ticket{done: make(chan struct{})}
+		close(t.done)
+		return t, nil
+	}
+	t := &Ticket{done: make(chan struct{})}
+	w := e.workers[e.authorWorker[p.Author]]
+	w.ch <- parallelJob{post: p, ticket: t}
+	return t, nil
+}
+
+// Close drains the workers; no further Offers are accepted.
+func (e *ParallelMultiEngine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for _, w := range e.workers {
+		close(w.ch)
+	}
+	e.wg.Wait()
+}
+
+// Counters merges all workers' counters (call after Close, or accept
+// in-flight skew).
+func (e *ParallelMultiEngine) Counters() metrics.Counters {
+	var total metrics.Counters
+	for _, w := range e.workers {
+		total.Merge(*w.md.Counters())
+	}
+	return total
+}
+
+// NumWorkers returns the shard count.
+func (e *ParallelMultiEngine) NumWorkers() int { return len(e.workers) }

@@ -1,0 +1,190 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/simhash"
+	"firehose/internal/twittergen"
+)
+
+// parallelScenario builds a wired graph + subscriptions + stream.
+func parallelScenario(t *testing.T, seed int64, nAuthors int) (*authorsim.Graph, [][]int32, []*core.Post) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sg, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(nAuthors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := authorsim.BuildGraph(authorsim.NewVectors(sg.Followees), 0.7)
+	vocab := twittergen.NewVocab(rand.New(rand.NewSource(seed+1)), 1500)
+	gen, err := twittergen.GenerateStream(rand.New(rand.NewSource(seed+2)), sg, g, vocab,
+		twittergen.DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, sg.Subscriptions(), gen.Posts
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	g, subs, posts := parallelScenario(t, 21, 250)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+
+	seq, err := core.NewSharedMultiUser(core.AlgUniBin, g, subs, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelMultiEngine(core.AlgUniBin, g, subs, th, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type delivery struct {
+		post  uint64
+		users []int32
+	}
+	var wantDeliveries []delivery
+	tickets := make([]*Ticket, len(posts))
+	for i, p := range posts {
+		wantDeliveries = append(wantDeliveries, delivery{post: p.ID, users: seq.Offer(p)})
+		tk, err := par.Offer(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tickets[i] = tk
+	}
+	par.Close()
+
+	for i := range posts {
+		got := tickets[i].Users()
+		want := wantDeliveries[i].users
+		sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+		if len(got) != len(want) {
+			t.Fatalf("post %d: parallel delivered %d users, sequential %d",
+				posts[i].ID, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("post %d: deliveries differ: %v vs %v", posts[i].ID, got, want)
+			}
+		}
+	}
+
+	// Counter totals agree (same decisions, same bins, just sharded).
+	sc := seq.Counters()
+	pc := par.Counters()
+	if pc.Accepted != sc.Accepted || pc.Rejected != sc.Rejected {
+		t.Fatalf("accept/reject differ: parallel %d/%d vs sequential %d/%d",
+			pc.Accepted, pc.Rejected, sc.Accepted, sc.Rejected)
+	}
+	if pc.Comparisons != sc.Comparisons || pc.Insertions != sc.Insertions {
+		t.Fatalf("work differs: parallel %d/%d vs sequential %d/%d",
+			pc.Comparisons, pc.Insertions, sc.Comparisons, sc.Insertions)
+	}
+}
+
+func TestParallelWorkerCounts(t *testing.T) {
+	g, subs, _ := parallelScenario(t, 22, 100)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 1000, LambdaA: 0.7}
+	for _, workers := range []int{1, 2, 8} {
+		e, err := NewParallelMultiEngine(core.AlgUniBin, g, subs, th, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NumWorkers() != workers {
+			t.Fatalf("NumWorkers = %d", e.NumWorkers())
+		}
+		e.Close()
+	}
+	if _, err := NewParallelMultiEngine(core.AlgUniBin, g, subs, th, 0); err == nil {
+		t.Fatal("zero workers accepted")
+	}
+}
+
+func TestParallelUnknownAuthor(t *testing.T) {
+	g := authorsim.NewGraph(2, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	e, err := NewParallelMultiEngine(core.AlgUniBin, g, [][]int32{{0, 1}}, th, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	tk, err := e.Offer(&core.Post{ID: 1, Author: 99, Time: 1, FP: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Users(); len(got) != 0 {
+		t.Fatalf("unknown author delivered to %v", got)
+	}
+}
+
+func TestParallelOfferAfterClose(t *testing.T) {
+	g := authorsim.NewGraph(1, nil, 0.7)
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	e, _ := NewParallelMultiEngine(core.AlgUniBin, g, [][]int32{{0}}, th, 1)
+	e.Close()
+	e.Close() // double close is a no-op
+	if _, err := e.Offer(&core.Post{ID: 1, Author: 0, Time: 1}); err == nil {
+		t.Fatal("offer after close accepted")
+	}
+}
+
+func TestParallelComponentAffinity(t *testing.T) {
+	// Two posts by similar authors must reach the same worker so the second
+	// is pruned — sharding must never split a component.
+	g := authorsim.NewGraph(4, []authorsim.SimPair{{A: 0, B: 1}, {A: 2, B: 3}}, 0.7)
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	subs := [][]int32{{0, 1, 2, 3}}
+	e, err := NewParallelMultiEngine(core.AlgUniBin, g, subs, th, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := e.Offer(&core.Post{ID: 1, Author: 0, Time: 1, FP: 0})
+	t2, _ := e.Offer(&core.Post{ID: 2, Author: 1, Time: 2, FP: 1}) // covered by #1
+	t3, _ := e.Offer(&core.Post{ID: 3, Author: 2, Time: 3, FP: 0}) // other component: kept
+	e.Close()
+	if len(t1.Users()) != 1 || len(t3.Users()) != 1 {
+		t.Fatal("fresh posts should be delivered")
+	}
+	if len(t2.Users()) != 0 {
+		t.Fatal("near-duplicate from a similar author must be pruned across workers")
+	}
+}
+
+func BenchmarkParallelVsSequential(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	sg, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(400))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := authorsim.BuildGraph(authorsim.NewVectors(sg.Followees), 0.7)
+	subs := sg.Subscriptions()
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	posts := make([]*core.Post, 5000)
+	for i := range posts {
+		posts[i] = &core.Post{
+			ID: uint64(i + 1), Author: int32(rng.Intn(400)),
+			Time: int64(i * 10), FP: simhash.Fingerprint(rng.Uint64()),
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			md, _ := core.NewSharedMultiUser(core.AlgUniBin, g, subs, th)
+			for _, p := range posts {
+				md.Offer(p)
+			}
+		}
+	})
+	b.Run("parallel-4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e, _ := NewParallelMultiEngine(core.AlgUniBin, g, subs, th, 4)
+			for _, p := range posts {
+				e.Offer(p)
+			}
+			e.Close()
+		}
+	})
+}

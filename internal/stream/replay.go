@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"fmt"
+	"time"
+
+	"firehose/internal/core"
+)
+
+// Replay adapts a recorded, time-ordered source into a "live" one: Next
+// blocks until each post's timestamp is due under a configurable speedup, so
+// a one-day corpus can drive the engine as a real-time feed (at Speedup
+// 1440, a day replays in a minute). The zero clock uses the wall clock;
+// tests inject a virtual one.
+type Replay struct {
+	src     Source
+	speedup float64
+
+	now   func() time.Time
+	sleep func(time.Duration)
+
+	started   bool
+	startWall time.Time
+	startPost int64 // first post's timestamp (millis)
+}
+
+// NewReplay wraps src with pacing. speedup must be positive; 1 replays in
+// real time, larger values compress time.
+func NewReplay(src Source, speedup float64) (*Replay, error) {
+	if speedup <= 0 {
+		return nil, fmt.Errorf("stream: speedup must be positive, got %v", speedup)
+	}
+	return &Replay{
+		src:     src,
+		speedup: speedup,
+		now:     time.Now,
+		sleep:   time.Sleep,
+	}, nil
+}
+
+// SetClock injects a virtual clock (for tests). Both funcs must be non-nil.
+func (r *Replay) SetClock(now func() time.Time, sleep func(time.Duration)) {
+	r.now = now
+	r.sleep = sleep
+}
+
+// Next implements Source, blocking until the next post is due.
+func (r *Replay) Next() (*core.Post, bool) {
+	p, ok := r.src.Next()
+	if !ok {
+		return nil, false
+	}
+	if !r.started {
+		r.started = true
+		r.startWall = r.now()
+		r.startPost = p.Time
+		return p, true
+	}
+	due := r.startWall.Add(time.Duration(float64(p.Time-r.startPost)/r.speedup) * time.Millisecond)
+	if wait := due.Sub(r.now()); wait > 0 {
+		r.sleep(wait)
+	}
+	return p, true
+}

@@ -1,0 +1,106 @@
+package stream
+
+import (
+	"testing"
+	"time"
+
+	"firehose/internal/core"
+)
+
+// virtualClock simulates time: sleep advances it instantly.
+type virtualClock struct {
+	t time.Time
+	// slept records every sleep duration.
+	slept []time.Duration
+}
+
+func (c *virtualClock) now() time.Time { return c.t }
+func (c *virtualClock) sleep(d time.Duration) {
+	c.slept = append(c.slept, d)
+	c.t = c.t.Add(d)
+}
+
+func TestReplayPacing(t *testing.T) {
+	posts := []*core.Post{
+		mkPost(1, 0, 0),
+		mkPost(2, 0, 1000), // 1s after the first
+		mkPost(3, 0, 4000), // 3s after the second
+	}
+	src, _ := NewSliceSource(posts)
+	r, err := NewReplay(src, 2) // 2× speedup: gaps halve
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &virtualClock{t: time.Unix(100, 0)}
+	r.SetClock(clock.now, clock.sleep)
+
+	got := Drain(r)
+	if len(got) != 3 {
+		t.Fatalf("drained %d posts", len(got))
+	}
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.slept))
+	}
+	if clock.slept[0] != 500*time.Millisecond {
+		t.Fatalf("first gap %v, want 500ms (1s at 2x)", clock.slept[0])
+	}
+	// Post 3 is due 2s after the schedule origin; 0.5s already elapsed
+	// during the first sleep, so the remaining wait is 1.5s.
+	if clock.slept[1] != 1500*time.Millisecond {
+		t.Fatalf("second gap %v, want 1.5s", clock.slept[1])
+	}
+	// Total virtual time elapsed equals the compressed span: 4s at 2×.
+	if total := clock.t.Sub(time.Unix(100, 0)); total != 2*time.Second {
+		t.Fatalf("total elapsed %v, want 2s", total)
+	}
+}
+
+func TestReplayNoSleepWhenBehind(t *testing.T) {
+	posts := []*core.Post{mkPost(1, 0, 0), mkPost(2, 0, 100)}
+	src, _ := NewSliceSource(posts)
+	r, _ := NewReplay(src, 1)
+	clock := &virtualClock{t: time.Unix(0, 0)}
+	r.SetClock(clock.now, func(d time.Duration) {
+		clock.slept = append(clock.slept, d)
+	})
+	r.Next()
+	// Simulate slow processing: wall time jumps past the next due time.
+	clock.t = clock.t.Add(5 * time.Second)
+	if _, ok := r.Next(); !ok {
+		t.Fatal("second post missing")
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v while behind schedule", clock.slept)
+	}
+}
+
+func TestReplayEmptyAndValidation(t *testing.T) {
+	src, _ := NewSliceSource(nil)
+	r, err := NewReplay(src, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("empty replay should be exhausted")
+	}
+	if _, err := NewReplay(src, 0); err == nil {
+		t.Fatal("zero speedup accepted")
+	}
+	if _, err := NewReplay(src, -1); err == nil {
+		t.Fatal("negative speedup accepted")
+	}
+}
+
+func TestReplayRealClockSmoke(t *testing.T) {
+	// With an extreme speedup the real clock path finishes instantly.
+	posts := []*core.Post{mkPost(1, 0, 0), mkPost(2, 0, 60_000)}
+	src, _ := NewSliceSource(posts)
+	r, _ := NewReplay(src, 1_000_000)
+	start := time.Now()
+	if got := Drain(r); len(got) != 2 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("replay took too long")
+	}
+}

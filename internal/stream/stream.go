@@ -1,0 +1,146 @@
+// Package stream provides the real-time plumbing around the core
+// diversification algorithms: post sources, k-way time-ordered merging of
+// per-author streams (a user's subscriptions arrive as many streams but the
+// algorithms consume one), and engines that run SPSD / M-SPSD over live
+// feeds with the algorithms' single-writer discipline preserved behind a
+// concurrency-safe facade.
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"firehose/internal/core"
+)
+
+// Source yields posts in non-decreasing time order. Next returns ok=false
+// when the source is exhausted.
+type Source interface {
+	Next() (*core.Post, bool)
+}
+
+// SliceSource adapts an in-memory, time-ordered post slice.
+type SliceSource struct {
+	posts []*core.Post
+	i     int
+}
+
+// NewSliceSource validates ordering and wraps the slice.
+func NewSliceSource(posts []*core.Post) (*SliceSource, error) {
+	for i := 1; i < len(posts); i++ {
+		if posts[i].Time < posts[i-1].Time {
+			return nil, fmt.Errorf("stream: posts out of order at index %d", i)
+		}
+	}
+	return &SliceSource{posts: posts}, nil
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (*core.Post, bool) {
+	if s.i >= len(s.posts) {
+		return nil, false
+	}
+	p := s.posts[s.i]
+	s.i++
+	return p, true
+}
+
+// ChanSource adapts a channel of posts (assumed time-ordered by the sender).
+type ChanSource struct {
+	ch <-chan *core.Post
+}
+
+// NewChanSource wraps a channel.
+func NewChanSource(ch <-chan *core.Post) *ChanSource { return &ChanSource{ch: ch} }
+
+// Next implements Source; it blocks until a post arrives or the channel
+// closes.
+func (s *ChanSource) Next() (*core.Post, bool) {
+	p, ok := <-s.ch
+	return p, ok
+}
+
+// Merge combines k time-ordered sources into one time-ordered source using a
+// binary heap — the fan-in a subscription timeline performs over per-author
+// feeds. Ties are broken by post ID for determinism.
+type Merge struct {
+	h mergeHeap
+}
+
+// NewMerge primes the heap with the head of every source.
+func NewMerge(sources ...Source) *Merge {
+	m := &Merge{}
+	for _, src := range sources {
+		if p, ok := src.Next(); ok {
+			m.h = append(m.h, mergeItem{post: p, src: src})
+		}
+	}
+	heap.Init(&m.h)
+	return m
+}
+
+// Next implements Source.
+func (m *Merge) Next() (*core.Post, bool) {
+	if len(m.h) == 0 {
+		return nil, false
+	}
+	top := m.h[0]
+	if p, ok := top.src.Next(); ok {
+		m.h[0] = mergeItem{post: p, src: top.src}
+		heap.Fix(&m.h, 0)
+	} else {
+		heap.Pop(&m.h)
+	}
+	return top.post, true
+}
+
+type mergeItem struct {
+	post *core.Post
+	src  Source
+}
+
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].post.Time != h[j].post.Time {
+		return h[i].post.Time < h[j].post.Time
+	}
+	return h[i].post.ID < h[j].post.ID
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Drain reads a source to exhaustion.
+func Drain(s Source) []*core.Post {
+	var out []*core.Post
+	for {
+		p, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, p)
+	}
+}
+
+// SplitByAuthor partitions a time-ordered post slice into per-author
+// time-ordered slices, for tests and for building per-author sources.
+func SplitByAuthor(posts []*core.Post) map[int32][]*core.Post {
+	m := make(map[int32][]*core.Post)
+	for _, p := range posts {
+		m[p.Author] = append(m[p.Author], p)
+	}
+	return m
+}
+
+// SortedAuthors returns the sorted author ids present in a split.
+func SortedAuthors(split map[int32][]*core.Post) []int32 {
+	out := make([]int32, 0, len(split))
+	for a := range split {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,294 @@
+package stream
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+)
+
+func mkPost(id uint64, author int32, t int64) *core.Post {
+	return &core.Post{ID: id, Author: author, Time: t, FP: core.Fingerprint("post")}
+}
+
+func TestSliceSource(t *testing.T) {
+	posts := []*core.Post{mkPost(1, 0, 10), mkPost(2, 0, 20)}
+	s, err := NewSliceSource(posts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Drain(s); !reflect.DeepEqual(got, posts) {
+		t.Fatalf("Drain = %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("exhausted source should report !ok")
+	}
+}
+
+func TestSliceSourceRejectsDisorder(t *testing.T) {
+	if _, err := NewSliceSource([]*core.Post{mkPost(1, 0, 20), mkPost(2, 0, 10)}); err == nil {
+		t.Fatal("expected ordering error")
+	}
+}
+
+func TestChanSource(t *testing.T) {
+	ch := make(chan *core.Post, 2)
+	ch <- mkPost(1, 0, 5)
+	ch <- mkPost(2, 0, 6)
+	close(ch)
+	got := Drain(NewChanSource(ch))
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Drain = %v", got)
+	}
+}
+
+func TestMergeOrdersAcrossSources(t *testing.T) {
+	a, _ := NewSliceSource([]*core.Post{mkPost(1, 0, 10), mkPost(3, 0, 30), mkPost(5, 0, 50)})
+	b, _ := NewSliceSource([]*core.Post{mkPost(2, 1, 20), mkPost(4, 1, 40)})
+	c, _ := NewSliceSource(nil)
+	got := Drain(NewMerge(a, b, c))
+	want := []uint64{1, 2, 3, 4, 5}
+	ids := make([]uint64, len(got))
+	for i, p := range got {
+		ids[i] = p.ID
+	}
+	if !reflect.DeepEqual(ids, want) {
+		t.Fatalf("merged ids = %v, want %v", ids, want)
+	}
+}
+
+func TestMergeTieBreaksByID(t *testing.T) {
+	a, _ := NewSliceSource([]*core.Post{mkPost(2, 0, 10)})
+	b, _ := NewSliceSource([]*core.Post{mkPost(1, 1, 10)})
+	got := Drain(NewMerge(a, b))
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("tie-break failed: %v, %v", got[0].ID, got[1].ID)
+	}
+}
+
+func TestMergeRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		var all []*core.Post
+		var sources []Source
+		id := uint64(1)
+		for s := 0; s < 1+rng.Intn(6); s++ {
+			var posts []*core.Post
+			tm := int64(0)
+			for i := 0; i < rng.Intn(30); i++ {
+				tm += int64(rng.Intn(10))
+				posts = append(posts, mkPost(id, int32(s), tm))
+				id++
+			}
+			src, err := NewSliceSource(posts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sources = append(sources, src)
+			all = append(all, posts...)
+		}
+		merged := Drain(NewMerge(sources...))
+		if len(merged) != len(all) {
+			t.Fatalf("merged %d of %d posts", len(merged), len(all))
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i].Time < merged[i-1].Time {
+				t.Fatalf("merge out of order at %d", i)
+			}
+		}
+	}
+}
+
+func TestSplitByAuthorAndSortedAuthors(t *testing.T) {
+	posts := []*core.Post{mkPost(1, 2, 1), mkPost(2, 0, 2), mkPost(3, 2, 3)}
+	split := SplitByAuthor(posts)
+	if len(split[2]) != 2 || len(split[0]) != 1 {
+		t.Fatalf("split = %v", split)
+	}
+	if got := SortedAuthors(split); !reflect.DeepEqual(got, []int32{0, 2}) {
+		t.Fatalf("SortedAuthors = %v", got)
+	}
+}
+
+func testGraph() *authorsim.Graph {
+	return authorsim.NewGraph(3, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+}
+
+func TestEngineOfferAndSubscribe(t *testing.T) {
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	e := NewEngine(core.NewUniBin(testGraph(), th))
+	sub := e.Subscribe(16)
+
+	p1 := &core.Post{ID: 1, Author: 0, Time: 1, FP: 0}
+	p2 := &core.Post{ID: 2, Author: 1, Time: 2, FP: 1} // covered by p1
+	p3 := &core.Post{ID: 3, Author: 2, Time: 3, FP: 2} // dissimilar author
+
+	for i, tc := range []struct {
+		p    *core.Post
+		want bool
+	}{{p1, true}, {p2, false}, {p3, true}} {
+		got, err := e.Offer(tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("offer %d = %v, want %v", i, got, tc.want)
+		}
+	}
+	e.Close()
+	var ids []uint64
+	for p := range sub {
+		ids = append(ids, p.ID)
+	}
+	if !reflect.DeepEqual(ids, []uint64{1, 3}) {
+		t.Fatalf("subscriber saw %v", ids)
+	}
+	if c := e.Counters(); c.Accepted != 2 || c.Rejected != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	if _, err := e.Offer(p1); err == nil {
+		t.Fatal("offer after Close should fail")
+	}
+}
+
+func TestEngineConsume(t *testing.T) {
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	e := NewEngine(core.NewUniBin(testGraph(), th))
+	src, _ := NewSliceSource([]*core.Post{
+		{ID: 1, Author: 0, Time: 1, FP: 0},
+		{ID: 2, Author: 1, Time: 2, FP: 1},
+	})
+	out, err := e.Consume(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].ID != 1 {
+		t.Fatalf("Consume = %v", out)
+	}
+}
+
+func TestEngineConcurrentIngest(t *testing.T) {
+	// Many goroutines hammer Offer with the same timestamp; the engine must
+	// serialize them without a data race (run with -race) and process all.
+	th := core.Thresholds{LambdaC: 0, LambdaT: 10, LambdaA: 0.7}
+	e := NewEngine(core.NewUniBin(testGraph(), th))
+	var wg sync.WaitGroup
+	const n = 200
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := e.Offer(&core.Post{ID: uint64(id + 1), Author: 2, Time: 100, FP: core.Fingerprint("x")})
+			if err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	c := e.Counters()
+	if c.Processed() != n {
+		t.Fatalf("processed %d of %d", c.Processed(), n)
+	}
+	// All posts identical and simultaneous: exactly one accepted.
+	if c.Accepted != 1 {
+		t.Fatalf("accepted %d, want 1", c.Accepted)
+	}
+}
+
+func TestEngineSwapRefreshedGraph(t *testing.T) {
+	// The weekly-graph-refresh flow: authors 0 and 2 become similar after a
+	// follow change; swapping the refreshed graph into a UniBin engine
+	// applies immediately with no window-state loss.
+	g := authorsim.NewGraph(3, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 3, LambdaT: 60_000, LambdaA: 0.7}
+	ub := core.NewUniBin(g, th)
+	e := NewEngine(ub)
+
+	if ok, _ := e.Offer(&core.Post{ID: 1, Author: 0, Time: 1000, FP: 0}); !ok {
+		t.Fatal("first post kept")
+	}
+	// Author 2 is dissimilar: duplicate content is kept.
+	if ok, _ := e.Offer(&core.Post{ID: 2, Author: 2, Time: 2000, FP: 0}); !ok {
+		t.Fatal("dissimilar author's duplicate kept")
+	}
+
+	// Refresh: author 2's followees drifted toward author 0's.
+	g2, err := g.WithUpdatedAuthor(2, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Swap(func(d core.Diversifier) core.Diversifier {
+		d.(*core.UniBin).SetGraph(g2)
+		return d
+	})
+
+	// Now the same duplicate from author 2 is pruned — and crucially the
+	// pre-swap window state still covers it (post #1 is the cover).
+	if ok, _ := e.Offer(&core.Post{ID: 3, Author: 2, Time: 3000, FP: 1}); ok {
+		t.Fatal("post-refresh duplicate should be pruned using pre-swap state")
+	}
+	if c := e.Counters(); c.Accepted != 2 || c.Rejected != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+}
+
+func TestMultiEngine(t *testing.T) {
+	g := testGraph()
+	th := core.Thresholds{LambdaC: 3, LambdaT: 1000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, g, [][]int32{{0, 1}, {0, 1}, {2}}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := NewMultiEngine(md)
+	users, err := me.Offer(&core.Post{ID: 1, Author: 0, Time: 1, FP: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(users, []int32{0, 1}) {
+		t.Fatalf("delivered to %v", users)
+	}
+	if tl := me.Timeline(0); len(tl) != 1 || tl[0].ID != 1 {
+		t.Fatalf("timeline(0) = %v", tl)
+	}
+	if tl := me.Timeline(2); len(tl) != 0 {
+		t.Fatalf("timeline(2) = %v", tl)
+	}
+	if c := me.Counters(); c.Accepted != 1 {
+		t.Fatalf("counters %+v", c)
+	}
+	me.Close()
+	if _, err := me.Offer(&core.Post{ID: 2, Author: 0, Time: 2, FP: 0}); err == nil {
+		t.Fatal("offer after Close should fail")
+	}
+}
+
+func TestMultiEngineConcurrent(t *testing.T) {
+	g := testGraph()
+	th := core.Thresholds{LambdaC: 3, LambdaT: 5, LambdaA: 0.7}
+	md, _ := core.NewSharedMultiUser(core.AlgNeighborBin, g, [][]int32{{0, 1, 2}}, th)
+	me := NewMultiEngine(md)
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if _, err := me.Offer(&core.Post{
+				ID: uint64(id + 1), Author: int32(id % 3), Time: 50, FP: core.Fingerprint("y"),
+			}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for u := int32(0); u < 1; u++ {
+		total += len(me.Timeline(u))
+	}
+	// Authors 0,1 are similar so their posts collapse; author 2 is isolated.
+	if total != 2 {
+		t.Fatalf("timeline total %d, want 2 (one per similarity class)", total)
+	}
+}

@@ -1,0 +1,78 @@
+package textnorm
+
+import (
+	"strings"
+	"testing"
+	"unicode"
+	"unicode/utf8"
+)
+
+// FuzzNormalize checks the normalization invariants on arbitrary input:
+// idempotence, a clean output alphabet, and stability of the token count
+// under re-normalization.
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		"",
+		"Hello, World!",
+		"Over 300 people missing after South Korean ferry sinks. (Reuters) Story: http://t.co/9w2JrurhKm",
+		"   multiple   spaces\tand\ttabs  ",
+		"#hashtag @mention http://t.co/x",
+		"émoji ☕ and 中文 und Köln",
+		strings.Repeat("a", 1000),
+		"\x00\x01 control \x7f bytes",
+		"“smart quotes” — em-dashes…",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Normalize(s)
+		if !utf8.ValidString(out) && utf8.ValidString(s) {
+			t.Fatalf("valid input produced invalid UTF-8: %q -> %q", s, out)
+		}
+		if again := Normalize(out); again != out {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, out, again)
+		}
+		if strings.HasPrefix(out, " ") || strings.HasSuffix(out, " ") || strings.Contains(out, "  ") {
+			t.Fatalf("whitespace not collapsed: %q -> %q", s, out)
+		}
+		for _, r := range out {
+			if r != ' ' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				t.Fatalf("non-alphanumeric rune %q survived: %q -> %q", r, s, out)
+			}
+		}
+		// Tokenizing the normalized form is stable.
+		toks := NormalizedTokens(s)
+		if got := Tokenize(out); len(got) != len(toks) {
+			t.Fatalf("token count unstable: %d vs %d", len(got), len(toks))
+		}
+	})
+}
+
+// FuzzTokensWithOptions ensures the option pipeline never panics and honors
+// the URL-dropping contract on arbitrary input.
+func FuzzTokensWithOptions(f *testing.F) {
+	f.Add("story http://t.co/abc #tag @user", true, 3, 2)
+	f.Add("", false, 0, 0)
+	f.Add("thx u r gr8", true, 1, 1)
+	f.Fuzz(func(t *testing.T, s string, norm bool, mw, hw int) {
+		if mw < 0 || mw > 8 || hw < 0 || hw > 8 {
+			t.Skip()
+		}
+		opts := Options{
+			Normalize:           norm,
+			DropURLs:            true,
+			MentionWeight:       mw,
+			HashtagWeight:       hw,
+			ExpandAbbreviations: true,
+		}
+		for _, tok := range TokensWithOptions(s, opts) {
+			if IsURL(tok) {
+				t.Fatalf("URL %q survived DropURLs", tok)
+			}
+			if tok == "" {
+				t.Fatal("empty token produced")
+			}
+		}
+	})
+}

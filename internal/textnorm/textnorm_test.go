@@ -1,0 +1,202 @@
+package textnorm
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalize(t *testing.T) {
+	tests := []struct {
+		name, in, want string
+	}{
+		{"lowercase", "Hello World", "hello world"},
+		{"collapse spaces", "a    b\t\tc", "a b c"},
+		{"strip punctuation", `"In order to succeed, your desire..."`, "in order to succeed your desire"},
+		{"strip symbols", "a*b-c+d/e", "abcde"},
+		{"keep digits", "Over 300 people", "over 300 people"},
+		{"empty", "", ""},
+		{"only punctuation", "*** --- +++", ""},
+		{"leading trailing space", "  hi  there  ", "hi there"},
+		{"unicode letters", "Café MÜNCHEN", "café münchen"},
+		{"newlines and tabs", "a\nb\tc", "a b c"},
+		{"hashtag mark stripped", "#quote #success", "quote success"},
+		{"mention mark stripped", "@reuters story", "reuters story"},
+		{"url mangled but deterministic", "http://t.co/9w2J", "httptco9w2j"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Normalize(tc.in); got != tc.want {
+				t.Fatalf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	prop := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatalf("Normalize not idempotent: %v", err)
+	}
+}
+
+func TestNormalizeOutputAlphabet(t *testing.T) {
+	prop := func(s string) bool {
+		out := Normalize(s)
+		if strings.Contains(out, "  ") || strings.HasPrefix(out, " ") || strings.HasSuffix(out, " ") {
+			return false
+		}
+		for _, r := range out {
+			if r != ' ' && !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+				return false
+			}
+			if unicode.ToLower(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatalf("Normalize output alphabet violated: %v", err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("  over 300  people ")
+	want := []string{"over", "300", "people"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Tokenize = %v, want %v", got, want)
+	}
+	if got := Tokenize(""); len(got) != 0 {
+		t.Fatalf("Tokenize(\"\") = %v, want empty", got)
+	}
+}
+
+func TestNormalizedTokens(t *testing.T) {
+	got := NormalizedTokens(`"In order to succeed," - Bill Cosby #quote`)
+	want := []string{"in", "order", "to", "succeed", "bill", "cosby", "quote"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("NormalizedTokens = %v, want %v", got, want)
+	}
+}
+
+func TestTokenClassifiers(t *testing.T) {
+	tests := []struct {
+		tok                   string
+		url, mention, hashtag bool
+	}{
+		{"http://t.co/abc", true, false, false},
+		{"https://reuters.com/x", true, false, false},
+		{"www.cnn.com", true, false, false},
+		{"@cnn", false, true, false},
+		{"@", false, false, false},
+		{"#breaking", false, false, true},
+		{"#", false, false, false},
+		{"plain", false, false, false},
+	}
+	for _, tc := range tests {
+		if got := IsURL(tc.tok); got != tc.url {
+			t.Errorf("IsURL(%q) = %v, want %v", tc.tok, got, tc.url)
+		}
+		if got := IsMention(tc.tok); got != tc.mention {
+			t.Errorf("IsMention(%q) = %v, want %v", tc.tok, got, tc.mention)
+		}
+		if got := IsHashtag(tc.tok); got != tc.hashtag {
+			t.Errorf("IsHashtag(%q) = %v, want %v", tc.tok, got, tc.hashtag)
+		}
+	}
+}
+
+func TestTokensWithOptionsDefaultMatchesRaw(t *testing.T) {
+	text := "Breaking: Alibaba IPO filing http://t.co/x #tech @reuters"
+	got := TokensWithOptions(text, Options{})
+	want := Tokenize(text)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("zero Options should be raw tokens: %v vs %v", got, want)
+	}
+}
+
+func TestTokensWithOptionsNormalize(t *testing.T) {
+	text := "Breaking: Alibaba IPO filing #Tech"
+	got := TokensWithOptions(text, Options{Normalize: true})
+	want := []string{"breaking", "alibaba", "ipo", "filing", "tech"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokensWithOptionsDropURLs(t *testing.T) {
+	text := "story here http://t.co/abc now"
+	got := TokensWithOptions(text, Options{DropURLs: true})
+	want := []string{"story", "here", "now"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokensWithOptionsExpandURLs(t *testing.T) {
+	resolver := func(u string) string { return "reuters.com/article/ferry" }
+	text := "story http://t.co/abc"
+	got := TokensWithOptions(text, Options{ExpandURLs: resolver})
+	want := []string{"story", "reuters.com/article/ferry"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokensWithOptionsWeights(t *testing.T) {
+	text := "@cnn reports #breaking news"
+	got := TokensWithOptions(text, Options{MentionWeight: 3, HashtagWeight: 2})
+	want := []string{"@cnn", "@cnn", "@cnn", "reports", "#breaking", "#breaking", "news"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestTokensWithOptionsAbbreviations(t *testing.T) {
+	text := "thx ppl c u 2day"
+	got := TokensWithOptions(text, Options{ExpandAbbreviations: true})
+	want := []string{"thanks", "people", "c", "you", "today"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMeaningfulTokenCount(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+	}{
+		{"Over 300 people missing", 4},
+		{"http://t.co/x @cnn", 0},
+		{"*** !!!", 0},
+		{"ok http://t.co/x", 1},
+		{"", 0},
+	}
+	for _, tc := range tests {
+		if got := MeaningfulTokenCount(tc.in); got != tc.want {
+			t.Errorf("MeaningfulTokenCount(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkNormalize(b *testing.B) {
+	text := "Alibaba's growth accelerates, U.S. IPO filing expected next week http://t.co/mUcmLJ4cpc #Technology #Reuters"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Normalize(text)
+	}
+}
+
+func BenchmarkNormalizedTokens(b *testing.B) {
+	text := "Alibaba's growth accelerates, U.S. IPO filing expected next week http://t.co/mUcmLJ4cpc #Technology #Reuters"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NormalizedTokens(text)
+	}
+}

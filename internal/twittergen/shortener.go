@@ -1,0 +1,67 @@
+package twittergen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Shortener simulates the t.co URL shortener: every share of a long URL gets
+// a fresh short token, and the mapping back to the long URL is retained.
+// The paper's preprocessing study expanded shortened URLs before
+// fingerprinting (and found no significant impact — reproduced by
+// experiments.PreprocessingStudy); this substrate gives the study the
+// stable long-URL identity that makes expansion meaningful.
+type Shortener struct {
+	toLong map[string]string
+}
+
+// NewShortener returns an empty shortener.
+func NewShortener() *Shortener {
+	return &Shortener{toLong: make(map[string]string)}
+}
+
+// Shorten issues a fresh short URL for the given long URL. Each call
+// returns a new token, exactly as re-sharing a story through Twitter does.
+func (s *Shortener) Shorten(rng *rand.Rand, long string) string {
+	for {
+		short := shortURL(rng)
+		if _, taken := s.toLong[short]; !taken {
+			s.toLong[short] = long
+			return short
+		}
+	}
+}
+
+// Expand resolves a short URL to its long form.
+func (s *Shortener) Expand(short string) (string, bool) {
+	long, ok := s.toLong[short]
+	return long, ok
+}
+
+// Resolver adapts the shortener to textnorm.Options.ExpandURLs: unknown
+// URLs pass through unchanged.
+func (s *Shortener) Resolver() func(string) string {
+	return func(u string) string {
+		if long, ok := s.Expand(u); ok {
+			return long
+		}
+		return u
+	}
+}
+
+// Len returns the number of issued short URLs.
+func (s *Shortener) Len() int { return len(s.toLong) }
+
+// longURL fabricates a plausible article URL for a story identified by its
+// leading words.
+func longURL(words []string, id int) string {
+	slug := "story"
+	if len(words) > 0 {
+		slug = words[0]
+		if len(words) > 1 {
+			slug += "-" + words[1]
+		}
+	}
+	return fmt.Sprintf("https://news.example.com/%s/%d", strings.ToLower(slug), id)
+}

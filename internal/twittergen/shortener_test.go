@@ -1,0 +1,75 @@
+package twittergen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestShortenerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sh := NewShortener()
+	long := "https://news.example.com/ferry/7"
+	s1 := sh.Shorten(rng, long)
+	s2 := sh.Shorten(rng, long)
+	if s1 == s2 {
+		t.Fatal("each share must get a fresh short URL")
+	}
+	for _, s := range []string{s1, s2} {
+		got, ok := sh.Expand(s)
+		if !ok || got != long {
+			t.Fatalf("Expand(%q) = %q, %v", s, got, ok)
+		}
+	}
+	if _, ok := sh.Expand("http://t.co/unknown"); ok {
+		t.Fatal("unknown short URL expanded")
+	}
+	if sh.Len() != 2 {
+		t.Fatalf("Len = %d", sh.Len())
+	}
+}
+
+func TestShortenerResolver(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sh := NewShortener()
+	short := sh.Shorten(rng, "https://example.com/a")
+	r := sh.Resolver()
+	if r(short) != "https://example.com/a" {
+		t.Fatal("resolver failed on known URL")
+	}
+	if r("http://t.co/zzz") != "http://t.co/zzz" {
+		t.Fatal("resolver must pass unknown URLs through")
+	}
+}
+
+func TestLongURLShape(t *testing.T) {
+	u := longURL([]string{"Ferry", "Sinks", "extra"}, 42)
+	if !strings.HasPrefix(u, "https://news.example.com/ferry-sinks/42") {
+		t.Fatalf("longURL = %q", u)
+	}
+	if u2 := longURL(nil, 7); !strings.Contains(u2, "story") {
+		t.Fatalf("empty-words longURL = %q", u2)
+	}
+}
+
+func TestPerturbRewritePreservesStory(t *testing.T) {
+	// A URL rewrite through the shortener must keep the long URL identity.
+	rng := rand.New(rand.NewSource(3))
+	sh := NewShortener()
+	short := sh.Shorten(rng, "https://news.example.com/storm/9")
+	text := "storm knocks out power " + short
+	// Force the URL-rewrite edit by trying until the URL token changed.
+	for tries := 0; tries < 200; tries++ {
+		out := PerturbTextShortened(rng, text, 5, 1, sh)
+		for _, tok := range strings.Fields(out) {
+			if strings.HasPrefix(tok, "http://t.co/") && tok != short {
+				long, ok := sh.Expand(tok)
+				if !ok || long != "https://news.example.com/storm/9" {
+					t.Fatalf("rewritten URL %q lost story identity: %q %v", tok, long, ok)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("URL rewrite edit never fired in 200 tries")
+}

@@ -1,0 +1,435 @@
+package twittergen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"firehose/internal/core"
+)
+
+// SimilarityOracle answers author similarity for duplicate injection; the
+// experiments pass the precomputed *authorsim.Graph.
+type SimilarityOracle interface {
+	Similar(a, b int32) bool
+}
+
+// Provenance records how a post was generated, giving the ground truth the
+// paper obtained from human labeling.
+type Provenance struct {
+	// Kind classifies the post.
+	Kind ProvKind
+	// SourceIndex is the index (into Posts) of the post this one duplicates;
+	// -1 for fresh posts.
+	SourceIndex int
+	// Edits is the number of perturbation edits applied (0 for fresh posts).
+	Edits int
+}
+
+// ProvKind enumerates generation provenances.
+type ProvKind int
+
+const (
+	// Fresh posts carry new information.
+	Fresh ProvKind = iota
+	// DupSimilarRecent duplicates a recent post from a similar author — the
+	// redundancy the default thresholds prune.
+	DupSimilarRecent
+	// DupDissimilarRecent duplicates a recent post from a dissimilar author —
+	// pruned only if the author dimension is dropped or λa raised.
+	DupDissimilarRecent
+	// DupSimilarOld duplicates the author's own old post — pruned only if the
+	// time dimension is dropped or λt raised.
+	DupSimilarOld
+)
+
+// String names the provenance kind.
+func (k ProvKind) String() string {
+	switch k {
+	case Fresh:
+		return "fresh"
+	case DupSimilarRecent:
+		return "dup-similar-recent"
+	case DupDissimilarRecent:
+		return "dup-dissimilar-recent"
+	case DupSimilarOld:
+		return "dup-similar-old"
+	default:
+		return fmt.Sprintf("ProvKind(%d)", int(k))
+	}
+}
+
+// StreamConfig parameterizes the one-day synthetic post stream.
+type StreamConfig struct {
+	// PostsPerAuthorPerDay is the mean Poisson post rate (paper: ≈10.4
+	// before cleaning, ≈10 days-worth across the 20,150 authors).
+	PostsPerAuthorPerDay float64
+	// DurationMillis is the stream length (default one day).
+	DurationMillis int64
+	// StartMillis is the timestamp of the stream start.
+	StartMillis int64
+
+	// DupProbability is the chance a generated post is a near-duplicate of
+	// an earlier post rather than fresh content.
+	DupProbability float64
+	// Mix of duplicate provenances; must sum to 1.
+	SimilarRecentFrac, DissimilarRecentFrac, SimilarOldFrac float64
+	// RecentWindowMillis bounds how far back "recent" duplicates look
+	// (default 30 min, matching the paper's default λt).
+	RecentWindowMillis int64
+	// OldMinMillis / OldMaxMillis bound the age of "old" self-duplicates.
+	OldMinMillis, OldMaxMillis int64
+
+	// WordsMin/WordsMax bound fresh post length in words.
+	WordsMin, WordsMax int
+	// URLProb, HashtagProb, MentionProb decorate fresh posts.
+	URLProb, HashtagProb, MentionProb float64
+}
+
+// DefaultStreamConfig mirrors the paper's dataset scale: one day of posts at
+// ~10 posts/author/day with duplicate injection calibrated so the default
+// thresholds (λc=18, λt=30min, λa=0.7) prune ≈10% of the stream (Figure 10).
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{
+		PostsPerAuthorPerDay: 10.4,
+		DurationMillis:       24 * 60 * 60 * 1000,
+		StartMillis:          0,
+		DupProbability:       0.14,
+		SimilarRecentFrac:    0.70,
+		DissimilarRecentFrac: 0.15,
+		SimilarOldFrac:       0.15,
+		RecentWindowMillis:   30 * 60 * 1000,
+		OldMinMillis:         45 * 60 * 1000,
+		OldMaxMillis:         4 * 60 * 60 * 1000,
+		WordsMin:             8,
+		WordsMax:             16,
+		URLProb:              0.25,
+		HashtagProb:          0.30,
+		MentionProb:          0.15,
+	}
+}
+
+// Validate reports configuration errors.
+func (c StreamConfig) Validate() error {
+	switch {
+	case c.PostsPerAuthorPerDay <= 0:
+		return fmt.Errorf("twittergen: PostsPerAuthorPerDay must be positive")
+	case c.DurationMillis <= 0:
+		return fmt.Errorf("twittergen: DurationMillis must be positive")
+	case c.DupProbability < 0 || c.DupProbability > 1:
+		return fmt.Errorf("twittergen: DupProbability out of [0,1]")
+	case math.Abs(c.SimilarRecentFrac+c.DissimilarRecentFrac+c.SimilarOldFrac-1) > 1e-9:
+		return fmt.Errorf("twittergen: duplicate mix must sum to 1")
+	case c.WordsMin < 2 || c.WordsMax < c.WordsMin:
+		return fmt.Errorf("twittergen: bad word bounds [%d,%d]", c.WordsMin, c.WordsMax)
+	case c.RecentWindowMillis <= 0 || c.OldMinMillis <= 0 || c.OldMaxMillis < c.OldMinMillis:
+		return fmt.Errorf("twittergen: bad duplicate windows")
+	}
+	return nil
+}
+
+// GeneratedStream bundles the posts (time-ordered) with their provenance.
+type GeneratedStream struct {
+	Posts      []*core.Post
+	Provenance []Provenance
+}
+
+// KindCounts tallies posts by provenance kind.
+func (gs *GeneratedStream) KindCounts() map[ProvKind]int {
+	m := make(map[ProvKind]int)
+	for _, p := range gs.Provenance {
+		m[p.Kind]++
+	}
+	return m
+}
+
+// diurnalWeight is the relative post intensity by hour of day: a morning
+// rise, an evening peak around 20:00 and a deep night trough, approximating
+// observed Twitter activity.
+func diurnalWeight(hour float64) float64 {
+	return 1 + 0.75*math.Cos(2*math.Pi*(hour-20)/24)
+}
+
+// sampleTime draws one timestamp in [start, start+duration) under the
+// diurnal intensity, by rejection sampling.
+func sampleTime(rng *rand.Rand, start, duration int64) int64 {
+	const maxW = 1.75
+	for {
+		off := int64(rng.Float64() * float64(duration))
+		hour := math.Mod(float64(off)/3_600_000, 24)
+		if rng.Float64()*maxW <= diurnalWeight(hour) {
+			return start + off
+		}
+	}
+}
+
+// poisson draws a Poisson variate with the given mean (Knuth's method; the
+// means used here are ~10, far below numeric trouble).
+func poisson(rng *rand.Rand, mean float64) int {
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// GenerateStream produces one day of posts for the authors of sg. The sim
+// oracle (usually the λa author similarity graph) steers duplicate injection:
+// "similar" duplicates reuse content from an author the oracle deems similar,
+// so the diversification model can prune them.
+func GenerateStream(rng *rand.Rand, sg *SocialGraph, sim SimilarityOracle, vocab *Vocab, cfg StreamConfig) (*GeneratedStream, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Schedule: per-author Poisson counts, diurnal arrival times.
+	type slot struct {
+		author int32
+		time   int64
+	}
+	var slots []slot
+	for a := range sg.Followees {
+		n := poisson(rng, cfg.PostsPerAuthorPerDay)
+		for i := 0; i < n; i++ {
+			slots = append(slots, slot{
+				author: int32(a),
+				time:   sampleTime(rng, cfg.StartMillis, cfg.DurationMillis),
+			})
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool {
+		if slots[i].time != slots[j].time {
+			return slots[i].time < slots[j].time
+		}
+		return slots[i].author < slots[j].author
+	})
+
+	gs := &GeneratedStream{
+		Posts:      make([]*core.Post, 0, len(slots)),
+		Provenance: make([]Provenance, 0, len(slots)),
+	}
+	byAuthor := make(map[int32][]int) // author → indices of their posts
+
+	for i, s := range slots {
+		text, prov := gs.composePost(rng, sg, sim, vocab, cfg, s.author, s.time, byAuthor)
+		gs.Posts = append(gs.Posts, core.NewPost(uint64(i+1), s.author, s.time, text))
+		gs.Provenance = append(gs.Provenance, prov)
+		byAuthor[s.author] = append(byAuthor[s.author], i)
+	}
+	return gs, nil
+}
+
+// composePost decides fresh-vs-duplicate and builds the text.
+func (gs *GeneratedStream) composePost(rng *rand.Rand, sg *SocialGraph, sim SimilarityOracle, vocab *Vocab, cfg StreamConfig, author int32, now int64, byAuthor map[int32][]int) (string, Provenance) {
+	if rng.Float64() < cfg.DupProbability && len(gs.Posts) > 0 {
+		roll := rng.Float64()
+		switch {
+		case roll < cfg.SimilarRecentFrac:
+			if src := gs.findRecent(rng, sim, cfg, author, now, true); src >= 0 {
+				text, edits := gs.perturb(rng, src)
+				return text, Provenance{Kind: DupSimilarRecent, SourceIndex: src, Edits: edits}
+			}
+		case roll < cfg.SimilarRecentFrac+cfg.DissimilarRecentFrac:
+			if src := gs.findRecent(rng, sim, cfg, author, now, false); src >= 0 {
+				text, edits := gs.perturb(rng, src)
+				return text, Provenance{Kind: DupDissimilarRecent, SourceIndex: src, Edits: edits}
+			}
+		default:
+			if src := gs.findOldSelf(rng, cfg, author, now, byAuthor); src >= 0 {
+				text, edits := gs.perturb(rng, src)
+				return text, Provenance{Kind: DupSimilarOld, SourceIndex: src, Edits: edits}
+			}
+		}
+		// No suitable source yet — fall through to fresh content.
+	}
+	return gs.freshText(rng, vocab, cfg, author, sg), Provenance{Kind: Fresh, SourceIndex: -1}
+}
+
+// findRecent scans backwards over the recent window for a source post whose
+// author similarity to `author` matches wantSimilar. The scan is capped so a
+// dense stream cannot degrade generation to quadratic time.
+func (gs *GeneratedStream) findRecent(rng *rand.Rand, sim SimilarityOracle, cfg StreamConfig, author int32, now int64, wantSimilar bool) int {
+	const scanCap = 4000
+	cutoff := now - cfg.RecentWindowMillis
+	// Start from a small random offset so repeated duplicates do not all
+	// pick the single most recent post.
+	i := len(gs.Posts) - 1 - rng.Intn(min(8, len(gs.Posts)))
+	for scanned := 0; i >= 0 && scanned < scanCap; i, scanned = i-1, scanned+1 {
+		p := gs.Posts[i]
+		if p.Time < cutoff {
+			break
+		}
+		if sim.Similar(author, p.Author) == wantSimilar {
+			return i
+		}
+	}
+	return -1
+}
+
+// findOldSelf picks one of the author's own posts aged between OldMin and
+// OldMax, if any.
+func (gs *GeneratedStream) findOldSelf(rng *rand.Rand, cfg StreamConfig, author int32, now int64, byAuthor map[int32][]int) int {
+	idxs := byAuthor[author]
+	var eligible []int
+	for _, i := range idxs {
+		age := now - gs.Posts[i].Time
+		if age >= cfg.OldMinMillis && age <= cfg.OldMaxMillis {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	return eligible[rng.Intn(len(eligible))]
+}
+
+// freshText composes an original post: Zipfian words, optionally decorated
+// with a hashtag, a mention of a followed account, and a shortened URL.
+func (gs *GeneratedStream) freshText(rng *rand.Rand, vocab *Vocab, cfg StreamConfig, author int32, sg *SocialGraph) string {
+	n := cfg.WordsMin + rng.Intn(cfg.WordsMax-cfg.WordsMin+1)
+	var sb strings.Builder
+	sb.WriteString(vocab.Sentence(n))
+	if rng.Float64() < cfg.MentionProb {
+		if f := sg.Followees[author]; len(f) > 0 {
+			fmt.Fprintf(&sb, " @acct%d", f[rng.Intn(len(f))])
+		}
+	}
+	if rng.Float64() < cfg.HashtagProb {
+		fmt.Fprintf(&sb, " #%s", vocab.WordAt(rng.Intn(min(200, vocab.Size()))))
+	}
+	if rng.Float64() < cfg.URLProb {
+		sb.WriteByte(' ')
+		sb.WriteString(shortURL(rng))
+	}
+	return sb.String()
+}
+
+// perturb derives near-duplicate text from the source post, applying 1–3
+// information-preserving microblog edits: re-shortened URLs, an "RT @user:"
+// prefix, case toggling, punctuation, a dropped trailing word or an added
+// hashtag. The edit count is returned for the provenance record; heavier
+// edits drift further in SimHash space, which is what gives the
+// precision/recall curves of Figures 3–4 their shape.
+func (gs *GeneratedStream) perturb(rng *rand.Rand, src int) (string, int) {
+	source := gs.Posts[src]
+	edits := 1 + rng.Intn(3)
+	return PerturbText(rng, source.Text, source.Author, edits), edits
+}
+
+// PerturbText applies `edits` information-preserving microblog edits to a
+// post text: URL re-shortening, an "RT @user:" prefix, case toggling,
+// punctuation decoration, trailing-word truncation, an echoed hashtag, a
+// typo, or an elided word. It is exported for the labeled-pair generator,
+// which uses the same edit model to stand in for the paper's human-labeled
+// near-duplicates. Case and punctuation edits vanish under normalization;
+// token-level edits (URLs, truncation, typos, hashtags) survive it, which is
+// what separates the Figure 3 and Figure 4 curves.
+func PerturbText(rng *rand.Rand, text string, sourceAuthor int32, edits int) string {
+	return PerturbTextShortened(rng, text, sourceAuthor, edits, nil)
+}
+
+// PerturbTextShortened is PerturbText with a Shortener: URL rewrites then
+// re-shorten the *same* long URL (a genuine re-share), rather than
+// fabricating an unrelated short URL. Pass nil to fall back to unrelated
+// tokens.
+func PerturbTextShortened(rng *rand.Rand, text string, sourceAuthor int32, edits int, sh *Shortener) string {
+	for e := 0; e < edits; e++ {
+		switch rng.Intn(8) {
+		case 0: // rewrite every shortened URL (Twitter re-shortens per share)
+			text = rewriteURLs(rng, text, sh)
+		case 1: // quote prefix
+			if !strings.HasPrefix(text, "RT ") {
+				text = fmt.Sprintf("RT @acct%d: %s", sourceAuthor, text)
+			}
+		case 2: // case toggling (raw fingerprints move, normalized do not)
+			text = toggleCase(rng, text)
+		case 3: // punctuation decoration
+			text = `"` + strings.TrimSuffix(text, ".") + `."`
+		case 4: // drop the trailing word
+			if fields := strings.Fields(text); len(fields) > 3 {
+				text = strings.Join(fields[:len(fields)-1], " ")
+			}
+		case 5: // append a hashtag echoing a word of the post
+			if fields := strings.Fields(text); len(fields) > 0 {
+				text += " #" + strings.Trim(fields[rng.Intn(len(fields))], `"#@.:`)
+			}
+		case 6: // typo: double a letter inside one word
+			fields := strings.Fields(text)
+			if i := pickPlainWord(rng, fields); i >= 0 {
+				w := fields[i]
+				pos := 1 + rng.Intn(len(w)-1)
+				fields[i] = w[:pos] + w[pos-1:pos] + w[pos:]
+				text = strings.Join(fields, " ")
+			}
+		case 7: // elide a random interior word
+			if fields := strings.Fields(text); len(fields) > 4 {
+				i := 1 + rng.Intn(len(fields)-2)
+				text = strings.Join(append(fields[:i:i], fields[i+1:]...), " ")
+			}
+		}
+	}
+	return text
+}
+
+// pickPlainWord returns the index of a random non-URL, non-mention,
+// non-hashtag word of length >= 2, or -1 if none exists.
+func pickPlainWord(rng *rand.Rand, fields []string) int {
+	start := rng.Intn(len(fields) + 1)
+	for off := 0; off < len(fields); off++ {
+		i := (start + off) % len(fields)
+		w := fields[i]
+		if len(w) >= 2 && !strings.HasPrefix(w, "http") && w[0] != '@' && w[0] != '#' {
+			return i
+		}
+	}
+	return -1
+}
+
+func rewriteURLs(rng *rand.Rand, text string, sh *Shortener) string {
+	fields := strings.Fields(text)
+	changed := false
+	for i, f := range fields {
+		if strings.HasPrefix(f, "http://t.co/") {
+			if sh != nil {
+				if long, ok := sh.Expand(f); ok {
+					fields[i] = sh.Shorten(rng, long)
+					changed = true
+					continue
+				}
+			}
+			fields[i] = shortURL(rng)
+			changed = true
+		}
+	}
+	if !changed {
+		return text + " " + shortURL(rng)
+	}
+	return strings.Join(fields, " ")
+}
+
+func toggleCase(rng *rand.Rand, text string) string {
+	fields := strings.Fields(text)
+	for i := range fields {
+		if rng.Float64() < 0.3 && !strings.HasPrefix(fields[i], "http") {
+			if rng.Intn(2) == 0 {
+				fields[i] = strings.ToUpper(fields[i])
+			} else {
+				fields[i] = titleCase(fields[i])
+			}
+		}
+	}
+	return strings.Join(fields, " ")
+}
+
+func titleCase(w string) string {
+	if w == "" {
+		return w
+	}
+	return strings.ToUpper(w[:1]) + w[1:]
+}

@@ -1,0 +1,492 @@
+package twittergen
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/simhash"
+	"firehose/internal/textnorm"
+)
+
+func TestVocabDeterministic(t *testing.T) {
+	a := NewVocab(rand.New(rand.NewSource(1)), 100)
+	b := NewVocab(rand.New(rand.NewSource(1)), 100)
+	for i := 0; i < 100; i++ {
+		if a.WordAt(i) != b.WordAt(i) {
+			t.Fatalf("vocab not deterministic at %d", i)
+		}
+	}
+	if a.Size() != 100 {
+		t.Fatalf("Size = %d", a.Size())
+	}
+}
+
+func TestVocabUniqueWords(t *testing.T) {
+	v := NewVocab(rand.New(rand.NewSource(2)), 500)
+	seen := map[string]bool{}
+	for i := 0; i < v.Size(); i++ {
+		w := v.WordAt(i)
+		if seen[w] {
+			t.Fatalf("duplicate word %q", w)
+		}
+		if w == "" {
+			t.Fatal("empty word")
+		}
+		seen[w] = true
+	}
+}
+
+func TestVocabZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := NewVocab(rng, 1000)
+	counts := map[string]int{}
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[v.Word()]++
+	}
+	// The most frequent word should far exceed the uniform share while not
+	// dominating outright (the head is damped so unrelated tweets stay far
+	// apart in SimHash space).
+	uniform := draws / v.Size()
+	if counts[v.WordAt(0)] < 15*uniform {
+		t.Fatalf("top word count %d too small for Zipf (uniform share %d)",
+			counts[v.WordAt(0)], uniform)
+	}
+	if counts[v.WordAt(0)] > draws/5 {
+		t.Fatalf("top word count %d too dominant", counts[v.WordAt(0)])
+	}
+}
+
+func TestVocabPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewVocab(rand.New(rand.NewSource(1)), 1)
+}
+
+func TestSentenceLength(t *testing.T) {
+	v := NewVocab(rand.New(rand.NewSource(4)), 50)
+	s := v.Sentence(7)
+	if got := len(strings.Fields(s)); got != 7 {
+		t.Fatalf("Sentence words = %d, want 7", got)
+	}
+}
+
+func TestShortURLShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	u1, u2 := shortURL(rng), shortURL(rng)
+	if !strings.HasPrefix(u1, "http://t.co/") || len(u1) != len("http://t.co/")+10 {
+		t.Fatalf("bad URL %q", u1)
+	}
+	if u1 == u2 {
+		t.Fatal("URLs should be distinct per share")
+	}
+	if !textnorm.IsURL(u1) {
+		t.Fatal("shortURL must classify as URL")
+	}
+}
+
+func TestGraphConfigValidate(t *testing.T) {
+	good := DefaultGraphConfig(1000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	base := DefaultGraphConfig(100)
+	mutate := func(f func(*GraphConfig)) GraphConfig {
+		c := base
+		f(&c)
+		return c
+	}
+	bad := []GraphConfig{
+		{},
+		mutate(func(c *GraphConfig) { c.CommunitySize = 1 }),
+		mutate(func(c *GraphConfig) { c.CorePoolSize = 0 }),
+		mutate(func(c *GraphConfig) { c.CoreFollowsMin = 5; c.CoreFollowsMax = 3 }),
+		mutate(func(c *GraphConfig) { c.CoreFollowsMax = c.CorePoolSize + 1 }),
+		mutate(func(c *GraphConfig) { c.TopicsPerCommunity = 0 }),
+		mutate(func(c *GraphConfig) { c.TopicsPerAuthor = c.TopicsPerCommunity + 1 }),
+		mutate(func(c *GraphConfig) { c.TopicFollowsMax = c.TopicPoolSize + 1 }),
+		mutate(func(c *GraphConfig) { c.TopicFollowsMin = 9; c.TopicFollowsMax = 8 }),
+		mutate(func(c *GraphConfig) { c.RandomFollows = -1 }),
+		mutate(func(c *GraphConfig) { c.CelebrityCount = 0 }),
+		mutate(func(c *GraphConfig) { c.CelebrityCount = 1000 }),
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestGenerateGraphShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cfg := DefaultGraphConfig(400)
+	sg, err := GenerateGraph(rng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg.Followees) != 400 || len(sg.Community) != 400 {
+		t.Fatalf("sizes: %d followees, %d communities", len(sg.Followees), len(sg.Community))
+	}
+	if sg.NumCommunities() < 2 {
+		t.Fatalf("expected multiple communities, got %d", sg.NumCommunities())
+	}
+	minFollows := cfg.CoreFollowsMin + cfg.TopicsPerAuthor*cfg.TopicFollowsMin
+	for a, fs := range sg.Followees {
+		if len(fs) < minFollows {
+			t.Fatalf("author %d follows only %d accounts", a, len(fs))
+		}
+		for _, f := range fs {
+			if f < 0 || int(f) >= sg.NumAccounts {
+				t.Fatalf("followee %d out of universe [0,%d)", f, sg.NumAccounts)
+			}
+			if f == int32(a) {
+				t.Fatalf("author %d follows itself", a)
+			}
+		}
+	}
+	if !sg.SameCommunity(0, 1) {
+		t.Fatal("adjacent ids share a community under block layout")
+	}
+	if sg.SameCommunity(0, 399) {
+		t.Fatal("first and last authors should differ in community")
+	}
+}
+
+func TestGenerateGraphDeterministic(t *testing.T) {
+	cfg := DefaultGraphConfig(200)
+	a, _ := GenerateGraph(rand.New(rand.NewSource(7)), cfg)
+	b, _ := GenerateGraph(rand.New(rand.NewSource(7)), cfg)
+	if !reflect.DeepEqual(a.Followees, b.Followees) {
+		t.Fatal("graph generation not deterministic")
+	}
+}
+
+// TestSimilarityCalibration checks the Figure 9 shape on a mid-size graph:
+// roughly 2.3% of author pairs at similarity >= 0.2 and 0.6% at >= 0.3,
+// with generous bands since the targets are fractions of all pairs.
+func TestSimilarityCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sg, err := GenerateGraph(rng, DefaultGraphConfig(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := authorsim.NewVectors(sg.Followees)
+	ccdf := v.SimilarityCCDF([]float64{0.2, 0.3})
+	if ccdf[0] < 0.012 || ccdf[0] > 0.04 {
+		t.Fatalf("fraction >= 0.2 is %.4f, want ~0.023", ccdf[0])
+	}
+	if ccdf[1] < 0.002 || ccdf[1] > 0.015 {
+		t.Fatalf("fraction >= 0.3 is %.4f, want ~0.006", ccdf[1])
+	}
+	// Same-community pairs should carry essentially all the similarity mass.
+	pairs := v.PairsAbove(0.2)
+	cross := 0
+	for _, p := range pairs {
+		if !sg.SameCommunity(p.A, p.B) {
+			cross++
+		}
+	}
+	if cross > len(pairs)/10 {
+		t.Fatalf("%d of %d similar pairs cross communities", cross, len(pairs))
+	}
+}
+
+func TestStreamConfigValidate(t *testing.T) {
+	if err := DefaultStreamConfig().Validate(); err != nil {
+		t.Fatalf("default stream config invalid: %v", err)
+	}
+	bad := DefaultStreamConfig()
+	bad.SimilarRecentFrac = 0.5 // mix no longer sums to 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+	bad = DefaultStreamConfig()
+	bad.WordsMin = 1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("WordsMin=1 accepted")
+	}
+	bad = DefaultStreamConfig()
+	bad.DupProbability = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Fatal("DupProbability=1.5 accepted")
+	}
+}
+
+// smallScenario generates a small but fully wired dataset for stream tests.
+func smallScenario(t *testing.T, seed int64, nAuthors int) (*SocialGraph, *authorsim.Graph, *GeneratedStream) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sg, err := GenerateGraph(rng, DefaultGraphConfig(nAuthors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := authorsim.BuildGraph(authorsim.NewVectors(sg.Followees), 0.7)
+	vocab := NewVocab(rng, 3000)
+	cfg := DefaultStreamConfig()
+	gs, err := GenerateStream(rng, sg, g, vocab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg, g, gs
+}
+
+func TestGenerateStreamBasics(t *testing.T) {
+	_, _, gs := smallScenario(t, 9, 300)
+	cfg := DefaultStreamConfig()
+	if len(gs.Posts) != len(gs.Provenance) {
+		t.Fatal("posts/provenance length mismatch")
+	}
+	// Expected volume: 300 authors × ~10.4 posts.
+	if n := len(gs.Posts); n < 2400 || n > 3900 {
+		t.Fatalf("post count %d far from 300×10.4", n)
+	}
+	last := int64(-1)
+	for i, p := range gs.Posts {
+		if p.Time < last {
+			t.Fatalf("posts out of time order at %d", i)
+		}
+		last = p.Time
+		if p.Time < cfg.StartMillis || p.Time >= cfg.StartMillis+cfg.DurationMillis {
+			t.Fatalf("post %d outside the day window: %d", i, p.Time)
+		}
+		if p.ID != uint64(i+1) {
+			t.Fatalf("post %d has ID %d", i, p.ID)
+		}
+		if p.FP == 0 {
+			t.Fatalf("post %d missing fingerprint", i)
+		}
+		if len(strings.Fields(p.Text)) < 2 {
+			t.Fatalf("post %d text too short: %q", i, p.Text)
+		}
+	}
+}
+
+func TestGenerateStreamDeterministic(t *testing.T) {
+	_, _, a := smallScenario(t, 10, 200)
+	_, _, b := smallScenario(t, 10, 200)
+	if len(a.Posts) != len(b.Posts) {
+		t.Fatal("stream lengths differ across identical seeds")
+	}
+	for i := range a.Posts {
+		if a.Posts[i].Text != b.Posts[i].Text || a.Posts[i].Time != b.Posts[i].Time {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+}
+
+func TestStreamProvenanceMix(t *testing.T) {
+	_, g, gs := smallScenario(t, 11, 500)
+	counts := gs.KindCounts()
+	total := len(gs.Posts)
+	dups := total - counts[Fresh]
+	// DupProbability 0.14 with fallbacks to fresh: expect 5–15% duplicates.
+	if frac := float64(dups) / float64(total); frac < 0.05 || frac > 0.16 {
+		t.Fatalf("duplicate fraction %.3f out of expected band", frac)
+	}
+	if counts[DupSimilarRecent] == 0 || counts[DupSimilarOld] == 0 || counts[DupDissimilarRecent] == 0 {
+		t.Fatalf("missing provenance kinds: %v", counts)
+	}
+
+	cfg := DefaultStreamConfig()
+	for i, prov := range gs.Provenance {
+		switch prov.Kind {
+		case Fresh:
+			if prov.SourceIndex != -1 {
+				t.Fatalf("fresh post %d has source", i)
+			}
+		default:
+			src := prov.SourceIndex
+			if src < 0 || src >= i {
+				t.Fatalf("post %d has bad source %d", i, src)
+			}
+			age := gs.Posts[i].Time - gs.Posts[src].Time
+			switch prov.Kind {
+			case DupSimilarRecent:
+				if age > cfg.RecentWindowMillis {
+					t.Fatalf("recent dup %d aged %dms", i, age)
+				}
+				if !g.Similar(gs.Posts[i].Author, gs.Posts[src].Author) {
+					t.Fatalf("similar-recent dup %d from dissimilar author", i)
+				}
+			case DupDissimilarRecent:
+				if g.Similar(gs.Posts[i].Author, gs.Posts[src].Author) {
+					t.Fatalf("dissimilar-recent dup %d from similar author", i)
+				}
+			case DupSimilarOld:
+				if age < cfg.OldMinMillis || age > cfg.OldMaxMillis {
+					t.Fatalf("old dup %d aged %dms", i, age)
+				}
+				if gs.Posts[i].Author != gs.Posts[src].Author {
+					t.Fatalf("old dup %d not a self-duplicate", i)
+				}
+			}
+			if prov.Edits < 1 || prov.Edits > 3 {
+				t.Fatalf("dup %d has %d edits", i, prov.Edits)
+			}
+		}
+	}
+}
+
+// TestStreamPruneRatio checks the Figure 10 headline: the default thresholds
+// prune roughly 10% of the stream.
+func TestStreamPruneRatio(t *testing.T) {
+	_, g, gs := smallScenario(t, 12, 500)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	d := core.NewUniBin(g, th)
+	core.Run(d, gs.Posts)
+	ratio := d.Counters().PruneRatio()
+	if ratio < 0.05 || ratio > 0.16 {
+		t.Fatalf("prune ratio %.3f, want ≈0.10", ratio)
+	}
+}
+
+func TestPerturbTextKeepsDistanceSmallNormalized(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	v := NewVocab(rng, 2000)
+	within := 0
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		base := studyTweet(rng, v, nil, 0)
+		edited := PerturbText(rng, base, 42, 1+rng.Intn(2))
+		d := simhash.Distance(core.Fingerprint(base), core.Fingerprint(edited))
+		if d <= 18 {
+			within++
+		}
+	}
+	if within < trials*80/100 {
+		t.Fatalf("only %d/%d lightly edited pairs within λc=18", within, trials)
+	}
+}
+
+func TestIndependentTweetsFarApart(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	v := NewVocab(rng, 3000)
+	sum, minD := 0, 64
+	const trials = 500
+	for i := 0; i < trials; i++ {
+		d := simhash.Distance(
+			core.Fingerprint(studyTweet(rng, v, nil, 0)),
+			core.Fingerprint(studyTweet(rng, v, nil, 0)))
+		sum += d
+		if d < minD {
+			minD = d
+		}
+	}
+	mean := float64(sum) / trials
+	if mean < 28 || mean > 36 {
+		t.Fatalf("independent tweet mean distance %.1f, want ≈32 (Figure 2)", mean)
+	}
+	if minD <= 10 {
+		t.Fatalf("independent tweets got as close as %d bits", minD)
+	}
+}
+
+func TestGenerateLabeledPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	v := NewVocab(rng, 3000)
+	cfg := PairSetConfig{PairsPerBucket: 20, MinDistance: 3, MaxDistance: 22, CandidateBudget: 200_000}
+	pairs, err := GenerateLabeledPairs(rng, v, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) < 15*20 {
+		t.Fatalf("only %d pairs generated", len(pairs))
+	}
+	red := 0
+	for _, p := range pairs {
+		d := simhash.Distance(core.RawFingerprint(p.TextA), core.RawFingerprint(p.TextB))
+		if d < cfg.MinDistance || d > cfg.MaxDistance {
+			t.Fatalf("pair at distance %d outside [%d,%d]", d, cfg.MinDistance, cfg.MaxDistance)
+		}
+		if p.Redundant {
+			red++
+		}
+	}
+	// The paper found 949/2000 redundant; require a substantial mix.
+	if red < len(pairs)/5 || red > len(pairs)*4/5 {
+		t.Fatalf("redundant fraction %d/%d too skewed", red, len(pairs))
+	}
+}
+
+func TestGenerateLabeledPairsLowBucketsAreRedundant(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	v := NewVocab(rng, 3000)
+	cfg := PairSetConfig{PairsPerBucket: 30, MinDistance: 3, MaxDistance: 22, CandidateBudget: 300_000}
+	pairs, _ := GenerateLabeledPairs(rng, v, cfg)
+	lowRed, lowTotal := 0, 0
+	highRed, highTotal := 0, 0
+	for _, p := range pairs {
+		d := simhash.Distance(core.RawFingerprint(p.TextA), core.RawFingerprint(p.TextB))
+		if d <= 8 {
+			lowTotal++
+			if p.Redundant {
+				lowRed++
+			}
+		} else if d >= 19 {
+			highTotal++
+			if p.Redundant {
+				highRed++
+			}
+		}
+	}
+	if lowTotal == 0 || highTotal == 0 {
+		t.Fatal("buckets not populated")
+	}
+	if float64(lowRed)/float64(lowTotal) < 0.85 {
+		t.Fatalf("low buckets should be mostly redundant: %d/%d", lowRed, lowTotal)
+	}
+	if float64(highRed)/float64(highTotal) > 0.6 {
+		t.Fatalf("high buckets should be mostly non-redundant: %d/%d", highRed, highTotal)
+	}
+}
+
+func TestPairSetConfigValidate(t *testing.T) {
+	if err := DefaultPairSetConfig().Validate(); err != nil {
+		t.Fatalf("default invalid: %v", err)
+	}
+	for _, bad := range []PairSetConfig{
+		{PairsPerBucket: 0, MinDistance: 3, MaxDistance: 22, CandidateBudget: 10},
+		{PairsPerBucket: 1, MinDistance: -1, MaxDistance: 22, CandidateBudget: 10},
+		{PairsPerBucket: 1, MinDistance: 5, MaxDistance: 4, CandidateBudget: 10},
+		{PairsPerBucket: 1, MinDistance: 3, MaxDistance: 22, CandidateBudget: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("bad config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestProvKindString(t *testing.T) {
+	for k, want := range map[ProvKind]string{
+		Fresh:               "fresh",
+		DupSimilarRecent:    "dup-similar-recent",
+		DupDissimilarRecent: "dup-dissimilar-recent",
+		DupSimilarOld:       "dup-similar-old",
+		ProvKind(9):         "ProvKind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Fatalf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDiurnalWeightShape(t *testing.T) {
+	peak := diurnalWeight(20)
+	trough := diurnalWeight(8)
+	if peak <= trough {
+		t.Fatalf("peak %v should exceed trough %v", peak, trough)
+	}
+	for h := 0.0; h < 24; h += 0.5 {
+		w := diurnalWeight(h)
+		if w <= 0 || w > 1.75 {
+			t.Fatalf("weight %v at hour %v outside (0, 1.75]", w, h)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package firehose
+
+import (
+	"fmt"
+
+	"firehose/internal/core"
+	"firehose/internal/stream"
+)
+
+// ParallelService is a multi-goroutine M-SPSD engine. It exploits the
+// independence the paper's Section 5 establishes: posts from different
+// connected components of the author similarity graph can never cover each
+// other, so components shard cleanly across workers — per-component decision
+// order is preserved while disjoint shards run concurrently. Per-user
+// timelines are identical to MultiUserService's (property-tested).
+//
+// Offer may be called from one goroutine (posts must stay in global time
+// order); decisions complete asynchronously and are joined through the
+// returned Delivery.
+type ParallelService struct {
+	inner *stream.ParallelMultiEngine
+}
+
+// Delivery is a pending decision; Users blocks until it resolves.
+type Delivery struct{ t *stream.Ticket }
+
+// Users returns the ids of the users whose timeline received the post.
+func (d Delivery) Users() []UserID { return d.t.Users() }
+
+// NewParallelService builds the sharded service with the given worker count.
+func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, workers int) (*ParallelService, error) {
+	if err := checkConfig(cfg, g); err != nil {
+		return nil, err
+	}
+	for u, subs := range subscriptions {
+		if err := checkAuthors(subs, g.NumAuthors()); err != nil {
+			return nil, wrapUserErr(u, err)
+		}
+	}
+	inner, err := stream.NewParallelMultiEngine(alg, g.g, int32Slices(subscriptions), cfg.thresholds(), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &ParallelService{inner: inner}, nil
+}
+
+// Offer enqueues a post for its component's worker and returns immediately.
+func (s *ParallelService) Offer(p Post) (Delivery, error) {
+	t, err := s.inner.Offer(core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text))
+	return Delivery{t: t}, err
+}
+
+// Close drains all workers; call before reading final Stats.
+func (s *ParallelService) Close() { s.inner.Close() }
+
+// Workers returns the shard count.
+func (s *ParallelService) Workers() int { return s.inner.NumWorkers() }
+
+// Stats merges the cost counters across workers.
+func (s *ParallelService) Stats() Stats {
+	c := s.inner.Counters()
+	return statsOf(&c)
+}
+
+func wrapUserErr(u int, err error) error {
+	return fmt.Errorf("user %d: %w", u, err)
+}
