@@ -1,0 +1,26 @@
+# Tier-1 verification gate: `make check` must pass before merging.
+GO ?= go
+
+.PHONY: build test vet race check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector — the concurrent engines
+# (stream.Engine, MultiEngine, ParallelMultiEngine, the SSE broker) are
+# stress-tested from many goroutines, so this is where lifecycle and counter
+# races surface.
+race:
+	$(GO) test -race ./...
+
+# check is the tier-1 gate: vet + full race-detector test run.
+check: vet race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -12,17 +12,26 @@
 //	GET  /stats     → cost counters
 //	GET  /healthz   → ok
 //
+// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// finish, open SSE streams are closed, and the listener drains within a
+// bounded timeout.
+//
 // For demonstration the author universe and subscriptions are synthetic
 // (seeded); a production deployment would load its own follower graph.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"firehose/internal/authorsim"
 	"firehose/internal/core"
@@ -38,6 +47,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generation seed")
 		algName   = flag.String("alg", "unibin", "unibin | neighborbin | cliquebin")
 		followees = flag.String("followees", "", "load followee vectors from this JSONL file instead of generating")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	)
 	flag.Parse()
 
@@ -97,7 +107,43 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv := httpapi.New(md)
+	api := httpapi.New(md)
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		// WriteTimeout stays 0: GET /stream holds SSE connections open
+		// indefinitely; a server-wide write deadline would sever them.
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
 	log.Printf("firehosed: %s over %d authors/users on %s", md.Name(), len(fs), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+
+	select {
+	case err := <-errCh:
+		// Listener failed before any shutdown signal.
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("firehosed: shutting down (draining up to %v)", *drain)
+
+	// Release the SSE streams first — Shutdown waits for active handlers,
+	// and /stream handlers only return once their subscription closes.
+	api.Close()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		log.Printf("firehosed: forced shutdown: %v", err)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("firehosed: serve: %v", err)
+	}
+	log.Printf("firehosed: stopped")
 }

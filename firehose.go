@@ -54,6 +54,11 @@ type UserID = int32
 // offered in non-decreasing Time order.
 type Post struct {
 	// ID is an optional caller-assigned identifier, echoed back in results.
+	// ID contract: 0 means "unset" — a Diversifier replaces it with an
+	// auto-assigned id strictly greater than every id seen so far (caller-
+	// supplied or auto-assigned), so mixing the two never collides. Callers
+	// that assign their own ids should use ids ≥ 1: an explicit 0 is
+	// indistinguishable from unset and will be rewritten.
 	ID uint64
 	// Author must be a valid AuthorID of the service's author graph.
 	Author AuthorID
@@ -79,6 +84,9 @@ type Config struct {
 	// to be content-similar. 0..64.
 	LambdaC int
 	// LambdaT is the maximum time distance for two posts to be time-similar.
+	// The engine resolves time in whole milliseconds, so LambdaT must be a
+	// non-negative multiple of time.Millisecond; constructors reject other
+	// values rather than silently truncating them.
 	LambdaT time.Duration
 	// LambdaA is the maximum author distance in [0,1) for two authors to be
 	// similar; it is baked into the author graph at build time and must
@@ -240,6 +248,12 @@ func checkConfig(cfg Config, g *AuthorGraph) error {
 	if g == nil {
 		return fmt.Errorf("firehose: nil author graph")
 	}
+	if cfg.LambdaT%time.Millisecond != 0 {
+		// The core engine resolves time in whole milliseconds; silently
+		// truncating would turn a sub-millisecond λt into 0 and disable the
+		// time dimension entirely.
+		return fmt.Errorf("firehose: LambdaT %v is not a whole number of milliseconds (the engine's time resolution); round it to a multiple of %v", cfg.LambdaT, time.Millisecond)
+	}
 	if err := cfg.thresholds().Validate(); err != nil {
 		return err
 	}
@@ -271,6 +285,10 @@ func (d *Diversifier) toCore(p Post) *core.Post {
 	if id == 0 {
 		d.nextID++
 		id = d.nextID
+	} else if id > d.nextID {
+		// Track the highest caller-supplied id so later auto-assigned ids
+		// never collide with ids the caller already used.
+		d.nextID = id
 	}
 	return core.NewPost(id, p.Author, p.Time.UnixMilli(), p.Text)
 }

@@ -47,6 +47,13 @@ func New(md core.MultiDiversifier) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// Close releases the server's streaming resources: every open SSE
+// subscription is closed so /stream handlers return. Call it before
+// http.Server.Shutdown, which waits for active handlers — without it the
+// (otherwise endless) SSE connections would hold shutdown until its context
+// expires.
+func (s *Server) Close() { s.broker.close() }
+
 // IngestRequest is the POST /ingest body.
 type IngestRequest struct {
 	// Author is the posting author's id.

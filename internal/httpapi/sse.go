@@ -20,47 +20,81 @@ type subscriber struct {
 	ch   chan TimelinePost
 }
 
-// broker fans deliveries out to SSE subscribers.
+// broker fans deliveries out to SSE subscribers, indexed by user id so
+// publishing costs O(delivered users), not O(subscribers × delivered users).
 type broker struct {
-	mu   sync.Mutex
-	subs map[*subscriber]struct{}
+	mu     sync.Mutex
+	byUser map[int32]map[*subscriber]struct{}
+	closed bool
 }
 
 func newBroker() *broker {
-	return &broker{subs: make(map[*subscriber]struct{})}
+	return &broker{byUser: make(map[int32]map[*subscriber]struct{})}
 }
 
 func (b *broker) subscribe(user int32) *subscriber {
 	s := &subscriber{user: user, ch: make(chan TimelinePost, 64)}
 	b.mu.Lock()
-	b.subs[s] = struct{}{}
-	b.mu.Unlock()
+	defer b.mu.Unlock()
+	if b.closed {
+		// A closed broker hands out an already-closed channel so the
+		// streaming handler returns immediately.
+		close(s.ch)
+		return s
+	}
+	set := b.byUser[user]
+	if set == nil {
+		set = make(map[*subscriber]struct{})
+		b.byUser[user] = set
+	}
+	set[s] = struct{}{}
 	return s
 }
 
 func (b *broker) unsubscribe(s *subscriber) {
 	b.mu.Lock()
-	delete(b.subs, s)
-	b.mu.Unlock()
+	defer b.mu.Unlock()
+	if set, ok := b.byUser[s.user]; ok {
+		delete(set, s)
+		if len(set) == 0 {
+			delete(b.byUser, s.user)
+		}
+	}
 }
 
-// publish pushes a delivered post to every matching subscriber. A slow
-// subscriber (full buffer) misses the event rather than blocking ingestion —
-// SSE consumers needing completeness re-read /timeline.
+// publish pushes a delivered post to every subscriber of the delivered
+// users. A slow subscriber (full buffer) misses the event rather than
+// blocking ingestion — SSE consumers needing completeness re-read /timeline.
 func (b *broker) publish(users []int32, p TimelinePost) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for s := range b.subs {
-		for _, u := range users {
-			if s.user == u {
-				select {
-				case s.ch <- p:
-				default:
-				}
-				break
+	for _, u := range users {
+		for s := range b.byUser[u] {
+			select {
+			case s.ch <- p:
+			default:
 			}
 		}
 	}
+}
+
+// close closes every subscriber channel so streaming handlers unblock and
+// return; subsequent subscribes get an already-closed channel. Used during
+// graceful shutdown, where http.Server.Shutdown waits for the (otherwise
+// endless) SSE handlers to finish.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for _, set := range b.byUser {
+		for s := range set {
+			close(s.ch)
+		}
+	}
+	b.byUser = make(map[int32]map[*subscriber]struct{})
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
@@ -86,7 +120,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case p := <-sub.ch:
+		case p, ok := <-sub.ch:
+			if !ok {
+				// Broker closed: the server is shutting down.
+				return
+			}
 			data, err := json.Marshal(p)
 			if err != nil {
 				continue

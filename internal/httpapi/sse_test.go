@@ -4,9 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
 )
 
 func TestSSEStreamDelivery(t *testing.T) {
@@ -151,5 +155,84 @@ func TestBrokerRouting(t *testing.T) {
 	b.publish([]int32{1}, TimelinePost{ID: 10})
 	if len(s1.ch) != 1 {
 		t.Fatal("unsubscribed channel still receiving")
+	}
+}
+
+func TestBrokerIndexedPublish(t *testing.T) {
+	b := newBroker()
+	u1a := b.subscribe(1)
+	u1b := b.subscribe(1)
+	u2 := b.subscribe(2)
+	u3 := b.subscribe(3)
+	b.publish([]int32{1, 3}, TimelinePost{ID: 42})
+	if len(u1a.ch) != 1 || len(u1b.ch) != 1 {
+		t.Fatalf("user 1 subscribers got %d/%d events", len(u1a.ch), len(u1b.ch))
+	}
+	if len(u2.ch) != 0 {
+		t.Fatal("undelivered user received an event")
+	}
+	if len(u3.ch) != 1 {
+		t.Fatalf("user 3 got %d events", len(u3.ch))
+	}
+	b.unsubscribe(u1a)
+	b.publish([]int32{1}, TimelinePost{ID: 43})
+	if len(u1a.ch) != 1 || len(u1b.ch) != 2 {
+		t.Fatalf("after unsubscribe: %d/%d", len(u1a.ch), len(u1b.ch))
+	}
+}
+
+func TestBrokerClose(t *testing.T) {
+	b := newBroker()
+	s := b.subscribe(5)
+	b.close()
+	b.close() // idempotent
+	if _, ok := <-s.ch; ok {
+		t.Fatal("subscriber channel not closed by broker close")
+	}
+	// Publishing after close must not panic or deliver.
+	b.publish([]int32{5}, TimelinePost{ID: 1})
+	// A post-close subscribe gets an already-closed channel.
+	late := b.subscribe(5)
+	if _, ok := <-late.ch; ok {
+		t.Fatal("post-close subscription channel open")
+	}
+	// Unsubscribing a closed-out subscriber is a harmless no-op.
+	b.unsubscribe(s)
+	b.unsubscribe(late)
+}
+
+func TestServerCloseEndsSSEStream(t *testing.T) {
+	g := authorsim.NewGraph(3, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, g, [][]int32{{0, 1}, {2}}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(md)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	req, _ := http.NewRequest("GET", ts.URL+"/stream?user=0", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// The body ends when the handler returns.
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	srv.Close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("SSE stream still open after Server.Close")
 	}
 }

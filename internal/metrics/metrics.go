@@ -81,6 +81,18 @@ func (c *Counters) Merge(other Counters) {
 	c.StoredPeak += other.StoredPeak
 }
 
+// Sum merges a set of counter snapshots into one total. It is the merge step
+// of concurrent engines: each worker's Counters value is snapshotted under
+// that worker's lock, and the (unsynchronized) value copies are summed here
+// without touching live counters.
+func Sum(snaps ...Counters) Counters {
+	var total Counters
+	for _, s := range snaps {
+		total.Merge(s)
+	}
+	return total
+}
+
 // String formats the counters for experiment output.
 func (c *Counters) String() string {
 	return fmt.Sprintf("comparisons=%d insertions=%d evictions=%d accepted=%d rejected=%d peakCopies=%d",

@@ -84,3 +84,24 @@ func TestString(t *testing.T) {
 		}
 	}
 }
+
+func TestSum(t *testing.T) {
+	a := Counters{Comparisons: 1, Accepted: 2, Rejected: 1}
+	a.AddStored(4)
+	b := Counters{Comparisons: 9, Accepted: 3, Rejected: 6}
+	b.AddStored(2)
+	total := Sum(a, b)
+	if total.Comparisons != 10 || total.Accepted != 5 || total.Rejected != 7 {
+		t.Fatalf("Sum wrong: %+v", total)
+	}
+	if total.StoredLive() != 6 {
+		t.Fatalf("Sum stored live = %d", total.StoredLive())
+	}
+	// Inputs are value snapshots; summing must not mutate them.
+	if a.Comparisons != 1 || b.Comparisons != 9 {
+		t.Fatal("Sum mutated its inputs")
+	}
+	if empty := Sum(); empty.Processed() != 0 {
+		t.Fatalf("Sum() = %+v", empty)
+	}
+}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -8,6 +9,33 @@ import (
 	"firehose/internal/core"
 	"firehose/internal/metrics"
 )
+
+// Typed lifecycle and backpressure errors of the parallel engine.
+var (
+	// ErrClosed is returned by Offer once Close has begun; the engine
+	// accepts no further posts but still resolves every ticket it issued.
+	ErrClosed = errors.New("stream: engine is closed")
+	// ErrQueueFull is returned by Offer in fail-fast mode when the target
+	// worker's queue is at capacity. The post was not enqueued; the caller
+	// may retry, shed the post, or fall back to a slower path.
+	ErrQueueFull = errors.New("stream: worker queue is full")
+)
+
+// ParallelOptions configures a ParallelMultiEngine's backpressure behavior.
+type ParallelOptions struct {
+	// QueueDepth bounds each worker's pending-job queue. 0 selects
+	// DefaultQueueDepth; negative is invalid.
+	QueueDepth int
+	// FailFast makes Offer return ErrQueueFull instead of blocking when the
+	// target worker's queue is full. The default (blocking) mode propagates
+	// backpressure to producers: a full shard slows ingestion down to the
+	// rate the slowest worker sustains.
+	FailFast bool
+}
+
+// DefaultQueueDepth is the per-worker queue bound used when
+// ParallelOptions.QueueDepth is zero.
+const DefaultQueueDepth = 256
 
 // ParallelMultiEngine runs M-SPSD across worker goroutines by exploiting the
 // independence the paper's Section 5 analysis establishes: posts from
@@ -19,20 +47,54 @@ import (
 // order (each author maps to exactly one worker) while processing disjoint
 // shards concurrently.
 //
-// Offer returns a ticket immediately; Wait (or the ticket's Users method)
-// joins the decision. For every user, the union of deliveries equals the
-// sequential SharedMultiUser's — property-tested against it.
+// Offer returns a ticket immediately; the ticket's Users method joins the
+// decision. For every user, the union of deliveries equals the sequential
+// SharedMultiUser's — property-tested against it.
+//
+// Concurrency contract: Offer, Close and Counters are safe to call from any
+// number of goroutines. The ingest boundary serializes routing and tags every
+// accepted post with a monotone sequence number, so concurrent producers get
+// a well-defined global order and per-component order is preserved; the
+// semantic stream order is the sequence order, which means concurrent
+// producers must still ensure their posts carry non-decreasing timestamps in
+// that order (e.g. by timestamping at the ingest boundary). Close drains all
+// in-flight tickets before returning; Offers that lose the race against Close
+// return ErrClosed and enqueue nothing.
 type ParallelMultiEngine struct {
 	workers []*parallelWorker
 	// authorWorker maps author id → worker index.
 	authorWorker []int32
 	wg           sync.WaitGroup
-	closed       bool
+	failFast     bool
+
+	// mu guards the lifecycle state and the ingest sequence, and serializes
+	// the route-and-enqueue step of Offer so the per-worker queues receive
+	// jobs in sequence order even under concurrent producers.
+	mu    sync.Mutex
+	state lifecycle
+	seq   uint64
 }
 
+// lifecycle is the engine's state machine: open → closing → closed.
+type lifecycle int
+
+const (
+	stateOpen lifecycle = iota
+	// stateClosing: Close has begun; queues are closed and workers are
+	// draining the jobs already accepted. Offer returns ErrClosed.
+	stateClosing
+	// stateClosed: every worker has exited and every ticket is resolved.
+	stateClosed
+)
+
 type parallelWorker struct {
-	md *core.SharedMultiUser
-	ch chan parallelJob
+	// mu guards md: the worker goroutine holds it across Offer (which
+	// mutates the per-component counters deep inside the bins) and Counters
+	// snapshots hold it while merging, so snapshots never race decisions.
+	mu      sync.Mutex
+	md      *core.SharedMultiUser
+	ch      chan parallelJob
+	lastSeq uint64
 }
 
 type parallelJob struct {
@@ -42,6 +104,7 @@ type parallelJob struct {
 
 // Ticket is a pending decision handle.
 type Ticket struct {
+	seq   uint64
 	done  chan struct{}
 	users []int32
 }
@@ -52,13 +115,31 @@ func (t *Ticket) Users() []int32 {
 	return t.users
 }
 
+// Seq returns the monotone sequence number the ingest boundary assigned to
+// this post — the engine's global arrival order, shared across all workers.
+func (t *Ticket) Seq() uint64 { return t.seq }
+
 // NewParallelMultiEngine shards the components of g across `workers`
+// goroutines with default options (queue depth DefaultQueueDepth, blocking
+// backpressure). See NewParallelMultiEngineOpts.
+func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscriptions [][]int32, th core.Thresholds, workers int) (*ParallelMultiEngine, error) {
+	return NewParallelMultiEngineOpts(alg, g, subscriptions, th, workers, ParallelOptions{})
+}
+
+// NewParallelMultiEngineOpts shards the components of g across `workers`
 // goroutines and builds one shared multi-user solver per shard. Components
 // are assigned round-robin by their smallest author, balancing load for
 // homogeneous communities. subscriptions[u] lists user u's authors.
-func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscriptions [][]int32, th core.Thresholds, workers int) (*ParallelMultiEngine, error) {
+func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscriptions [][]int32, th core.Thresholds, workers int, opts ParallelOptions) (*ParallelMultiEngine, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("stream: workers must be positive, got %d", workers)
+	}
+	if opts.QueueDepth < 0 {
+		return nil, fmt.Errorf("stream: queue depth must be non-negative, got %d", opts.QueueDepth)
+	}
+	depth := opts.QueueDepth
+	if depth == 0 {
+		depth = DefaultQueueDepth
 	}
 	// Global components partition the author universe; a user's own
 	// components are always subsets of global ones, so any two authors that
@@ -73,6 +154,7 @@ func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscription
 	e := &ParallelMultiEngine{
 		workers:      make([]*parallelWorker, workers),
 		authorWorker: make([]int32, g.NumAuthors()),
+		failFast:     opts.FailFast,
 	}
 	// Assign components round-robin; record author → worker.
 	shardAuthors := make([]map[int32]bool, workers)
@@ -100,14 +182,24 @@ func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscription
 		if err != nil {
 			return nil, err
 		}
-		e.workers[w] = &parallelWorker{md: md, ch: make(chan parallelJob, 256)}
+		e.workers[w] = &parallelWorker{md: md, ch: make(chan parallelJob, depth)}
 	}
 	for _, w := range e.workers {
 		e.wg.Add(1)
 		go func(w *parallelWorker) {
 			defer e.wg.Done()
 			for job := range w.ch {
-				job.ticket.users = w.md.Offer(job.post)
+				// The ingest boundary serializes enqueues in sequence order,
+				// so a non-monotone sequence here is an engine bug, not a
+				// caller error.
+				if job.ticket.seq <= w.lastSeq {
+					panic(fmt.Sprintf("stream: worker received seq %d after %d", job.ticket.seq, w.lastSeq))
+				}
+				w.lastSeq = job.ticket.seq
+				w.mu.Lock()
+				users := w.md.Offer(job.post)
+				w.mu.Unlock()
+				job.ticket.users = users
 				close(job.ticket.done)
 			}
 		}(w)
@@ -115,46 +207,92 @@ func NewParallelMultiEngine(alg core.Algorithm, g *authorsim.Graph, subscription
 	return e, nil
 }
 
-// Offer routes the post to its component's worker and returns a ticket.
-// Posts must be offered in global time order; per-worker channels preserve
-// that order within every component, which is all correctness requires.
+// Offer routes the post to its component's worker and returns a ticket. It is
+// safe for concurrent use; the ingest boundary serializes routing, assigns
+// the post a monotone sequence number (Ticket.Seq) and preserves that order
+// within every worker queue. The semantic stream order is the sequence order,
+// so posts must carry non-decreasing timestamps in it.
+//
+// When the target worker's queue is full, Offer blocks — backpressure — or,
+// in fail-fast mode, returns ErrQueueFull without enqueueing. After Close has
+// begun it returns ErrClosed.
 func (e *ParallelMultiEngine) Offer(p *core.Post) (*Ticket, error) {
-	if e.closed {
-		return nil, fmt.Errorf("stream: engine is closed")
+	e.mu.Lock()
+	if e.state != stateOpen {
+		e.mu.Unlock()
+		return nil, ErrClosed
 	}
 	if int(p.Author) >= len(e.authorWorker) || p.Author < 0 {
+		e.mu.Unlock()
 		// Unknown author: no component, no deliveries.
 		t := &Ticket{done: make(chan struct{})}
 		close(t.done)
 		return t, nil
 	}
-	t := &Ticket{done: make(chan struct{})}
 	w := e.workers[e.authorWorker[p.Author]]
-	w.ch <- parallelJob{post: p, ticket: t}
+	t := &Ticket{seq: e.seq + 1, done: make(chan struct{})}
+	job := parallelJob{post: p, ticket: t}
+	if e.failFast {
+		select {
+		case w.ch <- job:
+		default:
+			e.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+	} else {
+		// Blocking send while holding the ingest lock: a full shard stalls
+		// all producers until its worker drains a slot. Workers never take
+		// this lock, so they always make progress and the send terminates.
+		w.ch <- job
+	}
+	e.seq++
+	e.mu.Unlock()
 	return t, nil
 }
 
-// Close drains the workers; no further Offers are accepted.
+// Close moves the engine to the closing state (subsequent Offers return
+// ErrClosed), closes the worker queues and waits until every already-accepted
+// job is decided — all outstanding tickets resolve before Close returns. It
+// is idempotent and safe to call concurrently with Offer, Counters and other
+// Close calls; every call blocks until the drain completes.
 func (e *ParallelMultiEngine) Close() {
-	if e.closed {
+	e.mu.Lock()
+	if e.state != stateOpen {
+		e.mu.Unlock()
+		// Another Close started the drain; wait for it to finish so every
+		// caller observes the fully-drained engine.
+		e.wg.Wait()
 		return
 	}
-	e.closed = true
+	e.state = stateClosing
 	for _, w := range e.workers {
 		close(w.ch)
 	}
+	e.mu.Unlock()
 	e.wg.Wait()
+	e.mu.Lock()
+	e.state = stateClosed
+	e.mu.Unlock()
 }
 
-// Counters merges all workers' counters (call after Close, or accept
-// in-flight skew).
+// Counters merges a consistent snapshot of all workers' counters. It is safe
+// to call at any time from any goroutine: each worker's counters are read
+// under the lock its decision loop holds, so the snapshot never races a
+// decision. Workers are snapshotted one at a time, so counts arriving on
+// other workers mid-merge may or may not be included — call after Close for
+// the exact final totals.
 func (e *ParallelMultiEngine) Counters() metrics.Counters {
-	var total metrics.Counters
-	for _, w := range e.workers {
-		total.Merge(*w.md.Counters())
+	snaps := make([]metrics.Counters, len(e.workers))
+	for i, w := range e.workers {
+		w.mu.Lock()
+		snaps[i] = *w.md.Counters()
+		w.mu.Unlock()
 	}
-	return total
+	return metrics.Sum(snaps...)
 }
 
 // NumWorkers returns the shard count.
 func (e *ParallelMultiEngine) NumWorkers() int { return len(e.workers) }
+
+// QueueDepth returns the per-worker queue bound.
+func (e *ParallelMultiEngine) QueueDepth() int { return cap(e.workers[0].ch) }

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"testing"
@@ -127,8 +128,8 @@ func TestParallelOfferAfterClose(t *testing.T) {
 	e, _ := NewParallelMultiEngine(core.AlgUniBin, g, [][]int32{{0}}, th, 1)
 	e.Close()
 	e.Close() // double close is a no-op
-	if _, err := e.Offer(&core.Post{ID: 1, Author: 0, Time: 1}); err == nil {
-		t.Fatal("offer after close accepted")
+	if _, err := e.Offer(&core.Post{ID: 1, Author: 0, Time: 1}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("offer after close: got %v, want ErrClosed", err)
 	}
 }
 

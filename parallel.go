@@ -2,10 +2,35 @@ package firehose
 
 import (
 	"fmt"
+	"runtime"
 
 	"firehose/internal/core"
 	"firehose/internal/stream"
 )
+
+// Typed errors of the parallel service, re-exported for errors.Is checks.
+var (
+	// ErrClosed is returned by ParallelService.Offer after Close has begun.
+	ErrClosed = stream.ErrClosed
+	// ErrQueueFull is returned by ParallelService.Offer in fail-fast mode
+	// when the target worker's queue is at capacity; the post was not
+	// enqueued.
+	ErrQueueFull = stream.ErrQueueFull
+)
+
+// ParallelOptions configures NewParallelServiceOpts.
+type ParallelOptions struct {
+	// Workers is the shard count; 0 selects runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds each worker's pending-post queue; 0 selects the
+	// engine default (256). A full queue blocks Offer — backpressure — or
+	// fails it fast, per FailFast.
+	QueueDepth int
+	// FailFast makes Offer return ErrQueueFull instead of blocking when the
+	// target worker's queue is full, for ingestion tiers that prefer
+	// shedding or retrying over stalling.
+	FailFast bool
+}
 
 // ParallelService is a multi-goroutine M-SPSD engine. It exploits the
 // independence the paper's Section 5 establishes: posts from different
@@ -14,9 +39,14 @@ import (
 // order is preserved while disjoint shards run concurrently. Per-user
 // timelines are identical to MultiUserService's (property-tested).
 //
-// Offer may be called from one goroutine (posts must stay in global time
-// order); decisions complete asynchronously and are joined through the
-// returned Delivery.
+// Concurrency contract: Offer, Close and Stats are safe to call from any
+// number of goroutines. The ingest boundary serializes routing and assigns
+// each post a monotone sequence number (Delivery.Seq), which defines the
+// stream order; concurrent producers must ensure post timestamps are
+// non-decreasing in that order (e.g. by timestamping at ingestion).
+// Decisions complete asynchronously and are joined through the returned
+// Delivery. Close drains every in-flight decision before returning; Offers
+// racing a Close return ErrClosed.
 type ParallelService struct {
 	inner *stream.ParallelMultiEngine
 }
@@ -27,8 +57,22 @@ type Delivery struct{ t *stream.Ticket }
 // Users returns the ids of the users whose timeline received the post.
 func (d Delivery) Users() []UserID { return d.t.Users() }
 
-// NewParallelService builds the sharded service with the given worker count.
+// Seq returns the monotone ingest sequence number assigned to the post —
+// the service's global arrival order across all workers.
+func (d Delivery) Seq() uint64 { return d.t.Seq() }
+
+// NewParallelService builds the sharded service with the given worker count
+// and default backpressure (bounded queues, blocking Offer).
 func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, workers int) (*ParallelService, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("firehose: workers must be positive, got %d", workers)
+	}
+	return NewParallelServiceOpts(alg, g, subscriptions, cfg, ParallelOptions{Workers: workers})
+}
+
+// NewParallelServiceOpts builds the sharded service with explicit
+// backpressure options. opts.Workers = 0 selects runtime.NumCPU().
+func NewParallelServiceOpts(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts ParallelOptions) (*ParallelService, error) {
 	if err := checkConfig(cfg, g); err != nil {
 		return nil, err
 	}
@@ -37,7 +81,12 @@ func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorI
 			return nil, wrapUserErr(u, err)
 		}
 	}
-	inner, err := stream.NewParallelMultiEngine(alg, g.g, int32Slices(subscriptions), cfg.thresholds(), workers)
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.NumCPU()
+	}
+	inner, err := stream.NewParallelMultiEngineOpts(alg, g.g, int32Slices(subscriptions), cfg.thresholds(), workers,
+		stream.ParallelOptions{QueueDepth: opts.QueueDepth, FailFast: opts.FailFast})
 	if err != nil {
 		return nil, err
 	}
@@ -45,18 +94,29 @@ func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorI
 }
 
 // Offer enqueues a post for its component's worker and returns immediately.
+// Safe for concurrent producers. In fail-fast mode a full worker queue
+// returns ErrQueueFull (the post is dropped, not enqueued); otherwise a full
+// queue blocks until the worker drains. After Close it returns ErrClosed.
 func (s *ParallelService) Offer(p Post) (Delivery, error) {
 	t, err := s.inner.Offer(core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text))
 	return Delivery{t: t}, err
 }
 
-// Close drains all workers; call before reading final Stats.
+// Close drains all workers and resolves every outstanding Delivery; call
+// before reading final Stats. Idempotent and safe to call concurrently with
+// Offer — racing Offers fail with ErrClosed rather than being half-accepted.
 func (s *ParallelService) Close() { s.inner.Close() }
 
 // Workers returns the shard count.
 func (s *ParallelService) Workers() int { return s.inner.NumWorkers() }
 
-// Stats merges the cost counters across workers.
+// QueueDepth returns the per-worker queue bound.
+func (s *ParallelService) QueueDepth() int { return s.inner.QueueDepth() }
+
+// Stats merges the cost counters across workers. Safe at any time from any
+// goroutine; the snapshot is taken worker by worker under each worker's
+// decision lock, so it never races a decision (call after Close for exact
+// final totals).
 func (s *ParallelService) Stats() Stats {
 	c := s.inner.Counters()
 	return statsOf(&c)
