@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race check bench
+.PHONY: build test vet race check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,14 @@ check: vet race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# fuzz runs every fuzz target for FUZZTIME each (Go runs one -fuzz target per
+# invocation, so each gets its own). CI uses this as a smoke; locally raise
+# FUZZTIME for a real session, e.g. `make fuzz FUZZTIME=10m`.
+FUZZTIME ?= 10s
+
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzNormalize -fuzztime=$(FUZZTIME) ./internal/textnorm
+	$(GO) test -run='^$$' -fuzz=FuzzTokensWithOptions -fuzztime=$(FUZZTIME) ./internal/textnorm
+	$(GO) test -run='^$$' -fuzz=FuzzDistance -fuzztime=$(FUZZTIME) ./internal/simhash
+	$(GO) test -run='^$$' -fuzz=FuzzFingerprintNormalizationStable -fuzztime=$(FUZZTIME) ./internal/simhash

@@ -10,6 +10,7 @@
 //	GET  /timeline?user=7&n=20
 //	                → {"user":7,"posts":[{...},...]}
 //	GET  /stats     → cost counters
+//	GET  /metrics   → Prometheus text exposition (decision latency, worker queues, SSE)
 //	GET  /healthz   → ok
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
@@ -30,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -37,6 +39,7 @@ import (
 	"firehose/internal/core"
 	"firehose/internal/corpusio"
 	"firehose/internal/httpapi"
+	"firehose/internal/stream"
 	"firehose/internal/twittergen"
 )
 
@@ -48,6 +51,8 @@ func main() {
 		algName   = flag.String("alg", "unibin", "unibin | neighborbin | cliquebin")
 		followees = flag.String("followees", "", "load followee vectors from this JSONL file instead of generating")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+		workers   = flag.Int("workers", 0, "parallel decision workers sharded by author component (0 = NumCPU, 1 = sequential engine)")
+		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -102,12 +107,34 @@ func main() {
 
 	g := authorsim.BuildGraph(authorsim.NewVectors(fs), 0.7)
 	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
-	md, err := core.NewSharedMultiUser(alg, g, subs, th)
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	api := httpapi.New(md)
+	nw := *workers
+	if nw == 0 {
+		nw = runtime.NumCPU()
+	}
+	var (
+		api     *httpapi.Server
+		engine  string
+		solvers string
+	)
+	if nw > 1 {
+		pe, err := stream.NewParallelMultiEngine(alg, g, subs, th, nw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		api = httpapi.NewParallel(pe)
+		engine, solvers = pe.Name(), fmt.Sprintf("%d workers", pe.NumWorkers())
+	} else {
+		md, err := core.NewSharedMultiUser(alg, g, subs, th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		api = httpapi.New(md)
+		engine, solvers = md.Name(), "sequential"
+	}
+	if *pprofOn {
+		api.EnablePProf()
+	}
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -123,7 +150,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("firehosed: %s over %d authors/users on %s", md.Name(), len(fs), *addr)
+	log.Printf("firehosed: %s (%s) over %d authors/users on %s", engine, solvers, len(fs), *addr)
 
 	select {
 	case err := <-errCh:

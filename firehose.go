@@ -123,6 +123,31 @@ type Stats struct {
 	PeakCopies int64
 	// EstRAMBytes converts PeakCopies into an approximate byte footprint.
 	EstRAMBytes int64
+	// DecisionLatency summarizes the per-post decision latency distribution.
+	DecisionLatency LatencySummary
+}
+
+// LatencySummary condenses a latency histogram into the usual percentiles.
+// Percentiles are interpolated within fixed histogram buckets (20 bounds from
+// 100ns to 1s), so they are estimates with bucket-level resolution; Mean is
+// exact.
+type LatencySummary struct {
+	// Count is the number of observations.
+	Count uint64
+	// Mean is the exact arithmetic mean.
+	Mean time.Duration
+	// P50, P95 and P99 are interpolated percentiles.
+	P50, P95, P99 time.Duration
+}
+
+func latencySummaryOf(h metrics.Histogram) LatencySummary {
+	return LatencySummary{
+		Count: h.Count,
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
 }
 
 // PruneRatio returns the fraction of offered posts pruned as redundant.
@@ -444,8 +469,9 @@ func statsOf(c *metrics.Counters) Stats {
 		Evictions:   c.Evictions,
 		Accepted:    c.Accepted,
 		Rejected:    c.Rejected,
-		PeakCopies:  c.StoredPeak,
-		EstRAMBytes: c.EstimateRAMBytes(core.StoredCopyBytes),
+		PeakCopies:      c.StoredPeak,
+		EstRAMBytes:     c.EstimateRAMBytes(core.StoredCopyBytes),
+		DecisionLatency: latencySummaryOf(c.Decisions),
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"firehose/internal/authorsim"
 	"firehose/internal/metrics"
 	"firehose/internal/postbin"
@@ -57,6 +59,7 @@ func (cb *CliqueBin) bin(clique int) *postbin.Bin[stored] {
 // later posts — which is why the cover must include singleton cliques for
 // isolated authors; authorsim.GreedyCliqueCover guarantees that.
 func (cb *CliqueBin) Offer(p *Post) bool {
+	defer cb.c.Decisions.ObserveSince(time.Now())
 	cutoff := p.Time - cb.th.LambdaT
 	cliques := cb.cover.CliquesOf(p.Author)
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"firehose/internal/metrics"
 	"firehose/internal/simindex"
@@ -58,6 +59,7 @@ func (ib *IndexedUniBin) TableCount() int64 { return ib.idx.Params().TableCount(
 
 // Offer implements Diversifier.
 func (ib *IndexedUniBin) Offer(p *Post) bool {
+	defer ib.c.Decisions.ObserveSince(time.Now())
 	cutoff := p.Time - ib.th.LambdaT
 	if sweepEvery := max(ib.th.LambdaT/4, 1); p.Time-ib.lastSweep >= sweepEvery {
 		ib.lastSweep = p.Time

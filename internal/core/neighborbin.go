@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"firehose/internal/metrics"
 	"firehose/internal/postbin"
 	"firehose/internal/simhash"
@@ -51,6 +53,7 @@ func (nb *NeighborBin) prune(b *postbin.Bin[stored], cutoff int64) {
 
 // Offer implements Diversifier.
 func (nb *NeighborBin) Offer(p *Post) bool {
+	defer nb.c.Decisions.ObserveSince(time.Now())
 	cutoff := p.Time - nb.th.LambdaT
 	own := nb.bin(p.Author)
 	nb.prune(own, cutoff)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"firehose/internal/metrics"
 	"firehose/internal/postbin"
 	"firehose/internal/simhash"
@@ -42,6 +44,7 @@ func (u *UniBin) SetGraph(g AuthorGraph) { u.g = g }
 
 // Offer implements Diversifier.
 func (u *UniBin) Offer(p *Post) bool {
+	defer u.c.Decisions.ObserveSince(time.Now())
 	cutoff := p.Time - u.th.LambdaT
 	if n := u.bin.PruneBefore(cutoff); n > 0 {
 		u.c.Evictions += uint64(n)

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firehose/internal/simindex"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenReport renders the deterministic slice of the experiment report: the
+// table formatter over a torture-case table, the Section 3 index feasibility
+// table (pure math over plans) and the provenance quality table over the
+// seeded shared dataset. Timing-dependent tables (runtime, latency
+// percentiles) are deliberately excluded — they cannot be golden.
+func goldenReport(t *testing.T) string {
+	t.Helper()
+	var sb strings.Builder
+
+	torture := &Table{
+		Title:   "Formatter torture case",
+		Columns: []string{"", "short", "a much wider column header", "n"},
+		Rows: [][]string{
+			{"row-1", "x", "y", fmtInt(1234567890)},
+			{"", "", "", "0"},
+			{"row-3 with a very wide first cell", "velocity", "z", fmtInt(999)},
+		},
+		Notes: []string{
+			"pct " + fmtPct(0.123456) + ", float " + fmtFloat(3.14159) + ", tiny float " + fmtFloat(0.00042),
+			"bytes " + fmtBytes(0) + " / " + fmtBytes(1536) + " / " + fmtBytes(3<<20) + " / " + fmtBytes(5<<30),
+			"duration " + fmtDur(1234567) + ", window " + fmtMillisAsMinutes(1800000) + " and " + fmtMillisAsMinutes(90500),
+		},
+	}
+	sb.WriteString(torture.String())
+	sb.WriteByte('\n')
+
+	plans := simindex.FeasiblePlans([]int{3, 6, 10, 14, 18}, 24)
+	sb.WriteString(feasibilityTable(plans).String())
+	sb.WriteByte('\n')
+
+	sb.WriteString(Quality(testDataset(t)).Table().String())
+	return sb.String()
+}
+
+func TestReportGolden(t *testing.T) {
+	got := goldenReport(t)
+	path := filepath.Join("testdata", "report.golden")
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run `go test ./internal/experiments -run TestReportGolden -update` to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden file; rerun with -update if the change is intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

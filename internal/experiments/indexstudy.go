@@ -43,19 +43,27 @@ func IndexStudy(ds *Dataset) (*IndexStudyResult, error) {
 	return res, nil
 }
 
-// Table renders the study.
-func (r *IndexStudyResult) Table() *Table {
+// feasibilityTable renders index plans as the Section 3 feasibility table.
+// Pure function of the plans (no measurements), so its output is
+// deterministic — the report golden test renders it directly.
+func feasibilityTable(plans []simindex.Plan) *Table {
 	t := &Table{
 		Title:   "Section 3: SimHash index feasibility (block-permutation tables vs λc)",
 		Columns: []string{"λc", "blocks", "key bits", "tables", "GiB per 1M posts"},
 	}
-	for _, p := range r.Plans {
+	for _, p := range plans {
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%d", p.Params.K), fmt.Sprintf("%d", p.Params.Blocks),
 			fmt.Sprintf("%d", p.KeyBits), fmtInt(uint64(p.Tables)),
 			fmtFloat(p.CopiesGB),
 		})
 	}
+	return t
+}
+
+// Table renders the study.
+func (r *IndexStudyResult) Table() *Table {
+	t := feasibilityTable(r.Plans)
 	t.Notes = append(t.Notes,
 		"the paper's λc=18 needs a table count exponential in λc — Section 4's scan-based algorithms exist because of this row")
 	t.Notes = append(t.Notes, fmt.Sprintf(

@@ -21,6 +21,10 @@ type PerfResult struct {
 	Insertions  uint64
 	Accepted    uint64
 	Rejected    uint64
+	// P50/P95/P99 are per-post decision latency percentiles from the
+	// diversifier's latency histogram — the distribution behind RunTime's
+	// aggregate, exposing tail decisions that a mean would hide.
+	P50, P95, P99 time.Duration
 }
 
 // measure streams posts through d and collects counters and wall time. A GC
@@ -43,6 +47,9 @@ func measure(d core.Diversifier, posts []*core.Post, setting string) PerfResult 
 		Insertions:  c.Insertions,
 		Accepted:    c.Accepted,
 		Rejected:    c.Rejected,
+		P50:         c.Decisions.Quantile(0.50),
+		P95:         c.Decisions.Quantile(0.95),
+		P99:         c.Decisions.Quantile(0.99),
 	}
 }
 
@@ -63,11 +70,15 @@ func measureAll(g *authorsim.Graph, cover *authorsim.CliqueCover, authors []int3
 func perfTable(title string, varied string, results []PerfResult) *Table {
 	t := &Table{
 		Title:   title,
-		Columns: []string{varied, "algorithm", "runtime", "RAM", "comparisons", "insertions", "kept", "pruned"},
+		Columns: []string{varied, "algorithm", "runtime", "p50", "p95", "p99", "RAM", "comparisons", "insertions", "kept", "pruned"},
 	}
 	for _, r := range results {
+		// Percentiles keep full precision: UniBin decisions sit well under
+		// the microsecond fmtDur rounds to.
 		t.Rows = append(t.Rows, []string{
-			r.Setting, r.Algorithm, fmtDur(r.RunTime), fmtBytes(r.RAMBytes),
+			r.Setting, r.Algorithm, fmtDur(r.RunTime),
+			r.P50.String(), r.P95.String(), r.P99.String(),
+			fmtBytes(r.RAMBytes),
 			fmtInt(r.Comparisons), fmtInt(r.Insertions),
 			fmtInt(r.Accepted), fmtInt(r.Rejected),
 		})

@@ -12,32 +12,72 @@ import (
 	"sync"
 
 	"firehose/internal/core"
+	"firehose/internal/metrics"
 	"firehose/internal/stream"
 )
 
+// engine is the seam between the HTTP surface and a diversification engine:
+// the sequential stream.MultiEngine and the worker-sharded parallel adapter
+// both satisfy it, so every endpoint (including /metrics) works unchanged
+// over either backend.
+type engine interface {
+	Offer(p *core.Post) ([]int32, error)
+	Timeline(user int32) []*core.Post
+	Counters() metrics.Counters
+	Name() string
+	Close()
+}
+
+// workerSource is the optional per-worker instrumentation surface; only the
+// parallel engine provides it, and /metrics exposes per-worker series when
+// it does.
+type workerSource interface {
+	WorkerSnapshots() []stream.WorkerSnapshot
+}
+
 // Server is an http.Handler serving one multi-user diversification engine.
 type Server struct {
-	mux    *http.ServeMux
-	engine *stream.MultiEngine
-	broker *broker
+	mux      *http.ServeMux
+	engine   engine
+	workers  workerSource // nil for sequential engines
+	broker   *broker
+	registry *metrics.Registry
 
 	mu     sync.Mutex
 	nextID uint64
 	lastT  int64
 }
 
-// New builds a Server around a multi-user diversifier.
+// New builds a Server around a multi-user diversifier, running decisions on
+// the caller's goroutine through the sequential stream engine.
 func New(md core.MultiDiversifier) *Server {
+	return newServer(stream.NewMultiEngine(md))
+}
+
+// NewParallel builds a Server over a worker-sharded parallel engine. Ingest
+// handlers block on their own post's decision ticket only, so concurrent
+// requests touching different author-graph components decide in parallel.
+// /metrics additionally exposes per-worker queue and decision series.
+func NewParallel(pe *stream.ParallelMultiEngine) *Server {
+	return newServer(newParallelTimelines(pe))
+}
+
+func newServer(e engine) *Server {
 	s := &Server{
 		mux:    http.NewServeMux(),
-		engine: stream.NewMultiEngine(md),
+		engine: e,
 		broker: newBroker(),
 	}
+	if ws, ok := e.(workerSource); ok {
+		s.workers = ws
+	}
+	s.registry = s.buildRegistry()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /stream", s.handleStream)
 	s.mux.HandleFunc("GET /users/{id}/stats", s.handleUserStats)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -48,11 +88,15 @@ func New(md core.MultiDiversifier) *Server {
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // Close releases the server's streaming resources: every open SSE
-// subscription is closed so /stream handlers return. Call it before
+// subscription is closed so /stream handlers return, and the engine is
+// closed (draining in-flight parallel decisions). Call it before
 // http.Server.Shutdown, which waits for active handlers — without it the
 // (otherwise endless) SSE connections would hold shutdown until its context
-// expires.
-func (s *Server) Close() { s.broker.close() }
+// expires. In-flight ingests racing Close are answered with 503.
+func (s *Server) Close() {
+	s.broker.close()
+	s.engine.Close()
+}
 
 // IngestRequest is the POST /ingest body.
 type IngestRequest struct {

@@ -1,0 +1,223 @@
+package httpapi
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+
+	"firehose/internal/core"
+	"firehose/internal/metrics"
+	"firehose/internal/stream"
+)
+
+// This file is the service's observability surface: GET /metrics renders the
+// engine's cost counters, the per-post decision latency histogram, the
+// parallel engine's per-worker queue gauges and the SSE broker's delivery
+// counters in Prometheus text exposition format (hand-rolled in
+// internal/metrics — no client library dependency). Metric collection is
+// pull-only: nothing on the ingest hot path touches the registry; every
+// series is computed from engine snapshots at scrape time.
+
+// parallelTimelines adapts a stream.ParallelMultiEngine to the engine seam:
+// it joins each decision ticket and maintains the per-user timelines the
+// /timeline and /users endpoints serve (the parallel engine itself resolves
+// decisions asynchronously and stores none).
+type parallelTimelines struct {
+	pe *stream.ParallelMultiEngine
+
+	mu        sync.Mutex
+	timelines map[int32][]*core.Post
+}
+
+func newParallelTimelines(pe *stream.ParallelMultiEngine) *parallelTimelines {
+	return &parallelTimelines{pe: pe, timelines: make(map[int32][]*core.Post)}
+}
+
+// Offer enqueues the post and blocks on its ticket only — concurrent callers
+// whose posts land on different workers proceed in parallel.
+func (a *parallelTimelines) Offer(p *core.Post) ([]int32, error) {
+	t, err := a.pe.Offer(p)
+	if err != nil {
+		return nil, err
+	}
+	users := t.Users()
+	if len(users) > 0 {
+		a.mu.Lock()
+		for _, u := range users {
+			a.timelines[u] = append(a.timelines[u], p)
+		}
+		a.mu.Unlock()
+	}
+	return users, nil
+}
+
+func (a *parallelTimelines) Timeline(user int32) []*core.Post {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	tl := a.timelines[user]
+	out := make([]*core.Post, len(tl))
+	copy(out, tl)
+	return out
+}
+
+func (a *parallelTimelines) Counters() metrics.Counters { return a.pe.Counters() }
+
+func (a *parallelTimelines) Name() string { return a.pe.Name() }
+
+func (a *parallelTimelines) Close() { a.pe.Close() }
+
+func (a *parallelTimelines) WorkerSnapshots() []stream.WorkerSnapshot {
+	return a.pe.WorkerSnapshots()
+}
+
+// buildRegistry wires every metric family. Families that read the engine's
+// Counters snapshot per collect; the snapshot is taken under the engine's
+// own locks, so scrapes never race decisions.
+func (s *Server) buildRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	algLabel := func() []metrics.Label {
+		return []metrics.Label{{Name: "algorithm", Value: s.engine.Name()}}
+	}
+
+	r.MustRegister("firehose_decisions_total",
+		"Posts decided by the diversification engine, split by outcome.",
+		metrics.KindCounter, func() []metrics.Sample {
+			c := s.engine.Counters()
+			alg := s.engine.Name()
+			return []metrics.Sample{
+				{Labels: []metrics.Label{{Name: "algorithm", Value: alg}, {Name: "result", Value: "accepted"}}, Value: float64(c.Accepted)},
+				{Labels: []metrics.Label{{Name: "algorithm", Value: alg}, {Name: "result", Value: "rejected"}}, Value: float64(c.Rejected)},
+			}
+		})
+	r.MustRegister("firehose_comparisons_total",
+		"Pairwise post coverage checks (the paper's comparison cost metric).",
+		metrics.KindCounter, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Value: float64(c.Comparisons)}}
+		})
+	r.MustRegister("firehose_insertions_total",
+		"Post-copy insertions into bins.",
+		metrics.KindCounter, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Value: float64(c.Insertions)}}
+		})
+	r.MustRegister("firehose_evictions_total",
+		"Post copies expired out of the time window.",
+		metrics.KindCounter, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Value: float64(c.Evictions)}}
+		})
+	r.MustRegister("firehose_stored_copies",
+		"Live post copies currently resident across all bins.",
+		metrics.KindGauge, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Value: float64(c.StoredLive())}}
+		})
+	r.MustRegister("firehose_stored_copies_peak",
+		"Peak simultaneous post copies (the paper's RAM metric).",
+		metrics.KindGauge, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Value: float64(c.StoredPeak)}}
+		})
+	r.MustRegister("firehose_decision_latency_seconds",
+		"Per-post decision latency of the diversification algorithm.",
+		metrics.KindHistogram, func() []metrics.Sample {
+			c := s.engine.Counters()
+			return []metrics.Sample{{Labels: algLabel(), Hist: c.Decisions}}
+		})
+
+	if s.workers != nil {
+		workerLabel := func(w int) []metrics.Label {
+			return []metrics.Label{{Name: "worker", Value: strconv.Itoa(w)}}
+		}
+		r.MustRegister("firehose_worker_queue_depth",
+			"Pending posts in each worker's queue.",
+			metrics.KindGauge, func() []metrics.Sample {
+				snaps := s.workers.WorkerSnapshots()
+				out := make([]metrics.Sample, len(snaps))
+				for i, ws := range snaps {
+					out[i] = metrics.Sample{Labels: workerLabel(ws.Worker), Value: float64(ws.QueueLen)}
+				}
+				return out
+			})
+		r.MustRegister("firehose_worker_queue_capacity",
+			"Bound of each worker's queue.",
+			metrics.KindGauge, func() []metrics.Sample {
+				snaps := s.workers.WorkerSnapshots()
+				out := make([]metrics.Sample, len(snaps))
+				for i, ws := range snaps {
+					out[i] = metrics.Sample{Labels: workerLabel(ws.Worker), Value: float64(ws.QueueCap)}
+				}
+				return out
+			})
+		r.MustRegister("firehose_worker_queue_wait_seconds",
+			"Enqueue-to-dequeue wait of each worker's queue (shard imbalance signal).",
+			metrics.KindHistogram, func() []metrics.Sample {
+				snaps := s.workers.WorkerSnapshots()
+				out := make([]metrics.Sample, len(snaps))
+				for i, ws := range snaps {
+					out[i] = metrics.Sample{Labels: workerLabel(ws.Worker), Hist: ws.QueueWait}
+				}
+				return out
+			})
+		r.MustRegister("firehose_worker_decisions_total",
+			"Per-worker decided posts, split by outcome.",
+			metrics.KindCounter, func() []metrics.Sample {
+				snaps := s.workers.WorkerSnapshots()
+				out := make([]metrics.Sample, 0, 2*len(snaps))
+				for _, ws := range snaps {
+					w := strconv.Itoa(ws.Worker)
+					out = append(out,
+						metrics.Sample{Labels: []metrics.Label{{Name: "worker", Value: w}, {Name: "result", Value: "accepted"}}, Value: float64(ws.Counters.Accepted)},
+						metrics.Sample{Labels: []metrics.Label{{Name: "worker", Value: w}, {Name: "result", Value: "rejected"}}, Value: float64(ws.Counters.Rejected)})
+				}
+				return out
+			})
+		r.MustRegister("firehose_worker_decision_latency_seconds",
+			"Per-worker decision latency.",
+			metrics.KindHistogram, func() []metrics.Sample {
+				snaps := s.workers.WorkerSnapshots()
+				out := make([]metrics.Sample, len(snaps))
+				for i, ws := range snaps {
+					out[i] = metrics.Sample{Labels: workerLabel(ws.Worker), Hist: ws.Counters.Decisions}
+				}
+				return out
+			})
+	}
+
+	r.MustRegister("firehose_sse_subscribers",
+		"Open SSE stream subscriptions.",
+		metrics.KindGauge, func() []metrics.Sample {
+			return []metrics.Sample{{Value: float64(s.broker.subscriberCount())}}
+		})
+	r.MustRegister("firehose_sse_events_published_total",
+		"Timeline events delivered to SSE subscriber buffers.",
+		metrics.KindCounter, func() []metrics.Sample {
+			published, _ := s.broker.eventCounts()
+			return []metrics.Sample{{Value: float64(published)}}
+		})
+	r.MustRegister("firehose_sse_events_dropped_total",
+		"Timeline events dropped because a subscriber's buffer was full.",
+		metrics.KindCounter, func() []metrics.Sample {
+			_, dropped := s.broker.eventCounts()
+			return []metrics.Sample{{Value: float64(dropped)}}
+		})
+	return r
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.registry.WritePrometheus(w)
+}
+
+// EnablePProf mounts net/http/pprof's profiling handlers under /debug/pprof/
+// on the server's own mux (nothing is registered on http.DefaultServeMux).
+// Profiling exposes internals — keep it behind the daemon's opt-in flag.
+func (s *Server) EnablePProf() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -26,6 +26,12 @@ type broker struct {
 	mu     sync.Mutex
 	byUser map[int32]map[*subscriber]struct{}
 	closed bool
+	// subscribers tracks open subscriptions; published counts events placed
+	// into subscriber buffers and dropped counts events discarded because a
+	// buffer was full. All are guarded by mu and surfaced on /metrics.
+	subscribers int
+	published   uint64
+	dropped     uint64
 }
 
 func newBroker() *broker {
@@ -48,6 +54,7 @@ func (b *broker) subscribe(user int32) *subscriber {
 		b.byUser[user] = set
 	}
 	set[s] = struct{}{}
+	b.subscribers++
 	return s
 }
 
@@ -55,7 +62,10 @@ func (b *broker) unsubscribe(s *subscriber) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if set, ok := b.byUser[s.user]; ok {
-		delete(set, s)
+		if _, present := set[s]; present {
+			delete(set, s)
+			b.subscribers--
+		}
 		if len(set) == 0 {
 			delete(b.byUser, s.user)
 		}
@@ -72,7 +82,9 @@ func (b *broker) publish(users []int32, p TimelinePost) {
 		for s := range b.byUser[u] {
 			select {
 			case s.ch <- p:
+				b.published++
 			default:
+				b.dropped++
 			}
 		}
 	}
@@ -95,6 +107,19 @@ func (b *broker) close() {
 		}
 	}
 	b.byUser = make(map[int32]map[*subscriber]struct{})
+	b.subscribers = 0
+}
+
+func (b *broker) subscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.subscribers
+}
+
+func (b *broker) eventCounts() (published, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published, b.dropped
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {

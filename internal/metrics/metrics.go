@@ -6,7 +6,10 @@
 // Counters per worker and merge.
 package metrics
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Counters accumulates the cost metrics of a diversification run.
 type Counters struct {
@@ -28,6 +31,13 @@ type Counters struct {
 	// resident across all bins — the paper's RAM metric up to a constant
 	// per-copy factor.
 	StoredPeak int64
+
+	// Decisions is the latency distribution of the per-post decision (one
+	// Offer on one algorithm instance). It follows the same ownership
+	// discipline as the scalar counters: mutated without synchronization by
+	// the single goroutine driving the instance, snapshotted under the
+	// owner's lock, merged across instances and workers by Merge/Sum.
+	Decisions Histogram
 }
 
 // AddStored records n new live post copies and updates the peak.
@@ -52,18 +62,30 @@ func (c *Counters) StoredLive() int64 { return c.storedLive }
 // Processed returns the total number of posts offered.
 func (c *Counters) Processed() uint64 { return c.Accepted + c.Rejected }
 
-// PruneRatio returns the fraction of posts pruned as redundant.
+// PruneRatio returns the fraction of posts pruned as redundant. A run that
+// processed no posts has ratio 0 (not NaN), so reporting code can divide
+// blindly.
 func (c *Counters) PruneRatio() float64 {
-	if p := c.Processed(); p > 0 {
-		return float64(c.Rejected) / float64(p)
+	p := c.Processed()
+	if p == 0 {
+		return 0
 	}
-	return 0
+	return float64(c.Rejected) / float64(p)
 }
 
 // EstimateRAMBytes converts the peak stored-copy count into bytes given an
 // average per-copy footprint (fingerprint + timestamp + author + text
-// reference and bin bookkeeping).
+// reference and bin bookkeeping). A non-positive bytesPerCopy estimates 0
+// rather than a negative footprint, and a product that would overflow int64
+// saturates at math.MaxInt64 — peaks summed across many merged workers times
+// a large per-copy factor must not wrap into a negative RAM figure.
 func (c *Counters) EstimateRAMBytes(bytesPerCopy int) int64 {
+	if bytesPerCopy <= 0 || c.StoredPeak <= 0 {
+		return 0
+	}
+	if c.StoredPeak > math.MaxInt64/int64(bytesPerCopy) {
+		return math.MaxInt64
+	}
 	return c.StoredPeak * int64(bytesPerCopy)
 }
 
@@ -79,6 +101,7 @@ func (c *Counters) Merge(other Counters) {
 	c.Rejected += other.Rejected
 	c.storedLive += other.storedLive
 	c.StoredPeak += other.StoredPeak
+	c.Decisions.Merge(other.Decisions)
 }
 
 // Sum merges a set of counter snapshots into one total. It is the merge step

@@ -1,0 +1,62 @@
+package simhash_test
+
+import (
+	"testing"
+
+	"firehose/internal/simhash"
+	"firehose/internal/textnorm"
+)
+
+// FuzzDistance checks the Hamming-distance metric axioms on arbitrary
+// fingerprint triples: symmetry, the 0..64 range, identity of indiscernibles
+// and the triangle inequality.
+func FuzzDistance(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(0), ^uint64(0), uint64(0x5555555555555555))
+	f.Add(uint64(1), uint64(2), uint64(4))
+	f.Add(uint64(0xdeadbeefcafebabe), uint64(0xbadc0ffee0ddf00d), ^uint64(0))
+	f.Fuzz(func(t *testing.T, ra, rb, rc uint64) {
+		a, b, c := simhash.Fingerprint(ra), simhash.Fingerprint(rb), simhash.Fingerprint(rc)
+		dab := simhash.Distance(a, b)
+		if dba := simhash.Distance(b, a); dab != dba {
+			t.Fatalf("asymmetric: d(%x,%x)=%d but d(%x,%x)=%d", a, b, dab, b, a, dba)
+		}
+		if dab < 0 || dab > simhash.Size {
+			t.Fatalf("d(%x,%x)=%d outside [0,%d]", a, b, dab, simhash.Size)
+		}
+		if (dab == 0) != (a == b) {
+			t.Fatalf("d(%x,%x)=%d violates identity", a, b, dab)
+		}
+		if dac, dcb := simhash.Distance(a, c), simhash.Distance(c, b); dab > dac+dcb {
+			t.Fatalf("triangle violated: d(a,b)=%d > d(a,c)+d(c,b)=%d+%d", dab, dac, dcb)
+		}
+		if !simhash.Near(a, b, dab) || (dab > 0 && simhash.Near(a, b, dab-1)) {
+			t.Fatalf("Near inconsistent with Distance at d=%d", dab)
+		}
+	})
+}
+
+// FuzzFingerprintNormalizationStable checks that fingerprinting commutes with
+// text normalization: hashing the tokens of a raw string and of its
+// normalized form agree, and whitespace variants of the same text cannot
+// change the fingerprint.
+func FuzzFingerprintNormalizationStable(f *testing.F) {
+	f.Add("Over 300 people missing after ferry sinks")
+	f.Add("  Mixed   CASE  and\tpunctuation!!! ")
+	f.Add("")
+	f.Add("émoji ☕ 中文 Köln")
+	f.Add("a b c d e f g")
+	f.Fuzz(func(t *testing.T, s string) {
+		toks := textnorm.NormalizedTokens(s)
+		fp := simhash.Hash(toks)
+		if again := simhash.Hash(textnorm.NormalizedTokens(textnorm.Normalize(s))); again != fp {
+			t.Fatalf("fingerprint unstable under normalization: %x vs %x for %q", fp, again, s)
+		}
+		if ws := simhash.Hash(textnorm.NormalizedTokens("  " + s + "\t")); ws != fp {
+			t.Fatalf("fingerprint sensitive to surrounding whitespace: %x vs %x for %q", fp, ws, s)
+		}
+		if d := simhash.Distance(fp, fp); d != 0 {
+			t.Fatalf("self-distance %d", d)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package simindex
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParamsValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"zero distance, one block", Params{K: 0, Blocks: 1}, false},
+		{"manku web setting", Params{K: 3, Blocks: 6}, false},
+		{"max blocks", Params{K: 18, Blocks: 64}, false},
+		{"widest valid K", Params{K: 63, Blocks: 64}, false},
+		{"negative K", Params{K: -1, Blocks: 4}, true},
+		{"K at fingerprint size", Params{K: 64, Blocks: 64}, true},
+		{"blocks equal K", Params{K: 6, Blocks: 6}, true},
+		{"blocks below K", Params{K: 6, Blocks: 3}, true},
+		{"blocks above size", Params{K: 3, Blocks: 65}, true},
+		{"zero blocks", Params{K: 0, Blocks: 0}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate(%+v) = %v, wantErr %v", tc.p, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want int64
+	}{
+		{0, 0, 1},
+		{10, 0, 1},  // k = 0: one way
+		{10, 10, 1}, // k = n: one way
+		{10, 11, 0}, // k > n: none
+		{10, -1, 0}, // negative k: none
+		{10, 3, 120},
+		{10, 7, 120}, // symmetry C(n,k) = C(n,n-k)
+		{64, 1, 64},
+		{64, 63, 64},
+		{29, 18, 34597290},           // the paper's λc=18 table count
+		{64, 20, 19619725782651120},  // large but exact
+		{60, 30, 118264581564861424}, // largest exact case nearby
+		{64, 32, math.MaxInt64},      // overflows: saturates instead of wrapping
+		{62, 31, math.MaxInt64},      // still saturated
+	}
+	for _, tc := range cases {
+		if got := binomial(tc.n, tc.k); got != tc.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tc.n, tc.k, got, tc.want)
+		}
+	}
+}
+
+func TestFeasiblePlansEdgeCases(t *testing.T) {
+	t.Run("k=0 needs a single table", func(t *testing.T) {
+		plans := FeasiblePlans([]int{0}, 24)
+		if len(plans) != 1 {
+			t.Fatalf("got %d plans", len(plans))
+		}
+		p := plans[0]
+		if p.Tables != 1 {
+			t.Fatalf("k=0 tables = %d, want 1 (exact-match lookup)", p.Tables)
+		}
+		if p.KeyBits < 24 {
+			t.Fatalf("k=0 key bits = %d below floor", p.KeyBits)
+		}
+		if p.Params.Validate() != nil {
+			t.Fatalf("chosen params invalid: %+v", p.Params)
+		}
+	})
+
+	t.Run("infeasible key floor falls back to minimal blocks", func(t *testing.T) {
+		// k=60 with a 16-bit key floor needs 64·(b−60)/b ≥ 16, i.e. b ≥ 80 —
+		// impossible with 64 bits. The fallback reports blocks=k+1 so the
+		// blow-up is visible rather than the k silently vanishing.
+		plans := FeasiblePlans([]int{60}, 16)
+		p := plans[0]
+		if p.Params.Blocks != 61 {
+			t.Fatalf("fallback blocks = %d, want 61", p.Params.Blocks)
+		}
+		if p.Tables != 61 { // C(61,60)
+			t.Fatalf("fallback tables = %d, want 61", p.Tables)
+		}
+		if p.KeyBits != 64/61 {
+			t.Fatalf("fallback key bits = %d", p.KeyBits)
+		}
+	})
+
+	t.Run("plans keep input order and stay feasible", func(t *testing.T) {
+		ks := []int{3, 6, 10, 14, 18}
+		plans := FeasiblePlans(ks, 24)
+		if len(plans) != len(ks) {
+			t.Fatalf("got %d plans for %d ks", len(plans), len(ks))
+		}
+		for i, p := range plans {
+			if p.Params.K != ks[i] {
+				t.Fatalf("plan %d is for k=%d, want %d", i, p.Params.K, ks[i])
+			}
+			if p.KeyBits < 24 {
+				t.Fatalf("k=%d key bits %d below requested floor", p.Params.K, p.KeyBits)
+			}
+			if p.Tables <= 0 {
+				t.Fatalf("k=%d has %d tables", p.Params.K, p.Tables)
+			}
+			if p.CopiesGB <= 0 {
+				t.Fatalf("k=%d CopiesGB = %v", p.Params.K, p.CopiesGB)
+			}
+			if i > 0 && p.Tables < plans[i-1].Tables {
+				t.Fatalf("table count not monotone in k: %d after %d", p.Tables, plans[i-1].Tables)
+			}
+		}
+	})
+
+	t.Run("empty input", func(t *testing.T) {
+		if plans := FeasiblePlans(nil, 24); len(plans) != 0 {
+			t.Fatalf("got %d plans for no ks", len(plans))
+		}
+	})
+}

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"firehose/internal/core"
 	"firehose/internal/metrics"
@@ -18,6 +19,24 @@ type Engine struct {
 	subs  []chan *core.Post
 	done  bool
 	total uint64
+	// offerLatency observes the full Offer critical section — decision plus
+	// subscriber fan-out — so a consumer that stops draining its channel
+	// shows up here as rising engine latency, distinct from the pure
+	// decision cost in the diversifier's own Counters.Decisions.
+	offerLatency metrics.Histogram
+}
+
+// EngineSnapshot is a consistent view of an Engine's instrumentation.
+type EngineSnapshot struct {
+	// Offered is the total number of posts pushed through Offer.
+	Offered uint64
+	// Subscribers is the current subscriber-channel count.
+	Subscribers int
+	// OfferLatency is the end-to-end Offer latency (decision + fan-out).
+	OfferLatency metrics.Histogram
+	// Counters snapshots the diversifier's cost counters, including the
+	// pure decision latency histogram.
+	Counters metrics.Counters
 }
 
 // NewEngine wraps a diversifier.
@@ -34,6 +53,7 @@ func (e *Engine) Offer(p *core.Post) (bool, error) {
 	if e.done {
 		return false, fmt.Errorf("stream: engine is closed")
 	}
+	defer e.offerLatency.ObserveSince(time.Now())
 	e.total++
 	if !e.div.Offer(p) {
 		return false, nil
@@ -75,6 +95,19 @@ func (e *Engine) Counters() metrics.Counters {
 	return *e.div.Counters()
 }
 
+// Snapshot returns a consistent view of the engine's instrumentation, taken
+// under the decision lock so it never interleaves with an Offer.
+func (e *Engine) Snapshot() EngineSnapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return EngineSnapshot{
+		Offered:      e.total,
+		Subscribers:  len(e.subs),
+		OfferLatency: e.offerLatency,
+		Counters:     *e.div.Counters(),
+	}
+}
+
 // Swap atomically replaces or mutates the diversifier between decisions —
 // the safe point for applying a refreshed author graph (the paper's
 // periodic similarity recomputation). The function receives the current
@@ -114,6 +147,23 @@ type MultiEngine struct {
 	md        core.MultiDiversifier
 	timelines map[int32][]*core.Post
 	done      bool
+	offered   uint64
+	delivered uint64
+	// offerLatency observes the full routed decision (all affected users'
+	// instances) plus timeline bookkeeping.
+	offerLatency metrics.Histogram
+}
+
+// MultiEngineSnapshot is a consistent view of a MultiEngine's
+// instrumentation.
+type MultiEngineSnapshot struct {
+	// Offered counts posts pushed through Offer; Delivered counts timeline
+	// appends (one post delivered to k users counts k).
+	Offered, Delivered uint64
+	// OfferLatency is the end-to-end Offer latency.
+	OfferLatency metrics.Histogram
+	// Counters is the merged cost-counter snapshot.
+	Counters metrics.Counters
 }
 
 // NewMultiEngine wraps a multi-user diversifier.
@@ -128,11 +178,29 @@ func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
 	if m.done {
 		return nil, fmt.Errorf("stream: engine is closed")
 	}
+	defer m.offerLatency.ObserveSince(time.Now())
+	m.offered++
 	users := m.md.Offer(p)
+	m.delivered += uint64(len(users))
 	for _, u := range users {
 		m.timelines[u] = append(m.timelines[u], p)
 	}
 	return users, nil
+}
+
+// Name returns the backing solver's algorithm name (e.g. "S_UniBin").
+func (m *MultiEngine) Name() string { return m.md.Name() }
+
+// Snapshot returns a consistent view of the engine's instrumentation.
+func (m *MultiEngine) Snapshot() MultiEngineSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MultiEngineSnapshot{
+		Offered:      m.offered,
+		Delivered:    m.delivered,
+		OfferLatency: m.offerLatency,
+		Counters:     *m.md.Counters(),
+	}
 }
 
 // Timeline returns a copy of user u's accumulated timeline.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"firehose/internal/authorsim"
 	"firehose/internal/core"
@@ -88,18 +89,43 @@ const (
 )
 
 type parallelWorker struct {
-	// mu guards md: the worker goroutine holds it across Offer (which
-	// mutates the per-component counters deep inside the bins) and Counters
-	// snapshots hold it while merging, so snapshots never race decisions.
+	// mu guards md and the queue-wait histogram: the worker goroutine holds
+	// it across Offer (which mutates the per-component counters deep inside
+	// the bins) and Counters/WorkerSnapshots hold it while merging, so
+	// snapshots never race decisions.
 	mu      sync.Mutex
 	md      *core.SharedMultiUser
 	ch      chan parallelJob
 	lastSeq uint64
+	// queueWait observes, per job, the time between enqueue at the ingest
+	// boundary and dequeue by the worker — the per-worker imbalance signal:
+	// a hot shard's queue wait grows while its siblings stay flat.
+	queueWait metrics.Histogram
 }
 
 type parallelJob struct {
 	post   *core.Post
 	ticket *Ticket
+	// enqueuedAt is stamped at the ingest boundary; the worker's dequeue
+	// time minus this is the job's queue wait.
+	enqueuedAt time.Time
+}
+
+// WorkerSnapshot is a consistent view of one worker's instrumentation, for
+// spotting per-shard imbalance (Gao et al. observe that per-worker load skew
+// is the first thing a parallel stream clusterer must expose).
+type WorkerSnapshot struct {
+	// Worker is the shard index.
+	Worker int
+	// QueueLen and QueueCap are the pending-job count and queue bound at
+	// snapshot time.
+	QueueLen, QueueCap int
+	// QueueWait is the distribution of enqueue→dequeue waits on this shard.
+	QueueWait metrics.Histogram
+	// Counters is this worker's cost-counter snapshot (accept/reject split,
+	// comparisons, decision latency), taken under the worker's decision
+	// lock.
+	Counters metrics.Counters
 }
 
 // Ticket is a pending decision handle.
@@ -197,6 +223,7 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 				}
 				w.lastSeq = job.ticket.seq
 				w.mu.Lock()
+				w.queueWait.ObserveSince(job.enqueuedAt)
 				users := w.md.Offer(job.post)
 				w.mu.Unlock()
 				job.ticket.users = users
@@ -231,7 +258,7 @@ func (e *ParallelMultiEngine) Offer(p *core.Post) (*Ticket, error) {
 	}
 	w := e.workers[e.authorWorker[p.Author]]
 	t := &Ticket{seq: e.seq + 1, done: make(chan struct{})}
-	job := parallelJob{post: p, ticket: t}
+	job := parallelJob{post: p, ticket: t, enqueuedAt: time.Now()}
 	if e.failFast {
 		select {
 		case w.ch <- job:
@@ -290,6 +317,31 @@ func (e *ParallelMultiEngine) Counters() metrics.Counters {
 	}
 	return metrics.Sum(snaps...)
 }
+
+// WorkerSnapshots returns a per-worker instrumentation snapshot. Like
+// Counters it is safe at any time from any goroutine: each worker's state is
+// read under that worker's decision lock, one worker at a time, so a
+// snapshot never races a decision but workers are not frozen relative to
+// each other — call after Close for exact final values.
+func (e *ParallelMultiEngine) WorkerSnapshots() []WorkerSnapshot {
+	snaps := make([]WorkerSnapshot, len(e.workers))
+	for i, w := range e.workers {
+		w.mu.Lock()
+		snaps[i] = WorkerSnapshot{
+			Worker:    i,
+			QueueLen:  len(w.ch),
+			QueueCap:  cap(w.ch),
+			QueueWait: w.queueWait,
+			Counters:  *w.md.Counters(),
+		}
+		w.mu.Unlock()
+	}
+	return snaps
+}
+
+// Name returns the backing solver's algorithm name (e.g. "S_UniBin"); every
+// shard runs the same algorithm.
+func (e *ParallelMultiEngine) Name() string { return e.workers[0].md.Name() }
 
 // NumWorkers returns the shard count.
 func (e *ParallelMultiEngine) NumWorkers() int { return len(e.workers) }

@@ -122,6 +122,40 @@ func (s *ParallelService) Stats() Stats {
 	return statsOf(&c)
 }
 
+// WorkerStats is the per-worker slice of the service's instrumentation —
+// queue pressure and decision cost of one shard. Comparing QueueWait and
+// Stats across workers makes component-hashing imbalance visible.
+type WorkerStats struct {
+	// Worker is the shard index, 0..Workers()-1.
+	Worker int
+	// QueueDepth is the number of posts waiting in this worker's queue at
+	// snapshot time; QueueCapacity is its bound.
+	QueueDepth, QueueCapacity int
+	// QueueWait summarizes how long posts sat queued before their decision.
+	QueueWait LatencySummary
+	// Stats are this worker's cost counters; summing them across workers
+	// gives Stats().
+	Stats Stats
+}
+
+// WorkerStats snapshots every worker's queue state and counters, in worker
+// order. Safe at any time from any goroutine; each worker is snapshotted
+// under its own decision lock.
+func (s *ParallelService) WorkerStats() []WorkerStats {
+	snaps := s.inner.WorkerSnapshots()
+	out := make([]WorkerStats, len(snaps))
+	for i, ws := range snaps {
+		out[i] = WorkerStats{
+			Worker:        ws.Worker,
+			QueueDepth:    ws.QueueLen,
+			QueueCapacity: ws.QueueCap,
+			QueueWait:     latencySummaryOf(ws.QueueWait),
+			Stats:         statsOf(&ws.Counters),
+		}
+	}
+	return out
+}
+
 func wrapUserErr(u int, err error) error {
 	return fmt.Errorf("user %d: %w", u, err)
 }
