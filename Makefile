@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race check bench fuzz
+.PHONY: build test vet race lint check bench fuzz
 
 build:
 	$(GO) build ./...
@@ -19,8 +19,15 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# check is the tier-1 gate: vet + full race-detector test run.
-check: vet race
+# lint runs the firehose-lint analyzer suite (guardcheck, observecheck,
+# nowcheck, snapshotcheck, errdrop) over the whole module. See DESIGN.md
+# ("Static analysis") for the invariants each analyzer enforces and README.md
+# for the guard-comment grammar.
+lint:
+	$(GO) run ./cmd/firehose-lint ./...
+
+# check is the tier-1 gate: vet + firehose-lint + full race-detector test run.
+check: vet lint race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,71 @@
+// Command firehose-lint is the multichecker for the repo's custom static
+// analyses: it loads the requested packages (default ./...) and applies every
+// analyzer in internal/lint's suite, printing findings as
+//
+//	file:line:col: analyzer: message
+//
+// and exiting non-zero when any survive. It is wired into `make lint` (and
+// through it `make check` and CI), so the engine's concurrency and metrics
+// invariants are enforced at vet time, not in -race stress runs.
+//
+// Usage:
+//
+//	firehose-lint [-list] [packages]
+//
+// Suppress a single finding with a justified directive on the line above it:
+//
+//	//lint:ignore guardcheck <why this access is safe>
+//
+// Directives without a reason do not suppress and are themselves reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+
+	"firehose/internal/lint"
+	"firehose/internal/lint/loader"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: firehose-lint [-list] [packages]\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := lint.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings, err := lint.Run(fset, pkgs, suite)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "firehose-lint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		os.Exit(1)
+	}
+}

@@ -79,7 +79,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fs, err = corpusio.ReadFollowees(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -43,6 +43,7 @@ type Server struct {
 	broker   *broker
 	registry *metrics.Registry
 
+	// mu guards: nextID, lastT
 	mu     sync.Mutex
 	nextID uint64
 	lastT  int64
@@ -128,10 +129,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 
 	s.mu.Lock()
-	if req.TimeMillis < s.lastT {
+	if last := s.lastT; req.TimeMillis < last {
+		// Capture lastT before unlocking: a concurrent ingest may advance it
+		// the moment the lock is released.
 		s.mu.Unlock()
 		httpError(w, http.StatusConflict,
-			"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, s.lastT)
+			"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, last)
 		return
 	}
 	s.lastT = req.TimeMillis

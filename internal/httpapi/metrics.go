@@ -26,6 +26,7 @@ import (
 type parallelTimelines struct {
 	pe *stream.ParallelMultiEngine
 
+	// mu guards: timelines
 	mu        sync.Mutex
 	timelines map[int32][]*core.Post
 }

@@ -23,12 +23,13 @@ type subscriber struct {
 // broker fans deliveries out to SSE subscribers, indexed by user id so
 // publishing costs O(delivered users), not O(subscribers × delivered users).
 type broker struct {
+	// mu guards: byUser, closed, subscribers, published, dropped
 	mu     sync.Mutex
 	byUser map[int32]map[*subscriber]struct{}
 	closed bool
 	// subscribers tracks open subscriptions; published counts events placed
 	// into subscriber buffers and dropped counts events discarded because a
-	// buffer was full. All are guarded by mu and surfaced on /metrics.
+	// buffer was full. All are surfaced on /metrics.
 	subscribers int
 	published   uint64
 	dropped     uint64

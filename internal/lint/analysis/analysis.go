@@ -1,0 +1,58 @@
+// Package analysis is a minimal, dependency-free subset of the
+// golang.org/x/tools/go/analysis API: an Analyzer inspects one type-checked
+// package through a Pass and reports Diagnostics.
+//
+// The repo builds its own copy rather than depending on x/tools because the
+// build environment is hermetic (no module proxy); the API mirrors the
+// upstream shapes field for field, so migrating the analyzers onto the real
+// framework is a mechanical import swap.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:ignore
+	// directives. By convention it is a single lowercase word.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations. It is shared by every
+	// package of a load, so positions from any package resolve correctly.
+	Fset *token.FileSet
+	// Files are the package's parsed source files, with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo holds the type-checker's results for the package's syntax.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic. It is never nil.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding of an analyzer.
+type Diagnostic struct {
+	// Pos is the source position the finding anchors to.
+	Pos token.Pos
+	// Message states the violation. It is prefixed with the analyzer name by
+	// the driver, not here.
+	Message string
+}

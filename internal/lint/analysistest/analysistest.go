@@ -1,0 +1,137 @@
+// Package analysistest runs an analyzer over a testdata module and checks its
+// diagnostics against `// want "regexp"` expectations written in the sources,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Each analyzer's testdata directory is a self-contained Go module (the go
+// tool never descends into directories named testdata, so these modules are
+// invisible to the repo's own builds). A line expecting diagnostics carries a
+// trailing comment of one or more quoted regular expressions:
+//
+//	v.count++ // want `count is accessed without holding`
+//
+// Every expectation must be matched by a diagnostic on its line and every
+// diagnostic must match an expectation, so the tests prove both that seeded
+// violations are reported and that mirrored real-world shapes stay silent.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"firehose/internal/lint/analysis"
+	"firehose/internal/lint/loader"
+)
+
+// wantRE matches the expectation payload after the comment marker.
+var wantRE = regexp.MustCompile(`^want((?:\s+(?:"(?:[^"\\]|\\.)*"|` + "`[^`]*`" + `))+)\s*$`)
+
+// tokenRE matches one quoted expectation inside the payload.
+var tokenRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"|` + "`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads patterns from the testdata module rooted at dir, applies the
+// analyzer to every package, and reports mismatches between diagnostics and
+// want expectations through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, dir, patterns...)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("%s: running %s: %v", pkg.ImportPath, a.Name, err)
+		}
+	}
+
+	expectations := collectWants(t, fset, pkgs)
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(expectations, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, exp := range expectations {
+		if !exp.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %s, got none", exp.file, exp.line, exp.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose regexp
+// matches message.
+func claim(exps []*expectation, file string, line int, message string) bool {
+	for _, exp := range exps {
+		if !exp.matched && exp.file == file && exp.line == line && exp.re.MatchString(message) {
+			exp.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*loader.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					m := wantRE.FindStringSubmatch(text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, tok := range tokenRE.FindAllString(m[1], -1) {
+						pattern, err := unquote(tok)
+						if err != nil {
+							t.Fatalf("%s: bad want token %s: %v", pos, tok, err)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, pattern, err)
+						}
+						out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: tok})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func unquote(tok string) (string, error) {
+	if strings.HasPrefix(tok, "`") {
+		if len(tok) < 2 || !strings.HasSuffix(tok, "`") {
+			return "", fmt.Errorf("unterminated raw string")
+		}
+		return tok[1 : len(tok)-1], nil
+	}
+	return strconv.Unquote(tok)
+}

@@ -1,0 +1,111 @@
+// Package errdrop flags silently discarded error returns at the engine's
+// lifecycle and delivery boundaries: calls to functions or methods named
+// Offer, Publish, Close, Shutdown, Serve, ListenAndServe or ListenAndServeTLS
+// whose error result is ignored by using the call as a bare statement (or a
+// bare `go` statement). A dropped Offer error loses a post without trace; a
+// dropped Close error hides an unflushed resource; a dropped Serve error
+// turns a dead listener into a silent hang.
+//
+// An explicit `_ = f.Close()` is allowed — the discard is visible in review —
+// and so is `defer f.Close()`, the accepted idiom for read-only cleanup where
+// no useful recovery exists. Everything that wants the error gone must say
+// so.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Analyzer is the errdrop analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns from Offer, Publish, Close, Shutdown and Serve-family call sites",
+	Run:  run,
+}
+
+// watchedNames are the call names whose errors must not be silently dropped.
+// Matching is case-insensitive on the first rune so unexported variants
+// (broker.publish) are covered.
+var watchedNames = map[string]bool{
+	"offer":             true,
+	"publish":           true,
+	"close":             true,
+	"shutdown":          true,
+	"serve":             true,
+	"listenandserve":    true,
+	"listenandservetls": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = s.Call
+			}
+			if call == nil {
+				return true
+			}
+			name, ok := calleeName(call)
+			if !ok || !watchedNames[lower(name)] {
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error return of %s is silently discarded; handle it, or make the discard explicit with `_ = %s(...)`", name, name)
+			return true
+		})
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+func lower(name string) string {
+	b := []byte(name)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// returnsError reports whether the call's result type is or contains error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

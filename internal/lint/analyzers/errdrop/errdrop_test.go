@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "./...")
+}

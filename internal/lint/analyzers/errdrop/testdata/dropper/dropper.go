@@ -1,0 +1,49 @@
+// Package dropper exercises errdrop: lifecycle/delivery calls (Offer,
+// Publish, Close, Shutdown, Serve family) whose error result is dropped by a
+// bare statement are reported; explicit `_ =` discards and `defer f.Close()`
+// cleanup are the sanctioned escape hatches.
+package dropper
+
+import "errors"
+
+type conn struct{}
+
+func (c *conn) Close() error              { return errors.New("unflushed") }
+func (c *conn) Offer(v int) (bool, error) { return false, nil }
+func (c *conn) publish(v int) error       { return nil }
+func (c *conn) Flush() error              { return nil }
+
+type server struct{}
+
+func (s *server) ListenAndServe() error { return nil }
+func (s *server) Shutdown() error       { return nil }
+
+// quiet's Close returns nothing; a bare call drops no error.
+type quiet struct{}
+
+func (q *quiet) Close() {}
+
+func bad(c *conn, s *server) {
+	c.Close()             // want `error return of Close is silently discarded`
+	c.Offer(1)            // want `error return of Offer is silently discarded`
+	c.publish(2)          // want `error return of publish is silently discarded`
+	go c.Close()          // want `error return of Close is silently discarded`
+	go s.ListenAndServe() // want `error return of ListenAndServe is silently discarded`
+	s.Shutdown()          // want `error return of Shutdown is silently discarded`
+}
+
+func good(c *conn, s *server, q *quiet) error {
+	_ = c.Close()
+	defer c.Close()
+	if err := c.publish(1); err != nil {
+		return err
+	}
+	ok, err := c.Offer(1)
+	_ = ok
+	c.Flush() // Flush is not a watched name.
+	q.Close() // no error result to drop.
+	errCh := make(chan error, 1)
+	go func() { errCh <- s.ListenAndServe() }()
+	<-errCh
+	return err
+}

@@ -1,0 +1,3 @@
+module errdroptest
+
+go 1.22

@@ -1,0 +1,398 @@
+// Package guardcheck enforces the repo's guard-comment convention: a struct
+// field annotated `// mu guards: fieldA, fieldB` (see internal/lint/guards)
+// may only be read or written while the named mutex is held on every control
+// path reaching the access.
+//
+// The analysis is a branch-aware abstract interpretation of each function
+// body. The state is the set of (lock expression, mutex field) pairs known to
+// be held; Lock/RLock add a pair, Unlock/RUnlock remove it, and control-flow
+// joins (if/else, switch, select, loops) intersect the states of the
+// non-terminating branches — so the early-unlock-and-return shape of
+// stream.ParallelMultiEngine.Offer analyzes precisely. `defer mu.Unlock()`
+// leaves the held state untouched (it runs at return), which makes the
+// lock/defer-unlock idiom the easiest way to satisfy the check.
+//
+// Known limitations, by design (the convention is a discipline, not an alias
+// analysis): lock expressions are compared textually (`w := e.workers[0];
+// w.mu.Lock()` then `e.workers[0].md` is not matched — use the same base
+// expression for lock and access), function literals start with no locks held
+// (a closure may outlive the critical section it was created in), and helper
+// methods that rely on their caller's lock must either take the lock
+// themselves or carry a `//lint:ignore guardcheck <reason>` directive.
+package guardcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"firehose/internal/lint/analysis"
+	"firehose/internal/lint/guards"
+)
+
+// Analyzer is the guardcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "guardcheck",
+	Doc:  "reports accesses to `// mu guards:`-annotated struct fields on paths where the mutex is not held",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// guardcheck owns the malformed-annotation diagnostics; snapshotcheck
+	// calls Collect with a nil reporter.
+	info := guards.Collect(pass, pass.Report)
+	if len(info.Guarded) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: info}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.scanBlock(fn.Body.List, make(lockState))
+			}
+		}
+	}
+	return nil
+}
+
+// lockKey identifies one mutex acquisition site: the textual base expression
+// the mutex is reached through, plus the mutex field name.
+type lockKey struct {
+	base  string
+	mutex string
+}
+
+// lockState is the set of keys currently held.
+type lockState map[lockKey]bool
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k := range st {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect keeps only the keys held in both states — the join of two
+// control-flow branches.
+func intersect(a, b lockState) lockState {
+	out := make(lockState)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards *guards.Info
+}
+
+// scanBlock interprets a statement list. It returns the exit state and
+// whether the block always terminates (return, branch, panic), in which case
+// the caller must not merge its exit state into the fall-through path.
+func (c *checker) scanBlock(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = c.scanStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) scanStmt(stmt ast.Stmt, st lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case nil, *ast.EmptyStmt:
+		return st, false
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st, true)
+		return st, c.isTerminatingCall(s.X)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st, true)
+		c.scanExpr(s.Value, st, true)
+		return st, false
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st, true)
+		return st, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, st, true)
+		}
+		for _, e := range s.Lhs {
+			c.scanExpr(e, st, true)
+		}
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, st, true)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		// Result expressions evaluate before deferred unlocks run, so the
+		// current state applies.
+		for _, e := range s.Results {
+			c.scanExpr(e, st, true)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treating them as
+		// terminating keeps the join conservative.
+		return st, true
+	case *ast.DeferStmt:
+		// Operands are evaluated now; the call itself runs at return, so a
+		// deferred Unlock must not clear the held state here.
+		c.scanExpr(s.Call, st, false)
+		return st, false
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, st, false)
+		return st, false
+	case *ast.BlockStmt:
+		return c.scanBlock(s.List, st)
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, st, true)
+		thenSt, thenTerm := c.scanBlock(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = c.scanStmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersect(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st, true)
+		}
+		bodySt, bodyTerm := c.scanBlock(s.Body.List, st.clone())
+		if s.Post != nil {
+			c.scanStmt(s.Post, bodySt)
+		}
+		// The body may run zero times, so the exit state is the entry state
+		// intersected with the body's (unless the body always leaves the
+		// loop, in which case only the zero-iterations path falls through).
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st, true)
+		if s.Key != nil {
+			c.scanExpr(s.Key, st, true)
+		}
+		if s.Value != nil {
+			c.scanExpr(s.Value, st, true)
+		}
+		bodySt, bodyTerm := c.scanBlock(s.Body.List, st.clone())
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st, true)
+		}
+		return c.scanClauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		c.scanStmt(s.Assign, st)
+		return c.scanClauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		// Exactly one clause executes (select blocks until one is ready), so
+		// the join does not include the entry state.
+		return c.scanClauses(s.Body.List, st, true)
+	default:
+		return st, false
+	}
+}
+
+// scanClauses interprets the case/comm clauses of a switch or select.
+// exhaustive marks constructs where some clause always runs (select, or
+// switch with a default), so the entry state does not fall through.
+func (c *checker) scanClauses(clauses []ast.Stmt, st lockState, exhaustive bool) (lockState, bool) {
+	var exits []lockState
+	for _, cl := range clauses {
+		clSt := st.clone()
+		var body []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				c.scanExpr(e, clSt, true)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				clSt, _ = c.scanStmt(cc.Comm, clSt)
+			}
+			body = cc.Body
+		}
+		exit, term := c.scanBlock(body, clSt)
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !exhaustive {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged = intersect(merged, e)
+	}
+	return merged, false
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanExpr walks one expression in evaluation order, updating the lock state
+// at Lock/Unlock calls (when lockOps is true) and reporting guarded-field
+// accesses made while the guard is not held. Function literals are scanned
+// with an empty state: a closure may run after the enclosing critical section
+// ends.
+func (c *checker) scanExpr(e ast.Expr, st lockState, lockOps bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.scanBlock(x.Body.List, make(lockState))
+			return false
+		case *ast.CallExpr:
+			if key, locks, ok := c.lockOp(x); ok {
+				if lockOps {
+					if locks {
+						st[key] = true
+					} else {
+						delete(st, key)
+					}
+				}
+				return false
+			}
+		case *ast.SelectorExpr:
+			c.checkAccess(x, st)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x.mu.Lock()/Unlock()/RLock()/RUnlock() where mu is an
+// annotated mutex field, returning the lock key and whether the op acquires.
+func (c *checker) lockOp(call *ast.CallExpr) (lockKey, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return lockKey{}, false, false
+	}
+	mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, false, false
+	}
+	v := c.fieldObj(mutexSel)
+	if v == nil || !c.guards.Mutexes[v] {
+		return lockKey{}, false, false
+	}
+	return lockKey{base: types.ExprString(ast.Unparen(mutexSel.X)), mutex: mutexSel.Sel.Name}, locks, true
+}
+
+// checkAccess reports sel when it selects a guarded field whose mutex is not
+// held through the same base expression.
+func (c *checker) checkAccess(sel *ast.SelectorExpr, st lockState) {
+	v := c.fieldObj(sel)
+	if v == nil {
+		return
+	}
+	g, ok := c.guards.Guarded[v]
+	if !ok {
+		return
+	}
+	key := lockKey{base: types.ExprString(ast.Unparen(sel.X)), mutex: g.Mutex}
+	if !st[key] {
+		c.pass.Reportf(sel.Sel.Pos(), "%s.%s is accessed without holding %s.%s (declared `// %s guards: ...` on %s)",
+			key.base, v.Name(), key.base, g.Mutex, g.Mutex, structName(g))
+	}
+}
+
+// fieldObj resolves a selector to the struct field it selects, or nil for
+// method selections and package-qualified identifiers.
+func (c *checker) fieldObj(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// isTerminatingCall recognizes statements that never return — panic,
+// os.Exit, runtime.Goexit and the log.Fatal family — so the branch they end
+// does not pollute the control-flow join.
+func (c *checker) isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, builtin := c.pass.TypesInfo.Uses[fun].(*types.Builtin)
+		return builtin && fun.Name == "panic"
+	case *ast.SelectorExpr:
+		obj := c.pass.TypesInfo.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+func structName(g guards.Guard) string {
+	if g.Struct != nil {
+		return g.Struct.Name()
+	}
+	return "the struct"
+}

@@ -1,0 +1,12 @@
+package guardcheck_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/guardcheck"
+)
+
+func TestGuardcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", guardcheck.Analyzer, "./...")
+}

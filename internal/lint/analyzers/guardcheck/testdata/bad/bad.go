@@ -1,0 +1,77 @@
+// Package bad seeds guardcheck violations: every access here touches a
+// guarded field on at least one path where the mutex is not held.
+package bad
+
+import "sync"
+
+type counter struct {
+	// mu guards: n, items
+	mu    sync.Mutex
+	n     int
+	items []string
+}
+
+// Bump writes the guarded field with no lock at all.
+func (c *counter) Bump() {
+	c.n++ // want `c.n is accessed without holding c.mu`
+}
+
+// ReadAfterUnlock releases the lock before the read — the classic
+// check-then-act race.
+func (c *counter) ReadAfterUnlock() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `c.n is accessed without holding c.mu`
+}
+
+// HalfGuarded locks on only one branch, so the join point holds nothing.
+func (c *counter) HalfGuarded(b bool) {
+	if b {
+		c.mu.Lock()
+	}
+	c.n++ // want `c.n is accessed without holding c.mu`
+	if b {
+		c.mu.Unlock()
+	}
+}
+
+// EscapedFormat reads the guarded field in an argument evaluated after the
+// early unlock (the shape firehose-lint caught in httpapi.handleIngest).
+func (c *counter) EscapedFormat(limit int) (int, bool) {
+	c.mu.Lock()
+	if c.n > limit {
+		c.mu.Unlock()
+		return c.n, false // want `c.n is accessed without holding c.mu`
+	}
+	c.mu.Unlock()
+	return limit, true
+}
+
+// Closure captures the receiver; the literal may run after the critical
+// section ends, so it starts with no locks held.
+func (c *counter) Closure() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.items = nil // want `c.items is accessed without holding c.mu`
+	}
+}
+
+// Async touches guarded state from a goroutine that never locks.
+func (c *counter) Async() {
+	go func() {
+		c.items = append(c.items, "x") // want `c.items is accessed without holding c.mu` `c.items is accessed without holding c.mu`
+	}()
+}
+
+// AfterLoop conditionally unlocks inside the loop, so the post-loop join
+// cannot assume the lock is still held.
+func (c *counter) AfterLoop(xs []int) int {
+	c.mu.Lock()
+	for _, x := range xs {
+		if x < 0 {
+			c.mu.Unlock()
+		}
+	}
+	return c.n // want `c.n is accessed without holding c.mu`
+}

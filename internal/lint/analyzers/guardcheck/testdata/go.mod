@@ -1,0 +1,3 @@
+module guardtest
+
+go 1.22

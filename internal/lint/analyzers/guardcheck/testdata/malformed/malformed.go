@@ -1,0 +1,47 @@
+// Package malformed seeds every grammar error the guard-comment parser
+// diagnoses; guardcheck owns these reports (snapshotcheck parses with a nil
+// reporter so the suite emits each exactly once).
+package malformed
+
+import "sync"
+
+// wrongName writes the annotation on a field that is not the named mutex.
+type wrongName struct {
+	// lock guards: n
+	mu sync.Mutex // want `guard annotation names "lock" but is attached to field "mu"`
+	n  int
+}
+
+// notMutex hangs the annotation on a plain field.
+type notMutex struct {
+	// n guards: data
+	n    int // want `guard annotation on "n", which is not a sync.Mutex or sync.RWMutex`
+	data []byte
+}
+
+// unknownField lists a field the struct does not have.
+type unknownField struct {
+	// mu guards: nosuch
+	mu sync.Mutex // want `guard annotation on "mu" lists "nosuch", which is not a field of the struct`
+	n  int
+}
+
+// selfGuard lists the mutex as its own guarded field.
+type selfGuard struct {
+	// mu guards: mu, n
+	mu sync.Mutex // want `guard annotation on "mu" lists the mutex itself`
+	n  int
+}
+
+// use keeps the structs and fields referenced so the package compiles
+// without unused warnings under vet-style review; n of selfGuard is guarded,
+// so it is read under the lock.
+func use() int {
+	var s selfGuard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w wrongName
+	var m notMutex
+	var u unknownField
+	return s.n + w.n + m.n + u.n
+}

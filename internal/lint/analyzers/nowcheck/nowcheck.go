@@ -1,0 +1,99 @@
+// Package nowcheck forbids raw wall-clock reads — time.Now and time.Since —
+// in decision-path packages. The replay harness (internal/stream/replay.go)
+// drives those packages with an injected clock so recorded corpora replay
+// deterministically; a stray time.Now() deep in a bin or index silently
+// couples decisions to the wall clock and breaks replay equivalence.
+//
+// The single allowed form is the latency idiom
+//
+//	defer <histogram>.ObserveSince(time.Now())
+//
+// whose time.Now() feeds only the instrumentation histogram, never a
+// decision. Everything else must thread a timestamp or a clock through its
+// inputs (posts carry their own Time; see stream.Replay.SetClock).
+package nowcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Analyzer is the nowcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowcheck",
+	Doc:  "forbids time.Now/time.Since in decision-path packages outside the `defer h.ObserveSince(time.Now())` idiom",
+	Run:  run,
+}
+
+// DecisionPathSuffixes lists the import-path suffixes of the packages where
+// decisions are made and replay determinism must hold. Matching by suffix
+// keeps the analyzer testable: a testdata module lays its packages out under
+// the same trailing path.
+var DecisionPathSuffixes = []string{
+	"internal/core",
+	"internal/postbin",
+	"internal/simindex",
+}
+
+func run(pass *analysis.Pass) error {
+	if !isDecisionPath(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		allowed := allowedNowCalls(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			switch obj.Name() {
+			case "Now", "Since":
+				if !allowed[sel] {
+					pass.Reportf(sel.Pos(), "time.%s in a decision-path package breaks replay determinism; thread the post timestamp or an injected clock instead (the only allowed form is `defer h.ObserveSince(time.Now())`)", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isDecisionPath(pkgPath string) bool {
+	for _, sfx := range DecisionPathSuffixes {
+		if pkgPath == sfx || strings.HasSuffix(pkgPath, "/"+sfx) {
+			return true
+		}
+	}
+	return false
+}
+
+// allowedNowCalls collects the time.Now selector inside each
+// `defer <expr>.ObserveSince(time.Now())` statement of the file.
+func allowedNowCalls(file *ast.File) map[*ast.SelectorExpr]bool {
+	allowed := make(map[*ast.SelectorExpr]bool)
+	ast.Inspect(file, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		fun, ok := def.Call.Fun.(*ast.SelectorExpr)
+		if !ok || fun.Sel.Name != "ObserveSince" || len(def.Call.Args) != 1 {
+			return true
+		}
+		arg, ok := ast.Unparen(def.Call.Args[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := arg.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Now" {
+			allowed[sel] = true
+		}
+		return true
+	})
+	return allowed
+}

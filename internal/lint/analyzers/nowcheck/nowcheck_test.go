@@ -1,0 +1,12 @@
+package nowcheck_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/nowcheck"
+)
+
+func TestNowcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", nowcheck.Analyzer, "./...")
+}

@@ -1,0 +1,3 @@
+module nowtest
+
+go 1.22

@@ -1,0 +1,19 @@
+// Package postbin matches the second decision-path suffix; eviction must be
+// driven by post timestamps, not the wall clock.
+package postbin
+
+import "time"
+
+type window struct {
+	span time.Duration
+}
+
+// Evict decides on the wall clock instead of the incoming post's timestamp.
+func (w *window) Evict(last int64) bool {
+	return time.Since(time.UnixMilli(last)) > w.span // want `time.Since in a decision-path package breaks replay determinism`
+}
+
+// EvictAt threads the timestamp through its inputs — the compliant form.
+func (w *window) EvictAt(nowMillis, last int64) bool {
+	return time.Duration(nowMillis-last)*time.Millisecond > w.span
+}

@@ -1,0 +1,11 @@
+// Package other is not on a decision-path suffix: wall-clock reads here are
+// fine (this is the harness/driver layer) and the analyzer must stay silent.
+package other
+
+import "time"
+
+// Wall is allowed — replay determinism only constrains decision packages.
+func Wall() time.Time { return time.Now() }
+
+// Elapsed is likewise allowed.
+func Elapsed(t0 time.Time) time.Duration { return time.Since(t0) }

@@ -1,0 +1,119 @@
+// Package observecheck enforces the decision-latency instrumentation
+// invariant: every core SPSD algorithm's Offer — any method with the exact
+// decision shape
+//
+//	func (x *T) Offer(p *Post) bool
+//
+// — must begin with the one-line latency idiom
+//
+//	defer x.<...>.Decisions.ObserveSince(time.Now())
+//
+// as its first statement, so the per-post decision latency histogram the
+// paper's Section 6 perf tables are built from observes every decision,
+// including early-return paths. Multi-user routers (Offer returning []int32)
+// are exempt: they delegate to instances that observe, and observing at both
+// layers would double-count.
+package observecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Analyzer is the observecheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "observecheck",
+	Doc:  "requires decision-shaped Offer methods to begin with `defer ....Decisions.ObserveSince(time.Now())`",
+	Run:  run,
+}
+
+const idiom = "defer <counters>.Decisions.ObserveSince(time.Now())"
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !isDecisionOffer(pass, fn) {
+				continue
+			}
+			if len(fn.Body.List) == 0 {
+				pass.Reportf(fn.Name.Pos(), "algorithm Offer must begin with `%s`; the body is empty", idiom)
+				continue
+			}
+			if !isObserveDefer(pass, fn.Body.List[0]) {
+				pass.Reportf(fn.Name.Pos(), "algorithm Offer must begin with `%s` as its first statement, so every decision path is observed", idiom)
+			}
+		}
+	}
+	return nil
+}
+
+// isDecisionOffer matches methods named Offer taking a single *Post and
+// returning a single bool — the Diversifier decision signature.
+func isDecisionOffer(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if fn.Name.Name != "Offer" || fn.Recv == nil {
+		return false
+	}
+	sig, ok := funcType(pass, fn)
+	if !ok {
+		return false
+	}
+	params, results := sig.Params(), sig.Results()
+	if params.Len() != 1 || results.Len() != 1 {
+		return false
+	}
+	if b, ok := results.At(0).Type().(*types.Basic); !ok || b.Kind() != types.Bool {
+		return false
+	}
+	ptr, ok := params.At(0).Type().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	return ok && named.Obj().Name() == "Post"
+}
+
+func funcType(pass *analysis.Pass, fn *ast.FuncDecl) (*types.Signature, bool) {
+	obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	return sig, ok
+}
+
+// isObserveDefer matches `defer <expr>.Decisions.ObserveSince(time.Now())`.
+func isObserveDefer(pass *analysis.Pass, stmt ast.Stmt) bool {
+	def, ok := stmt.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := def.Call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "ObserveSince" {
+		return false
+	}
+	recv, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok || recv.Sel.Name != "Decisions" {
+		return false
+	}
+	if len(def.Call.Args) != 1 {
+		return false
+	}
+	return isTimeNowCall(pass, def.Call.Args[0])
+}
+
+// isTimeNowCall matches a direct time.Now() call.
+func isTimeNowCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Now"
+}

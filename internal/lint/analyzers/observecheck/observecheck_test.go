@@ -1,0 +1,12 @@
+package observecheck_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/observecheck"
+)
+
+func TestObservecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", observecheck.Analyzer, "./...")
+}

@@ -1,0 +1,3 @@
+module observetest
+
+go 1.22

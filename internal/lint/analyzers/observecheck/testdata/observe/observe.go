@@ -1,0 +1,90 @@
+// Package observe exercises observecheck: methods with the decision shape
+// `func (x *T) Offer(p *Post) bool` must open with the latency idiom; every
+// other Offer flavor in the real tree (routers, engines, value receivers) is
+// exempt and must stay silent.
+package observe
+
+import "time"
+
+// Post mirrors core.Post for the signature match (the check keys on the
+// parameter's named type, not its package).
+type Post struct {
+	ID   uint64
+	Time int64
+}
+
+// Histogram mirrors metrics.Histogram's ObserveSince surface.
+type Histogram struct{ count uint64 }
+
+func (h *Histogram) ObserveSince(t0 time.Time) { h.count++ }
+
+// Counters mirrors metrics.Counters.
+type Counters struct {
+	Decisions Histogram
+}
+
+// good observes first, exactly as internal/core's four algorithms do.
+type good struct {
+	counters Counters
+}
+
+func (g *good) Offer(p *Post) bool {
+	defer g.counters.Decisions.ObserveSince(time.Now())
+	return p.Time > 0
+}
+
+// missing never observes, so its decisions vanish from the latency tables.
+type missing struct {
+	counters Counters
+}
+
+func (m *missing) Offer(p *Post) bool { // want `algorithm Offer must begin with`
+	return p.Time > 0
+}
+
+// late observes after an early return, losing the rejected-post latencies.
+type late struct {
+	counters Counters
+}
+
+func (l *late) Offer(p *Post) bool { // want `algorithm Offer must begin with`
+	if p == nil {
+		return false
+	}
+	defer l.counters.Decisions.ObserveSince(time.Now())
+	return true
+}
+
+// wrongArg defers ObserveSince but not from time.Now(), so the observation
+// measures the wrong interval.
+type wrongArg struct {
+	counters Counters
+	started  time.Time
+}
+
+func (w *wrongArg) Offer(p *Post) bool { // want `algorithm Offer must begin with`
+	defer w.counters.Decisions.ObserveSince(w.started)
+	return p != nil
+}
+
+// router returns delivery targets, not a decision; observing here would
+// double-count against the per-instance histograms (MultiUser.Offer shape).
+type router struct {
+	counters Counters
+}
+
+func (r *router) Offer(p *Post) []int32 { return nil }
+
+// valueOffer takes Post by value — not the decision seam (firehose.Diversifier
+// wrapper shape).
+type valueOffer struct{}
+
+func (v *valueOffer) Offer(p Post) bool { return p.Time > 0 }
+
+// engine returns (bool, error) — the stream engine seam, exempt.
+type engine struct{}
+
+func (e *engine) Offer(p *Post) (bool, error) { return true, nil }
+
+// Offer as a free function has no receiver and is exempt.
+func Offer(p *Post) bool { return p != nil }

@@ -1,0 +1,153 @@
+// Package snapshotcheck enforces the engine snapshot discipline: a method
+// whose name ends in Snapshot or Snapshots on (or returning state of) a
+// guard-annotated struct must return value copies, never pointers, maps,
+// slices or other reference types that alias the guarded state. Snapshots are
+// read outside the owner's lock by construction — /metrics scrapes, Stats()
+// callers — so an aliasing return reintroduces exactly the race the lock
+// exists to prevent.
+//
+// The check is syntactic over return expressions: returning a guarded field
+// whose type contains a reference (slice, map, pointer, chan, func,
+// interface) at any depth, taking the address of a guarded field, or slicing
+// one, is reported. Composite literals are checked field by field, so the
+// EngineSnapshot{...} construction shape analyzes precisely. Calls and
+// pointer dereferences are assumed to produce fresh values (the
+// `*e.div.Counters()` copy idiom); value-typed fields such as
+// metrics.Histogram copy by assignment and pass.
+package snapshotcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"firehose/internal/lint/analysis"
+	"firehose/internal/lint/guards"
+)
+
+// Analyzer is the snapshotcheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotcheck",
+	Doc:  "forbids Snapshot-style methods from returning pointers, maps or slices that alias guard-annotated state",
+	Run:  run,
+}
+
+var snapshotName = regexp.MustCompile(`Snapshots?$`)
+
+func run(pass *analysis.Pass) error {
+	// guardcheck owns malformed-annotation diagnostics; pass a nil reporter.
+	info := guards.Collect(pass, nil)
+	if len(info.Guarded) == 0 {
+		return nil
+	}
+	c := &checker{pass: pass, guards: info}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv == nil || !snapshotName.MatchString(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					for _, e := range ret.Results {
+						c.checkReturn(e)
+					}
+				}
+				// Function literals inside a snapshot method still feed its
+				// result; keep descending.
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	pass   *analysis.Pass
+	guards *guards.Info
+}
+
+// checkReturn validates one returned expression.
+func (c *checker) checkReturn(e ast.Expr) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v := c.guardedField(x); v != nil && aliases(v.Type(), nil) {
+			c.pass.Reportf(x.Sel.Pos(), "snapshot returns guarded field %s by reference (%s aliases live state); return a deep copy taken under the lock", v.Name(), v.Type())
+		}
+	case *ast.UnaryExpr:
+		// &x.f hands out a pointer into guarded state regardless of f's type.
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok && x.Op.String() == "&" {
+			if v := c.guardedField(sel); v != nil {
+				c.pass.Reportf(x.Pos(), "snapshot returns the address of guarded field %s; return a value copy taken under the lock", v.Name())
+			}
+		}
+	case *ast.SliceExpr:
+		// x.f[:] aliases the same backing array as the guarded slice.
+		if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+			if v := c.guardedField(sel); v != nil && aliases(v.Type(), nil) {
+				c.pass.Reportf(x.Pos(), "snapshot returns a slice of guarded field %s, which shares its backing array; copy the elements under the lock", v.Name())
+			}
+		}
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				c.checkReturn(kv.Value)
+			} else {
+				c.checkReturn(elt)
+			}
+		}
+	}
+	// Calls, dereferences, identifiers and literals produce (copies of)
+	// values; dataflow through locals is out of scope and documented.
+}
+
+func (c *checker) guardedField(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, guarded := c.guards.Guarded[v]; !guarded {
+		return nil
+	}
+	return v
+}
+
+// aliases reports whether a value of type t shares memory with its source
+// when copied by assignment — i.e. whether it contains a pointer, slice, map,
+// channel, function or interface at any depth.
+func aliases(t types.Type, seen map[*types.Named]bool) bool {
+	switch u := t.(type) {
+	case *types.Basic:
+		// Strings share their backing bytes, but those bytes are immutable,
+		// so the sharing is race-free.
+		return false
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return aliases(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliases(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		if seen == nil {
+			seen = make(map[*types.Named]bool)
+		}
+		if seen[u] {
+			return false
+		}
+		seen[u] = true
+		return aliases(u.Underlying(), seen)
+	case *types.Alias:
+		return aliases(types.Unalias(u), seen)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package snapshotcheck_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/snapshotcheck"
+)
+
+func TestSnapshotcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotcheck.Analyzer, "./...")
+}

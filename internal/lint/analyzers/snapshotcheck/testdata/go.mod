@@ -1,0 +1,3 @@
+module snaptest
+
+go 1.22

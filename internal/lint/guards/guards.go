@@ -1,0 +1,167 @@
+// Package guards parses the repo's machine-readable guard-comment grammar
+//
+//	// <mutexField> guards: <field>, <field>, ...
+//
+// written in the doc (or trailing line) comment of a mutex field inside a
+// struct declaration, e.g.
+//
+//	type broker struct {
+//		// mu guards: byUser, closed, subscribers
+//		mu          sync.Mutex
+//		byUser      map[int32]map[*subscriber]struct{}
+//		closed      bool
+//		subscribers int
+//	}
+//
+// Prose may follow on later comment lines; only lines matching the grammar
+// are interpreted. The parsed field→mutex map drives guardcheck (every access
+// to a guarded field must hold the mutex) and snapshotcheck (snapshot methods
+// must not return values aliasing guarded state).
+package guards
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Guard ties one guarded field to the mutex protecting it.
+type Guard struct {
+	// Struct is the type name of the struct owning both fields.
+	Struct *types.TypeName
+	// Mutex is the name of the sync.Mutex / sync.RWMutex field within the
+	// struct that must be held while the field is accessed.
+	Mutex string
+}
+
+// Info is the parsed guard map of one package.
+type Info struct {
+	// Guarded maps each annotated field object to its guard.
+	Guarded map[*types.Var]Guard
+	// Mutexes holds the field objects of every annotated mutex.
+	Mutexes map[*types.Var]bool
+}
+
+// annotationRE matches one grammar line after comment markers are stripped.
+var annotationRE = regexp.MustCompile(`^(\w+) guards: (\w+(?:, \w+)*)$`)
+
+// Collect parses every guard annotation in the pass's files. Malformed
+// annotations (a name that is not the annotated field, an unknown guarded
+// field, a non-mutex carrier) are reported through report when it is non-nil,
+// so exactly one analyzer owns those diagnostics even when several call
+// Collect on the same package.
+func Collect(pass *analysis.Pass, report func(analysis.Diagnostic)) *Info {
+	info := &Info{
+		Guarded: make(map[*types.Var]Guard),
+		Mutexes: make(map[*types.Var]bool),
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			collectStruct(pass, info, ts, st, report)
+			return true
+		})
+	}
+	return info
+}
+
+func collectStruct(pass *analysis.Pass, info *Info, ts *ast.TypeSpec, st *ast.StructType, report func(analysis.Diagnostic)) {
+	tn, _ := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	// Index the struct's named fields so annotations can be validated and
+	// resolved to type objects.
+	fieldIdents := make(map[string]*ast.Ident)
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			fieldIdents[name.Name] = name
+		}
+	}
+	reportf := func(pos token.Pos, format string, args ...any) {
+		if report != nil {
+			report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+		}
+	}
+	for _, f := range st.Fields.List {
+		for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+			if cg == nil {
+				continue
+			}
+			for _, c := range cg.List {
+				line := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := annotationRE.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				mutexName, list := m[1], m[2]
+				// Diagnostics anchor on the annotated field rather than the
+				// comment so they share a line with the declaration they
+				// describe (and so testdata can colocate expectations).
+				if !fieldHasName(f, mutexName) {
+					reportf(f.Pos(), "guard annotation names %q but is attached to field %q; write it on the mutex field it describes", mutexName, fieldNames(f))
+					continue
+				}
+				mutexVar, _ := pass.TypesInfo.Defs[fieldIdents[mutexName]].(*types.Var)
+				if mutexVar == nil || !isMutex(mutexVar.Type()) {
+					reportf(f.Pos(), "guard annotation on %q, which is not a sync.Mutex or sync.RWMutex", mutexName)
+					continue
+				}
+				info.Mutexes[mutexVar] = true
+				for _, name := range strings.Split(list, ", ") {
+					ident, ok := fieldIdents[name]
+					if !ok {
+						reportf(f.Pos(), "guard annotation on %q lists %q, which is not a field of the struct", mutexName, name)
+						continue
+					}
+					if name == mutexName {
+						reportf(f.Pos(), "guard annotation on %q lists the mutex itself", mutexName)
+						continue
+					}
+					if v, ok := pass.TypesInfo.Defs[ident].(*types.Var); ok {
+						info.Guarded[v] = Guard{Struct: tn, Mutex: mutexName}
+					}
+				}
+			}
+		}
+	}
+}
+
+func fieldHasName(f *ast.Field, name string) bool {
+	for _, n := range f.Names {
+		if n.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func fieldNames(f *ast.Field) string {
+	names := make([]string, len(f.Names))
+	for i, n := range f.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

@@ -1,0 +1,69 @@
+package lint_test
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+
+	"firehose/internal/lint"
+	"firehose/internal/lint/loader"
+)
+
+// TestSuiteCleanOnRepo is the live no-false-positive guarantee: the full
+// firehose-lint suite must be silent over the repository's own tree (the
+// same invocation `make lint` gates on).
+func TestSuiteCleanOnRepo(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, "../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	findings, err := lint.Run(fset, pkgs, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding on the real tree: %s", f)
+	}
+}
+
+// TestIgnoreDirective checks both halves of the suppression contract: a
+// reasoned //lint:ignore silences the named analyzer, and a reason-less one
+// suppresses nothing while being reported itself.
+func TestIgnoreDirective(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, "testdata", "./...")
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	findings, err := lint.Run(fset, pkgs, lint.Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(findings), format(findings))
+	}
+	var sawBare, sawUnsuppressed bool
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "without a reason"):
+			sawBare = true
+		case f.Analyzer == "guardcheck" && strings.Contains(f.Message, "b.n is accessed without holding"):
+			sawUnsuppressed = true
+		}
+	}
+	if !sawBare {
+		t.Errorf("missing the reason-less directive finding:\n%s", format(findings))
+	}
+	if !sawUnsuppressed {
+		t.Errorf("the reason-less directive must not suppress the guardcheck finding:\n%s", format(findings))
+	}
+}
+
+func format(fs []lint.Finding) string {
+	lines := make([]string, len(fs))
+	for i, f := range fs {
+		lines[i] = "  " + f.String()
+	}
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,3 @@
+module ignoretest
+
+go 1.22

@@ -1,0 +1,25 @@
+// Package ignore exercises the //lint:ignore directive: a directive with a
+// reason suppresses the named analyzer on its line and the next; a directive
+// without a reason suppresses nothing and is itself reported.
+package ignore
+
+import "sync"
+
+type box struct {
+	// mu guards: n
+	mu sync.Mutex
+	n  int
+}
+
+// Peek documents why the unguarded read is safe; the finding is suppressed.
+func (b *box) Peek() int {
+	//lint:ignore guardcheck n is written once before the box is shared
+	return b.n
+}
+
+// Steal has a directive with no reason: the guardcheck finding survives and
+// the directive itself becomes a finding.
+func (b *box) Steal() int {
+	//lint:ignore guardcheck
+	return b.n
+}

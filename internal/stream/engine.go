@@ -14,6 +14,7 @@ import (
 // depends on all earlier ones) and fans accepted posts out to subscribers,
 // so many goroutines can ingest and many consumers can observe one timeline.
 type Engine struct {
+	// mu guards: div, subs, done, total, offerLatency
 	mu    sync.Mutex
 	div   core.Diversifier
 	subs  []chan *core.Post
@@ -143,6 +144,7 @@ func (e *Engine) Consume(src Source) ([]*core.Post, error) {
 // accepted post to the per-user timelines. Like Engine it serializes the
 // decision step behind a mutex.
 type MultiEngine struct {
+	// mu guards: md, timelines, done, offered, delivered, offerLatency
 	mu        sync.Mutex
 	md        core.MultiDiversifier
 	timelines map[int32][]*core.Post
@@ -189,7 +191,11 @@ func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
 }
 
 // Name returns the backing solver's algorithm name (e.g. "S_UniBin").
-func (m *MultiEngine) Name() string { return m.md.Name() }
+func (m *MultiEngine) Name() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.md.Name()
+}
 
 // Snapshot returns a consistent view of the engine's instrumentation.
 func (m *MultiEngine) Snapshot() MultiEngineSnapshot {

@@ -68,9 +68,11 @@ type ParallelMultiEngine struct {
 	wg           sync.WaitGroup
 	failFast     bool
 
-	// mu guards the lifecycle state and the ingest sequence, and serializes
-	// the route-and-enqueue step of Offer so the per-worker queues receive
-	// jobs in sequence order even under concurrent producers.
+	// mu guards: state, seq
+	//
+	// It also serializes the route-and-enqueue step of Offer so the
+	// per-worker queues receive jobs in sequence order even under concurrent
+	// producers.
 	mu    sync.Mutex
 	state lifecycle
 	seq   uint64
@@ -89,10 +91,13 @@ const (
 )
 
 type parallelWorker struct {
-	// mu guards md and the queue-wait histogram: the worker goroutine holds
-	// it across Offer (which mutates the per-component counters deep inside
-	// the bins) and Counters/WorkerSnapshots hold it while merging, so
-	// snapshots never race decisions.
+	// mu guards: md, queueWait
+	//
+	// The worker goroutine holds it across Offer (which mutates the
+	// per-component counters deep inside the bins) and
+	// Counters/WorkerSnapshots hold it while merging, so snapshots never
+	// race decisions. ch is written by the ingest boundary and closed by
+	// Close; lastSeq is owned by the worker goroutine alone.
 	mu      sync.Mutex
 	md      *core.SharedMultiUser
 	ch      chan parallelJob
@@ -341,7 +346,12 @@ func (e *ParallelMultiEngine) WorkerSnapshots() []WorkerSnapshot {
 
 // Name returns the backing solver's algorithm name (e.g. "S_UniBin"); every
 // shard runs the same algorithm.
-func (e *ParallelMultiEngine) Name() string { return e.workers[0].md.Name() }
+func (e *ParallelMultiEngine) Name() string {
+	w := e.workers[0]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.md.Name()
+}
 
 // NumWorkers returns the shard count.
 func (e *ParallelMultiEngine) NumWorkers() int { return len(e.workers) }
