@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race lint check bench fuzz
+.PHONY: build test vet race lint check bench bench-go fuzz
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,18 @@ lint:
 # check is the tier-1 gate: vet + firehose-lint + full race-detector test run.
 check: vet lint race
 
+# bench runs the hot-path harness (cmd/benchhot) and writes
+# BENCH_hotpath.json: the SoA-vs-reference UniBin scan, the multi-user
+# steady-state alloc counts, and parallel one-by-one vs batch throughput at
+# 1/2/NumCPU workers. BENCHTIME accepts a duration or an iteration count
+# (e.g. `make bench BENCHTIME=1x` for a smoke run).
+BENCHTIME ?= 1s
+
 bench:
+	$(GO) run ./cmd/benchhot -benchtime $(BENCHTIME) -out BENCH_hotpath.json
+
+# bench-go runs every in-package go test benchmark.
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
 
 # fuzz runs every fuzz target for FUZZTIME each (Go runs one -fuzz target per

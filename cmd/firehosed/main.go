@@ -7,6 +7,9 @@
 //
 //	POST /ingest    {"author":12,"text":"...","timeMillis":1458000000000}
 //	                → {"delivered":[0,7,19]} (users whose timeline got the post)
+//	POST /ingest/batch
+//	                {"posts":[{"author":12,...},...]} (time-ordered)
+//	                → {"results":[{"id":1,"delivered":[...]},...]} in batch order
 //	GET  /timeline?user=7&n=20
 //	                → {"user":7,"posts":[{...},...]}
 //	GET  /stats     → cost counters

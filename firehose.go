@@ -32,6 +32,7 @@ package firehose
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"firehose/internal/authorsim"
@@ -440,9 +441,11 @@ func NewCustomMultiUserService(alg Algorithm, g *AuthorGraph, subscriptions [][]
 
 // Offer routes one post through every affected user's diversification state
 // and returns the ids of the users whose timelines receive it (sorted).
-// Posts must arrive in non-decreasing time order.
+// Posts must arrive in non-decreasing time order. The returned slice is the
+// caller's to keep: the service copies it out of the solver's internal
+// scratch buffer at this boundary.
 func (m *MultiUserService) Offer(p Post) []UserID {
-	return m.inner.Offer(core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text))
+	return slices.Clone(m.inner.Offer(core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text)))
 }
 
 // Algorithm returns the name of the backing algorithm (e.g. "S_UniBin").

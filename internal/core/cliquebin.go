@@ -19,10 +19,12 @@ import (
 // members are pairwise similar, only the content check runs per candidate.
 // A post may be compared twice when two candidates share several cliques,
 // which is the comparison overhead the paper trades against RAM.
+//
+// Bins are structure-of-arrays rings (postbin.SoA); see UniBin for why.
 type CliqueBin struct {
 	th    Thresholds
 	cover *authorsim.CliqueCover
-	bins  []*postbin.Bin[stored] // indexed by clique id
+	bins  []*postbin.SoA // indexed by clique id
 	c     metrics.Counters
 }
 
@@ -33,7 +35,7 @@ func NewCliqueBin(cover *authorsim.CliqueCover, th Thresholds) *CliqueBin {
 	return &CliqueBin{
 		th:    th,
 		cover: cover,
-		bins:  make([]*postbin.Bin[stored], cover.NumCliques()),
+		bins:  make([]*postbin.SoA, cover.NumCliques()),
 	}
 }
 
@@ -43,10 +45,10 @@ func (cb *CliqueBin) Name() string { return "CliqueBin" }
 // Counters implements Diversifier.
 func (cb *CliqueBin) Counters() *metrics.Counters { return &cb.c }
 
-func (cb *CliqueBin) bin(clique int) *postbin.Bin[stored] {
+func (cb *CliqueBin) bin(clique int) *postbin.SoA {
 	b := cb.bins[clique]
 	if b == nil {
-		b = postbin.New[stored]()
+		b = postbin.NewSoA()
 		cb.bins[clique] = b
 	}
 	return b
@@ -64,21 +66,21 @@ func (cb *CliqueBin) Offer(p *Post) bool {
 	cliques := cb.cover.CliquesOf(p.Author)
 
 	covered := false
+	pfp := uint64(p.FP)
 	for _, ci := range cliques {
 		b := cb.bin(ci)
 		if n := b.PruneBefore(cutoff); n > 0 {
 			cb.c.Evictions += uint64(n)
 			cb.c.RemoveStored(n)
 		}
-		b.ScanNewestFirst(func(_ int64, s stored) bool {
+		for cur := b.Scan(); cur.Next(); {
 			cb.c.Comparisons++
 			// Clique co-membership implies author similarity; content decides.
-			if simhash.Distance(p.FP, s.fp) <= cb.th.LambdaC {
+			if simhash.Distance(simhash.Fingerprint(pfp), simhash.Fingerprint(cur.FP())) <= cb.th.LambdaC {
 				covered = true
-				return false
+				break
 			}
-			return true
-		})
+		}
 		if covered {
 			break
 		}
@@ -88,9 +90,8 @@ func (cb *CliqueBin) Offer(p *Post) bool {
 		return false
 	}
 
-	copyOf := stored{fp: p.FP, author: p.Author}
 	for _, ci := range cliques {
-		cb.bin(ci).Push(p.Time, copyOf)
+		cb.bin(ci).Push(p.Time, pfp, p.Author)
 	}
 	cb.c.Insertions += uint64(len(cliques))
 	cb.c.AddStored(len(cliques))

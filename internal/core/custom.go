@@ -23,6 +23,7 @@ type CustomMultiUser struct {
 	divs          []Diversifier
 	ths           []Thresholds
 	authorToUsers [][]int32
+	scratch       []int32 // Offer's reusable delivery buffer (aliasing contract)
 }
 
 // NewCustomMultiUser builds the per-user-thresholds solver. subscriptions
@@ -32,6 +33,12 @@ func NewCustomMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int
 	if len(subscriptions) != len(thresholds) {
 		return nil, fmt.Errorf("core: %d subscription lists but %d thresholds",
 			len(subscriptions), len(thresholds))
+	}
+	// Validate every subscription before building any diversifier: the
+	// builders index graph structures with these ids and would otherwise
+	// panic mid-construction.
+	if err := validateSubscriptions(g, subscriptions); err != nil {
+		return nil, err
 	}
 	c := &CustomMultiUser{
 		divs:          make([]Diversifier, len(subscriptions)),
@@ -54,9 +61,6 @@ func NewCustomMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int
 		c.divs[u] = d
 		seen := make(map[int32]bool, len(subs))
 		for _, a := range subs {
-			if a < 0 || int(a) >= g.NumAuthors() {
-				return nil, fmt.Errorf("core: user %d subscribes to author %d outside graph", u, a)
-			}
 			if !seen[a] {
 				seen[a] = true
 				c.authorToUsers[a] = append(c.authorToUsers[a], int32(u))
@@ -70,16 +74,22 @@ func NewCustomMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int
 func (c *CustomMultiUser) Name() string { return "Custom_M" }
 
 // Offer implements MultiDiversifier: each subscribed user's instance decides
-// under that user's thresholds.
+// under that user's thresholds. Posts from authors outside the graph —
+// including negative ids — are delivered to no one. The returned slice
+// follows the interface's aliasing contract: valid until the next Offer.
 func (c *CustomMultiUser) Offer(p *Post) []int32 {
-	if int(p.Author) >= len(c.authorToUsers) {
+	if p.Author < 0 || int(p.Author) >= len(c.authorToUsers) {
 		return nil
 	}
-	var delivered []int32
+	delivered := c.scratch[:0]
 	for _, u := range c.authorToUsers[p.Author] {
 		if c.divs[u].Offer(p) {
 			delivered = append(delivered, u)
 		}
+	}
+	c.scratch = delivered
+	if len(delivered) == 0 {
+		return nil
 	}
 	return delivered
 }

@@ -74,12 +74,34 @@ func newRoutedDiversifier(alg Algorithm, g *authorsim.Graph, authors []int32, th
 // with author subscriptions. Offer routes an arriving post to every
 // subscribed user's diversification state and returns the sorted ids of the
 // users whose timeline receives the post.
+//
+// Aliasing contract: the slice Offer returns is backed by per-instance
+// scratch storage and is valid only until the next Offer call on the same
+// instance — the hot path would otherwise pay one heap allocation per
+// delivered post. Callers that retain deliveries past the next decision
+// (tickets, timelines, HTTP responses) must copy; the stream engines do this
+// at their boundaries.
 type MultiDiversifier interface {
 	Offer(p *Post) []int32
 	// Counters returns a merged snapshot of the cost counters across all
 	// internal diversifier instances.
 	Counters() *metrics.Counters
 	Name() string
+}
+
+// validateSubscriptions rejects author ids outside g before any routing
+// table or diversifier is built, so a bad subscription surfaces as a
+// descriptive error instead of an index panic mid-construction.
+func validateSubscriptions(g *authorsim.Graph, subscriptions [][]int32) error {
+	n := g.NumAuthors()
+	for u, subs := range subscriptions {
+		for _, a := range subs {
+			if a < 0 || int(a) >= n {
+				return fmt.Errorf("core: user %d subscribes to author %d outside graph range [0,%d)", u, a, n)
+			}
+		}
+	}
+	return nil
 }
 
 // MultiUser is the baseline M_* family: one independent SPSD instance per
@@ -89,11 +111,16 @@ type MultiUser struct {
 	alg           Algorithm
 	divs          []Diversifier // one per user
 	authorToUsers [][]int32     // dense, indexed by author id
+	scratch       []int32       // Offer's reusable delivery buffer (aliasing contract)
 }
 
 // NewMultiUser builds the M_* solver. subscriptions[u] lists the authors
-// user u follows; authors must be node ids of g.
+// user u follows; authors must be node ids of g — unknown or negative ids
+// are rejected with an error.
 func NewMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int32, th Thresholds) (*MultiUser, error) {
+	if err := validateSubscriptions(g, subscriptions); err != nil {
+		return nil, err
+	}
 	m := &MultiUser{
 		alg:           alg,
 		divs:          make([]Diversifier, len(subscriptions)),
@@ -121,16 +148,23 @@ func NewMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int32, th
 // Name implements MultiDiversifier.
 func (m *MultiUser) Name() string { return "M_" + m.alg.String() }
 
-// Offer implements MultiDiversifier.
+// Offer implements MultiDiversifier. Posts from authors outside the graph —
+// including negative ids, which arrive from unvalidated ingest boundaries —
+// are delivered to no one. The returned slice follows the interface's
+// aliasing contract: valid until the next Offer.
 func (m *MultiUser) Offer(p *Post) []int32 {
-	if int(p.Author) >= len(m.authorToUsers) {
+	if p.Author < 0 || int(p.Author) >= len(m.authorToUsers) {
 		return nil
 	}
-	var delivered []int32
+	delivered := m.scratch[:0]
 	for _, u := range m.authorToUsers[p.Author] {
 		if m.divs[u].Offer(p) {
 			delivered = append(delivered, u)
 		}
+	}
+	m.scratch = delivered
+	if len(delivered) == 0 {
+		return nil
 	}
 	return delivered
 }
@@ -163,6 +197,7 @@ type SharedMultiUser struct {
 	alg           Algorithm
 	comps         []*sharedComponent
 	authorToComps [][]int32 // component indices, dense by author id
+	scratch       []int32   // Offer's reusable delivery buffer (aliasing contract)
 }
 
 type sharedComponent struct {
@@ -172,7 +207,11 @@ type sharedComponent struct {
 }
 
 // NewSharedMultiUser builds the S_* solver from per-user subscriptions.
+// Author ids outside g are rejected with an error.
 func NewSharedMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int32, th Thresholds) (*SharedMultiUser, error) {
+	if err := validateSubscriptions(g, subscriptions); err != nil {
+		return nil, err
+	}
 	s := &SharedMultiUser{
 		alg:           alg,
 		authorToComps: make([][]int32, g.NumAuthors()),
@@ -213,10 +252,10 @@ func (s *SharedMultiUser) NumComponents() int { return len(s.comps) }
 // of its own components, so the per-component user sets touched here are
 // disjoint and the result needs only sorting, not deduplication.
 func (s *SharedMultiUser) Offer(p *Post) []int32 {
-	if int(p.Author) >= len(s.authorToComps) {
+	if p.Author < 0 || int(p.Author) >= len(s.authorToComps) {
 		return nil
 	}
-	var delivered []int32
+	delivered := s.scratch[:0]
 	contributing := 0
 	for _, ci := range s.authorToComps[p.Author] {
 		comp := s.comps[ci]
@@ -230,6 +269,10 @@ func (s *SharedMultiUser) Offer(p *Post) []int32 {
 	// delivery needs the sort.
 	if contributing > 1 {
 		slices.Sort(delivered)
+	}
+	s.scratch = delivered
+	if len(delivered) == 0 {
+		return nil
 	}
 	return delivered
 }

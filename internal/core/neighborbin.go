@@ -15,17 +15,20 @@ import (
 // dimension, and only the content check remains. The price is fan-out on
 // insertion: an accepted post is copied into the bins of its author and all
 // of the author's neighbors, giving the highest RAM of the three algorithms.
+//
+// Bins are structure-of-arrays rings (postbin.SoA); the coverage scan
+// streams a contiguous fingerprint slice with no per-candidate closure.
 type NeighborBin struct {
 	th   Thresholds
 	g    AuthorGraph
-	bins map[int32]*postbin.Bin[stored]
+	bins map[int32]*postbin.SoA
 	c    metrics.Counters
 }
 
 // NewNeighborBin returns a NeighborBin diversifier over the given author
 // graph. Per-author bins are created lazily on first touch.
 func NewNeighborBin(g AuthorGraph, th Thresholds) *NeighborBin {
-	return &NeighborBin{th: th, g: g, bins: make(map[int32]*postbin.Bin[stored])}
+	return &NeighborBin{th: th, g: g, bins: make(map[int32]*postbin.SoA)}
 }
 
 // Name implements Diversifier.
@@ -34,17 +37,17 @@ func (nb *NeighborBin) Name() string { return "NeighborBin" }
 // Counters implements Diversifier.
 func (nb *NeighborBin) Counters() *metrics.Counters { return &nb.c }
 
-func (nb *NeighborBin) bin(author int32) *postbin.Bin[stored] {
+func (nb *NeighborBin) bin(author int32) *postbin.SoA {
 	b := nb.bins[author]
 	if b == nil {
-		b = postbin.New[stored]()
+		b = postbin.NewSoA()
 		nb.bins[author] = b
 	}
 	return b
 }
 
 // prune evicts out-of-window copies from b, keeping the counters exact.
-func (nb *NeighborBin) prune(b *postbin.Bin[stored], cutoff int64) {
+func (nb *NeighborBin) prune(b *postbin.SoA, cutoff int64) {
 	if n := b.PruneBefore(cutoff); n > 0 {
 		nb.c.Evictions += uint64(n)
 		nb.c.RemoveStored(n)
@@ -59,29 +62,28 @@ func (nb *NeighborBin) Offer(p *Post) bool {
 	nb.prune(own, cutoff)
 
 	covered := false
-	own.ScanNewestFirst(func(_ int64, s stored) bool {
+	pfp := uint64(p.FP)
+	for cur := own.Scan(); cur.Next(); {
 		nb.c.Comparisons++
 		// Author similarity holds by bin construction; content decides.
-		if simhash.Distance(p.FP, s.fp) <= nb.th.LambdaC {
+		if simhash.Distance(simhash.Fingerprint(pfp), simhash.Fingerprint(cur.FP())) <= nb.th.LambdaC {
 			covered = true
-			return false
+			break
 		}
-		return true
-	})
+	}
 	if covered {
 		nb.c.Rejected++
 		return false
 	}
 
-	copyOf := stored{fp: p.FP, author: p.Author}
-	own.Push(p.Time, copyOf)
+	own.Push(p.Time, pfp, p.Author)
 	inserted := 1
 	for _, n := range nb.g.Neighbors(p.Author) {
 		b := nb.bin(n)
 		// Neighbor bins are touched here anyway; pruning them now keeps the
 		// live copy count tight without a separate sweep.
 		nb.prune(b, cutoff)
-		b.Push(p.Time, copyOf)
+		b.Push(p.Time, pfp, p.Author)
 		inserted++
 	}
 	nb.c.Insertions += uint64(inserted)

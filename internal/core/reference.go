@@ -1,0 +1,209 @@
+package core
+
+import (
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/metrics"
+	"firehose/internal/postbin"
+	"firehose/internal/simhash"
+)
+
+// This file preserves the original scan-bin implementations of the three
+// SPSD algorithms, verbatim, on the generic array-of-structs postbin.Bin.
+// They are the executable specification the production (SoA-bin) algorithms
+// are property-tested against — identical accept/reject sequences and
+// identical cost counters on random streams — and the "pre-PR scan" baseline
+// cmd/benchhot measures the SoA speedup from. They are not exported from the
+// module and must not grow features; change them only if the algorithm
+// semantics themselves change.
+
+// ReferenceUniBin is the seed UniBin: one generic bin, closure-based scan.
+type ReferenceUniBin struct {
+	th  Thresholds
+	g   AuthorGraph
+	bin *postbin.Bin[stored]
+	c   metrics.Counters
+}
+
+// NewReferenceUniBin returns the reference UniBin diversifier.
+func NewReferenceUniBin(g AuthorGraph, th Thresholds) *ReferenceUniBin {
+	return &ReferenceUniBin{th: th, g: g, bin: postbin.New[stored]()}
+}
+
+// Name implements Diversifier.
+func (u *ReferenceUniBin) Name() string { return "ReferenceUniBin" }
+
+// Counters implements Diversifier.
+func (u *ReferenceUniBin) Counters() *metrics.Counters { return &u.c }
+
+// Offer implements Diversifier.
+func (u *ReferenceUniBin) Offer(p *Post) bool {
+	defer u.c.Decisions.ObserveSince(time.Now())
+	cutoff := p.Time - u.th.LambdaT
+	if n := u.bin.PruneBefore(cutoff); n > 0 {
+		u.c.Evictions += uint64(n)
+		u.c.RemoveStored(n)
+	}
+	covered := false
+	u.bin.ScanNewestFirst(func(_ int64, s stored) bool {
+		u.c.Comparisons++
+		if simhash.Distance(p.FP, s.fp) <= u.th.LambdaC && u.g.Similar(p.Author, s.author) {
+			covered = true
+			return false
+		}
+		return true
+	})
+	if covered {
+		u.c.Rejected++
+		return false
+	}
+	u.bin.Push(p.Time, stored{fp: p.FP, author: p.Author})
+	u.c.Insertions++
+	u.c.AddStored(1)
+	u.c.Accepted++
+	return true
+}
+
+// ReferenceNeighborBin is the seed NeighborBin: one generic bin per author.
+type ReferenceNeighborBin struct {
+	th   Thresholds
+	g    AuthorGraph
+	bins map[int32]*postbin.Bin[stored]
+	c    metrics.Counters
+}
+
+// NewReferenceNeighborBin returns the reference NeighborBin diversifier.
+func NewReferenceNeighborBin(g AuthorGraph, th Thresholds) *ReferenceNeighborBin {
+	return &ReferenceNeighborBin{th: th, g: g, bins: make(map[int32]*postbin.Bin[stored])}
+}
+
+// Name implements Diversifier.
+func (nb *ReferenceNeighborBin) Name() string { return "ReferenceNeighborBin" }
+
+// Counters implements Diversifier.
+func (nb *ReferenceNeighborBin) Counters() *metrics.Counters { return &nb.c }
+
+func (nb *ReferenceNeighborBin) bin(author int32) *postbin.Bin[stored] {
+	b := nb.bins[author]
+	if b == nil {
+		b = postbin.New[stored]()
+		nb.bins[author] = b
+	}
+	return b
+}
+
+func (nb *ReferenceNeighborBin) prune(b *postbin.Bin[stored], cutoff int64) {
+	if n := b.PruneBefore(cutoff); n > 0 {
+		nb.c.Evictions += uint64(n)
+		nb.c.RemoveStored(n)
+	}
+}
+
+// Offer implements Diversifier.
+func (nb *ReferenceNeighborBin) Offer(p *Post) bool {
+	defer nb.c.Decisions.ObserveSince(time.Now())
+	cutoff := p.Time - nb.th.LambdaT
+	own := nb.bin(p.Author)
+	nb.prune(own, cutoff)
+
+	covered := false
+	own.ScanNewestFirst(func(_ int64, s stored) bool {
+		nb.c.Comparisons++
+		if simhash.Distance(p.FP, s.fp) <= nb.th.LambdaC {
+			covered = true
+			return false
+		}
+		return true
+	})
+	if covered {
+		nb.c.Rejected++
+		return false
+	}
+
+	copyOf := stored{fp: p.FP, author: p.Author}
+	own.Push(p.Time, copyOf)
+	inserted := 1
+	for _, n := range nb.g.Neighbors(p.Author) {
+		b := nb.bin(n)
+		nb.prune(b, cutoff)
+		b.Push(p.Time, copyOf)
+		inserted++
+	}
+	nb.c.Insertions += uint64(inserted)
+	nb.c.AddStored(inserted)
+	nb.c.Accepted++
+	return true
+}
+
+// ReferenceCliqueBin is the seed CliqueBin: one generic bin per clique.
+type ReferenceCliqueBin struct {
+	th    Thresholds
+	cover *authorsim.CliqueCover
+	bins  []*postbin.Bin[stored]
+	c     metrics.Counters
+}
+
+// NewReferenceCliqueBin returns the reference CliqueBin diversifier.
+func NewReferenceCliqueBin(cover *authorsim.CliqueCover, th Thresholds) *ReferenceCliqueBin {
+	return &ReferenceCliqueBin{
+		th:    th,
+		cover: cover,
+		bins:  make([]*postbin.Bin[stored], cover.NumCliques()),
+	}
+}
+
+// Name implements Diversifier.
+func (cb *ReferenceCliqueBin) Name() string { return "ReferenceCliqueBin" }
+
+// Counters implements Diversifier.
+func (cb *ReferenceCliqueBin) Counters() *metrics.Counters { return &cb.c }
+
+func (cb *ReferenceCliqueBin) bin(clique int) *postbin.Bin[stored] {
+	b := cb.bins[clique]
+	if b == nil {
+		b = postbin.New[stored]()
+		cb.bins[clique] = b
+	}
+	return b
+}
+
+// Offer implements Diversifier.
+func (cb *ReferenceCliqueBin) Offer(p *Post) bool {
+	defer cb.c.Decisions.ObserveSince(time.Now())
+	cutoff := p.Time - cb.th.LambdaT
+	cliques := cb.cover.CliquesOf(p.Author)
+
+	covered := false
+	for _, ci := range cliques {
+		b := cb.bin(ci)
+		if n := b.PruneBefore(cutoff); n > 0 {
+			cb.c.Evictions += uint64(n)
+			cb.c.RemoveStored(n)
+		}
+		b.ScanNewestFirst(func(_ int64, s stored) bool {
+			cb.c.Comparisons++
+			if simhash.Distance(p.FP, s.fp) <= cb.th.LambdaC {
+				covered = true
+				return false
+			}
+			return true
+		})
+		if covered {
+			break
+		}
+	}
+	if covered {
+		cb.c.Rejected++
+		return false
+	}
+
+	copyOf := stored{fp: p.FP, author: p.Author}
+	for _, ci := range cliques {
+		cb.bin(ci).Push(p.Time, copyOf)
+	}
+	cb.c.Insertions += uint64(len(cliques))
+	cb.c.AddStored(len(cliques))
+	cb.c.Accepted++
+	return true
+}

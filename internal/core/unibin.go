@@ -15,17 +15,23 @@ import (
 // holds by construction of the window). UniBin stores exactly one copy per
 // accepted post — the lowest RAM of the three algorithms — at the price of
 // comparing against posts from dissimilar authors.
+//
+// The bin is a structure-of-arrays ring (postbin.SoA): the window scan —
+// the paper's entire cost model — streams through a contiguous fingerprint
+// slice with mask indexing and no per-candidate closure call. Offer is
+// allocation-free in steady state (a Push that grows the ring and the
+// ring's shrink-on-prune are the only allocation sites, both amortized).
 type UniBin struct {
 	th  Thresholds
 	g   AuthorGraph
-	bin *postbin.Bin[stored]
+	bin *postbin.SoA
 	c   metrics.Counters
 }
 
 // NewUniBin returns a UniBin diversifier. The author graph must encode the
 // λa threshold (edge iff author distance <= λa).
 func NewUniBin(g AuthorGraph, th Thresholds) *UniBin {
-	return &UniBin{th: th, g: g, bin: postbin.New[stored]()}
+	return &UniBin{th: th, g: g, bin: postbin.NewSoA()}
 }
 
 // Name implements Diversifier.
@@ -50,20 +56,37 @@ func (u *UniBin) Offer(p *Post) bool {
 		u.c.Evictions += uint64(n)
 		u.c.RemoveStored(n)
 	}
+	// Scan newest-first over the ring's raw segments: a tight backward loop
+	// over contiguous fingerprint memory, checking the cheap content distance
+	// before the author binary search. Segment order is oldest..newest, so
+	// newer is walked (backward) before older.
 	covered := false
-	u.bin.ScanNewestFirst(func(_ int64, s stored) bool {
-		u.c.Comparisons++
-		if simhash.Distance(p.FP, s.fp) <= u.th.LambdaC && u.g.Similar(p.Author, s.author) {
-			covered = true
-			return false
+	comparisons := uint64(0)
+	pfp := p.FP
+	lc := u.th.LambdaC
+	fpOld, fpNew := u.bin.FPSegments()
+	auOld, auNew := u.bin.AuthorSegments()
+scan:
+	for s, fps := range [2][]uint64{fpNew, fpOld} {
+		authors := auNew
+		if s == 1 {
+			authors = auOld
 		}
-		return true
-	})
+		for i := len(fps) - 1; i >= 0; i-- {
+			comparisons++
+			if simhash.Distance(pfp, simhash.Fingerprint(fps[i])) <= lc &&
+				u.g.Similar(p.Author, authors[i]) {
+				covered = true
+				break scan
+			}
+		}
+	}
+	u.c.Comparisons += comparisons
 	if covered {
 		u.c.Rejected++
 		return false
 	}
-	u.bin.Push(p.Time, stored{fp: p.FP, author: p.Author})
+	u.bin.Push(p.Time, uint64(pfp), p.Author)
 	u.c.Insertions++
 	u.c.AddStored(1)
 	u.c.Accepted++

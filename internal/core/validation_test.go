@@ -1,0 +1,96 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"firehose/internal/authorsim"
+)
+
+// fixedThresholds are permissive enough that routing, not rejection, decides
+// the outcome in these tests.
+var fixedThresholds = Thresholds{LambdaC: 6, LambdaT: 10_000, LambdaA: 0.7}
+
+// buildAllMulti constructs the three multi-user solvers over the same
+// scenario so routing edge cases can be asserted uniformly.
+func buildAllMulti(t *testing.T, g *authorsim.Graph, subs [][]int32) []MultiDiversifier {
+	t.Helper()
+	m, err := NewMultiUser(AlgUniBin, g, subs, fixedThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSharedMultiUser(AlgUniBin, g, subs, fixedThresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ths := make([]Thresholds, len(subs))
+	for i := range ths {
+		ths[i] = fixedThresholds
+	}
+	c, err := NewCustomMultiUser(AlgUniBin, g, subs, ths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []MultiDiversifier{m, s, c}
+}
+
+// TestOfferNegativeAuthor is the regression test for the out-of-bounds panic:
+// a post whose author id is negative (as arrives from unvalidated ingest
+// boundaries) must be delivered to no one, not index the routing table.
+func TestOfferNegativeAuthor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g, posts := randomScenario(rng, 8, 50, 0.3)
+	subs := randomSubscriptions(rng, 4, 8)
+	for _, md := range buildAllMulti(t, g, subs) {
+		t.Run(md.Name(), func(t *testing.T) {
+			// Interleave hostile posts with real traffic: the bad ids must
+			// neither panic nor perturb later decisions.
+			for i, p := range posts {
+				if i%10 == 3 {
+					bad := *p
+					bad.Author = -1 - int32(i)
+					if got := md.Offer(&bad); got != nil {
+						t.Fatalf("negative author %d delivered to %v", bad.Author, got)
+					}
+				}
+				md.Offer(p)
+			}
+			past := NewPost(9999, int32(g.NumAuthors()), posts[len(posts)-1].Time+1, "beyond range")
+			if got := md.Offer(past); got != nil {
+				t.Fatalf("author %d beyond graph delivered to %v", past.Author, got)
+			}
+		})
+	}
+}
+
+// TestConstructorRejectsBadSubscriptions checks that every multi-user
+// constructor reports out-of-range subscription author ids as a descriptive
+// error instead of panicking mid-construction.
+func TestConstructorRejectsBadSubscriptions(t *testing.T) {
+	g := authorsim.NewGraph(3, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	for name, subs := range map[string][][]int32{
+		"negative":   {{0, 1}, {-2}},
+		"past-range": {{0}, {1, 3}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := NewMultiUser(AlgUniBin, g, subs, fixedThresholds); err == nil {
+				t.Fatal("NewMultiUser accepted out-of-range subscription")
+			} else if !strings.Contains(err.Error(), "outside graph range") {
+				t.Fatalf("NewMultiUser error not descriptive: %v", err)
+			}
+			if _, err := NewSharedMultiUser(AlgUniBin, g, subs, fixedThresholds); err == nil {
+				t.Fatal("NewSharedMultiUser accepted out-of-range subscription")
+			}
+			ths := []Thresholds{fixedThresholds, fixedThresholds}
+			if _, err := NewCustomMultiUser(AlgUniBin, g, subs, ths); err == nil {
+				t.Fatal("NewCustomMultiUser accepted out-of-range subscription")
+			}
+		})
+	}
+
+	// The valid baseline still constructs.
+	if _, err := NewMultiUser(AlgUniBin, g, [][]int32{{0, 1}, {2}}, fixedThresholds); err != nil {
+		t.Fatalf("valid subscriptions rejected: %v", err)
+	}
+}

@@ -22,6 +22,10 @@ import (
 // over either backend.
 type engine interface {
 	Offer(p *core.Post) ([]int32, error)
+	// OfferBatch ingests a time-ordered batch as one unit, returning per-post
+	// deliveries in batch order. Backends amortize their per-post costs (lock
+	// acquisitions, worker channel sends) across the batch.
+	OfferBatch(posts []*core.Post) ([][]int32, error)
 	Timeline(user int32) []*core.Post
 	Counters() metrics.Counters
 	Name() string
@@ -74,6 +78,7 @@ func newServer(e engine) *Server {
 	}
 	s.registry = s.buildRegistry()
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
 	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
 	s.mux.HandleFunc("GET /stream", s.handleStream)
 	s.mux.HandleFunc("GET /users/{id}/stats", s.handleUserStats)
@@ -157,6 +162,77 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, IngestResponse{ID: id, Delivered: users})
+}
+
+// BatchIngestRequest is the POST /ingest/batch body: a time-ordered slice of
+// posts ingested as one unit. The whole batch is accepted or rejected —
+// validation failures leave the stream untouched.
+type BatchIngestRequest struct {
+	Posts []IngestRequest `json:"posts"`
+}
+
+// BatchIngestResponse reports per-post deliveries in batch order.
+type BatchIngestResponse struct {
+	Results []IngestResponse `json:"results"`
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchIngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	if len(req.Posts) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	for i, p := range req.Posts {
+		if p.Text == "" {
+			httpError(w, http.StatusBadRequest, "post %d: empty text", i)
+			return
+		}
+		if i > 0 && p.TimeMillis < req.Posts[i-1].TimeMillis {
+			httpError(w, http.StatusConflict,
+				"post %d at %d arrived after %d; the batch must be time-ordered",
+				i, p.TimeMillis, req.Posts[i-1].TimeMillis)
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if last := s.lastT; req.Posts[0].TimeMillis < last {
+		s.mu.Unlock()
+		httpError(w, http.StatusConflict,
+			"batch starts at %d, after %d; the stream must be time-ordered",
+			req.Posts[0].TimeMillis, last)
+		return
+	}
+	s.lastT = req.Posts[len(req.Posts)-1].TimeMillis
+	firstID := s.nextID + 1
+	s.nextID += uint64(len(req.Posts))
+	s.mu.Unlock()
+
+	posts := make([]*core.Post, len(req.Posts))
+	for i, p := range req.Posts {
+		posts[i] = core.NewPost(firstID+uint64(i), p.Author, p.TimeMillis, p.Text)
+	}
+	deliveries, err := s.engine.OfferBatch(posts)
+	if err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	resp := BatchIngestResponse{Results: make([]IngestResponse, len(posts))}
+	for i, users := range deliveries {
+		if len(users) > 0 {
+			s.broker.publish(users, TimelinePost{
+				ID: posts[i].ID, Author: posts[i].Author, TimeMillis: posts[i].Time, Text: posts[i].Text,
+			})
+		} else {
+			users = []int32{}
+		}
+		resp.Results[i] = IngestResponse{ID: posts[i].ID, Delivered: users}
+	}
+	writeJSON(w, resp)
 }
 
 // TimelinePost is one delivered post in a timeline response.

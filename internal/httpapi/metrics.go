@@ -53,6 +53,25 @@ func (a *parallelTimelines) Offer(p *core.Post) ([]int32, error) {
 	return users, nil
 }
 
+// OfferBatch hands the whole batch to the parallel engine in one routing pass
+// (one channel send per touched worker), joins the batch ticket, and appends
+// the deliveries to the timelines in batch order.
+func (a *parallelTimelines) OfferBatch(posts []*core.Post) ([][]int32, error) {
+	t, err := a.pe.OfferBatch(posts)
+	if err != nil {
+		return nil, err
+	}
+	deliveries := t.Users()
+	a.mu.Lock()
+	for i, users := range deliveries {
+		for _, u := range users {
+			a.timelines[u] = append(a.timelines[u], posts[i])
+		}
+	}
+	a.mu.Unlock()
+	return deliveries, nil
+}
+
 func (a *parallelTimelines) Timeline(user int32) []*core.Post {
 	a.mu.Lock()
 	defer a.mu.Unlock()

@@ -13,6 +13,12 @@ package postbin
 
 import "fmt"
 
+// MinShrinkCap is the capacity floor of the bins' shrink-on-prune policy:
+// PruneBefore halves a buffer whose occupancy has fallen below a quarter of
+// its capacity, but never below this floor, so steady small bins don't
+// thrash between sizes. It doubles as SoA's initial allocation.
+const MinShrinkCap = 64
+
 // Bin is a growable circular array of timestamped values.
 type Bin[T any] struct {
 	buf   []entry[T]
@@ -61,6 +67,12 @@ func (b *Bin[T]) grow() {
 	if newCap < 8 {
 		newCap = 8
 	}
+	b.resize(newCap)
+}
+
+// resize moves the live entries into a fresh buffer of capacity newCap
+// (>= count) and rebases head to 0.
+func (b *Bin[T]) resize(newCap int) {
 	nb := make([]entry[T], newCap)
 	for i := 0; i < b.count; i++ {
 		nb[i] = b.buf[(b.head+i)%len(b.buf)]
@@ -70,7 +82,10 @@ func (b *Bin[T]) grow() {
 }
 
 // PruneBefore removes all entries with time < cutoff from the old end and
-// returns the number removed.
+// returns the number removed. When occupancy drops below a quarter of the
+// capacity it halves the buffer (floor MinShrinkCap), so a traffic burst's
+// peak allocation is released once the window passes instead of being pinned
+// for the rest of the stream.
 func (b *Bin[T]) PruneBefore(cutoff int64) int {
 	removed := 0
 	var zero entry[T]
@@ -89,6 +104,9 @@ func (b *Bin[T]) PruneBefore(cutoff int64) int {
 	}
 	if b.count == 0 {
 		b.head = 0
+	}
+	if c := len(b.buf); c > MinShrinkCap && b.count < c/4 {
+		b.resize(max(MinShrinkCap, c/2))
 	}
 	return removed
 }

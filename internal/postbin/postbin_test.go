@@ -193,3 +193,37 @@ func BenchmarkPushPruneScan(b *testing.B) {
 		})
 	}
 }
+
+func TestBinShrinksAfterBurst(t *testing.T) {
+	b := New[int]()
+	for i := 0; i < 4096; i++ {
+		b.Push(int64(i), i)
+	}
+	if b.Cap() < 4096 {
+		t.Fatalf("burst capacity %d", b.Cap())
+	}
+	for i := 0; i < 20 && b.Cap() > MinShrinkCap; i++ {
+		b.PruneBefore(4090)
+	}
+	if got := b.Cap(); got != MinShrinkCap {
+		t.Fatalf("capacity after burst = %d, want %d", got, MinShrinkCap)
+	}
+	want := []int{4090, 4091, 4092, 4093, 4094, 4095}
+	if got := b.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("surviving entries %v, want %v", got, want)
+	}
+}
+
+func TestBinNeverShrinksBelowFloor(t *testing.T) {
+	b := New[int]()
+	b.Push(1, 1)
+	b.PruneBefore(100)
+	if got := b.Cap(); got > MinShrinkCap {
+		t.Fatalf("Cap = %d, want <= floor %d", got, MinShrinkCap)
+	}
+	// Shrinking must preserve push/scan behaviour afterwards.
+	b.Push(200, 7)
+	if got := b.Snapshot(); !reflect.DeepEqual(got, []int{7}) {
+		t.Fatalf("post-shrink contents %v", got)
+	}
+}

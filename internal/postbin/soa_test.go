@@ -1,0 +1,246 @@
+package postbin
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func soaContents(b *SoA) (fps []uint64, authors []int32, times []int64) {
+	// Collect newest-first via the cursor, then reverse to oldest-first.
+	for cur := b.Scan(); cur.Next(); {
+		fps = append(fps, cur.FP())
+		authors = append(authors, cur.Author())
+		times = append(times, cur.Time())
+	}
+	for i, j := 0, len(fps)-1; i < j; i, j = i+1, j-1 {
+		fps[i], fps[j] = fps[j], fps[i]
+		authors[i], authors[j] = authors[j], authors[i]
+		times[i], times[j] = times[j], times[i]
+	}
+	return fps, authors, times
+}
+
+func TestSoAEmpty(t *testing.T) {
+	b := NewSoA()
+	if b.Len() != 0 || b.Cap() != 0 {
+		t.Fatalf("Len=%d Cap=%d", b.Len(), b.Cap())
+	}
+	if _, ok := b.OldestTime(); ok {
+		t.Fatal("OldestTime on empty should report !ok")
+	}
+	if _, ok := b.NewestTime(); ok {
+		t.Fatal("NewestTime on empty should report !ok")
+	}
+	if got := b.PruneBefore(100); got != 0 {
+		t.Fatalf("PruneBefore on empty = %d", got)
+	}
+	cur := b.Scan()
+	if cur.Next() {
+		t.Fatal("cursor on empty bin must report no entries")
+	}
+}
+
+func TestSoAPushScanOrder(t *testing.T) {
+	b := NewSoA()
+	b.Push(1, 10, 100)
+	b.Push(2, 20, 200)
+	b.Push(2, 30, 300) // ties allowed
+	b.Push(5, 40, 400)
+	var fps []uint64
+	var authors []int32
+	var times []int64
+	for cur := b.Scan(); cur.Next(); {
+		fps = append(fps, cur.FP())
+		authors = append(authors, cur.Author())
+		times = append(times, cur.Time())
+	}
+	if !reflect.DeepEqual(fps, []uint64{40, 30, 20, 10}) {
+		t.Fatalf("fps newest-first = %v", fps)
+	}
+	if !reflect.DeepEqual(authors, []int32{400, 300, 200, 100}) {
+		t.Fatalf("authors newest-first = %v", authors)
+	}
+	if !reflect.DeepEqual(times, []int64{5, 2, 2, 1}) {
+		t.Fatalf("times newest-first = %v", times)
+	}
+}
+
+func TestSoAOutOfOrderPushPanics(t *testing.T) {
+	b := NewSoA()
+	b.Push(10, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order push must panic")
+		}
+	}()
+	b.Push(9, 2, 2)
+}
+
+func TestSoACapacityIsPowerOfTwo(t *testing.T) {
+	b := NewSoA()
+	for i := 0; i < 1000; i++ {
+		b.Push(int64(i), uint64(i), int32(i))
+		if c := b.Cap(); c&(c-1) != 0 {
+			t.Fatalf("capacity %d is not a power of two", c)
+		}
+	}
+}
+
+func TestSoAPruneAndWrap(t *testing.T) {
+	b := NewSoA()
+	// Interleave pushes and prunes so head wraps around the buffer many
+	// times while occupancy stays near the window size.
+	window := int64(50)
+	next := int64(0)
+	for i := 0; i < 2000; i++ {
+		b.Push(next, uint64(i), int32(i))
+		next += 3
+		b.PruneBefore(next - window)
+		if oldest, ok := b.OldestTime(); !ok || oldest < next-window {
+			t.Fatalf("step %d: oldest %d below cutoff %d", i, oldest, next-window)
+		}
+	}
+	// All remaining entries must be in window and ordered.
+	_, _, times := soaContents(b)
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("times out of order: %v", times)
+		}
+	}
+}
+
+func TestSoAShrinksAfterBurst(t *testing.T) {
+	b := NewSoA()
+	for i := 0; i < 4096; i++ {
+		b.Push(int64(i), uint64(i), int32(i))
+	}
+	peak := b.Cap()
+	if peak < 4096 {
+		t.Fatalf("burst capacity %d", peak)
+	}
+	// Evict everything but a handful; repeated prunes must walk the
+	// capacity back down to the floor.
+	b.PruneBefore(4090)
+	for i := 0; i < 20 && b.Cap() > MinShrinkCap; i++ {
+		b.PruneBefore(4090)
+	}
+	if got := b.Cap(); got != MinShrinkCap {
+		t.Fatalf("capacity after burst = %d, want %d", got, MinShrinkCap)
+	}
+	if b.Len() != 6 {
+		t.Fatalf("Len after prune = %d", b.Len())
+	}
+	fps, _, _ := soaContents(b)
+	if !reflect.DeepEqual(fps, []uint64{4090, 4091, 4092, 4093, 4094, 4095}) {
+		t.Fatalf("surviving entries %v", fps)
+	}
+}
+
+func TestSoANeverShrinksBelowFloor(t *testing.T) {
+	b := NewSoA()
+	b.Push(1, 1, 1)
+	b.PruneBefore(100)
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := b.Cap(); got != MinShrinkCap {
+		t.Fatalf("Cap = %d, want floor %d", got, MinShrinkCap)
+	}
+}
+
+// TestSoAMatchesGenericBin drives an SoA bin and the generic Bin through the
+// same random push/prune schedule and checks they agree on contents, length
+// and boundary times at every step — SoA is a layout change, not a semantics
+// change.
+func TestSoAMatchesGenericBin(t *testing.T) {
+	type pair struct {
+		fp     uint64
+		author int32
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		soa := NewSoA()
+		ref := New[pair]()
+		now := int64(0)
+		for step := 0; step < 500; step++ {
+			switch {
+			case soa.Len() == 0 || rng.Intn(3) > 0:
+				now += int64(rng.Intn(5))
+				fp, author := rng.Uint64(), int32(rng.Intn(1000))
+				soa.Push(now, fp, author)
+				ref.Push(now, pair{fp, author})
+			default:
+				cutoff := now - int64(rng.Intn(40))
+				if got, want := soa.PruneBefore(cutoff), ref.PruneBefore(cutoff); got != want {
+					t.Fatalf("trial %d step %d: pruned %d, generic bin pruned %d", trial, step, got, want)
+				}
+			}
+			if soa.Len() != ref.Len() {
+				t.Fatalf("trial %d step %d: Len %d vs %d", trial, step, soa.Len(), ref.Len())
+			}
+			ot1, ok1 := soa.OldestTime()
+			ot2, ok2 := ref.OldestTime()
+			if ot1 != ot2 || ok1 != ok2 {
+				t.Fatalf("trial %d step %d: OldestTime (%d,%v) vs (%d,%v)", trial, step, ot1, ok1, ot2, ok2)
+			}
+			fps, authors, _ := soaContents(soa)
+			want := ref.Snapshot()
+			for i, p := range want {
+				if fps[i] != p.fp || authors[i] != p.author {
+					t.Fatalf("trial %d step %d entry %d: (%d,%d) vs (%d,%d)",
+						trial, step, i, fps[i], authors[i], p.fp, p.author)
+				}
+			}
+		}
+	}
+}
+
+func TestSoACursorEarlyStop(t *testing.T) {
+	b := NewSoA()
+	for i := 0; i < 10; i++ {
+		b.Push(int64(i), uint64(i), int32(i))
+	}
+	// A caller breaking out mid-scan and re-scanning must see a fresh
+	// newest-first iteration.
+	cur := b.Scan()
+	cur.Next()
+	if cur.FP() != 9 {
+		t.Fatalf("first = %d", cur.FP())
+	}
+	cur = b.Scan()
+	cur.Next()
+	if cur.FP() != 9 {
+		t.Fatalf("rescan first = %d", cur.FP())
+	}
+}
+
+// TestSoASegmentsMatchCursor checks FPSegments/AuthorSegments against the
+// cursor across a schedule that wraps the ring repeatedly: the concatenation
+// older++newer must be the oldest-to-newest contents.
+func TestSoASegmentsMatchCursor(t *testing.T) {
+	b := NewSoA()
+	window := int64(200)
+	next := int64(0)
+	for i := 0; i < 3000; i++ {
+		b.Push(next, uint64(i*31), int32(i%97))
+		next += 3
+		b.PruneBefore(next - window)
+
+		wantFPs, wantAuthors, _ := soaContents(b)
+		fpOld, fpNew := b.FPSegments()
+		auOld, auNew := b.AuthorSegments()
+		if len(fpOld)+len(fpNew) != len(wantFPs) || len(auOld)+len(auNew) != len(wantAuthors) {
+			t.Fatalf("step %d: segment lengths %d+%d / %d+%d, want %d entries",
+				i, len(fpOld), len(fpNew), len(auOld), len(auNew), len(wantFPs))
+		}
+		gotFPs := append(append([]uint64(nil), fpOld...), fpNew...)
+		gotAuthors := append(append([]int32(nil), auOld...), auNew...)
+		for j := range wantFPs {
+			if gotFPs[j] != wantFPs[j] || gotAuthors[j] != wantAuthors[j] {
+				t.Fatalf("step %d entry %d: segments give (%d,%d), cursor (%d,%d)",
+					i, j, gotFPs[j], gotAuthors[j], wantFPs[j], wantAuthors[j])
+			}
+		}
+	}
+}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -173,7 +174,10 @@ func NewMultiEngine(md core.MultiDiversifier) *MultiEngine {
 	return &MultiEngine{md: md, timelines: make(map[int32][]*core.Post)}
 }
 
-// Offer routes a post and returns the users it was delivered to.
+// Offer routes a post and returns the users it was delivered to. The
+// returned slice is the caller's to keep: the engine copies it out of the
+// solver's scratch storage (see core.MultiDiversifier's aliasing contract)
+// before releasing the decision lock.
 func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -182,12 +186,39 @@ func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
 	}
 	defer m.offerLatency.ObserveSince(time.Now())
 	m.offered++
-	users := m.md.Offer(p)
+	users := slices.Clone(m.md.Offer(p))
 	m.delivered += uint64(len(users))
 	for _, u := range users {
 		m.timelines[u] = append(m.timelines[u], p)
 	}
 	return users, nil
+}
+
+// OfferBatch routes a batch of posts under a single lock acquisition,
+// returning per-post deliveries in batch order. Posts must be time-ordered
+// within the batch (the batch order is the stream order). It exists so batch
+// ingest amortizes the lock the way the parallel engine's OfferBatch
+// amortizes channel sends. Each post still gets its own offerLatency
+// observation, so batch and single ingestion feed the same distribution.
+func (m *MultiEngine) OfferBatch(posts []*core.Post) ([][]int32, error) {
+	out := make([][]int32, len(posts))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.done {
+		return nil, fmt.Errorf("stream: engine is closed")
+	}
+	for i, p := range posts {
+		start := time.Now()
+		m.offered++
+		users := slices.Clone(m.md.Offer(p))
+		m.delivered += uint64(len(users))
+		for _, u := range users {
+			m.timelines[u] = append(m.timelines[u], p)
+		}
+		m.offerLatency.ObserveSince(start)
+		out[i] = users
+	}
+	return out, nil
 }
 
 // Name returns the backing solver's algorithm name (e.g. "S_UniBin").

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -97,23 +98,45 @@ type parallelWorker struct {
 	// per-component counters deep inside the bins) and
 	// Counters/WorkerSnapshots hold it while merging, so snapshots never
 	// race decisions. ch is written by the ingest boundary and closed by
-	// Close; lastSeq is owned by the worker goroutine alone.
+	// Close; lastSeq and offs are owned by the worker goroutine alone.
 	mu      sync.Mutex
 	md      *core.SharedMultiUser
 	ch      chan parallelJob
 	lastSeq uint64
+	// offs is the worker's reusable batch-offset scratch: offs[i] is the
+	// arena position where batch post i's deliveries start. Only subslices
+	// of the per-batch arena escape to tickets, never offs itself.
+	offs []int32
 	// queueWait observes, per job, the time between enqueue at the ingest
 	// boundary and dequeue by the worker — the per-worker imbalance signal:
 	// a hot shard's queue wait grows while its siblings stay flat.
 	queueWait metrics.Histogram
 }
 
+// parallelJob is one unit on a worker queue: a single post with its ticket,
+// or one shard of a batch (exactly one of ticket/batch is non-nil).
 type parallelJob struct {
 	post   *core.Post
 	ticket *Ticket
+	batch  *batchShardJob
 	// enqueuedAt is stamped at the ingest boundary; the worker's dequeue
-	// time minus this is the job's queue wait.
+	// time minus this is the job's queue wait. A batch shard counts as one
+	// observation — the wait is a property of the queue slot, not the posts.
 	enqueuedAt time.Time
+}
+
+// batchShardJob is the slice of one OfferBatch call routed to one worker:
+// the shard's posts in batch order, their positions in the batch, and the
+// ticket slot array to resolve into.
+type batchShardJob struct {
+	posts []*core.Post
+	pos   []int32 // posts[i] is batch element pos[i]
+	// firstSeq/lastSeq are the ingest sequence numbers of posts[0] and
+	// posts[len-1]; per-shard sequences are monotone because OfferBatch
+	// assigns sequences in batch order and sub-batches preserve it.
+	firstSeq, lastSeq uint64
+	ticket            *BatchTicket
+	done              chan struct{}
 }
 
 // WorkerSnapshot is a consistent view of one worker's instrumentation, for
@@ -149,6 +172,35 @@ func (t *Ticket) Users() []int32 {
 // Seq returns the monotone sequence number the ingest boundary assigned to
 // this post — the engine's global arrival order, shared across all workers.
 func (t *Ticket) Seq() uint64 { return t.seq }
+
+// BatchTicket is the pending decision handle of OfferBatch: one ticket for
+// the whole batch, resolved shard by shard as workers finish their slices.
+type BatchTicket struct {
+	seqBase uint64
+	// users[i] is batch post i's delivery list; nil for undelivered posts
+	// and for posts whose author is outside the graph. Workers write
+	// disjoint indices and the pending channels publish the writes.
+	users   [][]int32
+	pending []chan struct{}
+}
+
+// Users blocks until every post of the batch is decided and returns the
+// per-post delivered users, indexed by batch position. The returned slices
+// are the caller's to keep. Safe to call from multiple goroutines.
+func (bt *BatchTicket) Users() [][]int32 {
+	for _, ch := range bt.pending {
+		<-ch
+	}
+	return bt.users
+}
+
+// SeqBase returns the ingest sequence number of the batch's first post;
+// post i of the batch has sequence SeqBase()+i. A batch ingested after a
+// single Offer (or another batch) has a strictly larger SeqBase.
+func (bt *BatchTicket) SeqBase() uint64 { return bt.seqBase }
+
+// Len returns the number of posts in the batch.
+func (bt *BatchTicket) Len() int { return len(bt.users) }
 
 // NewParallelMultiEngine shards the components of g across `workers`
 // goroutines with default options (queue depth DefaultQueueDepth, blocking
@@ -220,6 +272,10 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 		go func(w *parallelWorker) {
 			defer e.wg.Done()
 			for job := range w.ch {
+				if job.batch != nil {
+					w.runBatch(job)
+					continue
+				}
 				// The ingest boundary serializes enqueues in sequence order,
 				// so a non-monotone sequence here is an engine bug, not a
 				// caller error.
@@ -229,7 +285,9 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 				w.lastSeq = job.ticket.seq
 				w.mu.Lock()
 				w.queueWait.ObserveSince(job.enqueuedAt)
-				users := w.md.Offer(job.post)
+				// Detach from the solver's scratch buffer: the ticket outlives
+				// the next decision on this worker.
+				users := slices.Clone(w.md.Offer(job.post))
 				w.mu.Unlock()
 				job.ticket.users = users
 				close(job.ticket.done)
@@ -237,6 +295,37 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 		}(w)
 	}
 	return e, nil
+}
+
+// runBatch decides one shard of a batch. Deliveries are packed into a single
+// per-shard arena slice — one allocation per shard instead of one per
+// delivered post — and the ticket's per-post slots receive subslices of it.
+func (w *parallelWorker) runBatch(job parallelJob) {
+	b := job.batch
+	if b.firstSeq <= w.lastSeq {
+		panic(fmt.Sprintf("stream: worker received batch seq %d after %d", b.firstSeq, w.lastSeq))
+	}
+	w.lastSeq = b.lastSeq
+	w.mu.Lock()
+	w.queueWait.ObserveSince(job.enqueuedAt)
+	offs := append(w.offs[:0], 0)
+	var arena []int32
+	for _, p := range b.posts {
+		arena = append(arena, w.md.Offer(p)...)
+		offs = append(offs, int32(len(arena)))
+	}
+	w.offs = offs
+	w.mu.Unlock()
+	// arena is append-grown, so earlier subslices must only be taken now,
+	// after its backing array has stopped moving.
+	for i, pos := range b.pos {
+		// Full slice expressions cap each result at its own region so a
+		// caller appending to one delivery list cannot clobber the next.
+		if users := arena[offs[i]:offs[i+1]:offs[i+1]]; len(users) > 0 {
+			b.ticket.users[pos] = users
+		}
+	}
+	close(b.done)
 }
 
 // Offer routes the post to its component's worker and returns a ticket. It is
@@ -280,6 +369,68 @@ func (e *ParallelMultiEngine) Offer(p *core.Post) (*Ticket, error) {
 	e.seq++
 	e.mu.Unlock()
 	return t, nil
+}
+
+// OfferBatch ingests a slice of posts as one unit: posts are routed to their
+// component's workers in batch order with one channel send per touched
+// worker — the batch-amortization lever of Gao, Ferrara & Qiu — and the
+// returned ticket resolves every post of the batch. Posts must be
+// time-ordered within the batch; the batch order is the stream order, and
+// every post receives the sequence number SeqBase()+i whether or not its
+// author is known (unknown and negative authors are delivered to no one).
+//
+// Per-component decision order is identical to offering the posts one by
+// one: each worker receives its sub-batch in batch order, and cross-shard
+// posts are independent by construction (distinct components never cover
+// each other), so only the interleaving of independent decisions differs.
+//
+// Unlike Offer, OfferBatch always applies blocking backpressure, even on a
+// fail-fast engine: a batch is never partially shed, because its shards are
+// enqueued one worker at a time and cannot be recalled. Callers that need
+// fail-fast semantics should size batches below the queue depth or use
+// single Offers. After Close has begun it returns ErrClosed.
+func (e *ParallelMultiEngine) OfferBatch(posts []*core.Post) (*BatchTicket, error) {
+	bt := &BatchTicket{users: make([][]int32, len(posts))}
+	if len(posts) == 0 {
+		return bt, nil
+	}
+	// Group the batch per worker. shards is index-aligned with e.workers;
+	// only touched workers allocate a shard job.
+	shards := make([]*batchShardJob, len(e.workers))
+	e.mu.Lock()
+	if e.state != stateOpen {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	bt.seqBase = e.seq + 1
+	for i, p := range posts {
+		seq := bt.seqBase + uint64(i)
+		if p.Author < 0 || int(p.Author) >= len(e.authorWorker) {
+			continue // no component: bt.users[i] stays nil
+		}
+		sh := shards[e.authorWorker[p.Author]]
+		if sh == nil {
+			sh = &batchShardJob{firstSeq: seq, ticket: bt, done: make(chan struct{})}
+			shards[e.authorWorker[p.Author]] = sh
+			bt.pending = append(bt.pending, sh.done)
+		}
+		sh.posts = append(sh.posts, p)
+		sh.pos = append(sh.pos, int32(i))
+		sh.lastSeq = seq
+	}
+	e.seq += uint64(len(posts))
+	now := time.Now()
+	for wi, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		// Blocking send while holding the ingest lock, like Offer's blocking
+		// mode: workers never take e.mu, so each drains independently and
+		// every send terminates.
+		e.workers[wi].ch <- parallelJob{batch: sh, enqueuedAt: now}
+	}
+	e.mu.Unlock()
+	return bt, nil
 }
 
 // Close moves the engine to the closing state (subsequent Offers return

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"math/rand"
+	"slices"
 	"sort"
 	"testing"
 
@@ -50,7 +51,9 @@ func TestParallelMatchesSequential(t *testing.T) {
 	var wantDeliveries []delivery
 	tickets := make([]*Ticket, len(posts))
 	for i, p := range posts {
-		wantDeliveries = append(wantDeliveries, delivery{post: p.ID, users: seq.Offer(p)})
+		// Clone: the solver's returned slice is scratch-backed and only valid
+		// until the next Offer (the MultiDiversifier aliasing contract).
+		wantDeliveries = append(wantDeliveries, delivery{post: p.ID, users: slices.Clone(seq.Offer(p))})
 		tk, err := par.Offer(p)
 		if err != nil {
 			t.Fatal(err)

@@ -102,6 +102,46 @@ func (s *ParallelService) Offer(p Post) (Delivery, error) {
 	return Delivery{t: t}, err
 }
 
+// BatchDelivery is the pending decision handle of OfferBatch: one handle for
+// the whole batch, resolving each post's delivery in batch order.
+type BatchDelivery struct{ t *stream.BatchTicket }
+
+// Users blocks until every post in the batch is decided and returns the
+// per-post delivered user ids, indexed in batch order. The returned slices
+// are the caller's to keep.
+func (d BatchDelivery) Users() [][]UserID {
+	rows := d.t.Users()
+	out := make([][]UserID, len(rows))
+	for i, r := range rows {
+		out[i] = r
+	}
+	return out
+}
+
+// SeqBase returns the sequence number assigned to the batch's first post;
+// post i in the batch holds sequence SeqBase()+i.
+func (d BatchDelivery) SeqBase() uint64 { return d.t.SeqBase() }
+
+// Len returns the number of posts in the batch.
+func (d BatchDelivery) Len() int { return d.t.Len() }
+
+// OfferBatch ingests a time-ordered slice of posts as one unit, amortizing
+// the routing lock and per-worker channel sends across the batch. Posts must
+// be non-decreasing in time and ordered after everything previously offered;
+// the batch occupies sequence numbers SeqBase()..SeqBase()+len(posts)-1 in
+// stream order. Per-user timelines are identical to offering the posts one by
+// one. Unlike Offer, OfferBatch always applies blocking backpressure — even
+// on a FailFast service — because shedding part of a batch would silently
+// break the caller's ordering guarantee. After Close it returns ErrClosed.
+func (s *ParallelService) OfferBatch(posts []Post) (BatchDelivery, error) {
+	cps := make([]*core.Post, len(posts))
+	for i, p := range posts {
+		cps[i] = core.NewPost(p.ID, p.Author, p.Time.UnixMilli(), p.Text)
+	}
+	t, err := s.inner.OfferBatch(cps)
+	return BatchDelivery{t: t}, err
+}
+
 // Close drains all workers and resolves every outstanding Delivery; call
 // before reading final Stats. Idempotent and safe to call concurrently with
 // Offer — racing Offers fail with ErrClosed rather than being half-accepted.
