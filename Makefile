@@ -53,3 +53,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTokensWithOptions -fuzztime=$(FUZZTIME) ./internal/textnorm
 	$(GO) test -run='^$$' -fuzz=FuzzDistance -fuzztime=$(FUZZTIME) ./internal/simhash
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprintNormalizationStable -fuzztime=$(FUZZTIME) ./internal/simhash
+	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) .

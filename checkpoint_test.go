@@ -1,0 +1,378 @@
+package firehose
+
+import (
+	"bytes"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkpointScenario is the shared fixture of the checkpoint tests: a wired
+// graph, a realistic stream and subscriptions.
+func checkpointScenario(t *testing.T) (*AuthorGraph, []Post, [][]AuthorID) {
+	t.Helper()
+	return generateScenario(t, 200, 404)
+}
+
+// TestDiversifierSnapshotEquivalence: the acceptance bar of the checkpoint
+// subsystem at the single-user surface. For every algorithm: run a random
+// prefix, snapshot, restore into a fresh identically-constructed
+// diversifier, and require the suffix decision sequence to match the
+// uninterrupted run.
+func TestDiversifierSnapshotEquivalence(t *testing.T) {
+	graph, posts, _ := checkpointScenario(t)
+	cfg := DefaultConfig()
+	rng := rand.New(rand.NewSource(11))
+	for _, alg := range []Algorithm{UniBin, NeighborBin, CliqueBin} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cont, err := NewDiversifier(alg, graph, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := NewDiversifier(alg, graph, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := 1 + rng.Intn(len(posts)-1)
+			for _, p := range posts[:cut] {
+				cont.Offer(p)
+			}
+			var buf bytes.Buffer
+			if err := cont.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range posts[cut:] {
+				if a, b := cont.Offer(p), restored.Offer(p); a != b {
+					t.Fatalf("cut %d: decision diverged at suffix post %d: %v vs %v", cut, i, a, b)
+				}
+			}
+			if a, b := cont.Stats(), restored.Stats(); a.Accepted != b.Accepted || a.Rejected != b.Rejected || a.Comparisons != b.Comparisons {
+				t.Fatalf("stats diverged: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestDiversifierSnapshotPreservesAutoIDs: the auto-id watermark survives a
+// snapshot, so ids assigned after restore continue the sequence instead of
+// colliding with pre-snapshot ids.
+func TestDiversifierSnapshotPreservesAutoIDs(t *testing.T) {
+	graph, posts, _ := checkpointScenario(t)
+	d, err := NewDiversifier(UniBin, graph, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range posts[:50] {
+		p.ID = 0 // force auto-assignment
+		d.Offer(p)
+	}
+	var buf bytes.Buffer
+	if err := d.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewDiversifier(UniBin, graph, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	p := posts[50]
+	p.ID = 0
+	restored.Offer(p)
+	if restored.nextID != 51 {
+		t.Fatalf("auto-id watermark after restore = %d, want 51", restored.nextID)
+	}
+}
+
+// TestMultiUserServiceSnapshotEquivalence covers the M_*, S_* and per-user
+// custom variants through the public surface.
+func TestMultiUserServiceSnapshotEquivalence(t *testing.T) {
+	graph, posts, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+	userCfgs := make([]Config, len(subs))
+	for i := range userCfgs {
+		userCfgs[i] = Config{LambdaC: 12 + i%8, LambdaT: time.Duration(10+i%5) * time.Minute, LambdaA: 0.7}
+	}
+	variants := map[string]ServiceOptions{}
+	for _, alg := range []Algorithm{UniBin, NeighborBin, CliqueBin} {
+		variants["S_"+alg.String()] = ServiceOptions{Algorithm: alg, Config: cfg}
+		variants["M_"+alg.String()] = ServiceOptions{Algorithm: alg, Config: cfg, Independent: true}
+	}
+	variants["Custom"] = ServiceOptions{UserConfigs: userCfgs}
+	for name, opts := range variants {
+		t.Run(name, func(t *testing.T) {
+			cont, err := NewService(graph, subs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := NewService(graph, subs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := len(posts) / 3
+			for _, p := range posts[:cut] {
+				cont.Offer(p)
+			}
+			var buf bytes.Buffer
+			if err := cont.Snapshot(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+				t.Fatal(err)
+			}
+			for i, p := range posts[cut:] {
+				if a, b := cont.Offer(p), restored.Offer(p); !slices.Equal(a, b) {
+					t.Fatalf("delivery diverged at suffix post %d: %v vs %v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelServiceSnapshotEquivalence: the ISSUE's bar at the parallel
+// surface — 1 and 4 workers, snapshot mid-stream, identical suffix.
+func TestParallelServiceSnapshotEquivalence(t *testing.T) {
+	graph, posts, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+	for _, workers := range []int{1, 4} {
+		for _, alg := range []Algorithm{UniBin, NeighborBin, CliqueBin} {
+			t.Run(alg.String(), func(t *testing.T) {
+				opts := ParallelServiceOptions{Algorithm: alg, Config: cfg, Workers: workers}
+				cont, err := NewParallel(graph, subs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				restored, err := NewParallel(graph, subs, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cont.Close()
+				defer restored.Close()
+				cut := len(posts) / 2
+				for _, p := range posts[:cut] {
+					if _, err := cont.Offer(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var buf bytes.Buffer
+				if err := cont.Snapshot(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range posts[cut:] {
+					a, err := cont.Offer(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := restored.Offer(p)
+					if err != nil {
+						t.Fatal(err)
+					}
+					au, bu := a.Users(), b.Users()
+					slices.Sort(au)
+					slices.Sort(bu)
+					if !slices.Equal(au, bu) {
+						t.Fatalf("workers=%d: delivery diverged at suffix post %d: %v vs %v", workers, i, au, bu)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRestoreRejectsMismatches: every way a snapshot can disagree with the
+// restoring service must produce a descriptive error.
+func TestRestoreRejectsMismatches(t *testing.T) {
+	graph, posts, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+	d, err := NewDiversifier(UniBin, graph, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range posts[:40] {
+		d.Offer(p)
+	}
+	var dsnap bytes.Buffer
+	if err := d.Snapshot(&dsnap); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("wrong service kind", func(t *testing.T) {
+		svc, err := NewService(graph, subs, ServiceOptions{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = svc.Restore(bytes.NewReader(dsnap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "firehose.Diversifier") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("wrong algorithm", func(t *testing.T) {
+		d2, err := NewDiversifier(NeighborBin, graph, nil, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = d2.Restore(bytes.NewReader(dsnap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "algorithm") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("different thresholds", func(t *testing.T) {
+		cfg2 := cfg
+		cfg2.LambdaC = 5
+		d2, err := NewDiversifier(UniBin, graph, nil, cfg2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = d2.Restore(bytes.NewReader(dsnap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("different subscriptions", func(t *testing.T) {
+		svc1, err := NewService(graph, subs, ServiceOptions{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap bytes.Buffer
+		if err := svc1.Snapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+		subs2 := slices.Clone(subs)
+		subs2[0] = []AuthorID{0, 1}
+		svc2, err := NewService(graph, subs2, ServiceOptions{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = svc2.Restore(bytes.NewReader(snap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "fingerprint") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("different worker count", func(t *testing.T) {
+		p1, err := NewParallel(graph, subs, ParallelServiceOptions{Config: cfg, Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p1.Close()
+		var snap bytes.Buffer
+		if err := p1.Snapshot(&snap); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := NewParallel(graph, subs, ParallelServiceOptions{Config: cfg, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p2.Close()
+		err = p2.Restore(bytes.NewReader(snap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "workers") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("indexed diversifier unsupported", func(t *testing.T) {
+		cfgIdx := Config{LambdaC: 2, LambdaT: 30 * time.Minute, LambdaA: 0.7}
+		di, err := NewIndexedDiversifier(graph, nil, cfgIdx, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		err = di.Snapshot(&buf)
+		if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+			t.Fatalf("err = %v", err)
+		}
+		err = di.Restore(bytes.NewReader(dsnap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		raw := dsnap.Bytes()
+		for _, n := range []int{0, 1, 4, len(raw) / 2, len(raw) - 1} {
+			d2, err := NewDiversifier(UniBin, graph, nil, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d2.Restore(bytes.NewReader(raw[:n])); err == nil {
+				t.Fatalf("restore of %d-byte prefix succeeded", n)
+			}
+		}
+	})
+}
+
+// TestDeprecatedConstructorsDelegate: the legacy constructors must keep
+// working and build services indistinguishable from the canonical ones.
+func TestDeprecatedConstructorsDelegate(t *testing.T) {
+	graph, posts, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+
+	legacy, err := NewMultiUserService(graph, subs, cfg, MultiUserOptions{Algorithm: CliqueBin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canonical, err := NewService(graph, subs, ServiceOptions{Algorithm: CliqueBin, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Algorithm() != canonical.Algorithm() {
+		t.Fatalf("algorithms differ: %s vs %s", legacy.Algorithm(), canonical.Algorithm())
+	}
+	for _, p := range posts[:100] {
+		if a, b := legacy.Offer(p), canonical.Offer(p); !slices.Equal(a, b) {
+			t.Fatalf("legacy and canonical services diverge on post %d", p.ID)
+		}
+	}
+	// A legacy service's snapshot restores into a canonical one: same
+	// fingerprint, same state.
+	var snap bytes.Buffer
+	if err := legacy.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := canonical.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+		t.Fatalf("canonical service rejected legacy snapshot: %v", err)
+	}
+
+	ucfgs := make([]Config, len(subs))
+	for i := range ucfgs {
+		ucfgs[i] = cfg
+	}
+	if _, err := NewCustomMultiUserService(UniBin, graph, subs, ucfgs); err != nil {
+		t.Fatalf("NewCustomMultiUserService: %v", err)
+	}
+	lp, err := NewParallelService(UniBin, graph, subs, cfg, 2)
+	if err != nil {
+		t.Fatalf("NewParallelService: %v", err)
+	}
+	lp.Close()
+	lpo, err := NewParallelServiceOpts(UniBin, graph, subs, cfg, ParallelOptions{Workers: 2, FailFast: true})
+	if err != nil {
+		t.Fatalf("NewParallelServiceOpts: %v", err)
+	}
+	lpo.Close()
+}
+
+// TestServiceOptionsValidation: the canonical constructor rejects ambiguous
+// or inconsistent option combinations.
+func TestServiceOptionsValidation(t *testing.T) {
+	graph, _, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+	if _, err := NewService(graph, subs, ServiceOptions{Config: cfg, UserConfigs: []Config{cfg}}); err == nil {
+		t.Fatal("Config+UserConfigs accepted")
+	}
+	if _, err := NewService(graph, subs, ServiceOptions{UserConfigs: []Config{cfg}}); err == nil {
+		t.Fatal("UserConfigs length mismatch accepted")
+	}
+	if _, err := NewService(nil, subs, ServiceOptions{Config: cfg}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewService(graph, subs, ServiceOptions{}); err == nil {
+		t.Fatal("zero Config accepted — thresholds must be explicit")
+	}
+}

@@ -3,18 +3,26 @@
 // engine diversifies the timeline of every user so clients need no
 // post-processing.
 //
-// Endpoints:
+// Endpoints (canonical paths are versioned under /v1; the unversioned
+// aliases are deprecated but still served):
 //
-//	POST /ingest    {"author":12,"text":"...","timeMillis":1458000000000}
+//	POST /v1/ingest {"author":12,"text":"...","timeMillis":1458000000000}
 //	                → {"delivered":[0,7,19]} (users whose timeline got the post)
-//	POST /ingest/batch
+//	POST /v1/ingest/batch
 //	                {"posts":[{"author":12,...},...]} (time-ordered)
 //	                → {"results":[{"id":1,"delivered":[...]},...]} in batch order
-//	GET  /timeline?user=7&n=20
+//	GET  /v1/timeline?user=7&n=20
 //	                → {"user":7,"posts":[{...},...]}
-//	GET  /stats     → cost counters
-//	GET  /metrics   → Prometheus text exposition (decision latency, worker queues, SSE)
-//	GET  /healthz   → ok
+//	GET  /v1/stats  → cost counters
+//	GET  /v1/metrics → Prometheus text exposition (decision latency, worker queues, SSE)
+//	GET  /v1/healthz → ok
+//	POST /v1/admin/checkpoint   → write a checkpoint now (needs -checkpoint-dir)
+//	GET  /v1/admin/checkpoints  → list retained checkpoints
+//
+// With -checkpoint-dir the daemon restores the newest checkpoint at boot,
+// writes one at every -checkpoint-interval tick and one at shutdown, and
+// retains the newest -checkpoint-retain files. A SIGKILLed daemon restarted
+// on the same directory resumes from the last completed checkpoint.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
 // finish, open SSE streams are closed, and the listener drains within a
@@ -39,6 +47,7 @@ import (
 	"time"
 
 	"firehose/internal/authorsim"
+	"firehose/internal/checkpoint"
 	"firehose/internal/core"
 	"firehose/internal/corpusio"
 	"firehose/internal/httpapi"
@@ -56,6 +65,9 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		workers   = flag.Int("workers", 0, "parallel decision workers sharded by author component (0 = NumCPU, 1 = sequential engine)")
 		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory; enables restore-on-boot and /v1/admin/checkpoint")
+		ckptEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 = on demand and at shutdown only)")
+		ckptKeep  = flag.Int("checkpoint-retain", 3, "checkpoints kept after each write (0 = keep all)")
 	)
 	flag.Parse()
 
@@ -140,6 +152,27 @@ func main() {
 	if *pprofOn {
 		api.EnablePProf()
 	}
+
+	// Durability: restore the newest checkpoint before serving (the engine
+	// must be idle during Restore), then arm the admin endpoints and the
+	// optional periodic writer.
+	var ckptMgr *checkpoint.Manager
+	if *ckptDir != "" {
+		if f, ok, err := checkpoint.RestoreLatest(*ckptDir, api.Restore); err != nil {
+			log.Fatalf("firehosed: %v", err)
+		} else if ok {
+			log.Printf("firehosed: restored checkpoint %d (%s)", f.Seq, f.Path)
+		} else {
+			log.Printf("firehosed: no checkpoint in %s, cold boot", *ckptDir)
+		}
+		m, err := checkpoint.NewManager(*ckptDir, *ckptKeep, api.Snapshot)
+		if err != nil {
+			log.Fatalf("firehosed: %v", err)
+		}
+		ckptMgr = m
+		api.EnableCheckpoints(m)
+	}
+
 	server := &http.Server{
 		Addr:              *addr,
 		Handler:           api,
@@ -157,6 +190,25 @@ func main() {
 	go func() { errCh <- server.ListenAndServe() }()
 	log.Printf("firehosed: %s (%s) over %d authors/users on %s", engine, solvers, len(fs), *addr)
 
+	if ckptMgr != nil && *ckptEvery > 0 {
+		go func() {
+			ticker := time.NewTicker(*ckptEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-ticker.C:
+					if f, err := ckptMgr.Checkpoint(); err != nil {
+						log.Printf("firehosed: periodic checkpoint: %v", err)
+					} else {
+						log.Printf("firehosed: wrote checkpoint %d (%d bytes)", f.Seq, f.Size)
+					}
+				}
+			}
+		}()
+	}
+
 	select {
 	case err := <-errCh:
 		// Listener failed before any shutdown signal.
@@ -165,6 +217,16 @@ func main() {
 	}
 	stop()
 	log.Printf("firehosed: shutting down (draining up to %v)", *drain)
+
+	// A last checkpoint before the engine closes — after api.Close() the
+	// parallel engine can no longer quiesce.
+	if ckptMgr != nil {
+		if f, err := ckptMgr.Checkpoint(); err != nil {
+			log.Printf("firehosed: shutdown checkpoint: %v", err)
+		} else {
+			log.Printf("firehosed: wrote shutdown checkpoint %d", f.Seq)
+		}
+	}
 
 	// Release the SSE streams first — Shutdown waits for active handlers,
 	// and /stream handlers only return once their subscription closes.

@@ -248,6 +248,7 @@ func allAuthors(n int) []int32 {
 type Diversifier struct {
 	inner  core.Diversifier
 	nextID uint64
+	meta   snapMeta
 }
 
 // NewDiversifier builds a diversifier running alg over the authors the user
@@ -267,7 +268,7 @@ func NewDiversifier(alg Algorithm, g *AuthorGraph, subscribed []AuthorID, cfg Co
 	if err != nil {
 		return nil, err
 	}
-	return &Diversifier{inner: inner}, nil
+	return &Diversifier{inner: inner, meta: metaFor(inner.Name(), g, [][]AuthorID{subscribed}, []Config{cfg})}, nil
 }
 
 func checkConfig(cfg Config, g *AuthorGraph) error {
@@ -342,7 +343,7 @@ func NewIndexedDiversifier(g *AuthorGraph, subscribed []AuthorID, cfg Config, bl
 	if err != nil {
 		return nil, err
 	}
-	return &Diversifier{inner: inner}, nil
+	return &Diversifier{inner: inner, meta: metaFor(inner.Name(), g, [][]AuthorID{subscribed}, []Config{cfg})}, nil
 }
 
 // Filter drains in-order posts from a slice and returns the diversified
@@ -372,21 +373,61 @@ func (d *Diversifier) Stats() Stats { return statsOf(d.inner.Counters()) }
 // A MultiUserService is not safe for concurrent use; serialize Offer calls.
 type MultiUserService struct {
 	inner core.MultiDiversifier
+	meta  snapMeta
 }
 
-// MultiUserOptions configures NewMultiUserService.
-type MultiUserOptions struct {
-	// Algorithm is the per-component SPSD algorithm. Default UniBin — the
-	// paper found S_UniBin superior in the multi-user setting.
+// ServiceOptions configures NewService, the canonical multi-user
+// constructor. Exactly one threshold source must be set: Config for a
+// uniform service, UserConfigs for per-user thresholds.
+type ServiceOptions struct {
+	// Algorithm is the per-component SPSD algorithm. The zero value is
+	// UniBin — the paper found S_UniBin superior in the multi-user setting.
 	Algorithm Algorithm
-	// Independent disables cross-user sharing (the M_* baselines).
+	// Config holds the service-wide thresholds. It is required unless
+	// UserConfigs is set; there is no implicit default — use DefaultConfig()
+	// explicitly for the paper's thresholds.
+	Config Config
+	// Independent disables cross-user sharing (the M_* baselines of
+	// Section 5). Only meaningful with Config: per-user thresholds already
+	// preclude sharing.
 	Independent bool
+	// UserConfigs gives every user individual LambdaC/LambdaT thresholds
+	// (UserConfigs[u] applies to subscriptions[u]); all entries must carry
+	// the graph's LambdaA, since the author dimension is baked into the
+	// shared graph. Setting UserConfigs selects independent per-user
+	// instances and is mutually exclusive with Config.
+	UserConfigs []Config
 }
 
-// NewMultiUserService builds the service. subscriptions[u] lists the authors
-// user u follows.
-func NewMultiUserService(g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts MultiUserOptions) (*MultiUserService, error) {
-	if err := checkConfig(cfg, g); err != nil {
+// NewService builds a multi-user diversification service. subscriptions[u]
+// lists the authors user u follows. This is the canonical constructor; the
+// NewMultiUserService and NewCustomMultiUserService wrappers delegate here.
+func NewService(g *AuthorGraph, subscriptions [][]AuthorID, opts ServiceOptions) (*MultiUserService, error) {
+	if g == nil {
+		return nil, fmt.Errorf("firehose: nil author graph")
+	}
+	if opts.UserConfigs != nil {
+		if opts.Config != (Config{}) {
+			return nil, fmt.Errorf("firehose: ServiceOptions.Config and UserConfigs are mutually exclusive")
+		}
+		if len(subscriptions) != len(opts.UserConfigs) {
+			return nil, fmt.Errorf("firehose: %d subscription lists but %d user configs",
+				len(subscriptions), len(opts.UserConfigs))
+		}
+		ths := make([]core.Thresholds, len(opts.UserConfigs))
+		for u, cfg := range opts.UserConfigs {
+			if err := checkConfig(cfg, g); err != nil {
+				return nil, fmt.Errorf("user %d: %w", u, err)
+			}
+			ths[u] = cfg.thresholds()
+		}
+		inner, err := core.NewCustomMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), ths)
+		if err != nil {
+			return nil, err
+		}
+		return &MultiUserService{inner: inner, meta: metaFor(inner.Name(), g, subscriptions, opts.UserConfigs)}, nil
+	}
+	if err := checkConfig(opts.Config, g); err != nil {
 		return nil, err
 	}
 	for u, subs := range subscriptions {
@@ -399,44 +440,57 @@ func NewMultiUserService(g *AuthorGraph, subscriptions [][]AuthorID, cfg Config,
 		err   error
 	)
 	if opts.Independent {
-		inner, err = core.NewMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), cfg.thresholds())
+		inner, err = core.NewMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), opts.Config.thresholds())
 	} else {
-		inner, err = core.NewSharedMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), cfg.thresholds())
+		inner, err = core.NewSharedMultiUser(opts.Algorithm, g.g, int32Slices(subscriptions), opts.Config.thresholds())
 	}
 	if err != nil {
 		return nil, err
 	}
-	return &MultiUserService{inner: inner}, nil
+	return &MultiUserService{inner: inner, meta: metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})}, nil
+}
+
+// MultiUserOptions configures NewMultiUserService.
+//
+// Deprecated: use ServiceOptions with NewService.
+type MultiUserOptions struct {
+	// Algorithm is the per-component SPSD algorithm. Default UniBin — the
+	// paper found S_UniBin superior in the multi-user setting.
+	Algorithm Algorithm
+	// Independent disables cross-user sharing (the M_* baselines).
+	Independent bool
+}
+
+// NewMultiUserService builds the service. subscriptions[u] lists the authors
+// user u follows.
+//
+// Deprecated: use NewService. The call
+// NewMultiUserService(g, subs, cfg, MultiUserOptions{Algorithm: a, Independent: i})
+// becomes NewService(g, subs, ServiceOptions{Algorithm: a, Config: cfg, Independent: i}).
+func NewMultiUserService(g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts MultiUserOptions) (*MultiUserService, error) {
+	return NewService(g, subscriptions, ServiceOptions{
+		Algorithm:   opts.Algorithm,
+		Config:      cfg,
+		Independent: opts.Independent,
+	})
 }
 
 func int32Slices(s [][]AuthorID) [][]int32 { return s }
 
 // NewCustomMultiUserService builds an M-SPSD service where every user has
 // individual LambdaC and LambdaT thresholds (configs[u] applies to
-// subscriptions[u]). Per-user customization precludes the cross-user state
-// sharing of NewMultiUserService — each user runs an independent instance —
-// and every config must carry the graph's LambdaA, since the author
-// dimension is precomputed into the shared graph.
+// subscriptions[u]).
+//
+// Deprecated: use NewService. The call
+// NewCustomMultiUserService(alg, g, subs, configs) becomes
+// NewService(g, subs, ServiceOptions{Algorithm: alg, UserConfigs: configs}).
 func NewCustomMultiUserService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, configs []Config) (*MultiUserService, error) {
-	if g == nil {
-		return nil, fmt.Errorf("firehose: nil author graph")
+	if configs == nil {
+		// Preserve the historical nil/nil edge case (an empty service):
+		// a nil UserConfigs would select the uniform path in NewService.
+		configs = []Config{}
 	}
-	if len(subscriptions) != len(configs) {
-		return nil, fmt.Errorf("firehose: %d subscription lists but %d configs",
-			len(subscriptions), len(configs))
-	}
-	ths := make([]core.Thresholds, len(configs))
-	for u, cfg := range configs {
-		if err := checkConfig(cfg, g); err != nil {
-			return nil, fmt.Errorf("user %d: %w", u, err)
-		}
-		ths[u] = cfg.thresholds()
-	}
-	inner, err := core.NewCustomMultiUser(alg, g.g, int32Slices(subscriptions), ths)
-	if err != nil {
-		return nil, err
-	}
-	return &MultiUserService{inner: inner}, nil
+	return NewService(g, subscriptions, ServiceOptions{Algorithm: alg, UserConfigs: configs})
 }
 
 // Offer routes one post through every affected user's diversification state

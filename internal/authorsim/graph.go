@@ -69,6 +69,12 @@ func (g *Graph) Degree(a int32) int { return len(g.adj[a]) }
 // slice must not be modified.
 func (g *Graph) Neighbors(a int32) []int32 { return g.adj[a] }
 
+// Contains reports whether a is a node id of the graph. Similar and
+// Adjacent index adjacency by id and may only be called with contained ids;
+// code handling unvalidated ids (checkpoint restore, ingest boundaries)
+// checks here first.
+func (g *Graph) Contains(a int32) bool { return a >= 0 && int(a) < len(g.adj) }
+
 // Adjacent reports whether authors a and b are connected by an edge
 // (author distance <= λa, a != b).
 func (g *Graph) Adjacent(a, b int32) bool {

@@ -1,0 +1,150 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotBytes returns a snapshot func writing a tiny valid stream carrying
+// the given payload.
+func snapshotBytes(payload string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		enc := NewEncoder(w, "test.File")
+		enc.String(payload)
+		return enc.Finish()
+	}
+}
+
+func readPayload(r io.Reader) (string, error) {
+	dec, err := NewDecoder(r)
+	if err != nil {
+		return "", err
+	}
+	s := dec.String(MaxStringLen)
+	return s, dec.Finish()
+}
+
+func TestWriteSequencesAndList(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 3; i++ {
+		f, err := Write(dir, snapshotBytes(fmt.Sprintf("state-%d", i)))
+		if err != nil {
+			t.Fatalf("Write #%d: %v", i, err)
+		}
+		if f.Seq != uint64(i) {
+			t.Fatalf("Write #%d: seq = %d", i, f.Seq)
+		}
+		if filepath.Base(f.Path) != fmt.Sprintf("checkpoint-%d.fhc", i) {
+			t.Fatalf("Write #%d: path = %s", i, f.Path)
+		}
+	}
+	files, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 || files[0].Seq != 1 || files[2].Seq != 3 {
+		t.Fatalf("List = %+v", files)
+	}
+}
+
+func TestRestoreLatestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for i := 1; i <= 2; i++ {
+		if _, err := Write(dir, snapshotBytes(fmt.Sprintf("state-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got string
+	f, ok, err := RestoreLatest(dir, func(r io.Reader) error {
+		s, err := readPayload(r)
+		got = s
+		return err
+	})
+	if err != nil || !ok {
+		t.Fatalf("RestoreLatest: ok=%v err=%v", ok, err)
+	}
+	if f.Seq != 2 || got != "state-2" {
+		t.Fatalf("restored seq=%d payload=%q", f.Seq, got)
+	}
+}
+
+func TestRestoreLatestEmptyAndMissingDir(t *testing.T) {
+	if _, ok, err := RestoreLatest(t.TempDir(), func(io.Reader) error { return nil }); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	if _, ok, err := RestoreLatest(filepath.Join(t.TempDir(), "nope"), func(io.Reader) error { return nil }); ok || err != nil {
+		t.Fatalf("missing dir: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestTornTempFilesIgnoredAndFailedSnapshotLeavesNoFile(t *testing.T) {
+	dir := t.TempDir()
+	// A leftover torn write must not appear as a checkpoint.
+	if err := os.WriteFile(filepath.Join(dir, "checkpoint-123.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if _, err := Write(dir, func(io.Writer) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Write with failing snapshot: %v", err)
+	}
+	files, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 0 {
+		t.Fatalf("failed snapshot left files: %+v", files)
+	}
+}
+
+func TestManagerRetention(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	mgr, err := NewManager(dir, 2, func(w io.Writer) error {
+		n++
+		return snapshotBytes(fmt.Sprintf("state-%d", n))(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := mgr.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint #%d: %v", i+1, err)
+		}
+	}
+	files, err := mgr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 || files[0].Seq != 4 || files[1].Seq != 5 {
+		t.Fatalf("retention kept %+v", files)
+	}
+	// Sequence numbering continues past pruned files.
+	f, err := mgr.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Seq != 6 {
+		t.Fatalf("seq after prune = %d, want 6", f.Seq)
+	}
+}
+
+func TestWrittenFileIsValidStream(t *testing.T) {
+	dir := t.TempDir()
+	f, err := Write(dir, snapshotBytes("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(f.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := readPayload(bytes.NewReader(raw))
+	if err != nil || got != "payload" {
+		t.Fatalf("payload=%q err=%v", got, err)
+	}
+}

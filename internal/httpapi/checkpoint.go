@@ -1,0 +1,152 @@
+package httpapi
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+
+	"firehose/internal/checkpoint"
+	"firehose/internal/core"
+)
+
+// This file is the server's durability surface: Snapshot/Restore serialize the
+// full service state (engine decision state plus the HTTP layer's id and time
+// watermarks) through internal/checkpoint, and the /v1/admin endpoints expose
+// on-demand checkpointing when the daemon runs with a checkpoint directory.
+
+// serverKind is the snapshot stream kind of a full HTTP server state.
+const serverKind = "httpapi.Server"
+
+// stateEngine is the optional snapshot surface of the engine seam; both the
+// sequential MultiEngine and the parallel adapter provide it.
+type stateEngine interface {
+	core.StateSnapshotter
+}
+
+// Snapshot writes the server's complete state to w: the engine's decision
+// state (the parallel backend quiesces — intake pauses, in-flight decisions
+// drain, shards serialize under their owner locks) followed by the HTTP
+// layer's id/time watermarks.
+//
+// Section order matters for crash recovery: the engine state is captured
+// first and the watermarks after, so the recorded nextID is >= every post id
+// inside the engine state (ids are allocated before posts enter the engine).
+// An ingest racing the snapshot may burn an id that the restored server skips
+// — ids stay unique, which is what the recovery guarantee needs.
+func (s *Server) Snapshot(w io.Writer) error {
+	se, ok := s.engine.(stateEngine)
+	if !ok {
+		return fmt.Errorf("httpapi: engine %s does not support checkpointing", s.engine.Name())
+	}
+	enc := checkpoint.NewEncoder(w, serverKind)
+	if err := se.SnapshotState(enc); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	nextID, lastT := s.nextID, s.lastT
+	s.mu.Unlock()
+	enc.String("server")
+	enc.Uvarint(nextID)
+	enc.Varint(lastT)
+	return enc.Finish()
+}
+
+// Restore replaces the server's state with a snapshot previously written by
+// Snapshot on an identically configured server (same algorithm, graph,
+// subscriptions, thresholds and worker count — validated structurally by the
+// engine decode). Call it before serving traffic; on error discard the server
+// and build a fresh one.
+func (s *Server) Restore(r io.Reader) error {
+	se, ok := s.engine.(stateEngine)
+	if !ok {
+		return fmt.Errorf("httpapi: engine %s does not support checkpointing", s.engine.Name())
+	}
+	dec, err := checkpoint.NewDecoder(r)
+	if err != nil {
+		return err
+	}
+	if dec.Kind() != serverKind {
+		return fmt.Errorf("httpapi: snapshot holds a %s, cannot restore into a %s", dec.Kind(), serverKind)
+	}
+	if err := se.RestoreState(dec); err != nil {
+		return err
+	}
+	dec.Expect("server")
+	nextID := dec.Uvarint()
+	lastT := dec.Varint()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := dec.Finish(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.nextID = nextID
+	s.lastT = lastT
+	s.mu.Unlock()
+	return nil
+}
+
+// EnableCheckpoints arms the /v1/admin/checkpoint endpoints with a manager
+// (typically one whose target is this server's own Snapshot). Without it the
+// endpoints answer 503 checkpoints_disabled.
+func (s *Server) EnableCheckpoints(m *checkpoint.Manager) { s.ckpt = m }
+
+// CheckpointInfo describes one on-disk checkpoint in admin responses.
+type CheckpointInfo struct {
+	// Seq is the checkpoint's monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// File is the checkpoint's file name inside the checkpoint directory.
+	File string `json:"file"`
+	// SizeBytes is the checkpoint file size.
+	SizeBytes int64 `json:"sizeBytes"`
+	// ModTimeMillis is the file's modification time (Unix milliseconds).
+	ModTimeMillis int64 `json:"modTimeMillis"`
+}
+
+func checkpointInfo(f checkpoint.File) CheckpointInfo {
+	return CheckpointInfo{
+		Seq:           f.Seq,
+		File:          filepath.Base(f.Path),
+		SizeBytes:     f.Size,
+		ModTimeMillis: f.ModTime.UnixMilli(),
+	}
+}
+
+// CheckpointsResponse is the GET /v1/admin/checkpoints body.
+type CheckpointsResponse struct {
+	Checkpoints []CheckpointInfo `json:"checkpoints"`
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeCheckpointsDisabled,
+			"checkpointing is disabled; start the server with a checkpoint directory")
+		return
+	}
+	f, err := s.ckpt.Checkpoint()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeCheckpointFailed, "%v", err)
+		return
+	}
+	writeJSON(w, checkpointInfo(f))
+}
+
+func (s *Server) handleCheckpoints(w http.ResponseWriter, _ *http.Request) {
+	if s.ckpt == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeCheckpointsDisabled,
+			"checkpointing is disabled; start the server with a checkpoint directory")
+		return
+	}
+	files, err := s.ckpt.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeCheckpointFailed, "%v", err)
+		return
+	}
+	resp := CheckpointsResponse{Checkpoints: make([]CheckpointInfo, len(files))}
+	for i, f := range files {
+		resp.Checkpoints[i] = checkpointInfo(f)
+	}
+	writeJSON(w, resp)
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 
+	"firehose/internal/checkpoint"
 	"firehose/internal/core"
 	"firehose/internal/metrics"
 	"firehose/internal/stream"
@@ -46,6 +47,7 @@ type Server struct {
 	workers  workerSource // nil for sequential engines
 	broker   *broker
 	registry *metrics.Registry
+	ckpt     *checkpoint.Manager // nil until EnableCheckpoints
 
 	// mu guards: nextID, lastT
 	mu     sync.Mutex
@@ -77,16 +79,27 @@ func newServer(e engine) *Server {
 		s.workers = ws
 	}
 	s.registry = s.buildRegistry()
-	s.mux.HandleFunc("POST /ingest", s.handleIngest)
-	s.mux.HandleFunc("POST /ingest/batch", s.handleIngestBatch)
-	s.mux.HandleFunc("GET /timeline", s.handleTimeline)
-	s.mux.HandleFunc("GET /stream", s.handleStream)
-	s.mux.HandleFunc("GET /users/{id}/stats", s.handleUserStats)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+	// Every endpoint is served under the versioned /v1 prefix — the canonical
+	// paths — and under its historical unversioned alias. The aliases are
+	// deprecated: new clients should call /v1, and a future major release may
+	// drop the aliases.
+	route := func(method, path string, h http.HandlerFunc) {
+		s.mux.HandleFunc(method+" /v1"+path, h)
+		s.mux.HandleFunc(method+" "+path, h)
+	}
+	route("POST", "/ingest", s.handleIngest)
+	route("POST", "/ingest/batch", s.handleIngestBatch)
+	route("GET", "/timeline", s.handleTimeline)
+	route("GET", "/stream", s.handleStream)
+	route("GET", "/users/{id}/stats", s.handleUserStats)
+	route("GET", "/stats", s.handleStats)
+	route("GET", "/metrics", s.handleMetrics)
+	route("GET", "/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Admin endpoints exist only under /v1 — they were born versioned.
+	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("GET /v1/admin/checkpoints", s.handleCheckpoints)
 	return s
 }
 
@@ -125,11 +138,11 @@ type IngestResponse struct {
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON: %v", err)
 		return
 	}
 	if req.Text == "" {
-		httpError(w, http.StatusBadRequest, "empty text")
+		writeError(w, http.StatusBadRequest, CodeEmptyText, "empty text")
 		return
 	}
 
@@ -138,7 +151,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		// Capture lastT before unlocking: a concurrent ingest may advance it
 		// the moment the lock is released.
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict,
+		writeDisorder(w, last,
 			"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, last)
 		return
 	}
@@ -150,7 +163,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	post := core.NewPost(id, req.Author, req.TimeMillis, req.Text)
 	users, err := s.engine.Offer(post)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		writeOfferError(w, err)
 		return
 	}
 	if users == nil {
@@ -179,20 +192,20 @@ type BatchIngestResponse struct {
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	var req BatchIngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON: %v", err)
 		return
 	}
 	if len(req.Posts) == 0 {
-		httpError(w, http.StatusBadRequest, "empty batch")
+		writeError(w, http.StatusBadRequest, CodeEmptyBatch, "empty batch")
 		return
 	}
 	for i, p := range req.Posts {
 		if p.Text == "" {
-			httpError(w, http.StatusBadRequest, "post %d: empty text", i)
+			writeError(w, http.StatusBadRequest, CodeEmptyText, "post %d: empty text", i)
 			return
 		}
 		if i > 0 && p.TimeMillis < req.Posts[i-1].TimeMillis {
-			httpError(w, http.StatusConflict,
+			writeDisorder(w, req.Posts[i-1].TimeMillis,
 				"post %d at %d arrived after %d; the batch must be time-ordered",
 				i, p.TimeMillis, req.Posts[i-1].TimeMillis)
 			return
@@ -202,7 +215,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if last := s.lastT; req.Posts[0].TimeMillis < last {
 		s.mu.Unlock()
-		httpError(w, http.StatusConflict,
+		writeDisorder(w, last,
 			"batch starts at %d, after %d; the stream must be time-ordered",
 			req.Posts[0].TimeMillis, last)
 		return
@@ -218,7 +231,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	deliveries, err := s.engine.OfferBatch(posts)
 	if err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		writeOfferError(w, err)
 		return
 	}
 	resp := BatchIngestResponse{Results: make([]IngestResponse, len(posts))}
@@ -252,14 +265,14 @@ type TimelineResponse struct {
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 	user, err := strconv.ParseInt(r.URL.Query().Get("user"), 10, 32)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad or missing user parameter")
+		writeError(w, http.StatusBadRequest, CodeBadParam, "bad or missing user parameter")
 		return
 	}
 	n := 50
 	if raw := r.URL.Query().Get("n"); raw != "" {
 		v, err := strconv.Atoi(raw)
 		if err != nil || v <= 0 {
-			httpError(w, http.StatusBadRequest, "bad n parameter")
+			writeError(w, http.StatusBadRequest, CodeBadParam, "bad n parameter")
 			return
 		}
 		n = v
@@ -303,8 +316,4 @@ func writeJSON(w http.ResponseWriter, v any) {
 		// Headers already sent; nothing more to do.
 		return
 	}
-}
-
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	http.Error(w, fmt.Sprintf(format, args...), code)
 }

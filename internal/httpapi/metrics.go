@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"sync"
 
+	"firehose/internal/checkpoint"
 	"firehose/internal/core"
 	"firehose/internal/metrics"
 	"firehose/internal/stream"
@@ -89,6 +90,25 @@ func (a *parallelTimelines) Close() { a.pe.Close() }
 
 func (a *parallelTimelines) WorkerSnapshots() []stream.WorkerSnapshot {
 	return a.pe.WorkerSnapshots()
+}
+
+// SnapshotState delegates to the parallel engine (which quiesces). The
+// timelines map is derived view state and is not serialized — same policy as
+// stream.MultiEngine.
+func (a *parallelTimelines) SnapshotState(enc *checkpoint.Encoder) error {
+	return a.pe.SnapshotState(enc)
+}
+
+// RestoreState delegates to the parallel engine and resets the derived
+// timelines: they replay forward from the restore point.
+func (a *parallelTimelines) RestoreState(dec *checkpoint.Decoder) error {
+	if err := a.pe.RestoreState(dec); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.timelines = make(map[int32][]*core.Post)
+	a.mu.Unlock()
+	return nil
 }
 
 // buildRegistry wires every metric family. Families that read the engine's

@@ -126,12 +126,12 @@ func (b *broker) eventCounts() (published, dropped uint64) {
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	user, err := strconv.ParseInt(r.URL.Query().Get("user"), 10, 32)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad or missing user parameter")
+		writeError(w, http.StatusBadRequest, CodeBadParam, "bad or missing user parameter")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		httpError(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, http.StatusInternalServerError, CodeStreamingUnsupported, "streaming unsupported")
 		return
 	}
 	sub := s.broker.subscribe(int32(user))
@@ -171,7 +171,7 @@ type UserStatsResponse struct {
 func (s *Server) handleUserStats(w http.ResponseWriter, r *http.Request) {
 	user, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "bad user id")
+		writeError(w, http.StatusBadRequest, CodeBadParam, "bad user id")
 		return
 	}
 	tl := s.engine.Timeline(int32(user))

@@ -1,10 +1,13 @@
 // Package errdrop flags silently discarded error returns at the engine's
-// lifecycle and delivery boundaries: calls to functions or methods named
-// Offer, Publish, Close, Shutdown, Serve, ListenAndServe or ListenAndServeTLS
+// lifecycle, delivery and durability boundaries: calls to functions or
+// methods named Offer, Publish, Close, Shutdown, Serve, ListenAndServe,
+// ListenAndServeTLS, Snapshot, SnapshotState, Restore, RestoreState or Sync
 // whose error result is ignored by using the call as a bare statement (or a
 // bare `go` statement). A dropped Offer error loses a post without trace; a
 // dropped Close error hides an unflushed resource; a dropped Serve error
-// turns a dead listener into a silent hang.
+// turns a dead listener into a silent hang; a dropped Snapshot, Restore or
+// Sync error turns a failed checkpoint into silent data loss — the file looks
+// written but will not restore.
 //
 // An explicit `_ = f.Close()` is allowed — the discard is visible in review —
 // and so is `defer f.Close()`, the accepted idiom for read-only cleanup where
@@ -22,7 +25,7 @@ import (
 // Analyzer is the errdrop analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc:  "flags discarded error returns from Offer, Publish, Close, Shutdown and Serve-family call sites",
+	Doc:  "flags discarded error returns from Offer, Publish, Close, Shutdown, Serve-family, Snapshot/Restore and Sync call sites",
 	Run:  run,
 }
 
@@ -37,6 +40,14 @@ var watchedNames = map[string]bool{
 	"serve":             true,
 	"listenandserve":    true,
 	"listenandservetls": true,
+	// Durability boundary: a checkpoint whose Snapshot, Restore or fsync
+	// error vanishes is indistinguishable from a working one until the
+	// restore that needed it fails.
+	"snapshot":      true,
+	"snapshotstate": true,
+	"restore":       true,
+	"restorestate":  true,
+	"sync":          true,
 }
 
 func run(pass *analysis.Pass) error {

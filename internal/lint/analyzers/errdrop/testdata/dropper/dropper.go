@@ -18,18 +18,46 @@ type server struct{}
 func (s *server) ListenAndServe() error { return nil }
 func (s *server) Shutdown() error       { return nil }
 
+// ckpt mimics the durability surface: Snapshot/Restore/Sync errors are data
+// loss when dropped.
+type ckpt struct{}
+
+func (c *ckpt) Snapshot(w any) error      { return nil }
+func (c *ckpt) SnapshotState(e any) error { return nil }
+func (c *ckpt) Restore(r any) error       { return nil }
+func (c *ckpt) Sync() error               { return nil }
+
+// memSnap's Snapshot returns a value, not an error; bare calls are fine.
+type memSnap struct{}
+
+func (m *memSnap) Snapshot() int { return 0 }
+
 // quiet's Close returns nothing; a bare call drops no error.
 type quiet struct{}
 
 func (q *quiet) Close() {}
 
-func bad(c *conn, s *server) {
+func bad(c *conn, s *server, k *ckpt) {
 	c.Close()             // want `error return of Close is silently discarded`
 	c.Offer(1)            // want `error return of Offer is silently discarded`
 	c.publish(2)          // want `error return of publish is silently discarded`
 	go c.Close()          // want `error return of Close is silently discarded`
 	go s.ListenAndServe() // want `error return of ListenAndServe is silently discarded`
 	s.Shutdown()          // want `error return of Shutdown is silently discarded`
+	k.Snapshot(nil)       // want `error return of Snapshot is silently discarded`
+	k.SnapshotState(nil)  // want `error return of SnapshotState is silently discarded`
+	k.Restore(nil)        // want `error return of Restore is silently discarded`
+	k.Sync()              // want `error return of Sync is silently discarded`
+	go k.Sync()           // want `error return of Sync is silently discarded`
+}
+
+func goodCkpt(k *ckpt, m *memSnap) error {
+	_ = k.Sync()
+	m.Snapshot() // value result, not an error: nothing is dropped.
+	if err := k.Restore(nil); err != nil {
+		return err
+	}
+	return k.Snapshot(nil)
 }
 
 func good(c *conn, s *server, q *quiet) error {

@@ -59,6 +59,20 @@ func (c *Counters) RemoveStored(n int) {
 // StoredLive returns the current number of live post copies.
 func (c *Counters) StoredLive() int64 { return c.storedLive }
 
+// SetStored overwrites the live and peak stored-copy counts wholesale — the
+// checkpoint-restore hook, where both values come from a validated snapshot
+// rather than from incremental Add/RemoveStored bookkeeping. live must be
+// non-negative and no greater than peak; restore code validates before
+// calling, so a violation here is a programming error and panics like
+// RemoveStored does.
+func (c *Counters) SetStored(live, peak int64) {
+	if live < 0 || peak < live {
+		panic(fmt.Sprintf("metrics: SetStored(%d, %d): live must be in [0, peak]", live, peak))
+	}
+	c.storedLive = live
+	c.StoredPeak = peak
+}
+
 // Processed returns the total number of posts offered.
 func (c *Counters) Processed() uint64 { return c.Accepted + c.Rejected }
 

@@ -141,6 +141,19 @@ func (b *SoA) AuthorSegments() (older, newer []int32) {
 	return b.authors[b.head:], b.authors[:end&b.mask]
 }
 
+// TimeSegments returns the stored timestamps segmented exactly like
+// FPSegments: older[i] and newer[i] are the timestamps of the same entries as
+// the fingerprint segments' older[i] and newer[i]. Like the other segment
+// accessors the slices alias the bin's storage and are invalidated by any
+// Push or PruneBefore; checkpoint writers walk them oldest-to-newest.
+func (b *SoA) TimeSegments() (older, newer []int64) {
+	end := b.head + b.count
+	if end <= len(b.times) {
+		return b.times[b.head:end], nil
+	}
+	return b.times[b.head:], b.times[:end&b.mask]
+}
+
 // Scan returns a newest-first cursor over the live entries. The cursor is a
 // value; iterating allocates nothing:
 //

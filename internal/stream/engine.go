@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"fmt"
 	"slices"
 	"sync"
 	"time"
@@ -53,7 +52,7 @@ func (e *Engine) Offer(p *core.Post) (bool, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.done {
-		return false, fmt.Errorf("stream: engine is closed")
+		return false, ErrClosed
 	}
 	defer e.offerLatency.ObserveSince(time.Now())
 	e.total++
@@ -182,7 +181,7 @@ func (m *MultiEngine) Offer(p *core.Post) ([]int32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.done {
-		return nil, fmt.Errorf("stream: engine is closed")
+		return nil, ErrClosed
 	}
 	defer m.offerLatency.ObserveSince(time.Now())
 	m.offered++
@@ -205,7 +204,7 @@ func (m *MultiEngine) OfferBatch(posts []*core.Post) ([][]int32, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.done {
-		return nil, fmt.Errorf("stream: engine is closed")
+		return nil, ErrClosed
 	}
 	for i, p := range posts {
 		start := time.Now()

@@ -114,11 +114,18 @@ type parallelWorker struct {
 }
 
 // parallelJob is one unit on a worker queue: a single post with its ticket,
-// or one shard of a batch (exactly one of ticket/batch is non-nil).
+// one shard of a batch, or a quiesce barrier (exactly one of ticket/batch/
+// barrier is non-nil).
 type parallelJob struct {
 	post   *core.Post
 	ticket *Ticket
 	batch  *batchShardJob
+	// barrier, when non-nil, is closed by the worker as soon as it dequeues
+	// the job. Because the queue is FIFO, the close proves every job enqueued
+	// before the barrier has been fully decided, and the close itself is the
+	// happens-before edge that lets the quiescing goroutine read worker-owned
+	// fields (lastSeq) written by those jobs. See quiesce.
+	barrier chan struct{}
 	// enqueuedAt is stamped at the ingest boundary; the worker's dequeue
 	// time minus this is the job's queue wait. A batch shard counts as one
 	// observation — the wait is a property of the queue slot, not the posts.
@@ -272,6 +279,13 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 		go func(w *parallelWorker) {
 			defer e.wg.Done()
 			for job := range w.ch {
+				if job.barrier != nil {
+					// Quiesce checkpoint: everything enqueued before this
+					// job has been decided. No queueWait observation — a
+					// barrier is not ingest work.
+					close(job.barrier)
+					continue
+				}
 				if job.batch != nil {
 					w.runBatch(job)
 					continue

@@ -18,7 +18,31 @@ var (
 	ErrQueueFull = stream.ErrQueueFull
 )
 
+// ParallelServiceOptions configures NewParallel, the canonical parallel
+// constructor.
+type ParallelServiceOptions struct {
+	// Algorithm is the per-component SPSD algorithm. The zero value is
+	// UniBin.
+	Algorithm Algorithm
+	// Config holds the service-wide thresholds. Required; there is no
+	// implicit default — use DefaultConfig() explicitly for the paper's
+	// thresholds.
+	Config Config
+	// Workers is the shard count; 0 selects runtime.NumCPU().
+	Workers int
+	// QueueDepth bounds each worker's pending-post queue; 0 selects the
+	// engine default (256). A full queue blocks Offer — backpressure — or
+	// fails it fast, per FailFast.
+	QueueDepth int
+	// FailFast makes Offer return ErrQueueFull instead of blocking when the
+	// target worker's queue is full, for ingestion tiers that prefer
+	// shedding or retrying over stalling.
+	FailFast bool
+}
+
 // ParallelOptions configures NewParallelServiceOpts.
+//
+// Deprecated: use ParallelServiceOptions with NewParallel.
 type ParallelOptions struct {
 	// Workers is the shard count; 0 selects runtime.NumCPU().
 	Workers int
@@ -49,6 +73,7 @@ type ParallelOptions struct {
 // racing a Close return ErrClosed.
 type ParallelService struct {
 	inner *stream.ParallelMultiEngine
+	meta  snapMeta
 }
 
 // Delivery is a pending decision; Users blocks until it resolves.
@@ -61,19 +86,11 @@ func (d Delivery) Users() []UserID { return d.t.Users() }
 // the service's global arrival order across all workers.
 func (d Delivery) Seq() uint64 { return d.t.Seq() }
 
-// NewParallelService builds the sharded service with the given worker count
-// and default backpressure (bounded queues, blocking Offer).
-func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, workers int) (*ParallelService, error) {
-	if workers <= 0 {
-		return nil, fmt.Errorf("firehose: workers must be positive, got %d", workers)
-	}
-	return NewParallelServiceOpts(alg, g, subscriptions, cfg, ParallelOptions{Workers: workers})
-}
-
-// NewParallelServiceOpts builds the sharded service with explicit
-// backpressure options. opts.Workers = 0 selects runtime.NumCPU().
-func NewParallelServiceOpts(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts ParallelOptions) (*ParallelService, error) {
-	if err := checkConfig(cfg, g); err != nil {
+// NewParallel builds the sharded service. subscriptions[u] lists the authors
+// user u follows. This is the canonical constructor; the NewParallelService
+// and NewParallelServiceOpts wrappers delegate here.
+func NewParallel(g *AuthorGraph, subscriptions [][]AuthorID, opts ParallelServiceOptions) (*ParallelService, error) {
+	if err := checkConfig(opts.Config, g); err != nil {
 		return nil, err
 	}
 	for u, subs := range subscriptions {
@@ -85,12 +102,42 @@ func NewParallelServiceOpts(alg Algorithm, g *AuthorGraph, subscriptions [][]Aut
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
-	inner, err := stream.NewParallelMultiEngineOpts(alg, g.g, int32Slices(subscriptions), cfg.thresholds(), workers,
+	inner, err := stream.NewParallelMultiEngineOpts(opts.Algorithm, g.g, int32Slices(subscriptions), opts.Config.thresholds(), workers,
 		stream.ParallelOptions{QueueDepth: opts.QueueDepth, FailFast: opts.FailFast})
 	if err != nil {
 		return nil, err
 	}
-	return &ParallelService{inner: inner}, nil
+	meta := metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})
+	meta.workers = workers
+	return &ParallelService{inner: inner, meta: meta}, nil
+}
+
+// NewParallelService builds the sharded service with the given worker count
+// and default backpressure (bounded queues, blocking Offer).
+//
+// Deprecated: use NewParallel. The call
+// NewParallelService(alg, g, subs, cfg, workers) becomes
+// NewParallel(g, subs, ParallelServiceOptions{Algorithm: alg, Config: cfg, Workers: workers}).
+func NewParallelService(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, workers int) (*ParallelService, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("firehose: workers must be positive, got %d", workers)
+	}
+	return NewParallel(g, subscriptions, ParallelServiceOptions{
+		Algorithm: alg, Config: cfg, Workers: workers,
+	})
+}
+
+// NewParallelServiceOpts builds the sharded service with explicit
+// backpressure options. opts.Workers = 0 selects runtime.NumCPU().
+//
+// Deprecated: use NewParallel. The call
+// NewParallelServiceOpts(alg, g, subs, cfg, ParallelOptions{Workers: w, QueueDepth: d, FailFast: f})
+// becomes NewParallel(g, subs, ParallelServiceOptions{Algorithm: alg, Config: cfg, Workers: w, QueueDepth: d, FailFast: f}).
+func NewParallelServiceOpts(alg Algorithm, g *AuthorGraph, subscriptions [][]AuthorID, cfg Config, opts ParallelOptions) (*ParallelService, error) {
+	return NewParallel(g, subscriptions, ParallelServiceOptions{
+		Algorithm: alg, Config: cfg,
+		Workers: opts.Workers, QueueDepth: opts.QueueDepth, FailFast: opts.FailFast,
+	})
 }
 
 // Offer enqueues a post for its component's worker and returns immediately.
