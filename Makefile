@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-go fuzz
+.PHONY: build test vet race lint check bench bench-go bench-check fuzz
 
 build:
 	$(GO) build ./...
@@ -30,14 +30,26 @@ lint:
 check: vet lint race
 
 # bench runs the hot-path harness (cmd/benchhot) and writes
-# BENCH_hotpath.json: the SoA-vs-reference UniBin scan, the multi-user
-# steady-state alloc counts, and parallel one-by-one vs batch throughput at
-# 1/2/NumCPU workers. BENCHTIME accepts a duration or an iteration count
-# (e.g. `make bench BENCHTIME=1x` for a smoke run).
+# BENCH_hotpath.json: the SoA-vs-reference UniBin scan, the index-vs-scan
+# coverage pairs (λc=6 and the strict wide-window λc=3 regime), the
+# multi-user steady-state alloc counts, and parallel one-by-one vs batch
+# throughput at 1/2/NumCPU workers. BENCHTIME accepts a duration or an
+# iteration count (e.g. `make bench BENCHTIME=1x` for a smoke run).
 BENCHTIME ?= 1s
 
 bench:
 	$(GO) run ./cmd/benchhot -benchtime $(BENCHTIME) -out BENCH_hotpath.json
+
+# bench-check regenerates the report to a scratch path and fails if any
+# scan-bound benchmark regressed more than 15% against the committed
+# BENCH_hotpath.json. Comparisons are normalized to the in-report reference
+# measurement, so the check is meaningful on machines other than the one
+# that produced the baseline (see cmd/benchcheck).
+BENCH_CANDIDATE ?= BENCH_candidate.json
+
+bench-check:
+	$(GO) run ./cmd/benchhot -benchtime $(BENCHTIME) -out $(BENCH_CANDIDATE)
+	$(GO) run ./cmd/benchcheck -baseline BENCH_hotpath.json -candidate $(BENCH_CANDIDATE)
 
 # bench-go runs every in-package go test benchmark.
 bench-go:

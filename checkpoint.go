@@ -34,7 +34,10 @@ type snapMeta struct {
 // metaFor fingerprints a service's construction inputs. The hash covers the
 // thresholds (uniform or per-user) and the full subscription lists, so two
 // services built over the same graph size but different subscriptions or λ
-// values get different fingerprints.
+// values get different fingerprints. Config.Index is deliberately not
+// hashed: the index policy changes lookup mechanics, never decisions, and
+// snapshots carry only ring contents (indexes are rebuilt on restore) — so
+// a snapshot taken under one policy restores into a service running another.
 func metaFor(algorithm string, g *AuthorGraph, subscriptions [][]AuthorID, cfgs []Config) snapMeta {
 	h := fnv.New64a()
 	w64 := func(v uint64) {
@@ -125,11 +128,9 @@ const (
 // Snapshot writes the diversifier's complete decision state to w. The
 // snapshot is deterministic (identical state yields identical bytes) and
 // self-validating: a version/kind preamble, a fingerprint of the
-// construction inputs, and a trailing checksum.
-//
-// Diversifiers built by NewIndexedDiversifier do not support checkpointing
-// (their state lives in SimHash index tables); Snapshot returns a
-// descriptive error for them.
+// construction inputs, and a trailing checksum. Every shipped algorithm,
+// including NewIndexedDiversifier's index-backed one, supports
+// checkpointing.
 func (d *Diversifier) Snapshot(w io.Writer) error {
 	s, ok := d.inner.(core.StateSnapshotter)
 	if !ok {

@@ -58,6 +58,82 @@ func TestDiversifierSnapshotEquivalence(t *testing.T) {
 	}
 }
 
+// TestIndexedDiversifierSnapshotEquivalence extends the single-user bar to
+// NewIndexedDiversifier, whose decision state lives in SimHash index tables
+// rather than a window ring.
+func TestIndexedDiversifierSnapshotEquivalence(t *testing.T) {
+	graph, posts, _ := checkpointScenario(t)
+	cfg := Config{LambdaC: 3, LambdaT: 30 * time.Minute, LambdaA: 0.7}
+	cont, err := NewIndexedDiversifier(graph, nil, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewIndexedDiversifier(graph, nil, cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(posts) / 2
+	for _, p := range posts[:cut] {
+		cont.Offer(p)
+	}
+	var buf bytes.Buffer
+	if err := cont.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range posts[cut:] {
+		if a, b := cont.Offer(p), restored.Offer(p); a != b {
+			t.Fatalf("decision diverged at suffix post %d: %v vs %v", i, a, b)
+		}
+	}
+	if a, b := cont.Stats(), restored.Stats(); a.Accepted != b.Accepted || a.Comparisons != b.Comparisons || a.Evictions != b.Evictions {
+		t.Fatalf("stats diverged: %+v vs %+v", a, b)
+	}
+}
+
+// TestSnapshotPortableAcrossIndexPolicy: Config.Index is deliberately
+// excluded from the construction fingerprint — the policy changes lookup
+// mechanics, not decisions, so a snapshot taken under one policy must
+// restore into a service running another and continue the exact decision
+// sequence.
+func TestSnapshotPortableAcrossIndexPolicy(t *testing.T) {
+	graph, posts, _ := checkpointScenario(t)
+	cfgOff := Config{LambdaC: 6, LambdaT: 30 * time.Minute, LambdaA: 0.7, Index: IndexOff}
+	cfgOn := cfgOff
+	cfgOn.Index = IndexOn
+	cont, err := NewDiversifier(UniBin, graph, nil, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewDiversifier(UniBin, graph, nil, cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(posts) / 2
+	for _, p := range posts[:cut] {
+		cont.Offer(p)
+	}
+	var buf bytes.Buffer
+	if err := cont.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Restore(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("restore across index policies: %v", err)
+	}
+	for i, p := range posts[cut:] {
+		if a, b := cont.Offer(p), restored.Offer(p); a != b {
+			t.Fatalf("decision diverged at suffix post %d: scan=%v indexed=%v", i, a, b)
+		}
+	}
+	// Comparisons legitimately differ (window entries visited vs bucket
+	// entries probed); the decision counters may not.
+	if a, b := cont.Stats(), restored.Stats(); a.Accepted != b.Accepted || a.Rejected != b.Rejected {
+		t.Fatalf("decision counters diverged: %+v vs %+v", a, b)
+	}
+}
+
 // TestDiversifierSnapshotPreservesAutoIDs: the auto-id watermark survives a
 // snapshot, so ids assigned after restore continue the sequence instead of
 // colliding with pre-snapshot ids.
@@ -277,19 +353,17 @@ func TestRestoreRejectsMismatches(t *testing.T) {
 			t.Fatalf("err = %v", err)
 		}
 	})
-	t.Run("indexed diversifier unsupported", func(t *testing.T) {
+	t.Run("indexed diversifier cross-algorithm", func(t *testing.T) {
+		// IndexedUniBin checkpoints like every other algorithm now; a scan
+		// UniBin snapshot must still be rejected by the algorithm check, not
+		// restored into index tables.
 		cfgIdx := Config{LambdaC: 2, LambdaT: 30 * time.Minute, LambdaA: 0.7}
 		di, err := NewIndexedDiversifier(graph, nil, cfgIdx, 5)
 		if err != nil {
 			t.Fatal(err)
 		}
-		var buf bytes.Buffer
-		err = di.Snapshot(&buf)
-		if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
-			t.Fatalf("err = %v", err)
-		}
 		err = di.Restore(bytes.NewReader(dsnap.Bytes()))
-		if err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+		if err == nil || !strings.Contains(err.Error(), "algorithm") {
 			t.Fatalf("err = %v", err)
 		}
 	})

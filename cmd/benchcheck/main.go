@@ -1,0 +1,153 @@
+// Command benchcheck compares a candidate benchhot report against the
+// committed BENCH_hotpath.json baseline and fails (exit 1) when a watched
+// scan-bound benchmark regressed beyond the threshold.
+//
+// Raw ns/op is not comparable across machines, so by default every watched
+// benchmark is normalized by the same report's
+// "UniBin.Offer/scan-bound/reference" measurement — the retained seed
+// implementation, which runs the identical workload and cancels the
+// machine-speed factor the way a benchstat ratio column does. Pass -absolute
+// to compare raw ns/op instead (only meaningful on the machine that produced
+// the baseline).
+//
+// Usage:
+//
+//	go run ./cmd/benchcheck -candidate new.json [-baseline BENCH_hotpath.json]
+//	    [-threshold 0.15] [-absolute]
+//
+// Watched benchmarks are the "scan-bound" family (the hot path this repo's
+// perf work targets); clustered, multi-user and parallel results are
+// reported but informational — they are dominated by delivery fan-out and
+// scheduling, not the coverage scan.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Result mirrors the benchhot JSON schema (the fields benchcheck consumes).
+type Result struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// Report mirrors the BENCH_hotpath.json document.
+type Report struct {
+	Benchtime string   `json:"benchtime"`
+	Benches   []Result `json:"benches"`
+}
+
+// normalizerName anchors cross-machine comparisons: the reference
+// implementation's scan-bound measurement from the same report.
+const normalizerName = "UniBin.Offer/scan-bound/reference"
+
+func load(path string) (map[string]float64, *Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	byName := make(map[string]float64, len(rep.Benches))
+	for _, b := range rep.Benches {
+		byName[b.Name] = b.NsPerOp
+	}
+	return byName, &rep, nil
+}
+
+// watched reports whether a benchmark participates in the pass/fail
+// decision.
+func watched(name string) bool {
+	return strings.Contains(name, "scan-bound") && name != normalizerName
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_hotpath.json", "committed baseline report")
+	candidate := flag.String("candidate", "", "freshly generated report to check (required)")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated relative ns/op regression")
+	absolute := flag.Bool("absolute", false, "compare raw ns/op instead of reference-normalized ratios")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -candidate is required")
+		os.Exit(2)
+	}
+
+	base, _, err := load(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, candRep, err := load(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	baseNorm, candNorm := 1.0, 1.0
+	if !*absolute {
+		baseNorm, candNorm = base[normalizerName], cand[normalizerName]
+		if baseNorm <= 0 || candNorm <= 0 {
+			fatal(fmt.Errorf("missing or zero %q in baseline or candidate; "+
+				"rerun benchhot or pass -absolute", normalizerName))
+		}
+	}
+
+	mode := "normalized to " + normalizerName
+	if *absolute {
+		mode = "absolute ns/op"
+	}
+	fmt.Printf("benchcheck: %s vs %s (candidate benchtime %s, %s, threshold %+.0f%%)\n",
+		*candidate, *baseline, candRep.Benchtime, mode, *threshold*100)
+
+	var regressions []string
+	for _, b := range candRep.Benches {
+		oldNs, ok := base[b.Name]
+		if !ok {
+			fmt.Printf("  %-44s (new benchmark, no baseline)\n", b.Name)
+			continue
+		}
+		if oldNs <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		rel := (b.NsPerOp / candNorm) / (oldNs / baseNorm)
+		mark, gate := " ", "informational"
+		if watched(b.Name) {
+			gate = "watched"
+			if rel > 1+*threshold {
+				mark = "✗"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2fx the baseline (limit %.2fx)", b.Name, rel, 1+*threshold))
+			} else {
+				mark = "✓"
+			}
+		}
+		fmt.Printf("%s %-44s %8.2fx vs baseline  (%s)\n", mark, b.Name, rel, gate)
+	}
+	// A watched baseline benchmark that vanished from the candidate is a
+	// silent hole in coverage, not a pass.
+	for name := range base {
+		if watched(name) {
+			if _, ok := cand[name]; !ok {
+				regressions = append(regressions, name+": present in baseline, missing from candidate")
+			}
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: %d scan-bound regression(s):\n", len(regressions))
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: no scan-bound regressions")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+	os.Exit(1)
+}

@@ -61,6 +61,8 @@ func main() {
 		authors   = flag.Int("authors", 500, "number of authors (= users)")
 		seed      = flag.Int64("seed", 1, "generation seed")
 		algName   = flag.String("alg", "unibin", "unibin | neighborbin | cliquebin")
+		lambdaC   = flag.Int("lambda-c", 18, "content threshold λc: max SimHash Hamming distance in bits")
+		indexPol  = flag.String("index", "auto", "content-index policy: auto | on | off (auto indexes UniBin's global bin when λc permits; on forces the index everywhere and rejects infeasible λc; off always scans)")
 		followees = flag.String("followees", "", "load followee vectors from this JSONL file instead of generating")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 		workers   = flag.Int("workers", 0, "parallel decision workers sharded by author component (0 = NumCPU, 1 = sequential engine)")
@@ -122,8 +124,20 @@ func main() {
 		subs = social.Subscriptions()
 	}
 
+	pol, err := core.ParseIndexPolicy(*indexPol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+
 	g := authorsim.BuildGraph(authorsim.NewVectors(fs), 0.7)
-	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	th := core.Thresholds{LambdaC: *lambdaC, LambdaT: 30 * 60 * 1000, LambdaA: 0.7, Index: pol}
+	if err := th.Validate(); err != nil {
+		// -index on at an infeasible λc (e.g. the paper default 18) fails
+		// here with the Section 3 explanation instead of deep in a constructor.
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
 
 	nw := *workers
 	if nw == 0 {

@@ -79,7 +79,8 @@ const (
 	CliqueBin   = core.AlgCliqueBin
 )
 
-// Config holds the three diversity thresholds of the coverage model.
+// Config holds the three diversity thresholds of the coverage model plus
+// the engine's index policy.
 type Config struct {
 	// LambdaC is the maximum SimHash Hamming distance (bits) for two posts
 	// to be content-similar. 0..64.
@@ -93,7 +94,38 @@ type Config struct {
 	// similar; it is baked into the author graph at build time and must
 	// match the graph passed to the constructors.
 	LambdaA float64
+	// Index selects how the scan algorithms answer the content dimension:
+	// IndexAuto (the zero value) probes a SimHash index inside UniBin's
+	// global bin when LambdaC is strict enough for the index to be a clear
+	// win (λc ≤ 3, a ≤4-table layout) and scans exactly otherwise; IndexOff
+	// forces the exact scan everywhere; IndexOn forces the index into every
+	// bin at any feasible LambdaC (λc ≤ 6) and makes construction fail when
+	// LambdaC is index-infeasible. The policy is an
+	// acceleration choice only — the emitted stream is identical under all
+	// of them — and it is deliberately excluded from checkpoint
+	// compatibility: snapshots restore across policy changes.
+	Index IndexPolicy
 }
+
+// IndexPolicy selects the content-lookup mechanics of the scan algorithms;
+// see Config.Index.
+type IndexPolicy = core.IndexPolicy
+
+// Index policies.
+const (
+	// IndexAuto indexes UniBin's global bin when LambdaC permits, exact
+	// scan otherwise. The zero value and the default.
+	IndexAuto = core.IndexAuto
+	// IndexOff forces the exact batched-kernel scan in every bin.
+	IndexOff = core.IndexOff
+	// IndexOn forces the SimHash index into every bin of every algorithm;
+	// constructors reject index-infeasible LambdaC values.
+	IndexOn = core.IndexOn
+)
+
+// ParseIndexPolicy parses "auto", "off" or "on" (the empty string is auto),
+// for wiring the policy to flags and configuration files.
+func ParseIndexPolicy(s string) (IndexPolicy, error) { return core.ParseIndexPolicy(s) }
 
 // DefaultConfig returns the paper's default thresholds: λc = 18 bits,
 // λt = 30 minutes, λa = 0.7 (authors similar at cosine ≥ 0.3).
@@ -106,6 +138,7 @@ func (c Config) thresholds() core.Thresholds {
 		LambdaC: c.LambdaC,
 		LambdaT: c.LambdaT.Milliseconds(),
 		LambdaA: c.LambdaA,
+		Index:   c.Index,
 	}
 }
 
@@ -329,6 +362,12 @@ func (d *Diversifier) toCore(p Post) *core.Post {
 // LambdaC+3 is a reasonable default, giving C(blocks, LambdaC) tables.
 //
 // The emitted stream is identical to NewDiversifier's at equal thresholds.
+// Most callers no longer need this constructor: NewDiversifier with the
+// UniBin algorithm indexes its global bin automatically under the default
+// IndexAuto policy whenever LambdaC permits, with an automatically chosen
+// block layout. NewIndexedDiversifier remains for explicit control of the
+// block count and for the index-resident variant whose Stats count only
+// index probes.
 func NewIndexedDiversifier(g *AuthorGraph, subscribed []AuthorID, cfg Config, blocks int) (*Diversifier, error) {
 	if err := checkConfig(cfg, g); err != nil {
 		return nil, err
@@ -521,11 +560,11 @@ func (m *MultiUserService) Stats() Stats { return statsOf(m.inner.Counters()) }
 
 func statsOf(c *metrics.Counters) Stats {
 	return Stats{
-		Comparisons: c.Comparisons,
-		Insertions:  c.Insertions,
-		Evictions:   c.Evictions,
-		Accepted:    c.Accepted,
-		Rejected:    c.Rejected,
+		Comparisons:     c.Comparisons,
+		Insertions:      c.Insertions,
+		Evictions:       c.Evictions,
+		Accepted:        c.Accepted,
+		Rejected:        c.Rejected,
 		PeakCopies:      c.StoredPeak,
 		EstRAMBytes:     c.EstimateRAMBytes(core.StoredCopyBytes),
 		DecisionLatency: latencySummaryOf(c.Decisions),

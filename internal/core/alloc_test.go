@@ -36,18 +36,45 @@ func steadyStream(rng *rand.Rand, nAuthors int) func() *Post {
 	}
 }
 
+// The three strict pins below fix Index: IndexOff — they guard the exact
+// SoA scan path, which is unconditionally allocation-free. The indexed path
+// is only amortized allocation-free (index bucket slices are recycled, but
+// churn between buckets of different capacities occasionally regrows one)
+// and gets its own tolerance-based pin in TestIndexedPathSteadyStateAllocs.
+
 // TestUniBinOfferSteadyStateAllocs pins the SoA hot path: once the window is
 // warm, an Offer performs zero heap allocations.
 func TestUniBinOfferSteadyStateAllocs(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	g, _ := randomScenario(rng, 10, 1, 0.3)
-	u := NewUniBin(g, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7})
+	u := NewUniBin(g, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7, Index: IndexOff})
 	next := steadyStream(rng, 10)
 	for i := 0; i < 2000; i++ {
 		u.Offer(next())
 	}
 	if avg := testing.AllocsPerRun(1000, func() { u.Offer(next()) }); avg != 0 {
 		t.Fatalf("UniBin.Offer allocates %.2f objects per call in steady state, want 0", avg)
+	}
+}
+
+// TestIndexedPathSteadyStateAllocs pins the index-backed Offer path. The
+// bound is a small tolerance rather than a hard zero: the per-call cost must
+// stay amortized near zero (bucket recycling working), and any structural
+// regression — an escaping predicate closure, a per-probe allocation, a
+// dedup map in Covered — shows up as ≥ 1 alloc per call and fails loudly.
+func TestIndexedPathSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	g, _ := randomScenario(rng, 10, 1, 0.3)
+	u := NewUniBin(g, Thresholds{LambdaC: 3, LambdaT: 2000, LambdaA: 0.7})
+	if !u.IndexActive() {
+		t.Fatal("λc=3 should resolve to an active index under IndexAuto")
+	}
+	next := steadyStream(rng, 10)
+	for i := 0; i < 4000; i++ {
+		u.Offer(next())
+	}
+	if avg := testing.AllocsPerRun(2000, func() { u.Offer(next()) }); avg > 0.1 {
+		t.Fatalf("indexed UniBin.Offer allocates %.2f objects per call in steady state, want amortized ~0", avg)
 	}
 }
 
@@ -58,7 +85,7 @@ func TestMultiUserOfferSteadyStateAllocs(t *testing.T) {
 	nAuthors := 10
 	g, _ := randomScenario(rng, nAuthors, 1, 0.3)
 	subs := randomSubscriptions(rng, 6, nAuthors)
-	m, err := NewMultiUser(AlgUniBin, g, subs, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7})
+	m, err := NewMultiUser(AlgUniBin, g, subs, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7, Index: IndexOff})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +105,7 @@ func TestSharedMultiUserOfferSteadyStateAllocs(t *testing.T) {
 	nAuthors := 10
 	g, _ := randomScenario(rng, nAuthors, 1, 0.3)
 	subs := randomSubscriptions(rng, 6, nAuthors)
-	s, err := NewSharedMultiUser(AlgUniBin, g, subs, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7})
+	s, err := NewSharedMultiUser(AlgUniBin, g, subs, Thresholds{LambdaC: 6, LambdaT: 2000, LambdaA: 0.7, Index: IndexOff})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,7 @@ import (
 
 	"firehose/internal/authorsim"
 	"firehose/internal/metrics"
-	"firehose/internal/postbin"
-	"firehose/internal/simhash"
+	"firehose/internal/simindex"
 )
 
 // CliqueBin solves SPSD with one post bin per clique of a clique edge cover
@@ -20,22 +19,30 @@ import (
 // A post may be compared twice when two candidates share several cliques,
 // which is the comparison overhead the paper trades against RAM.
 //
-// Bins are structure-of-arrays rings (postbin.SoA); see UniBin for why.
+// Bins are covBins — structure-of-arrays rings, index-backed only under
+// IndexOn (like NeighborBin's, the per-clique bins are already
+// author-pruned and small under IndexAuto); see UniBin for the layout
+// rationale.
 type CliqueBin struct {
-	th    Thresholds
-	cover *authorsim.CliqueCover
-	bins  []*postbin.SoA // indexed by clique id
-	c     metrics.Counters
+	th        Thresholds
+	cover     *authorsim.CliqueCover
+	bins      []*covBin // indexed by clique id
+	idxParams simindex.Params
+	indexed   bool
+	c         metrics.Counters
 }
 
 // NewCliqueBin returns a CliqueBin diversifier over a precomputed clique
 // edge cover (the paper computes the cover offline together with the author
 // similarity graph).
 func NewCliqueBin(cover *authorsim.CliqueCover, th Thresholds) *CliqueBin {
+	params, indexed := th.indexParams(false)
 	return &CliqueBin{
-		th:    th,
-		cover: cover,
-		bins:  make([]*postbin.SoA, cover.NumCliques()),
+		th:        th,
+		cover:     cover,
+		bins:      make([]*covBin, cover.NumCliques()),
+		idxParams: params,
+		indexed:   indexed,
 	}
 }
 
@@ -45,10 +52,10 @@ func (cb *CliqueBin) Name() string { return "CliqueBin" }
 // Counters implements Diversifier.
 func (cb *CliqueBin) Counters() *metrics.Counters { return &cb.c }
 
-func (cb *CliqueBin) bin(clique int) *postbin.SoA {
+func (cb *CliqueBin) bin(clique int) *covBin {
 	b := cb.bins[clique]
 	if b == nil {
-		b = postbin.NewSoA()
+		b = newCovBin(cb.idxParams, cb.indexed)
 		cb.bins[clique] = b
 	}
 	return b
@@ -69,19 +76,15 @@ func (cb *CliqueBin) Offer(p *Post) bool {
 	pfp := uint64(p.FP)
 	for _, ci := range cliques {
 		b := cb.bin(ci)
-		if n := b.PruneBefore(cutoff); n > 0 {
+		if n := b.pruneBefore(cutoff); n > 0 {
 			cb.c.Evictions += uint64(n)
 			cb.c.RemoveStored(n)
 		}
-		for cur := b.Scan(); cur.Next(); {
-			cb.c.Comparisons++
-			// Clique co-membership implies author similarity; content decides.
-			if simhash.Distance(simhash.Fingerprint(pfp), simhash.Fingerprint(cur.FP())) <= cb.th.LambdaC {
-				covered = true
-				break
-			}
-		}
-		if covered {
+		// Clique co-membership implies author similarity; content decides.
+		cov, comparisons := b.coveredContent(pfp, cb.th.LambdaC, cutoff)
+		cb.c.Comparisons += comparisons
+		if cov {
+			covered = true
 			break
 		}
 	}
@@ -91,7 +94,7 @@ func (cb *CliqueBin) Offer(p *Post) bool {
 	}
 
 	for _, ci := range cliques {
-		cb.bin(ci).Push(p.Time, pfp, p.Author)
+		cb.bin(ci).push(p.Time, pfp, p.Author)
 	}
 	cb.c.Insertions += uint64(len(cliques))
 	cb.c.AddStored(len(cliques))

@@ -78,7 +78,11 @@ func TestIndexedUniBinSavesComparisons(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ub := NewUniBin(g, th)
+	// The baseline must be the full-window scan; under IndexAuto this λc
+	// would give UniBin an index of its own and both sides would count probes.
+	scanTh := th
+	scanTh.Index = IndexOff
+	ub := NewUniBin(g, scanTh)
 	Run(ib, posts)
 	Run(ub, posts)
 	if ib.Counters().Comparisons*2 > ub.Counters().Comparisons {

@@ -4,8 +4,7 @@ import (
 	"time"
 
 	"firehose/internal/metrics"
-	"firehose/internal/postbin"
-	"firehose/internal/simhash"
+	"firehose/internal/simindex"
 )
 
 // NeighborBin solves SPSD with one post bin per author (Section 4.2). The
@@ -16,19 +15,25 @@ import (
 // insertion: an accepted post is copied into the bins of its author and all
 // of the author's neighbors, giving the highest RAM of the three algorithms.
 //
-// Bins are structure-of-arrays rings (postbin.SoA); the coverage scan
-// streams a contiguous fingerprint slice with no per-candidate closure.
+// Bins are covBins — structure-of-arrays rings, index-backed when the
+// thresholds' index policy forces IndexOn (under IndexAuto the per-author
+// bins stay on the exact batched-kernel scan: author pruning already keeps
+// them small, which is the paper's argument for NeighborBin in the first
+// place).
 type NeighborBin struct {
-	th   Thresholds
-	g    AuthorGraph
-	bins map[int32]*postbin.SoA
-	c    metrics.Counters
+	th        Thresholds
+	g         AuthorGraph
+	bins      map[int32]*covBin
+	idxParams simindex.Params
+	indexed   bool
+	c         metrics.Counters
 }
 
 // NewNeighborBin returns a NeighborBin diversifier over the given author
 // graph. Per-author bins are created lazily on first touch.
 func NewNeighborBin(g AuthorGraph, th Thresholds) *NeighborBin {
-	return &NeighborBin{th: th, g: g, bins: make(map[int32]*postbin.SoA)}
+	params, indexed := th.indexParams(false)
+	return &NeighborBin{th: th, g: g, bins: make(map[int32]*covBin), idxParams: params, indexed: indexed}
 }
 
 // Name implements Diversifier.
@@ -37,18 +42,18 @@ func (nb *NeighborBin) Name() string { return "NeighborBin" }
 // Counters implements Diversifier.
 func (nb *NeighborBin) Counters() *metrics.Counters { return &nb.c }
 
-func (nb *NeighborBin) bin(author int32) *postbin.SoA {
+func (nb *NeighborBin) bin(author int32) *covBin {
 	b := nb.bins[author]
 	if b == nil {
-		b = postbin.NewSoA()
+		b = newCovBin(nb.idxParams, nb.indexed)
 		nb.bins[author] = b
 	}
 	return b
 }
 
 // prune evicts out-of-window copies from b, keeping the counters exact.
-func (nb *NeighborBin) prune(b *postbin.SoA, cutoff int64) {
-	if n := b.PruneBefore(cutoff); n > 0 {
+func (nb *NeighborBin) prune(b *covBin, cutoff int64) {
+	if n := b.pruneBefore(cutoff); n > 0 {
 		nb.c.Evictions += uint64(n)
 		nb.c.RemoveStored(n)
 	}
@@ -61,29 +66,23 @@ func (nb *NeighborBin) Offer(p *Post) bool {
 	own := nb.bin(p.Author)
 	nb.prune(own, cutoff)
 
-	covered := false
 	pfp := uint64(p.FP)
-	for cur := own.Scan(); cur.Next(); {
-		nb.c.Comparisons++
-		// Author similarity holds by bin construction; content decides.
-		if simhash.Distance(simhash.Fingerprint(pfp), simhash.Fingerprint(cur.FP())) <= nb.th.LambdaC {
-			covered = true
-			break
-		}
-	}
+	// Author similarity holds by bin construction; content decides.
+	covered, comparisons := own.coveredContent(pfp, nb.th.LambdaC, cutoff)
+	nb.c.Comparisons += comparisons
 	if covered {
 		nb.c.Rejected++
 		return false
 	}
 
-	own.Push(p.Time, pfp, p.Author)
+	own.push(p.Time, pfp, p.Author)
 	inserted := 1
 	for _, n := range nb.g.Neighbors(p.Author) {
 		b := nb.bin(n)
 		// Neighbor bins are touched here anyway; pruning them now keeps the
 		// live copy count tight without a separate sweep.
 		nb.prune(b, cutoff)
-		b.Push(p.Time, pfp, p.Author)
+		b.push(p.Time, pfp, p.Author)
 		inserted++
 	}
 	nb.c.Insertions += uint64(inserted)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"firehose/internal/simhash"
+	"firehose/internal/simindex"
 	"firehose/internal/textnorm"
 )
 
@@ -71,6 +72,72 @@ type Thresholds struct {
 	// similarity graph; streaming algorithms consult the graph. Recorded
 	// here for validation and reporting. The paper's default is 0.7.
 	LambdaA float64
+	// Index selects the coverage-lookup policy: whether bins answer the
+	// content dimension with a Manku block-permutation SimHash index
+	// (internal/simindex) probing Hamming-plausible candidates directly, or
+	// with the exact λt-window scan. The zero value IndexAuto applies the
+	// paper's Section 3 feasibility test automatically.
+	Index IndexPolicy
+}
+
+// IndexPolicy selects how bins perform the content-dimension lookup.
+type IndexPolicy uint8
+
+const (
+	// IndexAuto — the default — indexes UniBin's single global-window bin
+	// when LambdaC ≤ AutoIndexMaxLambdaC, and keeps the exact scan
+	// otherwise. NeighborBin's and CliqueBin's bins stay on the exact scan
+	// under auto: they are already pruned by the author dimension — the
+	// paper's own argument for them — so their bins are small and the
+	// per-bin table overhead is not worth it.
+	IndexAuto IndexPolicy = iota
+	// IndexOff forces the exact λt-window scan everywhere. Decisions are
+	// identical under every policy (property-tested); Off pins the scan cost
+	// model, which the comparison counters and the experiments reproduce.
+	IndexOff
+	// IndexOn forces index-backed bins for all three algorithms, including
+	// the per-author and per-clique bins, at any Section 3-feasible LambdaC
+	// (simindex.AutoParams: LambdaC ≤ 6). Validate rejects IndexOn when
+	// LambdaC admits no feasible layout.
+	IndexOn
+)
+
+// AutoIndexMaxLambdaC bounds the LambdaC range IndexAuto indexes. Section 3
+// feasibility alone (LambdaC ≤ 6) is not the break-even: a λc=6 layout needs
+// C(8,6) = 28 tables, and 28 bucket probes plus 28 insert/evict updates per
+// post cost about as much as scanning a few-thousand-entry window exactly —
+// benchmarked slower on the scan-bound hot-path workload (see
+// BENCH_hotpath.json's lc6 pair). At λc ≤ 3 the layout needs at most 4
+// tables, whose fixed per-post cost undercuts the window scan by an order of
+// magnitude in the strict wide-window regime. Auto therefore indexes only
+// where it is a clear win and IndexOn remains the explicit opt-in for the
+// full feasible range.
+const AutoIndexMaxLambdaC = 3
+
+// String implements fmt.Stringer.
+func (p IndexPolicy) String() string {
+	switch p {
+	case IndexAuto:
+		return "auto"
+	case IndexOff:
+		return "off"
+	case IndexOn:
+		return "on"
+	}
+	return fmt.Sprintf("IndexPolicy(%d)", uint8(p))
+}
+
+// ParseIndexPolicy converts the flag spellings "auto", "off" and "on".
+func ParseIndexPolicy(s string) (IndexPolicy, error) {
+	switch s {
+	case "auto", "":
+		return IndexAuto, nil
+	case "off":
+		return IndexOff, nil
+	case "on":
+		return IndexOn, nil
+	}
+	return 0, fmt.Errorf("core: unknown index policy %q (want auto, on or off)", s)
 }
 
 // Validate reports whether the thresholds are usable.
@@ -84,7 +151,36 @@ func (th Thresholds) Validate() error {
 	if th.LambdaA < 0 || th.LambdaA >= 1 {
 		return fmt.Errorf("core: LambdaA must be in [0,1), got %v", th.LambdaA)
 	}
+	switch th.Index {
+	case IndexAuto, IndexOff:
+	case IndexOn:
+		if _, ok := simindex.AutoParams(th.LambdaC); !ok {
+			return fmt.Errorf("core: Index=on is infeasible at LambdaC=%d: no block layout "+
+				"within %d tables meets the selectivity floor (the paper's Section 3 blow-up); "+
+				"use Index=auto or off", th.LambdaC, simindex.AutoMaxTables)
+		}
+	default:
+		return fmt.Errorf("core: invalid index policy %d", th.Index)
+	}
 	return nil
+}
+
+// indexParams resolves the index policy for one bin family. global is true
+// for UniBin's single whole-window bin and false for the per-author /
+// per-clique families; under IndexAuto only the global family is indexed
+// (see IndexPolicy). ok=false means the family scans exactly.
+func (th Thresholds) indexParams(global bool) (simindex.Params, bool) {
+	switch th.Index {
+	case IndexOff:
+		return simindex.Params{}, false
+	case IndexOn:
+		return simindex.AutoParams(th.LambdaC)
+	default:
+		if !global || th.LambdaC > AutoIndexMaxLambdaC {
+			return simindex.Params{}, false
+		}
+		return simindex.AutoParams(th.LambdaC)
+	}
 }
 
 // AuthorGraph is the author-dimension oracle consumed by the algorithms:

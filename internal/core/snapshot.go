@@ -23,6 +23,8 @@ import (
 	"firehose/internal/checkpoint"
 	"firehose/internal/metrics"
 	"firehose/internal/postbin"
+	"firehose/internal/simhash"
+	"firehose/internal/simindex"
 )
 
 // StateSnapshotter is implemented by diversifier engines whose state can be
@@ -175,10 +177,13 @@ func decodeBin(dec *checkpoint.Decoder, validAuthor func(int32) bool) *postbin.S
 }
 
 // SnapshotState implements StateSnapshotter: the single window bin plus the
-// counters.
+// counters. Only the ring is serialized — the SimHash index (when the policy
+// has one) is rebuilt from it on restore, so snapshot bytes are identical
+// under every index policy and a snapshot taken with one policy restores
+// under another.
 func (u *UniBin) SnapshotState(enc *checkpoint.Encoder) error {
 	enc.String("unibin")
-	encodeBin(enc, u.bin)
+	encodeBin(enc, u.bin.soa)
 	encodeCounters(enc, &u.c)
 	return enc.Err()
 }
@@ -187,12 +192,13 @@ func (u *UniBin) SnapshotState(enc *checkpoint.Encoder) error {
 // untouched.
 func (u *UniBin) RestoreState(dec *checkpoint.Decoder) error {
 	dec.Expect("unibin")
-	bin := decodeBin(dec, authorValidator(u.g))
+	soa := decodeBin(dec, authorValidator(u.g))
 	c := decodeCounters(dec)
 	if err := dec.Err(); err != nil {
 		return err
 	}
-	u.bin, u.c = bin, c
+	params, indexed := u.th.indexParams(true)
+	u.bin, u.c = newCovBinFromSoA(soa, params, indexed), c
 	return nil
 }
 
@@ -208,7 +214,7 @@ func (nb *NeighborBin) SnapshotState(enc *checkpoint.Encoder) error {
 	enc.Uvarint(uint64(len(authors)))
 	for _, a := range authors {
 		enc.Varint(int64(a))
-		encodeBin(enc, nb.bins[a])
+		encodeBin(enc, nb.bins[a].soa)
 	}
 	encodeCounters(enc, &nb.c)
 	return enc.Err()
@@ -220,7 +226,7 @@ func (nb *NeighborBin) RestoreState(dec *checkpoint.Decoder) error {
 	dec.Expect("neighborbin")
 	valid := authorValidator(nb.g)
 	n := dec.Len("author bins", checkpoint.MaxElems)
-	bins := make(map[int32]*postbin.SoA)
+	bins := make(map[int32]*covBin)
 	last := int64(math.MinInt64)
 	for i := 0; i < n && dec.Err() == nil; i++ {
 		a := dec.Varint()
@@ -232,7 +238,7 @@ func (nb *NeighborBin) RestoreState(dec *checkpoint.Decoder) error {
 			break
 		}
 		last = a
-		bins[int32(a)] = decodeBin(dec, valid)
+		bins[int32(a)] = newCovBinFromSoA(decodeBin(dec, valid), nb.idxParams, nb.indexed)
 	}
 	c := decodeCounters(dec)
 	if err := dec.Err(); err != nil {
@@ -259,7 +265,7 @@ func (cb *CliqueBin) SnapshotState(enc *checkpoint.Encoder) error {
 	for ci, b := range cb.bins {
 		if b != nil {
 			enc.Uvarint(uint64(ci))
-			encodeBin(enc, b)
+			encodeBin(enc, b.soa)
 		}
 	}
 	encodeCounters(enc, &cb.c)
@@ -275,7 +281,7 @@ func (cb *CliqueBin) RestoreState(dec *checkpoint.Decoder) error {
 		dec.Failf("snapshot has %d cliques, engine's cover has %d (different graph or subscriptions)", n, len(cb.bins))
 	}
 	populated := dec.Len("populated clique bins", max(len(cb.bins), 1))
-	bins := make([]*postbin.SoA, len(cb.bins))
+	bins := make([]*covBin, len(cb.bins))
 	lastCi := -1
 	for i := 0; i < populated && dec.Err() == nil; i++ {
 		ci := dec.Len("clique id", checkpoint.MaxElems)
@@ -287,7 +293,7 @@ func (cb *CliqueBin) RestoreState(dec *checkpoint.Decoder) error {
 			break
 		}
 		lastCi = ci
-		bins[ci] = decodeBin(dec, authorValidatorFromCover(cb))
+		bins[ci] = newCovBinFromSoA(decodeBin(dec, authorValidatorFromCover(cb)), cb.idxParams, cb.indexed)
 	}
 	c := decodeCounters(dec)
 	if err := dec.Err(); err != nil {
@@ -304,9 +310,70 @@ func authorValidatorFromCover(cb *CliqueBin) func(int32) bool {
 	return func(a int32) bool { return len(cb.cover.CliquesOf(a)) > 0 }
 }
 
+// SnapshotState implements StateSnapshotter for the index-backed variant:
+// every indexed entry exactly once in canonical (time, id) order — the
+// lazily-swept index may still hold out-of-window entries, and those are
+// state (they determine future probe counts and sweep evictions), so they
+// serialize too — plus the sweep clock and the counters.
+func (ib *IndexedUniBin) SnapshotState(enc *checkpoint.Encoder) error {
+	enc.String("indexedunibin")
+	enc.Varint(ib.lastSweep)
+	entries := ib.idx.EntriesByTime()
+	enc.Uvarint(uint64(len(entries)))
+	for _, e := range entries {
+		enc.Varint(e.Time)
+		enc.U64(uint64(e.FP))
+		enc.Varint(int64(e.Aux))
+		enc.Uvarint(e.ID)
+	}
+	encodeCounters(enc, &ib.c)
+	return enc.Err()
+}
+
+// RestoreState implements StateSnapshotter: decoded entries are re-inserted
+// through a fresh index with the engine's own layout, so restore works (and
+// is validated) even across builds whose block geometry code changed. On
+// error the engine is untouched.
+func (ib *IndexedUniBin) RestoreState(dec *checkpoint.Decoder) error {
+	dec.Expect("indexedunibin")
+	lastSweep := dec.Varint()
+	valid := authorValidator(ib.g)
+	n := dec.Len("indexed entries", checkpoint.MaxElems)
+	idx, err := simindex.New(ib.idx.Params())
+	if err != nil {
+		return fmt.Errorf("core: rebuilding index: %w", err)
+	}
+	last := int64(math.MinInt64)
+	for i := 0; i < n && dec.Err() == nil; i++ {
+		t := dec.Varint()
+		fp := dec.U64()
+		a := dec.Varint()
+		id := dec.Uvarint()
+		if dec.Err() != nil {
+			break
+		}
+		if t < last {
+			dec.Failf("indexed entry %d out of time order (%d after %d)", i, t, last)
+			break
+		}
+		if a < math.MinInt32 || a > math.MaxInt32 || !valid(int32(a)) {
+			dec.Failf("indexed entry %d has invalid author %d", i, a)
+			break
+		}
+		last = t
+		idx.Add(simindex.Entry{FP: simhash.Fingerprint(fp), ID: id, Aux: int32(a), Time: t})
+	}
+	c := decodeCounters(dec)
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	ib.idx, ib.lastSweep, ib.c = idx, lastSweep, c
+	return nil
+}
+
 // snapshotInstance snapshots one per-user/per-component instance, failing
-// with a descriptive error for algorithms without checkpoint support
-// (IndexedUniBin keeps its state inside the SimHash index tables).
+// with a descriptive error should an algorithm without checkpoint support
+// appear (every shipped algorithm, including IndexedUniBin, supports it).
 func snapshotInstance(enc *checkpoint.Encoder, d Diversifier) error {
 	s, ok := d.(StateSnapshotter)
 	if !ok {

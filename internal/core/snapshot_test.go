@@ -61,6 +61,13 @@ func TestSingleUserSnapshotEquivalence(t *testing.T) {
 		"UniBin":      func() Diversifier { return NewUniBin(g, th) },
 		"NeighborBin": func() Diversifier { return NewNeighborBin(g, th) },
 		"CliqueBin":   func() Diversifier { return NewCliqueBin(authorsim.GreedyCliqueCover(g, authors), th) },
+		"IndexedUniBin": func() Diversifier {
+			ib, err := NewIndexedUniBin(g, th, 8) // C(8,6) = 28 tables
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ib
+		},
 	}
 	for name, mk := range builders {
 		t.Run(name, func(t *testing.T) {
@@ -279,9 +286,20 @@ func TestRestoreCorruptionNeverPanics(t *testing.T) {
 	for _, p := range posts {
 		s.Offer(p)
 	}
-	raw := snapState(t, s)
-	// Stride keeps the quadratic cost bounded on large snapshots while still
-	// hitting every byte.
+	sweepBitFlips(t, snapState(t, s), func() StateSnapshotter {
+		fresh, err := NewSharedMultiUser(AlgCliqueBin, g, subs, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fresh
+	})
+}
+
+// sweepBitFlips flips every bit of raw (strided on large snapshots to bound
+// the quadratic cost while still hitting every byte) and requires restore
+// into a fresh engine to error — never panic, never silently succeed.
+func sweepBitFlips(t *testing.T, raw []byte, mkFresh func() StateSnapshotter) {
+	t.Helper()
 	stride := 1
 	if len(raw) > 2048 {
 		stride = len(raw) / 2048
@@ -290,10 +308,7 @@ func TestRestoreCorruptionNeverPanics(t *testing.T) {
 		for bit := 0; bit < 8; bit++ {
 			corrupt := append([]byte(nil), raw...)
 			corrupt[off] ^= 1 << bit
-			fresh, err := NewSharedMultiUser(AlgCliqueBin, g, subs, th)
-			if err != nil {
-				t.Fatal(err)
-			}
+			fresh := mkFresh()
 			func() {
 				defer func() {
 					if r := recover(); r != nil {
@@ -306,6 +321,30 @@ func TestRestoreCorruptionNeverPanics(t *testing.T) {
 			}()
 		}
 	}
+}
+
+// TestIndexedUniBinRestoreCorruption runs the same exhaustive bit-flip sweep
+// over an IndexedUniBin snapshot — its section serializes raw index entries
+// (including stale ones awaiting the lazy sweep), so the decoder's monotone
+// time and author validation must hold up independently of the bin codecs.
+func TestIndexedUniBinRestoreCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	g, posts := randomScenario(rng, 10, 250, 0.3)
+	th := Thresholds{LambdaC: 4, LambdaT: 400, LambdaA: 0.7}
+	ib, err := NewIndexedUniBin(g, th, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range posts {
+		ib.Offer(p)
+	}
+	sweepBitFlips(t, snapState(t, ib), func() StateSnapshotter {
+		fresh, err := NewIndexedUniBin(g, th, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fresh
+	})
 }
 
 // TestRestoreTruncationAlwaysErrors: every proper prefix of an engine

@@ -4,8 +4,6 @@ import (
 	"time"
 
 	"firehose/internal/metrics"
-	"firehose/internal/postbin"
-	"firehose/internal/simhash"
 )
 
 // UniBin solves SPSD with a single time-windowed post bin holding all
@@ -16,23 +14,31 @@ import (
 // accepted post — the lowest RAM of the three algorithms — at the price of
 // comparing against posts from dissimilar authors.
 //
-// The bin is a structure-of-arrays ring (postbin.SoA): the window scan —
-// the paper's entire cost model — streams through a contiguous fingerprint
-// slice with mask indexing and no per-candidate closure call. Offer is
-// allocation-free in steady state (a Push that grows the ring and the
-// ring's shrink-on-prune are the only allocation sites, both amortized).
+// The bin is a covBin: a structure-of-arrays ring (postbin.SoA) whose
+// content lookup either probes an incrementally-synced SimHash index (when
+// the thresholds' index policy resolves feasible at λc — under IndexAuto
+// that is λc ≤ AutoIndexMaxLambdaC) or runs the exact batched-kernel scan.
+// Offer is
+// allocation-free in steady state on the exact path and amortized
+// allocation-free on the indexed path (the index recycles bucket storage;
+// only the Go runtime's occasional map housekeeping allocates).
 type UniBin struct {
 	th  Thresholds
 	g   AuthorGraph
-	bin *postbin.SoA
+	bin *covBin
 	c   metrics.Counters
 }
 
 // NewUniBin returns a UniBin diversifier. The author graph must encode the
 // λa threshold (edge iff author distance <= λa).
 func NewUniBin(g AuthorGraph, th Thresholds) *UniBin {
-	return &UniBin{th: th, g: g, bin: postbin.NewSoA()}
+	params, indexed := th.indexParams(true)
+	return &UniBin{th: th, g: g, bin: newCovBin(params, indexed)}
 }
+
+// IndexActive reports whether the content lookup is index-backed under the
+// construction-time policy resolution.
+func (u *UniBin) IndexActive() bool { return u.bin.idx != nil }
 
 // Name implements Diversifier.
 func (u *UniBin) Name() string { return "UniBin" }
@@ -52,41 +58,17 @@ func (u *UniBin) SetGraph(g AuthorGraph) { u.g = g }
 func (u *UniBin) Offer(p *Post) bool {
 	defer u.c.Decisions.ObserveSince(time.Now())
 	cutoff := p.Time - u.th.LambdaT
-	if n := u.bin.PruneBefore(cutoff); n > 0 {
+	if n := u.bin.pruneBefore(cutoff); n > 0 {
 		u.c.Evictions += uint64(n)
 		u.c.RemoveStored(n)
 	}
-	// Scan newest-first over the ring's raw segments: a tight backward loop
-	// over contiguous fingerprint memory, checking the cheap content distance
-	// before the author binary search. Segment order is oldest..newest, so
-	// newer is walked (backward) before older.
-	covered := false
-	comparisons := uint64(0)
-	pfp := p.FP
-	lc := u.th.LambdaC
-	fpOld, fpNew := u.bin.FPSegments()
-	auOld, auNew := u.bin.AuthorSegments()
-scan:
-	for s, fps := range [2][]uint64{fpNew, fpOld} {
-		authors := auNew
-		if s == 1 {
-			authors = auOld
-		}
-		for i := len(fps) - 1; i >= 0; i-- {
-			comparisons++
-			if simhash.Distance(pfp, simhash.Fingerprint(fps[i])) <= lc &&
-				u.g.Similar(p.Author, authors[i]) {
-				covered = true
-				break scan
-			}
-		}
-	}
+	covered, comparisons := u.bin.coveredAuthor(uint64(p.FP), u.th.LambdaC, cutoff, p.Author, u.g)
 	u.c.Comparisons += comparisons
 	if covered {
 		u.c.Rejected++
 		return false
 	}
-	u.bin.Push(p.Time, uint64(pfp), p.Author)
+	u.bin.push(p.Time, uint64(p.FP), p.Author)
 	u.c.Insertions++
 	u.c.AddStored(1)
 	u.c.Accepted++

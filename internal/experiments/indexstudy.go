@@ -39,7 +39,12 @@ func IndexStudy(ds *Dataset) (*IndexStudyResult, error) {
 	}
 	posts := ds.Posts()
 	res.Indexed = measure(ib, posts, fmt.Sprintf("λc=%d", res.StrictLambdaC))
-	res.Scan = measure(core.NewUniBin(g, th), posts, fmt.Sprintf("λc=%d", res.StrictLambdaC))
+	// The scan baseline must stay the full-window scan: under IndexAuto this
+	// strict λc would give UniBin an index too and the comparison (and the
+	// report golden file's pinned counter) would measure probes vs probes.
+	scanTh := th
+	scanTh.Index = core.IndexOff
+	res.Scan = measure(core.NewUniBin(g, scanTh), posts, fmt.Sprintf("λc=%d", res.StrictLambdaC))
 	return res, nil
 }
 

@@ -1,0 +1,52 @@
+package postbin
+
+import "math/bits"
+
+// NextWithin is the batched content-scan kernel behind the exact coverage
+// path: it scans fps backward from index from (inclusive) and returns the
+// largest index i with popcount(fps[i]^ref) <= maxDist, or -1 when no
+// element qualifies. maxDist must be in [0, 64] (the fingerprint width; the
+// thresholds layer validates this). Scanning backward over an oldest-to-newest segment is
+// the paper's newest-first comparison order; callers that must apply a
+// second per-candidate check (UniBin's author dimension) re-enter with
+// from = i-1 to continue the scan, and account one comparison per element
+// the kernel visited, preserving the sequential cost model exactly.
+//
+// The main loop is unrolled 8-wide over a re-sliced block so the bounds
+// check is paid once per block, the eight XOR+POPCNT chains are independent
+// (they pipeline; on amd64 each is one XORQ+POPCNTQ), and the eight
+// threshold tests collapse into a branch-free match mask tested once.
+func NextWithin(fps []uint64, ref uint64, maxDist, from int) int {
+	i := from
+	if i >= len(fps) {
+		i = len(fps) - 1
+	}
+	// SWAR block test: the eight popcounts (each ≤ 64) are packed one per
+	// byte; adding 127-maxDist to every byte sets a byte's high bit exactly
+	// when its distance exceeds maxDist (64+127 < 256, so bytes never carry
+	// into each other). The complemented high bits are then a match mask
+	// tested with one branch per block.
+	bias := uint64(127-maxDist) * 0x0101010101010101
+	for i >= 7 {
+		b := fps[i-7 : i+1 : i+1]
+		w := uint64(bits.OnesCount64(b[0]^ref)) |
+			uint64(bits.OnesCount64(b[1]^ref))<<8 |
+			uint64(bits.OnesCount64(b[2]^ref))<<16 |
+			uint64(bits.OnesCount64(b[3]^ref))<<24 |
+			uint64(bits.OnesCount64(b[4]^ref))<<32 |
+			uint64(bits.OnesCount64(b[5]^ref))<<40 |
+			uint64(bits.OnesCount64(b[6]^ref))<<48 |
+			uint64(bits.OnesCount64(b[7]^ref))<<56
+		if m := ^(w + bias) & 0x8080808080808080; m != 0 {
+			// Highest set byte = newest match in the block.
+			return i - 7 + (bits.Len64(m)-1)>>3
+		}
+		i -= 8
+	}
+	for ; i >= 0; i-- {
+		if bits.OnesCount64(fps[i]^ref) <= maxDist {
+			return i
+		}
+	}
+	return -1
+}

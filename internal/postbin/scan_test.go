@@ -1,0 +1,86 @@
+package postbin
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// naiveNextWithin is the obviously-correct scalar spec NextWithin must match.
+func naiveNextWithin(fps []uint64, ref uint64, maxDist, from int) int {
+	if from >= len(fps) {
+		from = len(fps) - 1
+	}
+	for i := from; i >= 0; i-- {
+		if bits.OnesCount64(fps[i]^ref) <= maxDist {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestNextWithinMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 3000; trial++ {
+		n := rng.Intn(40)
+		fps := make([]uint64, n)
+		ref := rng.Uint64()
+		for i := range fps {
+			// Mix near-misses and far fingerprints so every maxDist band is hit.
+			fp := ref
+			for f := rng.Intn(24); f > 0; f-- {
+				fp ^= 1 << uint(rng.Intn(64))
+			}
+			fps[i] = fp
+		}
+		maxDist := rng.Intn(22)
+		for from := -1; from <= n+1; from++ {
+			got := NextWithin(fps, ref, maxDist, from)
+			want := naiveNextWithin(fps, ref, maxDist, from)
+			if got != want {
+				t.Fatalf("NextWithin(n=%d, maxDist=%d, from=%d) = %d, want %d",
+					n, maxDist, from, got, want)
+			}
+		}
+	}
+}
+
+func TestNextWithinEdgeDistances(t *testing.T) {
+	fps := []uint64{0, ^uint64(0), 0xFFFF, 1}
+	// maxDist 64 matches everything: newest-first means index 3.
+	if got := NextWithin(fps, 0, 64, len(fps)-1); got != 3 {
+		t.Fatalf("maxDist=64: got %d, want 3", got)
+	}
+	// maxDist 0 is exact equality.
+	if got := NextWithin(fps, 0xFFFF, 0, len(fps)-1); got != 2 {
+		t.Fatalf("exact match: got %d, want 2", got)
+	}
+	if got := NextWithin(nil, 0, 64, 0); got != -1 {
+		t.Fatalf("empty slice: got %d, want -1", got)
+	}
+}
+
+func BenchmarkNextWithin(b *testing.B) {
+	rng := rand.New(rand.NewSource(22))
+	fps := make([]uint64, 4096)
+	for i := range fps {
+		fps[i] = rng.Uint64()
+	}
+	b.Run("kernel", func(b *testing.B) {
+		b.SetBytes(int64(len(fps) * 8))
+		for i := 0; i < b.N; i++ {
+			// No match at distance 6 among random words: full traversal.
+			if NextWithin(fps, 0x1234, 6, len(fps)-1) != -1 {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.SetBytes(int64(len(fps) * 8))
+		for i := 0; i < b.N; i++ {
+			if naiveNextWithin(fps, 0x1234, 6, len(fps)-1) != -1 {
+				b.Fatal("unexpected match")
+			}
+		}
+	})
+}

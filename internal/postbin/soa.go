@@ -122,6 +122,18 @@ func (b *SoA) NewestTime() (t int64, ok bool) {
 // are invalidated by any Push or PruneBefore — they exist so a scan-bound
 // caller can run a tight backward loop over raw memory instead of paying the
 // cursor's per-element index arithmetic.
+//
+// Invalidation contract (audited; see TestSegmentsInvalidationContract): a
+// mutation may leave stale segments aliasing live storage (an in-place Push
+// or head advance — the stale view then shows a mix of old and new entries)
+// or may move the live entries to a fresh backing array entirely (a growth
+// resize, or the shrink a PruneBefore triggers when occupancy falls below a
+// quarter — the stale view then shows only pre-mutation data and writes
+// through it are lost). Neither case faults, which is exactly why the hazard
+// is easy to miss: stale segments read plausible values. The only correct
+// use is acquire → scan → discard, re-acquiring after every mutation, and
+// never acquiring FP/Author/Time segments across a mutation (a PruneBefore
+// between two accessors can desynchronize their indexing).
 func (b *SoA) FPSegments() (older, newer []uint64) {
 	end := b.head + b.count
 	if end <= len(b.fps) {

@@ -1,0 +1,81 @@
+package postbin
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// collectSegments snapshots the bin's current contents via the segment
+// accessors, concatenated oldest-to-newest.
+func collectSegments(b *SoA) (fps []uint64, authors []int32, times []int64) {
+	fOld, fNew := b.FPSegments()
+	aOld, aNew := b.AuthorSegments()
+	tOld, tNew := b.TimeSegments()
+	fps = append(append(fps, fOld...), fNew...)
+	authors = append(append(authors, aOld...), aNew...)
+	times = append(append(times, tOld...), tNew...)
+	return
+}
+
+// TestSegmentsInvalidationContract is the audit of the segment accessors'
+// aliasing hazard. Part one pins the positive contract: segments re-acquired
+// after every mutation always agree with the cursor, across random
+// Push/PruneBefore sequences that exercise wraps, growth resizes and
+// shrink-on-prune. Part two demonstrates the hazard itself: segments
+// captured before a PruneBefore-triggered shrink keep aliasing the OLD
+// backing array — they still read plausible pre-shrink values and never see
+// later mutations, which is why stale segments are a silent-corruption bug
+// in callers, not a crash.
+func TestSegmentsInvalidationContract(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	b := NewSoA()
+	var now int64
+	for step := 0; step < 5000; step++ {
+		if rng.Intn(3) < 2 {
+			now += int64(rng.Intn(4))
+			b.Push(now, rng.Uint64(), int32(rng.Intn(100)))
+		} else {
+			b.PruneBefore(now - int64(rng.Intn(400)))
+		}
+
+		// Freshly acquired segments must agree with the cursor exactly.
+		fps, authors, times := collectSegments(b)
+		if len(fps) != b.Len() || len(authors) != b.Len() || len(times) != b.Len() {
+			t.Fatalf("step %d: segment lengths %d/%d/%d, Len %d",
+				step, len(fps), len(authors), len(times), b.Len())
+		}
+		i := b.Len()
+		for cur := b.Scan(); cur.Next(); {
+			i--
+			if fps[i] != cur.FP() || authors[i] != cur.Author() || times[i] != cur.Time() {
+				t.Fatalf("step %d: segment entry %d = (%x,%d,%d), cursor = (%x,%d,%d)",
+					step, i, fps[i], authors[i], times[i], cur.FP(), cur.Author(), cur.Time())
+			}
+		}
+	}
+
+	// The hazard: capture segments, then force a shrink resize.
+	b = NewSoA()
+	for i := 0; i < 4*MinShrinkCap; i++ {
+		b.Push(int64(i), uint64(i)|1<<63, 1)
+	}
+	staleOld, staleNew := b.FPSegments()
+	stale := append(append([]uint64(nil), staleOld...), staleNew...)
+	preCap := b.Cap()
+	b.PruneBefore(int64(4*MinShrinkCap - 2)) // occupancy 2 of 256: shrink fires
+	if b.Cap() >= preCap {
+		t.Fatalf("prune did not shrink (cap %d -> %d); hazard scenario not reached", preCap, b.Cap())
+	}
+	// staleOld still reads the pre-shrink values out of the abandoned array:
+	// plausible data, silently divorced from the bin.
+	for i := range staleOld {
+		if staleOld[i] != stale[i] {
+			t.Fatalf("stale segment no longer readable at %d", i)
+		}
+	}
+	b.Push(int64(4*MinShrinkCap), 0xDEAD, 2)
+	fresh, _ := b.FPSegments()
+	if &staleOld[0] == &fresh[0] {
+		t.Fatal("shrink kept the backing array; stale segments were expected to alias the old one")
+	}
+}

@@ -1,0 +1,79 @@
+//go:build !race
+
+// The heap-footprint and AllocsPerRun assertions live behind !race: the race
+// detector instruments allocations and would distort both.
+
+package simindex
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"firehose/internal/simhash"
+)
+
+func liveHeap() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// TestPruneReleasesBucketMemory is the regression test for the bucket-memory
+// leak: a burst of distinct fingerprints followed by a quiet steady state
+// must not pin the burst's footprint. Before the freelist + in-place prune +
+// map compaction, the tables' emptied buckets and grown map bucket arrays
+// survived every PruneBefore, so a long-running stream with rotating content
+// held memory proportional to its peak, not its window.
+func TestPruneReleasesBucketMemory(t *testing.T) {
+	idx := mustIndex(t, Params{K: 2, Blocks: 3})
+	rng := rand.New(rand.NewSource(7))
+	base := liveHeap()
+
+	// Burst: 60k distinct fingerprints in one window.
+	for i := 0; i < 60_000; i++ {
+		idx.Add(Entry{FP: simhash.Fingerprint(rng.Uint64()), ID: uint64(i + 1), Time: int64(i)})
+	}
+	peak := liveHeap() - base
+	if peak < 1<<20 {
+		t.Fatalf("burst grew the heap by only %d bytes; the test lost its signal", peak)
+	}
+
+	// The window passes, then a quiet steady state: ~100 live entries.
+	idx.PruneBefore(60_000)
+	for i := 0; i < 2_000; i++ {
+		now := int64(60_000 + i)
+		idx.Add(Entry{FP: simhash.Fingerprint(rng.Uint64()), ID: uint64(100_000 + i), Time: now})
+		idx.PruneBefore(now - 100)
+	}
+	after := liveHeap() - base
+	runtime.KeepAlive(idx)
+
+	if after > peak/4 {
+		t.Fatalf("index retains %d bytes after the burst drained (peak %d); bucket memory is not being released", after, peak)
+	}
+}
+
+// TestSteadyStateAllocs pins the windowed steady state — one Add and one
+// expiry per operation — as (amortized) allocation-free: recycled buckets
+// absorb the Add side and in-place shifts the prune side. A small tolerance
+// covers the Go runtime's occasional map housekeeping under churn.
+func TestSteadyStateAllocs(t *testing.T) {
+	idx := mustIndex(t, Params{K: 3, Blocks: 4})
+	rng := rand.New(rand.NewSource(8))
+	var now int64
+	var nextID uint64
+	push := func() {
+		now += 10
+		nextID++
+		idx.Add(Entry{FP: simhash.Fingerprint(rng.Uint64()), ID: nextID, Time: now})
+		idx.PruneBefore(now - 2_000)
+	}
+	for i := 0; i < 2_000; i++ {
+		push()
+	}
+	if avg := testing.AllocsPerRun(2_000, push); avg > 0.05 {
+		t.Fatalf("steady-state Add+PruneBefore allocates %.3f objects per op, want ~0", avg)
+	}
+}

@@ -137,6 +137,16 @@ type Index struct {
 	blockStart, blockWidth []int
 	tables                 []map[uint64][]Entry
 	size                   int
+	// freeBuckets recycles emptied bucket slices between Remove/PruneBefore
+	// and Add, so a steady windowed stream (one entry in, one entry out)
+	// allocates nothing per operation. Bounded: see maxFreeBuckets.
+	freeBuckets [][]Entry
+	// peakKeys[i] tracks the high-water key count of table i since its last
+	// rebuild. Go maps never shrink their bucket arrays, so after a traffic
+	// burst a table whose keys have mostly expired still pins its peak
+	// footprint; when the live key count falls below a quarter of the peak
+	// the table is rebuilt compactly (see maybeCompact).
+	peakKeys []int
 }
 
 // MinKeyBits is the selectivity floor New enforces: a table keyed on fewer
@@ -145,6 +155,44 @@ type Index struct {
 // tables — the two constraints together are the paper's Section 3
 // infeasibility at λc = 18.
 const MinKeyBits = 16
+
+// AutoMaxTables is the copy-factor ceiling of the automatic feasibility rule:
+// AutoParams accepts a layout only when the cheapest block arrangement that
+// meets the MinKeyBits selectivity floor needs at most this many tables. The
+// bound is deliberately conservative — one uint64 fingerprint copied 64 times
+// is 512 bytes per stored post, comparable to the post itself — and it places
+// the auto cutoff at K ≤ 6, exactly the "strict content threshold" regime the
+// paper's Section 3 analysis leaves open (at K=7 the cheapest acceptable
+// layout already needs C(10,7) = 120 tables).
+const AutoMaxTables = 64
+
+// AutoParams applies the paper's Section 3 feasibility test to a Hamming
+// distance threshold k: it returns the cheapest block layout whose table keys
+// meet the MinKeyBits floor, and ok=false when that layout needs more than
+// AutoMaxTables tables — the regime where the linear scan wins and callers
+// must keep it.
+func AutoParams(k int) (Params, bool) {
+	if k < 0 || k >= simhash.Size {
+		return Params{}, false
+	}
+	if k == 0 {
+		return Params{K: 0, Blocks: 1}, true
+	}
+	best, bestTables := Params{}, int64(math.MaxInt64)
+	for b := k + 1; b <= simhash.Size; b++ {
+		p := Params{K: k, Blocks: b}
+		if p.KeyBits() < MinKeyBits {
+			continue
+		}
+		if t := p.TableCount(); t < bestTables {
+			best, bestTables = p, t
+		}
+	}
+	if bestTables > AutoMaxTables {
+		return Params{}, false
+	}
+	return best, true
+}
 
 // New builds an empty index.
 func New(p Params) (*Index, error) {
@@ -179,6 +227,7 @@ func New(p Params) (*Index, error) {
 	for i := range idx.tables {
 		idx.tables[i] = make(map[uint64][]Entry)
 	}
+	idx.peakKeys = make([]int, len(idx.combos))
 	return idx, nil
 }
 
@@ -222,13 +271,142 @@ func (idx *Index) Len() int { return idx.size }
 // Copies returns the number of stored entry copies (Len × TableCount).
 func (idx *Index) Copies() int64 { return int64(idx.size) * idx.params.TableCount() }
 
+// maxFreeBuckets caps the bucket freelist so a burst's worth of emptied
+// buckets is not pinned forever; beyond the cap, emptied buckets go to the
+// garbage collector.
+const maxFreeBuckets = 1024
+
+// newBucket pops a recycled bucket slice (length 0, capacity preserved) or
+// returns nil, letting append allocate.
+func (idx *Index) newBucket() []Entry {
+	if n := len(idx.freeBuckets); n > 0 {
+		b := idx.freeBuckets[n-1]
+		idx.freeBuckets[n-1] = nil
+		idx.freeBuckets = idx.freeBuckets[:n-1]
+		return b
+	}
+	return nil
+}
+
+// recycleBucket returns an emptied bucket's storage to the freelist.
+func (idx *Index) recycleBucket(b []Entry) {
+	if cap(b) == 0 || len(idx.freeBuckets) >= maxFreeBuckets {
+		return
+	}
+	idx.freeBuckets = append(idx.freeBuckets, b[:0])
+}
+
+// maybeCompact rebuilds table i into a right-sized map once its live key
+// count has fallen below a quarter of its high-water mark. delete() alone
+// never returns a Go map's bucket array to the allocator, so without this a
+// burst of distinct fingerprints would pin its peak footprint for the rest of
+// the stream — the index analogue of postbin's shrink-on-prune policy.
+func (idx *Index) maybeCompact(i int) {
+	const minCompactKeys = 64
+	live := len(idx.tables[i])
+	if idx.peakKeys[i] < minCompactKeys || live >= idx.peakKeys[i]/4 {
+		return
+	}
+	nt := make(map[uint64][]Entry, live)
+	for k, b := range idx.tables[i] {
+		nt[k] = b
+	}
+	idx.tables[i] = nt
+	idx.peakKeys[i] = live
+}
+
 // Add indexes an entry into every table. Timestamps must be non-decreasing.
 func (idx *Index) Add(e Entry) {
 	for i, combo := range idx.combos {
 		k := idx.key(e.FP, combo)
-		idx.tables[i][k] = append(idx.tables[i][k], e)
+		t := idx.tables[i]
+		b, ok := t[k]
+		if !ok {
+			b = idx.newBucket()
+		}
+		t[k] = append(b, e)
+		if !ok && len(t) > idx.peakKeys[i] {
+			idx.peakKeys[i] = len(t)
+		}
 	}
 	idx.size++
+}
+
+// Covered is the hot-path probe: it reports whether any indexed entry lies
+// within Hamming distance K of fp, has Time >= minTime and satisfies pred
+// (nil means no extra predicate). Unlike Query it allocates nothing, stops at
+// the first hit, and does not deduplicate — an entry failing pred may be
+// probed again through another table, which only affects the probe count
+// (pred must be pure). probes counts bucket entries touched, the index
+// analogue of the scan algorithms' pairwise comparisons.
+func (idx *Index) Covered(fp simhash.Fingerprint, minTime int64, pred func(Entry) bool) (covered bool, probes int) {
+	maxDist := idx.params.K
+	for i, combo := range idx.combos {
+		k := idx.key(fp, combo)
+		for _, e := range idx.tables[i][k] {
+			probes++
+			if e.Time < minTime {
+				continue
+			}
+			if bits.OnesCount64(uint64(e.FP^fp)) > maxDist {
+				continue
+			}
+			if pred == nil || pred(e) {
+				return true, probes
+			}
+		}
+	}
+	return false, probes
+}
+
+// Remove deletes the entry with the given fingerprint and id from every
+// table, reporting whether it was present. Callers that evict in time order
+// (the streaming window) hit the front of each bucket, since buckets are
+// append-ordered by arrival.
+func (idx *Index) Remove(fp simhash.Fingerprint, id uint64) bool {
+	removed := false
+	for i, combo := range idx.combos {
+		k := idx.key(fp, combo)
+		t := idx.tables[i]
+		bucket := t[k]
+		for j := range bucket {
+			if bucket[j].ID != id {
+				continue
+			}
+			copy(bucket[j:], bucket[j+1:])
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(t, k)
+				idx.recycleBucket(bucket)
+				idx.maybeCompact(i)
+			} else {
+				t[k] = bucket
+			}
+			removed = true
+			break
+		}
+	}
+	if removed {
+		idx.size--
+	}
+	return removed
+}
+
+// EntriesByTime returns every indexed entry exactly once, sorted by (Time,
+// ID) — a canonical order for checkpoint writers. It allocates; not for the
+// hot path.
+func (idx *Index) EntriesByTime() []Entry {
+	out := make([]Entry, 0, idx.size)
+	for _, bucket := range idx.tables[0] {
+		out = append(out, bucket...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
 }
 
 // Query returns all indexed entries within Hamming distance K of fp and
@@ -257,30 +435,45 @@ func (idx *Index) Query(fp simhash.Fingerprint, minTime int64) (matches []Entry,
 }
 
 // PruneBefore drops entries older than cutoff from every bucket and returns
-// the number of distinct entries removed.
+// the number of distinct entries removed. Emptied buckets are deleted and
+// their storage recycled, surviving buckets are shifted in place (and
+// reallocated smaller once occupancy falls below a quarter of a
+// non-trivial capacity), and tables whose key count collapsed are rebuilt
+// compactly — so a long-running stream with rotating content holds memory
+// proportional to its live window, not to its history.
 func (idx *Index) PruneBefore(cutoff int64) int {
-	removedIDs := make(map[uint64]bool)
+	removed := 0
 	for i := range idx.tables {
-		for k, bucket := range idx.tables[i] {
+		t := idx.tables[i]
+		for k, bucket := range t {
 			// Entries are appended in time order; find the first survivor.
 			j := 0
 			for j < len(bucket) && bucket[j].Time < cutoff {
-				if i == 0 {
-					// Count each entry once (every entry appears in table 0).
-					removedIDs[bucket[j].ID] = true
-				}
 				j++
 			}
 			if j == 0 {
 				continue
 			}
-			if j == len(bucket) {
-				delete(idx.tables[i], k)
-			} else {
-				idx.tables[i][k] = append([]Entry(nil), bucket[j:]...)
+			if i == 0 {
+				// Count each entry once (every entry appears in table 0).
+				removed += j
 			}
+			if j == len(bucket) {
+				delete(t, k)
+				idx.recycleBucket(bucket)
+				continue
+			}
+			n := copy(bucket, bucket[j:])
+			bucket = bucket[:n]
+			if c := cap(bucket); c >= 16 && n < c/4 {
+				shrunk := make([]Entry, n, max(n, c/2))
+				copy(shrunk, bucket)
+				bucket = shrunk
+			}
+			t[k] = bucket
 		}
+		idx.maybeCompact(i)
 	}
-	idx.size -= len(removedIDs)
-	return len(removedIDs)
+	idx.size -= removed
+	return removed
 }

@@ -221,3 +221,171 @@ func BenchmarkQuery(b *testing.B) {
 		idx.Query(q, 0)
 	}
 }
+
+func TestAutoParams(t *testing.T) {
+	// The feasibility cutoff: K ≤ 6 gets a layout within AutoMaxTables
+	// tables, K ≥ 7 does not (C(10,7)=120 is the cheapest acceptable layout).
+	wantTables := map[int]int64{0: 1, 1: 2, 2: 3, 3: 4, 4: 15, 5: 21, 6: 28}
+	for k := 0; k <= 6; k++ {
+		p, ok := AutoParams(k)
+		if !ok {
+			t.Fatalf("AutoParams(%d) infeasible, want feasible", k)
+		}
+		if p.K != k || p.TableCount() != wantTables[k] {
+			t.Fatalf("AutoParams(%d) = %+v (%d tables), want %d tables", k, p, p.TableCount(), wantTables[k])
+		}
+		if k > 0 && p.KeyBits() < MinKeyBits {
+			t.Fatalf("AutoParams(%d) keys on %d bits, below floor", k, p.KeyBits())
+		}
+		if _, err := New(p); err != nil {
+			t.Fatalf("AutoParams(%d) layout rejected by New: %v", k, err)
+		}
+	}
+	for _, k := range []int{7, 10, 18, 63, -1, 64} {
+		if p, ok := AutoParams(k); ok {
+			t.Fatalf("AutoParams(%d) = %+v, want infeasible", k, p)
+		}
+	}
+}
+
+func TestCoveredMatchesQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, p := range []Params{{K: 3, Blocks: 6}, {K: 2, Blocks: 8}, {K: 6, Blocks: 8}, {K: 0, Blocks: 1}} {
+		idx := mustIndex(t, p)
+		base := simhash.Fingerprint(rng.Uint64())
+		var all []Entry
+		for i := 0; i < 300; i++ {
+			fp := base
+			if i%2 == 0 {
+				for f := rng.Intn(p.K + 3); f > 0; f-- {
+					fp ^= 1 << uint(rng.Intn(64))
+				}
+			} else {
+				fp = simhash.Fingerprint(rng.Uint64())
+			}
+			e := Entry{FP: fp, ID: uint64(i + 1), Aux: int32(i % 5), Time: int64(i)}
+			idx.Add(e)
+			all = append(all, e)
+		}
+		for trial := 0; trial < 200; trial++ {
+			q := base
+			for f := rng.Intn(p.K + 4); f > 0; f-- {
+				q ^= 1 << uint(rng.Intn(64))
+			}
+			minTime := int64(rng.Intn(300))
+			var pred func(Entry) bool
+			wantAux := int32(-1)
+			if trial%2 == 1 {
+				wantAux = int32(rng.Intn(5))
+				pred = func(e Entry) bool { return e.Aux == wantAux }
+			}
+			want := false
+			for _, e := range all {
+				if e.Time >= minTime && simhash.Distance(e.FP, q) <= p.K &&
+					(wantAux < 0 || e.Aux == wantAux) {
+					want = true
+					break
+				}
+			}
+			got, probes := idx.Covered(q, minTime, pred)
+			if got != want {
+				t.Fatalf("params %+v: Covered = %v, brute force = %v", p, got, want)
+			}
+			if got && probes == 0 {
+				t.Fatalf("params %+v: covered with zero probes", p)
+			}
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	idx := mustIndex(t, Params{K: 2, Blocks: 6})
+	var entries []Entry
+	for i := 0; i < 200; i++ {
+		e := Entry{FP: simhash.Fingerprint(i) * 0x9E3779B97F4A7C15, ID: uint64(i + 1), Time: int64(i)}
+		idx.Add(e)
+		entries = append(entries, e)
+	}
+	if idx.Remove(entries[5].FP, 999999) {
+		t.Fatal("removed an id that was never added")
+	}
+	for i, e := range entries[:100] {
+		if !idx.Remove(e.FP, e.ID) {
+			t.Fatalf("entry %d not found for removal", i)
+		}
+	}
+	if idx.Len() != 100 {
+		t.Fatalf("Len after removals = %d, want 100", idx.Len())
+	}
+	for i, e := range entries {
+		cov, _ := idx.Covered(e.FP, 0, func(m Entry) bool { return m.ID == e.ID })
+		if want := i >= 100; cov != want {
+			t.Fatalf("entry %d: covered = %v, want %v", i, cov, want)
+		}
+	}
+	if idx.Remove(entries[0].FP, entries[0].ID) {
+		t.Fatal("double remove succeeded")
+	}
+}
+
+// TestChurnConsistency drives the index through the streaming lifecycle —
+// interleaved Add, Remove-oldest and PruneBefore — and cross-checks Query
+// against brute force throughout, exercising the bucket freelist, in-place
+// prune shifts and map compaction.
+func TestChurnConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	idx := mustIndex(t, Params{K: 3, Blocks: 6})
+	base := simhash.Fingerprint(rng.Uint64())
+	var live []Entry
+	now, nextID := int64(0), uint64(1)
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // add
+			now += int64(rng.Intn(3))
+			fp := base
+			for f := rng.Intn(8); f > 0; f-- {
+				fp ^= 1 << uint(rng.Intn(64))
+			}
+			e := Entry{FP: fp, ID: nextID, Aux: int32(nextID), Time: now}
+			nextID++
+			idx.Add(e)
+			live = append(live, e)
+		case op < 8: // remove oldest
+			if len(live) > 0 {
+				if !idx.Remove(live[0].FP, live[0].ID) {
+					t.Fatalf("step %d: oldest entry missing", step)
+				}
+				live = live[1:]
+			}
+		default: // prune a window edge
+			cutoff := now - int64(rng.Intn(50))
+			want := 0
+			for len(live) > want && live[want].Time < cutoff {
+				want++
+			}
+			if got := idx.PruneBefore(cutoff); got != want {
+				t.Fatalf("step %d: pruned %d, want %d", step, got, want)
+			}
+			live = live[want:]
+		}
+		if idx.Len() != len(live) {
+			t.Fatalf("step %d: Len = %d, want %d", step, idx.Len(), len(live))
+		}
+		if step%200 == 0 {
+			q := base
+			for f := rng.Intn(8); f > 0; f-- {
+				q ^= 1 << uint(rng.Intn(64))
+			}
+			got, _ := idx.Query(q, 0)
+			want := 0
+			for _, e := range live {
+				if simhash.Distance(e.FP, q) <= 3 {
+					want++
+				}
+			}
+			if len(got) != want {
+				t.Fatalf("step %d: query found %d, brute force %d", step, len(got), want)
+			}
+		}
+	}
+}
