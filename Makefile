@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-go bench-check fuzz
+.PHONY: build test vet race lint check bench bench-go bench-check fuzz scenarios
 
 build:
 	$(GO) build ./...
@@ -65,4 +65,19 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzTokensWithOptions -fuzztime=$(FUZZTIME) ./internal/textnorm
 	$(GO) test -run='^$$' -fuzz=FuzzDistance -fuzztime=$(FUZZTIME) ./internal/simhash
 	$(GO) test -run='^$$' -fuzz=FuzzFingerprintNormalizationStable -fuzztime=$(FUZZTIME) ./internal/simhash
+	$(GO) test -run='^$$' -fuzz=FuzzParseWorkload -fuzztime=$(FUZZTIME) ./internal/twittergen
 	$(GO) test -run='^$$' -fuzz=FuzzRestore -fuzztime=$(FUZZTIME) .
+
+# scenarios runs the adversarial workload suite (flash crowd, celebrity
+# cascade, botnet, diurnal whiplash, graph churn): each scenario streams its
+# hostile shape through the baseline S_UniBin engine and the adaptive per-user
+# threshold controller, printing the before/after delivery-rate and latency
+# tables. SMOKE=1 first re-verifies the committed golden reports at the
+# reduced scale, then prints the smoke-scale tables — the CI job runs that.
+scenarios:
+ifdef SMOKE
+	$(GO) test -run 'TestScenario' ./internal/experiments
+	$(GO) run ./cmd/experiments -scenario all -smoke
+else
+	$(GO) run ./cmd/experiments -scenario all
+endif

@@ -1,0 +1,212 @@
+package firehose
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pinnedAdaptive returns a controller config whose caps equal the baseline:
+// the controller runs but can never move the thresholds, so it must be
+// decision-transparent.
+func pinnedAdaptive(cfg Config) *AdaptiveConfig {
+	return &AdaptiveConfig{
+		BudgetPosts: 1,
+		Window:      250 * time.Millisecond,
+		MaxLambdaC:  cfg.LambdaC,
+		MaxLambdaT:  cfg.LambdaT,
+		StepLambdaC: 1,
+	}
+}
+
+func TestAdaptiveOptionValidation(t *testing.T) {
+	g := mustGraph(t, 0.7)
+	subs := [][]AuthorID{{0, 1, 2}}
+	cfg := DefaultConfig()
+	good := AdaptiveConfig{
+		BudgetPosts: 5,
+		Window:      time.Minute,
+		MaxLambdaC:  30,
+		MaxLambdaT:  2 * time.Hour,
+		StepLambdaC: 2,
+		StepLambdaT: 10 * time.Minute,
+	}
+	if _, err := NewService(g, subs, ServiceOptions{Config: cfg, Adaptive: &good}); err != nil {
+		t.Fatalf("good adaptive config rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*AdaptiveConfig)
+	}{
+		{"zero budget", func(a *AdaptiveConfig) { a.BudgetPosts = 0 }},
+		{"sub-millisecond window", func(a *AdaptiveConfig) { a.Window = time.Minute + time.Microsecond }},
+		{"sub-millisecond max λt", func(a *AdaptiveConfig) { a.MaxLambdaT = time.Hour + time.Nanosecond }},
+		{"sub-millisecond step λt", func(a *AdaptiveConfig) { a.StepLambdaT = 500 * time.Nanosecond }},
+		{"max λc below baseline", func(a *AdaptiveConfig) { a.MaxLambdaC = cfg.LambdaC - 1 }},
+		{"max λt below baseline", func(a *AdaptiveConfig) { a.MaxLambdaT = cfg.LambdaT - time.Minute }},
+		{"no steps", func(a *AdaptiveConfig) { a.StepLambdaC = 0; a.StepLambdaT = 0 }},
+	}
+	for _, tc := range cases {
+		bad := good
+		tc.mutate(&bad)
+		if _, err := NewService(g, subs, ServiceOptions{Config: cfg, Adaptive: &bad}); err == nil {
+			t.Errorf("%s: NewService accepted", tc.name)
+		}
+		if _, err := NewParallel(g, subs, ParallelServiceOptions{Config: cfg, Workers: 2, Adaptive: &bad}); err == nil {
+			t.Errorf("%s: NewParallel accepted", tc.name)
+		}
+	}
+
+	// Per-user thresholds and the controller are mutually exclusive: the
+	// controller regulates against one baseline.
+	if _, err := NewService(g, subs, ServiceOptions{
+		UserConfigs: []Config{cfg},
+		Adaptive:    &good,
+	}); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("Adaptive+UserConfigs: got %v", err)
+	}
+}
+
+// TestAdaptivePinnedParallelMatchesSequential is the public half of the
+// controller's transparency contract (the core half pins the sequential
+// wrapper post by post): with the caps pinned to the baseline, an adaptive
+// parallel service delivers exactly what the plain sequential service does,
+// across all algorithms and 1/4 workers, with zero suppressions and every
+// touched user reporting baseline effective thresholds.
+func TestAdaptivePinnedParallelMatchesSequential(t *testing.T) {
+	graph, posts, subs := generateScenario(t, 160, 53)
+	cfg := DefaultConfig()
+	for _, alg := range []Algorithm{UniBin, NeighborBin, CliqueBin} {
+		seq, err := NewService(graph, subs, ServiceOptions{Algorithm: alg, Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([][]UserID, len(posts))
+		for i, p := range posts {
+			want[i] = seq.Offer(p)
+		}
+		for _, workers := range []int{1, 4} {
+			par, err := NewParallel(graph, subs, ParallelServiceOptions{
+				Algorithm: alg, Config: cfg, Workers: workers, Adaptive: pinnedAdaptive(cfg),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			deliveries := make([]Delivery, len(posts))
+			for i, p := range posts {
+				if deliveries[i], err = par.Offer(p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			par.Close()
+			for i, d := range deliveries {
+				got := d.Users()
+				inGot := map[UserID]bool{}
+				for _, u := range got {
+					inGot[u] = true
+				}
+				if len(got) != len(want[i]) {
+					t.Fatalf("%v/%d workers post %d: %d users vs %d", alg, workers, i, len(got), len(want[i]))
+				}
+				for _, u := range want[i] {
+					if !inGot[u] {
+						t.Fatalf("%v/%d workers post %d: user %d missing", alg, workers, i, u)
+					}
+				}
+			}
+			if n := par.Suppressed(); n != 0 {
+				t.Fatalf("%v/%d workers: pinned controller suppressed %d deliveries", alg, workers, n)
+			}
+			for _, st := range par.AdaptiveStates() {
+				if st.LambdaC != cfg.LambdaC || st.LambdaT != cfg.LambdaT {
+					t.Fatalf("%v/%d workers: user %d left baseline: λc=%d λt=%v", alg, workers, st.User, st.LambdaC, st.LambdaT)
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptiveServiceConvergesUnderFlood drives the public sequential service
+// with a flash-crowd shape — one author posting the same content just past
+// the baseline λt, so the plain solver delivers every post — and checks the
+// delivery rate converges into budget with the effective λt visibly
+// tightened.
+func TestAdaptiveServiceConvergesUnderFlood(t *testing.T) {
+	g := mustGraph(t, 0.7)
+	cfg := Config{LambdaC: 4, LambdaT: time.Second, LambdaA: 0.7}
+	adapt := &AdaptiveConfig{
+		BudgetPosts: 2,
+		Window:      time.Minute,
+		MaxLambdaC:  cfg.LambdaC,
+		MaxLambdaT:  time.Hour,
+		StepLambdaT: 30 * time.Second,
+	}
+	svc, err := NewService(g, [][]AuthorID{{0, 1, 2}}, ServiceOptions{Config: cfg, Adaptive: adapt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Unix(50_000, 0)
+	const spacing = 1500 * time.Millisecond
+	perWindow := map[time.Duration]int{}
+	var last time.Time
+	for i := 0; i < 600; i++ {
+		last = base.Add(time.Duration(i) * spacing)
+		users := svc.Offer(Post{Author: 0, Time: last, Text: "breaking: the same story again and again http://t.co/x"})
+		if len(users) > 0 {
+			perWindow[last.Sub(base)/adapt.Window]++
+		}
+	}
+	if first := perWindow[0]; first <= adapt.BudgetPosts {
+		t.Fatalf("first window delivered %d, expected an over-budget flood", first)
+	}
+	if lastW := perWindow[last.Sub(base)/adapt.Window]; lastW > adapt.BudgetPosts {
+		t.Fatalf("delivery rate did not converge into budget: last window delivered %d > %d", lastW, adapt.BudgetPosts)
+	}
+	if svc.Suppressed() == 0 {
+		t.Fatal("no deliveries suppressed during the flood")
+	}
+	states := svc.AdaptiveStates()
+	if len(states) != 1 || states[0].User != 0 {
+		t.Fatalf("unexpected states %+v", states)
+	}
+	if states[0].LambdaT <= cfg.LambdaT {
+		t.Fatalf("effective λt %v did not tighten above baseline %v", states[0].LambdaT, cfg.LambdaT)
+	}
+	if !strings.HasPrefix(svc.Algorithm(), "Adaptive(") {
+		t.Fatalf("Algorithm() = %q, want Adaptive(...) wrapper name", svc.Algorithm())
+	}
+}
+
+// TestAdaptiveCheckpointRefusal pins the descriptive refusal: adaptive
+// services do not checkpoint (controller state is a re-convergent transient),
+// and both service types say so instead of writing a partial snapshot.
+func TestAdaptiveCheckpointRefusal(t *testing.T) {
+	g := mustGraph(t, 0.7)
+	subs := [][]AuthorID{{0, 1, 2}}
+	cfg := DefaultConfig()
+	adapt := pinnedAdaptive(cfg)
+
+	svc, err := NewService(g, subs, ServiceOptions{Config: cfg, Adaptive: adapt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := svc.Snapshot(&buf); err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+		t.Fatalf("sequential Snapshot: got %v", err)
+	}
+	if err := svc.Restore(bytes.NewReader(nil)); err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+		t.Fatalf("sequential Restore: got %v", err)
+	}
+
+	par, err := NewParallel(g, subs, ParallelServiceOptions{Config: cfg, Workers: 2, Adaptive: adapt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	buf.Reset()
+	if err := par.Snapshot(&buf); err == nil || !strings.Contains(err.Error(), "does not support checkpointing") {
+		t.Fatalf("parallel Snapshot: got %v", err)
+	}
+}

@@ -4,11 +4,20 @@
 // Usage:
 //
 //	experiments [-authors N] [-seed S] [-pairs P] [-fig2 M] [-scale paper|default|small]
+//	experiments -scenario all|<name> [-smoke] [-authors N] [-seed S]
 //
 // The default scale (2,000 authors, ~21k posts) reproduces every relative
 // effect in seconds. -scale paper uses the paper's 20,150 authors and ~210k
 // posts and takes considerably longer (the offline author-similarity and
 // clique-cover precomputation dominates, as the paper notes).
+//
+// -scenario runs the adversarial workload suite instead of the paper tables:
+// each named scenario streams a hostile shape (flash crowd, celebrity
+// cascade, botnet, diurnal whiplash, graph churn) through the baseline
+// S_UniBin engine and through the adaptive per-user threshold controller,
+// printing the before/after delivery-rate table (deterministic, golden-tested
+// at smoke scale) and the decision-latency table (timing, never golden).
+// -smoke selects the reduced golden-test scale.
 package main
 
 import (
@@ -27,8 +36,32 @@ func main() {
 		pairs   = flag.Int("pairs", 100, "labeled pairs per Hamming-distance bucket (paper: 100)")
 		fig2    = flag.Int("fig2", 200_000, "random pairs sampled for Figure 2 (paper: 200k tweets)")
 		scale   = flag.String("scale", "default", "paper (20150 authors) | default (2000) | small (500)")
+
+		scenario = flag.String("scenario", "", "run the adversarial scenario suite: a scenario name or \"all\"")
+		smoke    = flag.Bool("smoke", false, "scenario runs only: use the reduced golden-test scale")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		cfg := experiments.FullScenarioConfig()
+		if *smoke {
+			cfg = experiments.SmokeScenarioConfig()
+		}
+		if *authors > 0 {
+			cfg.Authors = *authors
+		}
+		cfg.Seed = *seed
+		results, err := experiments.RunScenariosNamed(*scenario, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scenarios:", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r.Table().String())
+			fmt.Println(r.LatencyTable().String())
+		}
+		return
+	}
 
 	n := 0
 	switch *scale {

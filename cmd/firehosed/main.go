@@ -19,6 +19,15 @@
 //	POST /v1/admin/checkpoint   → write a checkpoint now (needs -checkpoint-dir)
 //	GET  /v1/admin/checkpoints  → list retained checkpoints
 //
+// With -adaptive-budget N the daemon wraps the solver in the adaptive
+// per-user threshold controller: each user's delivery rate is held near N
+// posts per -adaptive-window by tightening the user's effective λc/λt under
+// flood (capped by -adaptive-max-lambda-c/-t) and relaxing back toward the
+// baseline when demand subsides. /v1/metrics then exposes per-user
+// firehose_adaptive_* gauges. Controller state is a re-convergent transient
+// and does not checkpoint, so -adaptive-budget and -checkpoint-dir are
+// mutually exclusive.
+//
 // With -checkpoint-dir the daemon restores the newest checkpoint at boot,
 // writes one at every -checkpoint-interval tick and one at shutdown, and
 // retains the newest -checkpoint-retain files. A SIGKILLed daemon restarted
@@ -70,6 +79,13 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory; enables restore-on-boot and /v1/admin/checkpoint")
 		ckptEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 = on demand and at shutdown only)")
 		ckptKeep  = flag.Int("checkpoint-retain", 3, "checkpoints kept after each write (0 = keep all)")
+
+		adBudget = flag.Int("adaptive-budget", 0, "per-user delivery budget per window; enables the adaptive threshold controller (0 = off)")
+		adWindow = flag.Duration("adaptive-window", time.Minute, "adaptive budget accounting window (stream time)")
+		adMaxC   = flag.Int("adaptive-max-lambda-c", 28, "adaptive cap on the effective λc, in bits")
+		adMaxT   = flag.Duration("adaptive-max-lambda-t", 2*time.Hour, "adaptive cap on the effective λt")
+		adStepC  = flag.Int("adaptive-step-lambda-c", 2, "adaptive per-adjustment λc increment, in bits")
+		adStepT  = flag.Duration("adaptive-step-lambda-t", 15*time.Minute, "adaptive per-adjustment λt increment")
 	)
 	flag.Parse()
 
@@ -139,6 +155,30 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The adaptive controller's state is a deliberately non-checkpointable
+	// transient (it re-converges within a few windows), so -adaptive-budget
+	// and -checkpoint-dir are mutually exclusive — better refused at boot
+	// than at the first snapshot attempt.
+	var adPol *core.AdaptivePolicy
+	if *adBudget > 0 {
+		if *ckptDir != "" {
+			fmt.Fprintln(os.Stderr, "firehosed: -adaptive-budget and -checkpoint-dir are mutually exclusive: adaptive controller state does not checkpoint")
+			os.Exit(2)
+		}
+		adPol = &core.AdaptivePolicy{
+			BudgetPosts:  *adBudget,
+			WindowMillis: adWindow.Milliseconds(),
+			MaxLambdaC:   *adMaxC,
+			MaxLambdaT:   adMaxT.Milliseconds(),
+			StepLambdaC:  *adStepC,
+			StepLambdaT:  adStepT.Milliseconds(),
+		}
+		if err := adPol.Validate(th); err != nil {
+			fmt.Fprintf(os.Stderr, "firehosed: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
 	nw := *workers
 	if nw == 0 {
 		nw = runtime.NumCPU()
@@ -149,7 +189,7 @@ func main() {
 		solvers string
 	)
 	if nw > 1 {
-		pe, err := stream.NewParallelMultiEngine(alg, g, subs, th, nw)
+		pe, err := stream.NewParallelMultiEngineOpts(alg, g, subs, th, nw, stream.ParallelOptions{Adaptive: adPol})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -160,8 +200,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		api = httpapi.New(md)
-		engine, solvers = md.Name(), "sequential"
+		var solver core.MultiDiversifier = md
+		if adPol != nil {
+			solver, err = core.NewAdaptiveMultiUser(md, g, th, *adPol)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		api = httpapi.New(solver)
+		engine, solvers = solver.Name(), "sequential"
 	}
 	if *pprofOn {
 		api.EnablePProf()

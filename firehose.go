@@ -142,6 +142,97 @@ func (c Config) thresholds() core.Thresholds {
 	}
 }
 
+// AdaptiveConfig configures the optional per-user delivery-rate controller of
+// the multi-user services. When set, each user has a delivery budget per
+// accounting window: closing a window over budget tightens the user's
+// effective λc/λt one step (widening the coverage ball prunes more), closing
+// it under budget relaxes them one step back toward the configured baseline.
+// The controller only ever withholds deliveries the underlying solver would
+// make — the emitted timeline stays a sub-stream of the non-adaptive one —
+// and its decisions depend on post timestamps only, so replays reproduce them
+// exactly. A nil AdaptiveConfig (the default) leaves the service byte-for-byte
+// on the non-adaptive code path.
+//
+// Adaptive services do not support checkpointing: controller state is a
+// short transient that re-converges within a few windows after a restart,
+// and Snapshot refuses descriptively rather than pretending to carry it.
+type AdaptiveConfig struct {
+	// BudgetPosts is the per-user delivery budget per window. Must be ≥ 1.
+	BudgetPosts int
+	// Window is the budget accounting window in stream time. Like Config's
+	// LambdaT it must be a positive whole number of milliseconds.
+	Window time.Duration
+	// MaxLambdaC and MaxLambdaT cap how far tightening may raise the
+	// effective thresholds above the baseline Config. MaxLambdaC must be in
+	// [Config.LambdaC, 64] and MaxLambdaT ≥ Config.LambdaT (a whole number of
+	// milliseconds); setting either equal to the baseline pins that
+	// threshold.
+	MaxLambdaC int
+	MaxLambdaT time.Duration
+	// StepLambdaC and StepLambdaT are the per-window adjustment increments.
+	// Both must be non-negative, at least one positive, and StepLambdaT a
+	// whole number of milliseconds.
+	StepLambdaC int
+	StepLambdaT time.Duration
+}
+
+// policy converts to the core controller policy, validating the public
+// duration fields against the engine's millisecond resolution.
+func (a AdaptiveConfig) policy(base core.Thresholds) (core.AdaptivePolicy, error) {
+	for _, d := range []struct {
+		name string
+		v    time.Duration
+	}{{"Window", a.Window}, {"MaxLambdaT", a.MaxLambdaT}, {"StepLambdaT", a.StepLambdaT}} {
+		if d.v%time.Millisecond != 0 {
+			return core.AdaptivePolicy{}, fmt.Errorf("firehose: Adaptive.%s %v is not a whole number of milliseconds (the engine's time resolution)", d.name, d.v)
+		}
+	}
+	pol := core.AdaptivePolicy{
+		BudgetPosts:  a.BudgetPosts,
+		WindowMillis: a.Window.Milliseconds(),
+		MaxLambdaC:   a.MaxLambdaC,
+		MaxLambdaT:   a.MaxLambdaT.Milliseconds(),
+		StepLambdaC:  a.StepLambdaC,
+		StepLambdaT:  a.StepLambdaT.Milliseconds(),
+	}
+	if err := pol.Validate(base); err != nil {
+		return core.AdaptivePolicy{}, err
+	}
+	return pol, nil
+}
+
+// AdaptiveUserState is one user's controller state, reported by the services'
+// AdaptiveStates.
+type AdaptiveUserState struct {
+	// User is the user id.
+	User UserID
+	// LambdaC and LambdaT are the user's current effective thresholds; they
+	// equal the baseline Config when the user is inside budget.
+	LambdaC int
+	LambdaT time.Duration
+	// Delivered counts deliveries in the user's current accounting window;
+	// Suppressed counts deliveries the controller withheld over the run.
+	Delivered  int
+	Suppressed uint64
+}
+
+func publicAdaptiveStates(states []core.AdaptiveUserState) []AdaptiveUserState {
+	if states == nil {
+		return nil
+	}
+	out := make([]AdaptiveUserState, len(states))
+	for i, st := range states {
+		out[i] = AdaptiveUserState{
+			User:       st.User,
+			LambdaC:    st.LambdaC,
+			LambdaT:    time.Duration(st.LambdaT) * time.Millisecond,
+			Delivered:  st.Delivered,
+			Suppressed: st.Suppressed,
+		}
+	}
+	return out
+}
+
 // Stats reports the cost counters of a diversifier, mirroring the metrics
 // of the paper's evaluation.
 type Stats struct {
@@ -436,6 +527,11 @@ type ServiceOptions struct {
 	// shared graph. Setting UserConfigs selects independent per-user
 	// instances and is mutually exclusive with Config.
 	UserConfigs []Config
+	// Adaptive, when non-nil, layers the per-user delivery-rate controller
+	// over the service; see AdaptiveConfig. It regulates against the single
+	// Config baseline and is therefore mutually exclusive with UserConfigs,
+	// whose per-user thresholds already express static customization.
+	Adaptive *AdaptiveConfig
 }
 
 // NewService builds a multi-user diversification service. subscriptions[u]
@@ -448,6 +544,9 @@ func NewService(g *AuthorGraph, subscriptions [][]AuthorID, opts ServiceOptions)
 	if opts.UserConfigs != nil {
 		if opts.Config != (Config{}) {
 			return nil, fmt.Errorf("firehose: ServiceOptions.Config and UserConfigs are mutually exclusive")
+		}
+		if opts.Adaptive != nil {
+			return nil, fmt.Errorf("firehose: ServiceOptions.Adaptive and UserConfigs are mutually exclusive: the controller regulates against one baseline Config")
 		}
 		if len(subscriptions) != len(opts.UserConfigs) {
 			return nil, fmt.Errorf("firehose: %d subscription lists but %d user configs",
@@ -485,6 +584,16 @@ func NewService(g *AuthorGraph, subscriptions [][]AuthorID, opts ServiceOptions)
 	}
 	if err != nil {
 		return nil, err
+	}
+	if opts.Adaptive != nil {
+		pol, err := opts.Adaptive.policy(opts.Config.thresholds())
+		if err != nil {
+			return nil, err
+		}
+		inner, err = core.NewAdaptiveMultiUser(inner, g.g, opts.Config.thresholds(), pol)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &MultiUserService{inner: inner, meta: metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})}, nil
 }
@@ -549,8 +658,36 @@ func (m *MultiUserService) Algorithm() string { return m.inner.Name() }
 // returns 0 for the Independent (M_*) and per-user-custom variants, which
 // keep one state per user instead.
 func (m *MultiUserService) SharedComponents() int {
-	if s, ok := m.inner.(*core.SharedMultiUser); ok {
+	if s, ok := m.solver().(*core.SharedMultiUser); ok {
 		return s.NumComponents()
+	}
+	return 0
+}
+
+// solver unwraps the adaptive controller, if present, to the decision solver.
+func (m *MultiUserService) solver() core.MultiDiversifier {
+	if a, ok := m.inner.(*core.AdaptiveMultiUser); ok {
+		return a.Inner()
+	}
+	return m.inner
+}
+
+// AdaptiveStates returns every touched user's controller state, sorted by
+// user id, or nil when the service was built without ServiceOptions.Adaptive.
+// Users the stream never delivered to are absent (their effective thresholds
+// are the baseline Config).
+func (m *MultiUserService) AdaptiveStates() []AdaptiveUserState {
+	if a, ok := m.inner.(*core.AdaptiveMultiUser); ok {
+		return publicAdaptiveStates(a.UserStates())
+	}
+	return nil
+}
+
+// Suppressed returns the total number of deliveries the adaptive controller
+// withheld; 0 for a non-adaptive service.
+func (m *MultiUserService) Suppressed() uint64 {
+	if a, ok := m.inner.(*core.AdaptiveMultiUser); ok {
+		return a.Suppressed()
 	}
 	return 0
 }

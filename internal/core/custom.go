@@ -20,6 +20,7 @@ import (
 // precomputed author similarity graph, and maintaining one graph per user
 // would defeat the offline-precomputation design of Section 3.
 type CustomMultiUser struct {
+	alg           Algorithm
 	divs          []Diversifier
 	ths           []Thresholds
 	authorToUsers [][]int32
@@ -41,6 +42,7 @@ func NewCustomMultiUser(alg Algorithm, g *authorsim.Graph, subscriptions [][]int
 		return nil, err
 	}
 	c := &CustomMultiUser{
+		alg:           alg,
 		divs:          make([]Diversifier, len(subscriptions)),
 		ths:           append([]Thresholds(nil), thresholds...),
 		authorToUsers: make([][]int32, g.NumAuthors()),
@@ -92,6 +94,23 @@ func (c *CustomMultiUser) Offer(p *Post) []int32 {
 		return nil
 	}
 	return delivered
+}
+
+// SetGraph swaps the author graph consulted by every per-user instance; see
+// MultiUser.SetGraph for the AlgUniBin-only and same-size contracts.
+func (c *CustomMultiUser) SetGraph(g *authorsim.Graph) error {
+	if c.alg != AlgUniBin {
+		return fmt.Errorf("core: %s cannot refresh the author graph in place: %s bin layouts bake the old graph; rebuild the solver",
+			c.Name(), c.alg)
+	}
+	if n := g.NumAuthors(); n != len(c.authorToUsers) {
+		return fmt.Errorf("core: refreshed graph has %d authors but %s routes %d; author ids are dense indexes, so a resized graph requires a rebuilt solver",
+			n, c.Name(), len(c.authorToUsers))
+	}
+	for _, d := range c.divs {
+		d.(*UniBin).SetGraph(g)
+	}
+	return nil
 }
 
 // UserThresholds returns the thresholds user u was configured with.

@@ -169,6 +169,32 @@ func (m *MultiUser) Offer(p *Post) []int32 {
 	return delivered
 }
 
+// SetGraph swaps the author graph consulted by every per-user instance, the
+// multi-user face of the paper's periodic similarity recomputation. Only
+// AlgUniBin supports it: UniBin's single time-ordered bin is
+// graph-independent, while NeighborBin and CliqueBin bake the old graph into
+// their bin layout and need a rebuilt solver. The refreshed graph must keep
+// the author-id universe: the routing tables are dense arrays indexed by
+// author id, and a resized graph would silently drop new authors' posts (or
+// index out of bounds inside the author test), so a size change is an error,
+// not a remap. The per-user subscription routing deliberately stays as
+// built — subscriptions are user intent, not graph structure. Not safe to
+// call concurrently with Offer; serialize via the stream engine's Swap.
+func (m *MultiUser) SetGraph(g *authorsim.Graph) error {
+	if m.alg != AlgUniBin {
+		return fmt.Errorf("core: %s cannot refresh the author graph in place: %s bin layouts bake the old graph; rebuild the solver",
+			m.Name(), m.alg)
+	}
+	if n := g.NumAuthors(); n != len(m.authorToUsers) {
+		return fmt.Errorf("core: refreshed graph has %d authors but %s routes %d; author ids are dense indexes, so a resized graph requires a rebuilt solver",
+			n, m.Name(), len(m.authorToUsers))
+	}
+	for _, d := range m.divs {
+		d.(*UniBin).SetGraph(g)
+	}
+	return nil
+}
+
 // Counters implements MultiDiversifier.
 func (m *MultiUser) Counters() *metrics.Counters {
 	var total metrics.Counters
@@ -275,6 +301,28 @@ func (s *SharedMultiUser) Offer(p *Post) []int32 {
 		return nil
 	}
 	return delivered
+}
+
+// SetGraph swaps the author graph consulted by every shared component's
+// instance; see MultiUser.SetGraph for the AlgUniBin-only and same-size
+// contracts. The component partition itself deliberately stays as built:
+// components are identified by author set at construction, and the paper's
+// maintenance story recomputes them with the periodic graph rebuild, not per
+// edge flip — a refreshed graph only changes which stored posts count as
+// author-similar from the next Offer on.
+func (s *SharedMultiUser) SetGraph(g *authorsim.Graph) error {
+	if s.alg != AlgUniBin {
+		return fmt.Errorf("core: %s cannot refresh the author graph in place: %s bin layouts bake the old graph; rebuild the solver",
+			s.Name(), s.alg)
+	}
+	if n := g.NumAuthors(); n != len(s.authorToComps) {
+		return fmt.Errorf("core: refreshed graph has %d authors but %s routes %d; author ids are dense indexes, so a resized graph requires a rebuilt solver",
+			n, s.Name(), len(s.authorToComps))
+	}
+	for _, comp := range s.comps {
+		comp.div.(*UniBin).SetGraph(g)
+	}
+	return nil
 }
 
 // Counters implements MultiDiversifier.

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestScenarioGoldens runs every registered scenario at smoke scale and pins
+// the deterministic delivery table against a per-scenario golden file. The
+// latency table is timing and is exercised for render only.
+func TestScenarioGoldens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs take a few seconds")
+	}
+	cfg := SmokeScenarioConfig()
+	for _, spec := range Scenarios() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := RunScenario(spec, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Table().String()
+			if s := res.LatencyTable().String(); s == "" {
+				t.Fatal("empty latency table")
+			}
+
+			path := filepath.Join("testdata", "scenario_"+spec.Name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run `go test ./internal/experiments -run TestScenarioGoldens -update` to create it): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("scenario report drifted from golden; rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestScenarioAdaptiveRegulates checks the semantic claim behind the
+// before/after tables on the flood-shaped scenarios: the controller only
+// suppresses (deliveries never exceed the baseline pass), it suppresses
+// something, and the worst per-user window rate improves.
+func TestScenarioAdaptiveRegulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs take a few seconds")
+	}
+	for _, name := range []string{"flash-crowd", "botnet"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := ScenarioByName(name)
+			if !ok {
+				t.Fatalf("scenario %s not registered", name)
+			}
+			res, err := RunScenario(spec, SmokeScenarioConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, a := res.Baseline, res.Adaptive
+			if a.Deliveries+a.Suppressed != b.Deliveries {
+				t.Errorf("sub-stream violated: adaptive %d delivered + %d suppressed != baseline %d",
+					a.Deliveries, a.Suppressed, b.Deliveries)
+			}
+			if a.Suppressed == 0 {
+				t.Error("controller suppressed nothing under a flood shape")
+			}
+			if a.PeakUserWindow >= b.PeakUserWindow {
+				t.Errorf("peak user-window did not improve: adaptive %d >= baseline %d",
+					a.PeakUserWindow, b.PeakUserWindow)
+			}
+			if a.OverBudgetWindows >= b.OverBudgetWindows {
+				t.Errorf("over-budget windows did not improve: adaptive %d >= baseline %d",
+					a.OverBudgetWindows, b.OverBudgetWindows)
+			}
+		})
+	}
+}
+
+// TestScenarioChurnApplied checks the graph-churn scenario actually folds
+// rewires into the live graph mid-stream, and that RunScenariosNamed resolves
+// names and rejects unknowns.
+func TestScenarioChurnApplied(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario runs take a few seconds")
+	}
+	results, err := RunScenariosNamed("graph-churn", SmokeScenarioConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].ChurnApplied == 0 {
+		t.Fatal("graph-churn scenario applied no rewires")
+	}
+	if len(results[0].Workload.Events) < 2 {
+		t.Fatal("graph-churn scenario should also carry a posting event to stress stale edges")
+	}
+	if _, err := RunScenariosNamed("no-such-scenario", SmokeScenarioConfig()); err == nil {
+		t.Fatal("unknown scenario name accepted")
+	}
+}

@@ -1,0 +1,123 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/stream"
+)
+
+// TestAdaptiveMetricsAbsentWithoutController pins the conditional
+// registration: a plain engine exposes no firehose_adaptive_* families.
+func TestAdaptiveMetricsAbsentWithoutController(t *testing.T) {
+	ts := newTestServer(t)
+	body, _ := scrape(t, ts)
+	if strings.Contains(body, "firehose_adaptive_") {
+		t.Fatalf("non-adaptive server exposes adaptive families:\n%s", body)
+	}
+}
+
+// TestAdaptiveMetricsSequential floods an adaptive-wrapped sequential engine
+// until the controller tightens and suppresses, then checks the per-user
+// gauges tell that story on /metrics.
+func TestAdaptiveMetricsSequential(t *testing.T) {
+	// Author 0 similar to 1; user 0 follows both. Baseline λt of 1s with
+	// posts every 1.5s means the bare solver delivers every repeat.
+	g := authorsim.NewGraph(3, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 4, LambdaT: 1000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, g, [][]int32{{0, 1}, {2}}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amd, err := core.NewAdaptiveMultiUser(md, g, th, core.AdaptivePolicy{
+		BudgetPosts:  1,
+		WindowMillis: 10_000,
+		MaxLambdaC:   th.LambdaC,
+		MaxLambdaT:   3_600_000,
+		StepLambdaT:  30_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(amd))
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 40; i++ {
+		resp, _ := ingest(t, ts, IngestRequest{
+			Author: 0, Text: "breaking: the same story again http://t.co/x",
+			TimeMillis: int64(1000 + 1500*i),
+		})
+		if resp.StatusCode != 200 {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	body, _ := scrape(t, ts)
+	checkExpositionFormat(t, body)
+	suppressed := metricValue(t, body, "firehose_adaptive_suppressed_total")
+	if suppressed <= 0 {
+		t.Fatalf("suppressed_total = %v, want > 0 under a flood", suppressed)
+	}
+	if v := metricValue(t, body, `firehose_adaptive_user_suppressed_total{user="0"}`); v != suppressed {
+		t.Fatalf("user 0 suppressed %v != total %v (only user 0 is flooded)", v, suppressed)
+	}
+	if v := metricValue(t, body, `firehose_adaptive_lambda_t_seconds{user="0"}`); v <= 1 {
+		t.Fatalf("effective λt %vs did not tighten above the 1s baseline", v)
+	}
+	if v := metricValue(t, body, `firehose_adaptive_lambda_c_bits{user="0"}`); v != float64(th.LambdaC) {
+		t.Fatalf("λc = %v, want pinned baseline %d", v, th.LambdaC)
+	}
+	// The gauge exists for the window accounting; its value is whatever the
+	// current (possibly fresh) window holds.
+	_ = metricValue(t, body, `firehose_adaptive_window_delivered{user="0"}`)
+}
+
+// TestAdaptiveMetricsParallel checks the parallel engine surfaces the same
+// families through the shard-merged states.
+func TestAdaptiveMetricsParallel(t *testing.T) {
+	g := authorsim.NewGraph(4, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	pe, err := stream.NewParallelMultiEngineOpts(core.AlgUniBin, g, [][]int32{{0, 1}, {2}, {3}}, th, 2,
+		stream.ParallelOptions{Adaptive: &core.AdaptivePolicy{
+			BudgetPosts:  5,
+			WindowMillis: 60_000,
+			MaxLambdaC:   28,
+			MaxLambdaT:   2 * 3_600_000,
+			StepLambdaC:  2,
+			StepLambdaT:  900_000,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewParallel(pe))
+	t.Cleanup(ts.Close)
+
+	texts := []string{
+		"ferry sinks off the southern coast, 300 missing http://t.co/a",
+		"alibaba files for a landmark american market listing http://t.co/b",
+		"curiosity rover spots methane spike in gale crater http://t.co/c",
+		"el clasico ends 3-1 after a stoppage time penalty http://t.co/d",
+	}
+	for i, text := range texts {
+		resp, _ := ingest(t, ts, IngestRequest{
+			Author: int32(i), Text: text, TimeMillis: int64(1000 * (i + 1)),
+		})
+		if resp.StatusCode != 200 {
+			t.Fatalf("ingest %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	body, _ := scrape(t, ts)
+	checkExpositionFormat(t, body)
+	if v := metricValue(t, body, "firehose_adaptive_suppressed_total"); v != 0 {
+		t.Fatalf("suppressed %v distinct posts", v)
+	}
+	for _, u := range []string{"0", "1", "2"} {
+		if v := metricValue(t, body, `firehose_adaptive_lambda_c_bits{user="`+u+`"}`); v != 18 {
+			t.Fatalf("user %s λc = %v, want baseline 18", u, v)
+		}
+	}
+}

@@ -40,11 +40,22 @@ type workerSource interface {
 	WorkerSnapshots() []stream.WorkerSnapshot
 }
 
+// adaptiveSource is the optional adaptive-controller instrumentation surface.
+// Both engines implement the methods; an engine whose solver is not
+// adaptive-wrapped returns nil states, and /metrics registers the adaptive
+// families only for a non-nil answer at construction (the controller is a
+// construction-time property, not something that appears mid-run).
+type adaptiveSource interface {
+	AdaptiveStates() []core.AdaptiveUserState
+	Suppressed() uint64
+}
+
 // Server is an http.Handler serving one multi-user diversification engine.
 type Server struct {
 	mux      *http.ServeMux
 	engine   engine
-	workers  workerSource // nil for sequential engines
+	workers  workerSource   // nil for sequential engines
+	adaptive adaptiveSource // nil unless the solver is adaptive-wrapped
 	broker   *broker
 	registry *metrics.Registry
 	ckpt     *checkpoint.Manager // nil until EnableCheckpoints
@@ -77,6 +88,9 @@ func newServer(e engine) *Server {
 	}
 	if ws, ok := e.(workerSource); ok {
 		s.workers = ws
+	}
+	if as, ok := e.(adaptiveSource); ok && as.AdaptiveStates() != nil {
+		s.adaptive = as
 	}
 	s.registry = s.buildRegistry()
 	// Every endpoint is served under the versioned /v1 prefix — the canonical

@@ -92,6 +92,14 @@ func (a *parallelTimelines) WorkerSnapshots() []stream.WorkerSnapshot {
 	return a.pe.WorkerSnapshots()
 }
 
+// AdaptiveStates merges the per-shard controller states (nil when the shards
+// are not adaptive-wrapped); Suppressed sums the shards' withheld counts.
+func (a *parallelTimelines) AdaptiveStates() []core.AdaptiveUserState {
+	return a.pe.AdaptiveStates()
+}
+
+func (a *parallelTimelines) Suppressed() uint64 { return a.pe.Suppressed() }
+
 // SnapshotState delegates to the parallel engine (which quiesces). The
 // timelines map is derived view state and is not serialized — same policy as
 // stream.MultiEngine.
@@ -221,6 +229,57 @@ func (s *Server) buildRegistry() *metrics.Registry {
 				out := make([]metrics.Sample, len(snaps))
 				for i, ws := range snaps {
 					out[i] = metrics.Sample{Labels: workerLabel(ws.Worker), Hist: ws.Counters.Decisions}
+				}
+				return out
+			})
+	}
+
+	if s.adaptive != nil {
+		userLabel := func(u int32) []metrics.Label {
+			return []metrics.Label{{Name: "user", Value: strconv.Itoa(int(u))}}
+		}
+		r.MustRegister("firehose_adaptive_suppressed_total",
+			"Deliveries withheld by the adaptive per-user threshold controller.",
+			metrics.KindCounter, func() []metrics.Sample {
+				return []metrics.Sample{{Value: float64(s.adaptive.Suppressed())}}
+			})
+		r.MustRegister("firehose_adaptive_lambda_c_bits",
+			"Effective content threshold λc per user (baseline when unregulated).",
+			metrics.KindGauge, func() []metrics.Sample {
+				states := s.adaptive.AdaptiveStates()
+				out := make([]metrics.Sample, len(states))
+				for i, st := range states {
+					out[i] = metrics.Sample{Labels: userLabel(st.User), Value: float64(st.LambdaC)}
+				}
+				return out
+			})
+		r.MustRegister("firehose_adaptive_lambda_t_seconds",
+			"Effective time threshold λt per user.",
+			metrics.KindGauge, func() []metrics.Sample {
+				states := s.adaptive.AdaptiveStates()
+				out := make([]metrics.Sample, len(states))
+				for i, st := range states {
+					out[i] = metrics.Sample{Labels: userLabel(st.User), Value: float64(st.LambdaT) / 1000}
+				}
+				return out
+			})
+		r.MustRegister("firehose_adaptive_window_delivered",
+			"Deliveries inside each user's current budget window.",
+			metrics.KindGauge, func() []metrics.Sample {
+				states := s.adaptive.AdaptiveStates()
+				out := make([]metrics.Sample, len(states))
+				for i, st := range states {
+					out[i] = metrics.Sample{Labels: userLabel(st.User), Value: float64(st.Delivered)}
+				}
+				return out
+			})
+		r.MustRegister("firehose_adaptive_user_suppressed_total",
+			"Deliveries withheld by the controller, per user.",
+			metrics.KindCounter, func() []metrics.Sample {
+				states := s.adaptive.AdaptiveStates()
+				out := make([]metrics.Sample, len(states))
+				for i, st := range states {
+					out[i] = metrics.Sample{Labels: userLabel(st.User), Value: float64(st.Suppressed)}
 				}
 				return out
 			})

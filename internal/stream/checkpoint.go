@@ -87,6 +87,24 @@ func (m *MultiEngine) RestoreState(dec *checkpoint.Decoder) error {
 // caller reads or writes worker state — taking each worker's mu is still
 // required for fields snapshotted concurrently by Counters/WorkerSnapshots —
 // and then calls release, which drops e.mu and lets producers continue.
+// shardSnapshotters asserts every worker's solver supports checkpointing,
+// refusing descriptively otherwise (adaptive-wrapped shards deliberately do
+// not — see core.AdaptiveMultiUser).
+func (e *ParallelMultiEngine) shardSnapshotters() ([]core.StateSnapshotter, error) {
+	out := make([]core.StateSnapshotter, len(e.workers))
+	for i, w := range e.workers {
+		w.mu.Lock()
+		s, ok := w.md.(core.StateSnapshotter)
+		name := w.md.Name()
+		w.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("stream: solver %s does not support checkpointing", name)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
 func (e *ParallelMultiEngine) quiesce() (release func(), err error) {
 	e.mu.Lock()
 	if e.state != stateOpen {
@@ -111,6 +129,10 @@ func (e *ParallelMultiEngine) quiesce() (release func(), err error) {
 // resolved at the cut, so the snapshot is exactly "everything offered so
 // far".
 func (e *ParallelMultiEngine) SnapshotState(enc *checkpoint.Encoder) error {
+	snaps, err := e.shardSnapshotters()
+	if err != nil {
+		return err
+	}
 	release, err := e.quiesce()
 	if err != nil {
 		return err
@@ -120,11 +142,11 @@ func (e *ParallelMultiEngine) SnapshotState(enc *checkpoint.Encoder) error {
 	enc.Uvarint(uint64(len(e.workers)))
 	//lint:ignore guardcheck quiesce() returns with e.mu held; release() is the deferred unlock
 	enc.Uvarint(e.seq)
-	for _, w := range e.workers {
+	for wi, w := range e.workers {
 		w.mu.Lock()
 		enc.Uvarint(w.lastSeq)
 		core.EncodeHistogram(enc, &w.queueWait)
-		err := w.md.SnapshotState(enc)
+		err := snaps[wi].SnapshotState(enc)
 		w.mu.Unlock()
 		if err != nil {
 			return err
@@ -138,6 +160,10 @@ func (e *ParallelMultiEngine) SnapshotState(enc *checkpoint.Encoder) error {
 // subscriptions, worker count) — the shard count is validated here, shard
 // contents by the solvers underneath. On error the engine must be discarded.
 func (e *ParallelMultiEngine) RestoreState(dec *checkpoint.Decoder) error {
+	snaps, err := e.shardSnapshotters()
+	if err != nil {
+		return err
+	}
 	release, err := e.quiesce()
 	if err != nil {
 		return err
@@ -161,7 +187,7 @@ func (e *ParallelMultiEngine) RestoreState(dec *checkpoint.Decoder) error {
 			return err
 		}
 		w.mu.Lock()
-		err := w.md.RestoreState(dec)
+		err := snaps[wi].RestoreState(dec)
 		if err == nil {
 			w.queueWait = wait
 		}

@@ -249,6 +249,43 @@ func (m *MultiEngine) Timeline(u int32) []*core.Post {
 	return out
 }
 
+// Swap atomically replaces or mutates the solver between decisions — the
+// multi-user counterpart of Engine.Swap, and the safe point for graph churn:
+// call the solver's SetGraph inside f after a followee change has been
+// folded into a refreshed author graph (authorsim.MutableVectors +
+// Graph.WithUpdatedAuthor). Returning the same instance keeps all window
+// state and timelines; returning a fresh instance keeps the timelines (they
+// are delivered history, not solver state) but resets the decision windows,
+// which can transiently re-admit duplicates for up to λt.
+func (m *MultiEngine) Swap(f func(core.MultiDiversifier) core.MultiDiversifier) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.md = f(m.md)
+}
+
+// AdaptiveStates returns the per-user controller states when the solver is
+// adaptive-wrapped (core.AdaptiveMultiUser), nil otherwise — the nil/empty
+// distinction is how callers (the HTTP metrics surface) detect adaptivity.
+func (m *MultiEngine) AdaptiveStates() []core.AdaptiveUserState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a, ok := m.md.(*core.AdaptiveMultiUser); ok {
+		return a.UserStates()
+	}
+	return nil
+}
+
+// Suppressed returns the adaptive controller's total withheld-delivery count,
+// 0 when the solver is not adaptive-wrapped.
+func (m *MultiEngine) Suppressed() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if a, ok := m.md.(*core.AdaptiveMultiUser); ok {
+		return a.Suppressed()
+	}
+	return 0
+}
+
 // Close stops the engine.
 func (m *MultiEngine) Close() {
 	m.mu.Lock()

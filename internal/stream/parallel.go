@@ -33,6 +33,15 @@ type ParallelOptions struct {
 	// backpressure to producers: a full shard slows ingestion down to the
 	// rate the slowest worker sustains.
 	FailFast bool
+	// Adaptive, when non-nil, wraps every shard's solver in the per-user
+	// delivery-rate controller (core.AdaptiveMultiUser). Budgets are
+	// accounted per shard: a user whose subscriptions span k shards can
+	// receive up to k× the configured budget per window, because each
+	// shard's controller sees only the deliveries it decides. That bound is
+	// exact for users inside one component (every component lives on one
+	// worker) and conservative otherwise. Adaptive engines do not support
+	// checkpointing.
+	Adaptive *core.AdaptivePolicy
 }
 
 // DefaultQueueDepth is the per-worker queue bound used when
@@ -99,9 +108,13 @@ type parallelWorker struct {
 	// Counters/WorkerSnapshots hold it while merging, so snapshots never
 	// race decisions. ch is written by the ingest boundary and closed by
 	// Close; lastSeq and offs are owned by the worker goroutine alone.
-	mu      sync.Mutex
-	md      *core.SharedMultiUser
-	ch      chan parallelJob
+	mu sync.Mutex
+	// md is the shard solver: a SharedMultiUser over the shard's components,
+	// optionally wrapped by the adaptive controller. Interface-typed so the
+	// wrapping is invisible to the decision loop; checkpointing asserts
+	// core.StateSnapshotter and refuses solvers that lack it.
+	md core.MultiDiversifier
+	ch chan parallelJob
 	lastSeq uint64
 	// offs is the worker's reusable batch-offset scratch: offs[i] is the
 	// arena position where batch post i's deliveries start. Only subslices
@@ -268,9 +281,16 @@ func NewParallelMultiEngineOpts(alg core.Algorithm, g *authorsim.Graph, subscrip
 				}
 			}
 		}
+		var md core.MultiDiversifier
 		md, err := core.NewSharedMultiUser(alg, g, shardSubs, th)
 		if err != nil {
 			return nil, err
+		}
+		if opts.Adaptive != nil {
+			md, err = core.NewAdaptiveMultiUser(md, g, th, *opts.Adaptive)
+			if err != nil {
+				return nil, err
+			}
 		}
 		e.workers[w] = &parallelWorker{md: md, ch: make(chan parallelJob, depth)}
 	}
@@ -516,6 +536,66 @@ func (e *ParallelMultiEngine) Name() string {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return w.md.Name()
+}
+
+// AdaptiveStates merges the per-shard adaptive controller states into one
+// per-user view, sorted by user id; it returns nil when the engine was built
+// without ParallelOptions.Adaptive. Budgets are accounted per shard, so for a
+// user spanning several shards the merged entry reports the tightest
+// effective thresholds across shards, the summed delivered/suppressed counts,
+// and the earliest current window start. Each shard is snapshotted under its
+// decision lock, one shard at a time — call after Close for exact totals.
+func (e *ParallelMultiEngine) AdaptiveStates() []core.AdaptiveUserState {
+	merged := make(map[int32]core.AdaptiveUserState)
+	for _, w := range e.workers {
+		w.mu.Lock()
+		a, ok := w.md.(*core.AdaptiveMultiUser)
+		var states []core.AdaptiveUserState
+		if ok {
+			states = a.UserStates()
+		}
+		w.mu.Unlock()
+		if !ok {
+			return nil
+		}
+		for _, st := range states {
+			m, seen := merged[st.User]
+			if !seen {
+				merged[st.User] = st
+				continue
+			}
+			m.LambdaC = max(m.LambdaC, st.LambdaC)
+			m.LambdaT = max(m.LambdaT, st.LambdaT)
+			m.WindowStart = min(m.WindowStart, st.WindowStart)
+			m.Delivered += st.Delivered
+			m.Suppressed += st.Suppressed
+			merged[st.User] = m
+		}
+	}
+	out := make([]core.AdaptiveUserState, 0, len(merged))
+	for _, st := range merged {
+		out = append(out, st)
+	}
+	slices.SortFunc(out, func(x, y core.AdaptiveUserState) int { return int(x.User - y.User) })
+	return out
+}
+
+// Suppressed returns the total number of deliveries withheld by the adaptive
+// controllers across all shards; 0 for a non-adaptive engine.
+func (e *ParallelMultiEngine) Suppressed() uint64 {
+	var n uint64
+	for _, w := range e.workers {
+		w.mu.Lock()
+		a, ok := w.md.(*core.AdaptiveMultiUser)
+		if ok {
+			n += a.Suppressed()
+		}
+		w.mu.Unlock()
+		if !ok {
+			return 0
+		}
+	}
+	return n
 }
 
 // NumWorkers returns the shard count.

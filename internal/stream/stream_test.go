@@ -265,6 +265,45 @@ func TestMultiEngine(t *testing.T) {
 	}
 }
 
+func TestMultiEngineSwapRefreshedGraph(t *testing.T) {
+	// Graph churn against a live multi-user engine: a follow change folds
+	// into a refreshed graph (the paper's incremental maintenance), Swap is
+	// the safe point, and the pre-swap window state stays in force. Chain
+	// 0–1–2–3 keeps all four authors in one shared component so the new
+	// 0–3 edge is visible to the S_* solver's construction-time partition.
+	g := authorsim.NewGraph(4, []authorsim.SimPair{{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: 3}}, 0.7)
+	th := core.Thresholds{LambdaC: 3, LambdaT: 60_000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, g, [][]int32{{0, 1, 2, 3}}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me := NewMultiEngine(md)
+	if users, _ := me.Offer(&core.Post{ID: 1, Author: 0, Time: 1000, FP: 0}); len(users) != 1 {
+		t.Fatalf("first post delivered to %v", users)
+	}
+	g2, err := g.WithUpdatedAuthor(0, []int32{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	me.Swap(func(d core.MultiDiversifier) core.MultiDiversifier {
+		if err := d.(*core.SharedMultiUser).SetGraph(g2); err != nil {
+			t.Errorf("SetGraph: %v", err)
+		}
+		return d
+	})
+	// Author 3's identical post is now covered by author 0's pre-swap post.
+	if users, _ := me.Offer(&core.Post{ID: 2, Author: 3, Time: 2000, FP: 0}); len(users) != 0 {
+		t.Fatalf("refreshed adjacency not consulted, delivered to %v", users)
+	}
+	// Author 2 remains non-adjacent to 0: still delivered, timeline intact.
+	if users, _ := me.Offer(&core.Post{ID: 3, Author: 2, Time: 3000, FP: 0}); len(users) != 1 {
+		t.Fatalf("unrelated author suppressed after swap: %v", users)
+	}
+	if tl := me.Timeline(0); len(tl) != 2 || tl[0].ID != 1 || tl[1].ID != 3 {
+		t.Fatalf("timeline after churn = %v", tl)
+	}
+}
+
 func TestMultiEngineConcurrent(t *testing.T) {
 	g := testGraph()
 	th := core.Thresholds{LambdaC: 3, LambdaT: 5, LambdaA: 0.7}

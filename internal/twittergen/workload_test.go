@@ -1,0 +1,346 @@
+package twittergen
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"firehose/internal/simhash"
+)
+
+// workloadFixture builds the graph substrate plus a vocab factory: Vocab
+// draws from its own captured RNG, so deterministic generation runs need a
+// fresh, identically-seeded Vocab per call.
+func workloadFixture(t testing.TB, seed int64, nAuthors int) (*SocialGraph, func() *Vocab) {
+	t.Helper()
+	sg, err := GenerateGraph(rand.New(rand.NewSource(seed)), DefaultGraphConfig(nAuthors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg, func() *Vocab { return NewVocab(rand.New(rand.NewSource(seed+1)), 3000) }
+}
+
+// noSim is a SimilarityOracle with no similar pairs; workload tests that do
+// not exercise background duplicate injection can avoid building the graph.
+type noSim struct{}
+
+func (noSim) Similar(a, b int32) bool { return a == b }
+
+func sampleWorkload() *Workload {
+	return &Workload{
+		Name:           "sample",
+		Seed:           42,
+		DurationMillis: 60 * 60 * 1000,
+		Background:     &BackgroundSpec{PostsPerAuthorPerDay: 24, DupProbability: 0.1},
+		Events: []Event{
+			{Kind: FlashCrowd, AtMillis: 5 * 60_000, DurationMillis: 10 * 60_000, PostsPerMinute: 120, Authors: 40, Edits: 2},
+			{Kind: Botnet, AtMillis: 20 * 60_000, DurationMillis: 5 * 60_000, PostsPerMinute: 200, Authors: 25},
+			{Kind: CelebrityCascade, AtMillis: 30 * 60_000, DurationMillis: 10 * 60_000, PostsPerMinute: 90, Authors: 50, Author: -1, Edits: 2},
+			{Kind: DiurnalWhiplash, AtMillis: 0, DurationMillis: 60 * 60_000, PostsPerMinute: 60, Amplitude: 1, PeriodMillis: 10 * 60_000},
+			{Kind: GraphChurn, AtMillis: 10 * 60_000, DurationMillis: 40 * 60_000, RewiresPerMinute: 2},
+		},
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	base := sampleWorkload()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("sample workload invalid: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Workload)
+	}{
+		{"no name", func(w *Workload) { w.Name = "" }},
+		{"zero duration", func(w *Workload) { w.DurationMillis = 0 }},
+		{"negative start", func(w *Workload) { w.StartMillis = -1 }},
+		{"empty", func(w *Workload) { w.Background = nil; w.Events = nil }},
+		{"background rate", func(w *Workload) { w.Background.PostsPerAuthorPerDay = 0 }},
+		{"background dup", func(w *Workload) { w.Background.DupProbability = 1.5 }},
+		{"unknown kind", func(w *Workload) { w.Events[0].Kind = "ddos" }},
+		{"event past end", func(w *Workload) { w.Events[0].AtMillis = w.DurationMillis }},
+		{"zero rate", func(w *Workload) { w.Events[0].PostsPerMinute = 0 }},
+		{"zero authors", func(w *Workload) { w.Events[0].Authors = 0 }},
+		{"flash-crowd with amplitude", func(w *Workload) { w.Events[0].Amplitude = 0.5 }},
+		{"flash-crowd with head", func(w *Workload) { w.Events[0].Author = 3 }},
+		{"botnet with edits", func(w *Workload) { w.Events[1].Edits = 2 }},
+		{"cascade bad head", func(w *Workload) { w.Events[2].Author = -2 }},
+		{"whiplash amplitude", func(w *Workload) { w.Events[3].Amplitude = 1.5 }},
+		{"whiplash no period", func(w *Workload) { w.Events[3].PeriodMillis = 0 }},
+		{"churn with posts", func(w *Workload) { w.Events[4].PostsPerMinute = 10 }},
+		{"churn zero rate", func(w *Workload) { w.Events[4].RewiresPerMinute = 0 }},
+	}
+	for _, tc := range cases {
+		w := sampleWorkload()
+		tc.mutate(w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestParseWorkloadRoundTrip(t *testing.T) {
+	w := sampleWorkload()
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, w) {
+		t.Fatalf("round trip changed the spec:\n%#v\n%#v", got, w)
+	}
+	if _, err := ParseWorkload([]byte(`{"name":"x","duration_millis":1,"events":[],"bogus":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := ParseWorkload(append(data, []byte(" {}")...)); err == nil {
+		t.Fatal("trailing data accepted")
+	}
+}
+
+func TestGenerateWorkloadDeterministic(t *testing.T) {
+	sg, vocab := workloadFixture(t, 11, 200)
+	w := sampleWorkload()
+	a, err := GenerateWorkload(sg, noSim{}, vocab(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(sg, noSim{}, vocab(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Posts) != len(b.Posts) || len(a.Churn) != len(b.Churn) {
+		t.Fatalf("non-deterministic sizes: %d/%d posts, %d/%d churn",
+			len(a.Posts), len(b.Posts), len(a.Churn), len(b.Churn))
+	}
+	for i := range a.Posts {
+		pa, pb := a.Posts[i], b.Posts[i]
+		if pa.Author != pb.Author || pa.Time != pb.Time || pa.Text != pb.Text || pa.FP != pb.FP {
+			t.Fatalf("post %d differs between identical runs", i)
+		}
+	}
+	if !reflect.DeepEqual(a.Churn, b.Churn) {
+		t.Fatal("churn schedule differs between identical runs")
+	}
+}
+
+func TestGenerateWorkloadShapes(t *testing.T) {
+	sg, vocab := workloadFixture(t, 12, 200)
+	w := sampleWorkload()
+	ws, err := GenerateWorkload(sg, noSim{}, vocab(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream is time-ordered with 1-based sequential ids.
+	for i, p := range ws.Posts {
+		if p.ID != uint64(i+1) {
+			t.Fatalf("post %d has id %d", i, p.ID)
+		}
+		if i > 0 && p.Time < ws.Posts[i-1].Time {
+			t.Fatalf("post %d out of order", i)
+		}
+	}
+
+	counts := ws.EventCounts()
+	// Background plus every post-bearing event contributed.
+	if counts[-1] == 0 {
+		t.Fatal("no background posts")
+	}
+	for ei, ev := range w.Events {
+		if ev.Kind == GraphChurn {
+			if counts[ei] != 0 {
+				t.Fatalf("graph-churn event %d emitted %d posts", ei, counts[ei])
+			}
+			continue
+		}
+		want := int(ev.PostsPerMinute * float64(ev.DurationMillis) / 60_000)
+		if got := counts[ei]; got != want {
+			t.Fatalf("event %d (%s): %d posts, want %d", ei, ev.Kind, got, want)
+		}
+	}
+
+	var botnetFP *simhash.Fingerprint
+	botnetAuthors := map[int32]bool{}
+	var flashSeedFP simhash.Fingerprint
+	flashNear, flashTotal := 0, 0
+	var cascadeHeadSeen bool
+	for i, p := range ws.Posts {
+		ei := ws.EventOf[i]
+		if ei < 0 {
+			continue
+		}
+		ev := w.Events[ei]
+		if p.Time < w.StartMillis+ev.AtMillis || p.Time >= w.StartMillis+ev.AtMillis+ev.DurationMillis {
+			t.Fatalf("post %d outside its event window", i)
+		}
+		switch ev.Kind {
+		case Botnet:
+			if botnetFP == nil {
+				fp := p.FP
+				botnetFP = &fp
+			} else if p.FP != *botnetFP {
+				t.Fatal("botnet fingerprints differ")
+			}
+			botnetAuthors[p.Author] = true
+		case FlashCrowd:
+			if flashTotal == 0 {
+				flashSeedFP = p.FP
+			}
+			flashTotal++
+			if simhash.Distance(p.FP, flashSeedFP) <= 18 {
+				flashNear++
+			}
+		case CelebrityCascade:
+			if p.Time == w.StartMillis+ev.AtMillis && !cascadeHeadSeen {
+				cascadeHeadSeen = true
+				if p.Author != 0 {
+					t.Fatalf("cascade head is author %d, want the Zipf head 0", p.Author)
+				}
+			}
+		}
+	}
+	if len(botnetAuthors) < 2 {
+		t.Fatalf("botnet used %d distinct authors", len(botnetAuthors))
+	}
+	// Flash-crowd posts are perturbations of one seed: the bulk must sit
+	// within the default λc of the first one.
+	if flashNear*10 < flashTotal*8 {
+		t.Fatalf("only %d/%d flash-crowd posts within λc=18 of the seed", flashNear, flashTotal)
+	}
+	if !cascadeHeadSeen {
+		t.Fatal("cascade head post not found at event onset")
+	}
+
+	// Churn schedule: in-window, in-range authors, valid non-empty followee
+	// lists over the account universe, time-ordered.
+	churnEv := w.Events[4]
+	if len(ws.Churn) == 0 {
+		t.Fatal("no churn events")
+	}
+	for i, c := range ws.Churn {
+		if i > 0 && c.AtMillis < ws.Churn[i-1].AtMillis {
+			t.Fatal("churn out of order")
+		}
+		if c.AtMillis < w.StartMillis+churnEv.AtMillis || c.AtMillis >= w.StartMillis+churnEv.AtMillis+churnEv.DurationMillis {
+			t.Fatal("churn outside its window")
+		}
+		if c.Author < 0 || int(c.Author) >= len(sg.Followees) {
+			t.Fatalf("churn author %d out of range", c.Author)
+		}
+		if len(c.Followees) == 0 {
+			t.Fatal("churn produced an empty followee list")
+		}
+		for _, f := range c.Followees {
+			if f < 0 || int(f) >= sg.NumAccounts {
+				t.Fatalf("churn followee %d outside account universe [0,%d)", f, sg.NumAccounts)
+			}
+		}
+	}
+}
+
+// TestGenerateWorkloadBackgroundStable pins the composition property: adding
+// events must not perturb the background layer's shape (the background
+// consumes its RNG draw first).
+func TestGenerateWorkloadBackgroundStable(t *testing.T) {
+	sg, vocab := workloadFixture(t, 13, 150)
+	quiet := &Workload{
+		Name: "quiet", Seed: 7, DurationMillis: 30 * 60_000,
+		Background: &BackgroundSpec{PostsPerAuthorPerDay: 48, DupProbability: 0},
+	}
+	noisy := *quiet
+	noisy.Name = "noisy"
+	noisy.Events = []Event{{Kind: Botnet, AtMillis: 0, DurationMillis: 30 * 60_000, PostsPerMinute: 50, Authors: 10}}
+
+	a, err := GenerateWorkload(sg, noSim{}, vocab(), quiet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(sg, noSim{}, vocab(), &noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bgTexts []string
+	for i, p := range b.Posts {
+		if b.EventOf[i] == -1 {
+			bgTexts = append(bgTexts, p.Text)
+		}
+	}
+	if len(bgTexts) != len(a.Posts) {
+		t.Fatalf("background size changed: %d vs %d", len(bgTexts), len(a.Posts))
+	}
+	for i, p := range a.Posts {
+		if bgTexts[i] != p.Text {
+			t.Fatalf("background post %d text changed when events were added", i)
+		}
+	}
+}
+
+// FuzzParseWorkload exercises the DSL parser/validator: any accepted spec
+// must validate, survive a marshal/parse round trip unchanged, and generate
+// deterministically without panicking on a tiny graph.
+func FuzzParseWorkload(f *testing.F) {
+	seed, _ := json.Marshal(sampleWorkload())
+	f.Add(string(seed))
+	f.Add(`{"name":"x","duration_millis":1000,"background":{"posts_per_author_per_day":5,"dup_probability":0.5}}`)
+	f.Add(`{"name":"y","seed":3,"duration_millis":60000,"events":[{"kind":"botnet","at_millis":0,"duration_millis":1000,"posts_per_minute":10,"authors":2}]}`)
+	f.Add(`{"name":"z","duration_millis":60000,"events":[{"kind":"graph-churn","at_millis":0,"duration_millis":60000,"rewires_per_minute":1}]}`)
+	f.Add(`{"nope`)
+	f.Fuzz(func(t *testing.T, spec string) {
+		w, err := ParseWorkload([]byte(spec))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Fatalf("ParseWorkload accepted a spec Validate rejects: %v", verr)
+		}
+		data, err := json.Marshal(w)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		again, err := ParseWorkload(data)
+		if err != nil {
+			t.Fatalf("accepted spec does not re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(again, w) {
+			t.Fatalf("round trip changed the spec:\n%#v\n%#v", again, w)
+		}
+		// Generation must not panic on accepted specs; cap the volume so the
+		// fuzzer cannot buy quadratic work with huge rates or durations.
+		if w.DurationMillis > 10*60_000 {
+			return
+		}
+		volume := float64(w.DurationMillis) / 60_000
+		if w.Background != nil && w.Background.PostsPerAuthorPerDay > 1000 {
+			return
+		}
+		for _, ev := range w.Events {
+			volume += ev.PostsPerMinute * float64(ev.DurationMillis) / 60_000
+			volume += ev.RewiresPerMinute * float64(ev.DurationMillis) / 60_000
+		}
+		if volume > 50_000 {
+			return
+		}
+		rng := rand.New(rand.NewSource(1))
+		sg, err := GenerateGraph(rng, DefaultGraphConfig(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := GenerateWorkload(sg, noSim{}, NewVocab(rng, 200), w)
+		if err != nil {
+			// Generation may reject graph-dependent specs (e.g. a cascade
+			// head outside the graph); that must be an error, not a panic.
+			if !strings.Contains(err.Error(), "twittergen:") {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+			return
+		}
+		if len(ws.Posts) != len(ws.EventOf) {
+			t.Fatal("Posts/EventOf length mismatch")
+		}
+	})
+}

@@ -38,6 +38,14 @@ type ParallelServiceOptions struct {
 	// target worker's queue is full, for ingestion tiers that prefer
 	// shedding or retrying over stalling.
 	FailFast bool
+	// Adaptive, when non-nil, layers the per-user delivery-rate controller
+	// over every worker shard; see AdaptiveConfig. Budgets are accounted per
+	// shard: a user whose subscriptions span k shards can receive up to k×
+	// BudgetPosts per window, because each shard's controller sees only the
+	// deliveries it decides (users inside a single connected component always
+	// land on one shard, so the bound is exact for them). Adaptive services
+	// do not support checkpointing.
+	Adaptive *AdaptiveConfig
 }
 
 // ParallelOptions configures NewParallelServiceOpts.
@@ -102,8 +110,16 @@ func NewParallel(g *AuthorGraph, subscriptions [][]AuthorID, opts ParallelServic
 	if workers == 0 {
 		workers = runtime.NumCPU()
 	}
+	var pol *core.AdaptivePolicy
+	if opts.Adaptive != nil {
+		p, err := opts.Adaptive.policy(opts.Config.thresholds())
+		if err != nil {
+			return nil, err
+		}
+		pol = &p
+	}
 	inner, err := stream.NewParallelMultiEngineOpts(opts.Algorithm, g.g, int32Slices(subscriptions), opts.Config.thresholds(), workers,
-		stream.ParallelOptions{QueueDepth: opts.QueueDepth, FailFast: opts.FailFast})
+		stream.ParallelOptions{QueueDepth: opts.QueueDepth, FailFast: opts.FailFast, Adaptive: pol})
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +258,21 @@ func (s *ParallelService) WorkerStats() []WorkerStats {
 	}
 	return out
 }
+
+// AdaptiveStates merges the per-shard controller states into one per-user
+// view, sorted by user id, or nil when the service was built without
+// ParallelServiceOptions.Adaptive. For a user spanning several shards the
+// entry reports the tightest effective thresholds across shards and the
+// summed delivered/suppressed counts. Safe at any time from any goroutine;
+// shards are snapshotted one at a time under their decision locks, so call
+// after Close for exact final values.
+func (s *ParallelService) AdaptiveStates() []AdaptiveUserState {
+	return publicAdaptiveStates(s.inner.AdaptiveStates())
+}
+
+// Suppressed returns the total number of deliveries the adaptive controllers
+// withheld across all shards; 0 for a non-adaptive service.
+func (s *ParallelService) Suppressed() uint64 { return s.inner.Suppressed() }
 
 func wrapUserErr(u int, err error) error {
 	return fmt.Errorf("user %d: %w", u, err)
