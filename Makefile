@@ -1,7 +1,7 @@
 # Tier-1 verification gate: `make check` must pass before merging.
 GO ?= go
 
-.PHONY: build test vet race lint check bench bench-go bench-check fuzz scenarios
+.PHONY: build test vet race lint lockgraph check bench bench-go bench-check fuzz scenarios
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,24 @@ race:
 	$(GO) test -race ./...
 
 # lint runs the firehose-lint analyzer suite (guardcheck, observecheck,
-# nowcheck, snapshotcheck, errdrop) over the whole module. See DESIGN.md
-# ("Static analysis") for the invariants each analyzer enforces and README.md
-# for the guard-comment grammar.
-lint:
-	$(GO) run ./cmd/firehose-lint ./...
+# nowcheck, snapshotcheck, errdrop, aliascheck, lockorder, codecsym) over the
+# whole module. See DESIGN.md ("Static analysis") for the invariants each
+# analyzer enforces and README.md for the guard-comment grammar. The
+# multichecker binary is cached under bin/ and rebuilt only when its sources
+# change (testdata modules are not inputs: they are fixtures, not sources).
+LINT_SRC := $(shell find internal/lint cmd/firehose-lint -name '*.go' -not -path '*/testdata/*') go.mod
+
+bin/firehose-lint: $(LINT_SRC)
+	@mkdir -p bin
+	$(GO) build -o $@ ./cmd/firehose-lint
+
+lint: bin/firehose-lint
+	bin/firehose-lint ./...
+
+# lockgraph regenerates the committed acquired-before lock graph artifact
+# (docs/lockgraph.dot) that TestLockGraphGolden pins and CI uploads.
+lockgraph: bin/firehose-lint
+	bin/firehose-lint -lockgraph ./... > docs/lockgraph.dot
 
 # check is the tier-1 gate: vet + firehose-lint + full race-detector test run.
 check: vet lint race

@@ -10,7 +10,12 @@
 //
 // Usage:
 //
-//	firehose-lint [-list] [packages]
+//	firehose-lint [-list] [-lockgraph] [packages]
+//
+// -lockgraph skips the finding run and instead prints the whole-program
+// lock acquired-before graph (dot format) that the lockorder analyzer
+// accumulates; the committed docs/lockgraph.dot golden is regenerated from
+// it (`make lockgraph`).
 //
 // Suppress a single finding with a justified directive on the line above it:
 //
@@ -31,8 +36,9 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	lockgraph := flag.Bool("lockgraph", false, "print the lock acquired-before graph (dot) instead of findings")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: firehose-lint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: firehose-lint [-list] [-lockgraph] [packages]\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -55,6 +61,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
+	}
+	if *lockgraph {
+		dot, err := lint.LockGraph(fset, pkgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(dot)
+		return
 	}
 	findings, err := lint.Run(fset, pkgs, suite)
 	if err != nil {

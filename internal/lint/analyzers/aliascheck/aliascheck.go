@@ -1,0 +1,663 @@
+// Package aliascheck enforces the scratch-delivery aliasing contract: the
+// slice returned by the `MultiUser.Offer` family (any `Offer` declared in
+// internal/core that returns a slice) is per-instance scratch, valid only
+// until the next Offer on the same solver, and the raw SoA accessors
+// `postbin.FPSegments` / `AuthorSegments` / `TimeSegments` return live
+// backing arrays the bin rewrites on its next mutation. Callers that want
+// the data beyond that window must clone at the boundary (`slices.Clone`,
+// `copy`, or `append(dst, src...)`).
+//
+// The analysis taints every value produced by one of those source calls and
+// follows it through assignments, slicing, and same-package calls. A finding
+// fires when tainted data escapes the validity window:
+//
+//   - stored into a struct field, map/slice element, pointer target,
+//     package-level variable, or composite literal
+//   - sent on a channel
+//   - captured or passed by a `go` statement (the goroutine may outlive the
+//     window)
+//   - used as append's destination (growing the solver's scratch writes into
+//     its backing array) or retained whole as an element of another slice
+//   - passed to a same-package function whose parameter provably escapes
+//     (computed by a per-package summary fixpoint)
+//   - read again after a later Offer on the same solver overwrote the
+//     scratch (Offer reuses its buffer per call; the postbin accessors are
+//     idempotent reads, invalidated only by mutations the analysis does not
+//     model, so they are exempt from this rule)
+//
+// Plain returns of tainted values are allowed: the contract propagates to
+// the caller, which sees an Offer-shaped API. Cleansing is recognized
+// structurally — a cloned value (fresh variable from `slices.Clone` or an
+// element-copying append/copy) is untainted.
+//
+// Known limitations, by design: receivers are compared textually (two
+// variables aliasing the same solver are distinct), loop-carried
+// invalidation (a use textually before the Offer that clobbers it on the
+// next iteration) is not modeled, and cross-package callees are trusted to
+// honor the documented contract — the summary fixpoint covers same-package
+// helpers only.
+package aliascheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Analyzer is the aliascheck analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "aliascheck",
+	Doc:  "flags escapes of core Offer scratch-delivery slices and postbin raw segment slices beyond their documented validity window (clone at the boundary)",
+	Run:  run,
+}
+
+// sourceSpec names one family of aliasing methods by declaring-package
+// suffix. Suffix matching keeps the analyzer testable: a testdata module
+// lays its packages out under the same trailing paths (the nowcheck idiom).
+type sourceSpec struct {
+	pkgSuffix string
+	names     map[string]bool
+	what      string
+	// callInvalidates marks families where every call overwrites the
+	// previous call's result (Offer's reused scratch). Accessor families
+	// return stable views between mutations, so repeated calls do not
+	// invalidate each other.
+	callInvalidates bool
+}
+
+var sourceSpecs = []sourceSpec{
+	{
+		pkgSuffix:       "internal/core",
+		names:           map[string]bool{"Offer": true},
+		what:            "scratch delivery slice",
+		callInvalidates: true,
+	},
+	{
+		pkgSuffix: "internal/postbin",
+		names: map[string]bool{
+			"FPSegments":     true,
+			"AuthorSegments": true,
+			"TimeSegments":   true,
+		},
+		what: "raw segment slice",
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	c := &checker{pass: pass, summaries: make(map[*types.Func]*summary)}
+	c.buildSummaries()
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				c.checkFunc(fn)
+			}
+		}
+	}
+	return nil
+}
+
+// origin records where a tainted value came from.
+type origin struct {
+	// param is the index of the parameter the value arrived through, or -1
+	// when the value comes from a source call in this function.
+	param int
+	// what names the source family for diagnostics ("" for parameters).
+	what string
+	// recv is the textual receiver the source call was made through; ""
+	// means unknown (the value arrived through a same-package helper), which
+	// conservatively matches any receiver for invalidation.
+	recv string
+	// pos is the source call position (NoPos for parameters).
+	pos token.Pos
+}
+
+// taintMap tracks which local variables currently alias tainted data.
+type taintMap map[*types.Var]origin
+
+// summary is the per-function escape summary used for interprocedural
+// checking within a package.
+type summary struct {
+	// escaping[i] reports that parameter i flows to an escape sink inside
+	// the function, so passing scratch as that argument escapes it.
+	escaping []bool
+	// returnsAliased reports that the function may return a value aliasing
+	// a source call's scratch, making its own calls taint their results.
+	// Functions that are themselves sources by name are exempt: their
+	// callers already treat them as Offer-shaped.
+	returnsAliased bool
+}
+
+type sourceSite struct {
+	recv string
+	pos  token.Pos
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	summaries map[*types.Func]*summary
+	decls     []*ast.FuncDecl
+	funcs     map[*ast.FuncDecl]*types.Func
+}
+
+// buildSummaries computes the per-package escape summaries by fixpoint:
+// passing a value to an escaping parameter is itself an escape, so summaries
+// feed each other until stable.
+func (c *checker) buildSummaries() {
+	c.funcs = make(map[*ast.FuncDecl]*types.Func)
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := c.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls = append(c.decls, fn)
+			c.funcs[fn] = obj
+			c.summaries[obj] = &summary{escaping: make([]bool, paramCount(obj))}
+		}
+	}
+	for range c.decls {
+		changed := false
+		for _, fn := range c.decls {
+			if c.updateSummary(fn) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+func paramCount(obj *types.Func) int {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return 0
+	}
+	return sig.Params().Len()
+}
+
+// updateSummary recomputes one function's summary; it reports whether any
+// bit changed.
+func (c *checker) updateSummary(fn *ast.FuncDecl) bool {
+	obj := c.funcs[fn]
+	sum := c.summaries[obj]
+	tm := make(taintMap)
+	params := c.paramVars(fn)
+	for i, v := range params {
+		if v != nil && isSliceLike(v.Type()) {
+			tm[v] = origin{param: i}
+		}
+	}
+	c.propagate(fn.Body, tm)
+
+	changed := false
+	c.scanSinks(fn, tm, func(org origin, _ token.Pos, _ string) {
+		if org.param >= 0 && org.param < len(sum.escaping) && !sum.escaping[org.param] {
+			sum.escaping[org.param] = true
+			changed = true
+		}
+	})
+	if !sum.returnsAliased && !c.isSourceDecl(fn) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok {
+				return true
+			}
+			for _, res := range ret.Results {
+				if org, ok := c.taintOf(res, tm); ok && org.param < 0 {
+					sum.returnsAliased = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	return changed
+}
+
+// paramVars resolves the declared parameter objects in order.
+func (c *checker) paramVars(fn *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fn.Type.Params == nil {
+		return out
+	}
+	for _, f := range fn.Type.Params.List {
+		if len(f.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range f.Names {
+			v, _ := c.pass.TypesInfo.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// isSourceDecl reports whether fn is itself one of the documented aliasing
+// methods (its callers treat its result as scratch already).
+func (c *checker) isSourceDecl(fn *ast.FuncDecl) bool {
+	for _, spec := range sourceSpecs {
+		if pkgHasSuffix(c.pass.Pkg, spec.pkgSuffix) && spec.names[fn.Name.Name] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkFunc runs the reporting pass over one function body.
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	tm := make(taintMap)
+	c.propagate(fn.Body, tm)
+
+	// Source call sites and direct-definition sites drive the
+	// use-after-invalidation rule: a read of scratch is stale when a later
+	// source call on the same receiver ran in between, unless that call
+	// redefined the variable being read.
+	var sites []sourceSite
+	defSites := make(map[*types.Var]map[token.Pos]bool)
+	lhsWrites := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if recv, _, invalidates, ok := c.sourceCall(x); ok && invalidates {
+				sites = append(sites, sourceSite{recv: recv, pos: x.Pos()})
+			}
+		case *ast.AssignStmt:
+			var callPos token.Pos
+			if len(x.Rhs) == 1 {
+				if call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr); ok {
+					if _, _, _, isSrc := c.sourceCall(call); isSrc {
+						callPos = call.Pos()
+					}
+				}
+			}
+			for _, lhs := range x.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				lhsWrites[id] = true
+				if callPos.IsValid() {
+					if v := c.varOf(id); v != nil {
+						if defSites[v] == nil {
+							defSites[v] = make(map[token.Pos]bool)
+						}
+						defSites[v][callPos] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	c.scanSinks(fn, tm, func(org origin, pos token.Pos, sink string) {
+		if org.param >= 0 {
+			return
+		}
+		c.pass.Reportf(pos, "the %s is %s but is valid only until the next Offer/mutation on its solver; clone it at the boundary (slices.Clone)", org.what, sink)
+	})
+
+	// Use-after-invalidation over plain identifier reads.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || lhsWrites[id] {
+			return true
+		}
+		if c.pass.TypesInfo.Defs[id] != nil {
+			return true
+		}
+		v := c.varOf(id)
+		if v == nil {
+			return true
+		}
+		org, tainted := tm[v]
+		if !tainted || org.param >= 0 {
+			return true
+		}
+		for _, s := range sites {
+			if s.pos <= org.pos || s.pos >= id.Pos() {
+				continue
+			}
+			if org.recv != "" && s.recv != org.recv {
+				continue
+			}
+			if defSites[v][s.pos] {
+				continue
+			}
+			c.pass.Reportf(id.Pos(), "the %s %s is read after a later source call on %s overwrote the scratch; clone it before the next call", org.what, id.Name, s.recv)
+			return true
+		}
+		return true
+	})
+}
+
+// propagate grows tm to a fixpoint over the body's assignments: a variable
+// assigned from a tainted expression is tainted. Flow-insensitive — a
+// cleansing reassignment does not untaint — so clone into a fresh variable.
+func (c *checker) propagate(body *ast.BlockStmt, tm taintMap) {
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if c.propagateAssign(s.Lhs, s.Rhs, tm) {
+					changed = true
+				}
+			case *ast.ValueSpec:
+				if len(s.Values) == 0 {
+					return true
+				}
+				lhs := make([]ast.Expr, len(s.Names))
+				for i, name := range s.Names {
+					lhs[i] = name
+				}
+				if c.propagateAssign(lhs, s.Values, tm) {
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func (c *checker) propagateAssign(lhs, rhs []ast.Expr, tm taintMap) bool {
+	changed := false
+	set := func(e ast.Expr, org origin) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v := c.varOf(id)
+		if v == nil || !isSliceLike(v.Type()) {
+			return
+		}
+		if _, seen := tm[v]; !seen {
+			tm[v] = org
+			changed = true
+		}
+	}
+	if len(rhs) == 1 && len(lhs) > 1 {
+		// Tuple assignment: a multi-result source (FPSegments) taints every
+		// slice-typed variable on the left.
+		if org, ok := c.taintOf(rhs[0], tm); ok {
+			for _, e := range lhs {
+				set(e, org)
+			}
+		}
+		return changed
+	}
+	for i, e := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		if org, ok := c.taintOf(e, tm); ok {
+			set(lhs[i], org)
+		}
+	}
+	return changed
+}
+
+// taintOf reports whether e evaluates to tainted data and with which origin.
+func (c *checker) taintOf(e ast.Expr, tm taintMap) (origin, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := c.varOf(x); v != nil {
+			if org, ok := tm[v]; ok {
+				return org, true
+			}
+		}
+	case *ast.SliceExpr:
+		// Re-slicing shares the backing array.
+		return c.taintOf(x.X, tm)
+	case *ast.CallExpr:
+		if recv, what, _, ok := c.sourceCall(x); ok {
+			return origin{param: -1, what: what, recv: recv, pos: x.Pos()}, true
+		}
+		if c.isAppend(x) && len(x.Args) > 0 {
+			// append to tainted may return the same backing array (the
+			// append itself is reported as a sink; the result stays tainted).
+			return c.taintOf(x.Args[0], tm)
+		}
+		if f := c.calleeFunc(x); f != nil {
+			if sum, ok := c.summaries[f]; ok && sum.returnsAliased {
+				return origin{param: -1, what: "scratch delivery slice", recv: "", pos: x.Pos()}, true
+			}
+		}
+	}
+	return origin{}, false
+}
+
+// scanSinks walks the body reporting every escape of tainted data through
+// the onSink callback (sink describes the escape for the diagnostic).
+func (c *checker) scanSinks(fn *ast.FuncDecl, tm taintMap, onSink func(org origin, pos token.Pos, sink string)) {
+	check := func(e ast.Expr, pos token.Pos, sink string) {
+		if org, ok := c.taintOf(e, tm); ok {
+			onSink(org, pos, sink)
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssignSinks(x.Lhs, x.Rhs, tm, onSink)
+		case *ast.SendStmt:
+			check(x.Value, x.Value.Pos(), "sent on a channel")
+		case *ast.GoStmt:
+			for _, arg := range x.Call.Args {
+				check(arg, arg.Pos(), "passed to a goroutine")
+			}
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				c.checkGoCapture(lit, tm, onSink)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range x.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				check(v, v.Pos(), "stored into a composite literal")
+			}
+		case *ast.CallExpr:
+			c.checkCallSinks(x, tm, onSink)
+		}
+		return true
+	})
+}
+
+func (c *checker) checkAssignSinks(lhs, rhs []ast.Expr, tm taintMap, onSink func(origin, token.Pos, string)) {
+	tupleOrg, tupleTainted := origin{}, false
+	if len(rhs) == 1 && len(lhs) > 1 {
+		tupleOrg, tupleTainted = c.taintOf(rhs[0], tm)
+	}
+	for i, l := range lhs {
+		var org origin
+		var tainted bool
+		if tupleTainted {
+			org, tainted = tupleOrg, true
+		} else if i < len(rhs) {
+			org, tainted = c.taintOf(rhs[i], tm)
+		}
+		if !tainted {
+			continue
+		}
+		switch target := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			if v := c.varOf(target); v != nil && v.Parent() == c.pass.Pkg.Scope() {
+				onSink(org, l.Pos(), "stored into package-level variable "+target.Name)
+			}
+		case *ast.SelectorExpr:
+			onSink(org, l.Pos(), "stored into field "+types.ExprString(target))
+		case *ast.IndexExpr:
+			onSink(org, l.Pos(), "stored into element "+types.ExprString(target))
+		case *ast.StarExpr:
+			onSink(org, l.Pos(), "stored through pointer "+types.ExprString(target))
+		}
+	}
+}
+
+func (c *checker) checkCallSinks(call *ast.CallExpr, tm taintMap, onSink func(origin, token.Pos, string)) {
+	if c.isAppend(call) {
+		if len(call.Args) == 0 {
+			return
+		}
+		if org, ok := c.taintOf(call.Args[0], tm); ok {
+			onSink(org, call.Pos(), "used as append's destination (writes into the solver's backing array)")
+		}
+		for i, arg := range call.Args[1:] {
+			last := i == len(call.Args)-2
+			if last && call.Ellipsis.IsValid() {
+				continue // append(dst, src...) copies elements: the cleanser
+			}
+			if org, ok := c.taintOf(arg, tm); ok {
+				if isSliceLikeExpr(c.pass, arg) {
+					onSink(org, arg.Pos(), "retained whole as an element of another slice")
+				}
+			}
+		}
+		return
+	}
+	f := c.calleeFunc(call)
+	if f == nil {
+		return
+	}
+	sum, ok := c.summaries[f]
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		org, tainted := c.taintOf(arg, tm)
+		if !tainted {
+			continue
+		}
+		pi := i
+		if pi >= len(sum.escaping) {
+			pi = len(sum.escaping) - 1 // variadic tail
+		}
+		if pi >= 0 && sum.escaping[pi] {
+			onSink(org, arg.Pos(), "passed to "+f.Name()+", which stores its argument")
+		}
+	}
+}
+
+// checkGoCapture reports tainted variables from the enclosing function that
+// a go-statement closure reads: the goroutine may run after the scratch is
+// overwritten.
+func (c *checker) checkGoCapture(lit *ast.FuncLit, tm taintMap, onSink func(origin, token.Pos, string)) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v := c.varOf(id)
+		if v == nil {
+			return true
+		}
+		org, tainted := tm[v]
+		if !tainted {
+			return true
+		}
+		// Only variables declared outside the closure are captures.
+		if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+			return true
+		}
+		onSink(org, id.Pos(), "captured by a goroutine closure")
+		return true
+	})
+}
+
+// sourceCall recognizes a call to one of the documented aliasing methods,
+// returning the textual receiver and the source family.
+func (c *checker) sourceCall(call *ast.CallExpr) (recv, what string, invalidates, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	obj, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false, false
+	}
+	for _, spec := range sourceSpecs {
+		if !pkgHasSuffix(obj.Pkg(), spec.pkgSuffix) || !spec.names[obj.Name()] {
+			continue
+		}
+		if !resultsAlias(obj) {
+			continue
+		}
+		return types.ExprString(ast.Unparen(sel.X)), spec.what, spec.callInvalidates, true
+	}
+	return "", "", false, false
+}
+
+// resultsAlias requires at least one slice result, so `Offer(p) bool` (the
+// single-user bins) is never a source.
+func resultsAlias(obj *types.Func) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isSliceLike(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) varOf(id *ast.Ident) *types.Var {
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (c *checker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := c.pass.TypesInfo.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+func (c *checker) isAppend(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func isSliceLike(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+func isSliceLikeExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isSliceLike(tv.Type)
+}
+
+func pkgHasSuffix(pkg *types.Package, sfx string) bool {
+	if pkg == nil {
+		return false
+	}
+	p := pkg.Path()
+	return p == sfx || strings.HasSuffix(p, "/"+sfx)
+}

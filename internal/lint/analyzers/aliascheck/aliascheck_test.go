@@ -1,0 +1,12 @@
+package aliascheck_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/aliascheck"
+)
+
+func TestAliascheck(t *testing.T) {
+	analysistest.Run(t, "testdata", aliascheck.Analyzer, "./...")
+}

@@ -1,0 +1,117 @@
+// Package app exercises aliascheck from the consumer side: every escape of
+// the Offer scratch slice or a raw postbin segment is seeded next to the
+// clean clone-at-the-boundary mirror of the same shape.
+package app
+
+import (
+	"slices"
+
+	"aliastest/internal/core"
+	"aliastest/internal/postbin"
+)
+
+type sink struct {
+	last []int32
+	segs []uint64
+}
+
+var saved []int32
+
+// keep stores its argument into a package-level variable, so its parameter
+// escapes: passing scratch to it is a finding at the call site (computed by
+// the per-package summary fixpoint), while the store in here is silent —
+// parameters are the caller's responsibility.
+func keep(u []int32) {
+	saved = u
+}
+
+// consume only reads its argument; passing scratch to it is fine.
+func consume(u []int32) int {
+	return len(u)
+}
+
+// grab returns the scratch unchanged: its own callers inherit the taint.
+func grab(m *core.MultiUser, p *core.Post) []int32 {
+	return m.Offer(p)
+}
+
+func storeSinks(m *core.MultiUser, s *sink, p *core.Post) {
+	users := m.Offer(p)
+	s.last = users // want `stored into field s\.last`
+	saved = users  // want `stored into package-level variable saved`
+}
+
+func escapeShapes(m *core.MultiUser, s *sink, p *core.Post) {
+	users := m.Offer(p)
+	ch := make(chan []int32, 1)
+	ch <- users       // want `sent on a channel`
+	go consume(users) // want `passed to a goroutine`
+	go func() {
+		consume(users) // want `captured by a goroutine closure`
+	}()
+	users = append(users, 9) // want `append's destination`
+	var all [][]int32
+	all = append(all, users) // want `retained whole as an element`
+	_ = all
+	keep(users)         // want `passed to keep, which stores its argument`
+	s.last = grab(m, p) // want `stored into field s\.last`
+}
+
+func staleRead(m, m2 *core.MultiUser, p, q *core.Post) int32 {
+	a := m.Offer(p)
+	b := m.Offer(q)
+	_ = b
+	return a[0] // want `read after a later source call on m`
+}
+
+func interfaceSource(md core.MultiDiversifier, s *sink, p *core.Post) {
+	s.last = md.Offer(p) // want `stored into field s\.last`
+}
+
+func segments(b *postbin.SoA, s *sink) {
+	older, newer := b.FPSegments()
+	s.segs = older // want `stored into field s\.segs`
+	n := 0
+	for _, w := range newer { // reading in place is the intended use
+		n += int(w)
+	}
+	_ = n
+}
+
+// segmentWalk is the covBin rebuild/removeExpired shape: several accessors
+// are read interleaved, and reads after a later accessor call must stay
+// silent — accessors return stable views between mutations, unlike Offer's
+// per-call scratch (regression for a false-positive class).
+func segmentWalk(b *postbin.SoA) uint64 {
+	tOld, tNew := b.TimeSegments()
+	fOld, fNew := b.FPSegments()
+	total := uint64(0)
+	for s := 0; s < 2; s++ {
+		ts, fps := tOld, fOld
+		if s == 1 {
+			ts, fps = tNew, fNew
+		}
+		for i := range ts {
+			total += fps[i] + uint64(ts[i])
+		}
+	}
+	return total
+}
+
+// clean mirrors: clone at the boundary, reuse before the next Offer,
+// distinct solvers, spread-append copies.
+func clean(m, m2 *core.MultiUser, s *sink, p, q *core.Post) []int32 {
+	users := m.Offer(p)
+	for _, u := range users { // reads before the next Offer are the contract
+		_ = u
+	}
+	cl := slices.Clone(users)
+	s.last = cl // cloned: safe to retain
+	var arena []int32
+	arena = append(arena, users...) // spread copies elements, not the header
+	other := m2.Offer(q)
+	_ = users[0] // m2's Offer does not invalidate m's scratch
+	_ = other
+	fresh := m.Offer(q)
+	return fresh // returning scratch propagates the contract to the caller
+}

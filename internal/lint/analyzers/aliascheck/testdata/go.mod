@@ -1,0 +1,3 @@
+module aliastest
+
+go 1.22

@@ -1,0 +1,50 @@
+// Package core mirrors the real internal/core surface the analyzer keys on:
+// Offer methods returning a scratch delivery slice. The import-path suffix
+// `internal/core` is what marks these methods as taint sources.
+package core
+
+// Post is a minimal stand-in for the real post.
+type Post struct {
+	ID int64
+}
+
+// MultiDiversifier mirrors the real interface: interface Offer calls resolve
+// to this declaration, so they are sources too.
+type MultiDiversifier interface {
+	Offer(p *Post) []int32
+}
+
+// MultiUser owns a per-instance scratch delivery slice.
+type MultiUser struct {
+	scratch []int32
+}
+
+// Offer returns the scratch slice, valid only until the next Offer.
+func (m *MultiUser) Offer(p *Post) []int32 {
+	m.scratch = m.scratch[:0]
+	m.scratch = append(m.scratch, int32(p.ID))
+	return m.scratch
+}
+
+// BoolBin's Offer returns bool: never a source.
+type BoolBin struct{}
+
+func (b *BoolBin) Offer(p *Post) bool { return p.ID > 0 }
+
+// Wrap is an in-package consumer of another solver's scratch.
+type Wrap struct {
+	inner *MultiUser
+	last  []int32
+}
+
+// Keep stores the scratch into a field: the seeded in-package violation.
+func (w *Wrap) Keep(p *Post) {
+	w.last = w.inner.Offer(p) // want `stored into field w\.last`
+}
+
+// Offer propagates the scratch to the caller. That is the documented
+// contract shape (this method is itself a source for its callers), so the
+// plain return is clean.
+func (w *Wrap) Offer(p *Post) []int32 {
+	return w.inner.Offer(p)
+}

@@ -1,0 +1,20 @@
+// Package postbin mirrors the real internal/postbin raw accessors: the
+// segment methods return the live SoA backing arrays.
+package postbin
+
+// SoA is a two-segment ring of fingerprints and timestamps.
+type SoA struct {
+	older, newer []uint64
+	tsOld, tsNew []int64
+}
+
+// FPSegments returns the raw segments; the bin rewrites them on its next
+// mutation, so callers must not retain them.
+func (b *SoA) FPSegments() (older, newer []uint64) {
+	return b.older, b.newer
+}
+
+// TimeSegments returns the raw timestamp segments under the same contract.
+func (b *SoA) TimeSegments() (older, newer []int64) {
+	return b.tsOld, b.tsNew
+}

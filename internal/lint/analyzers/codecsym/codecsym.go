@@ -1,0 +1,517 @@
+// Package codecsym enforces encode/decode symmetry over the FHCK checkpoint
+// codec (internal/checkpoint): every function that writes fields through an
+// *Encoder must have a decode counterpart reading the same field sequence,
+// so a one-sided addition — the class of bug that silently corrupts restores
+// one version later — fails lint the day it is written.
+//
+// Functions pair within a package by receiver plus side-stripped base name:
+// `SnapshotState`/`RestoreState`, `encodeBin`/`decodeBin`,
+// `writeHeader`/`checkHeader`, `Snapshot`/`Restore` all pair. Each side is
+// flattened to its field-op sequence in source order:
+//
+//   - direct Encoder/Decoder primitive calls, canonicalized (decode `Len`
+//     counts as Uvarint, `Expect` as String); `enc.String("lit")` must meet
+//     `dec.Expect("lit")` or `dec.String(max)` with the same literal when
+//     both sides are literal
+//   - a call passing the codec to a *paired* same-package function becomes a
+//     matched sub-op token
+//   - a call to an *unpaired* same-package helper (openSnapshot) is spliced:
+//     its ops are inlined into the caller's sequence
+//   - cross-package and interface calls (core.EncodeHistogram, the
+//     StateSnapshotter methods) become normalized sub-op tokens by stripped
+//     base name, so EncodeHistogram matches DecodeHistogram
+//   - codec constructors (NewEncoder/NewDecoder) and the error/trailer
+//     surface (Err, Finish, Kind, Failf) are ignored — the preamble and
+//     checksum are the codec package's own invariant
+//
+// A paired sequence mismatch is reported at the encode function with the
+// first diverging step; an encode-side function with ops but no counterpart
+// (and not spliced into one) is reported as a one-sided addition. Decode-side
+// functions without counterparts are validators/readers and stay silent.
+//
+// The comparison is flattened and static: loops compare one iteration
+// against one iteration, and conditionally written fields must be mirrored
+// by conditionally read ones in the same order.
+package codecsym
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"firehose/internal/lint/analysis"
+)
+
+// Analyzer is the codecsym analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecsym",
+	Doc:  "matches every checkpoint Encoder field-write sequence against its decode counterpart; flags asymmetric additions that would corrupt restores",
+	Run:  run,
+}
+
+// codecPkgSuffix locates the codec package; suffix matching keeps the
+// analyzer testable from a testdata module (the nowcheck idiom).
+const codecPkgSuffix = "internal/checkpoint"
+
+var encodePrefixes = []string{"encode", "snapshot", "write", "marshal", "save", "emit", "put"}
+var decodePrefixes = []string{"decode", "restore", "read", "check", "load", "unmarshal", "open", "parse", "expect"}
+
+// encoderOps canonicalizes the Encoder primitives; absent names (Err,
+// Finish, the internal write) are ignored.
+var encoderOps = map[string]string{
+	"Uvarint": "Uvarint", "Varint": "Varint", "U64": "U64",
+	"F64": "F64", "Bool": "Bool", "String": "String",
+}
+
+// decoderOps canonicalizes the Decoder primitives: Len reads a Uvarint
+// length, Expect reads a String and compares.
+var decoderOps = map[string]string{
+	"Uvarint": "Uvarint", "Varint": "Varint", "U64": "U64",
+	"F64": "F64", "Bool": "Bool", "String": "String",
+	"Expect": "String", "Len": "Uvarint",
+}
+
+type side int
+
+const (
+	sideNone side = iota
+	sideEncode
+	sideDecode
+	sideBoth
+)
+
+// tok is one element of a flattened codec sequence.
+type tok struct {
+	// kind is "op" for a primitive, "call" for a paired same-package
+	// sub-codec, "sub" for a normalized external sub-codec.
+	kind string
+	// name is the canonical primitive name, or recv:base for calls, or the
+	// side-stripped base for subs.
+	name string
+	// lit is the string literal written/expected, when statically known.
+	lit string
+}
+
+func (t tok) String() string {
+	switch t.kind {
+	case "op":
+		if t.lit != "" {
+			return t.name + "(" + strconv.Quote(t.lit) + ")"
+		}
+		return t.name
+	case "call":
+		return "sub(" + strings.TrimPrefix(t.name, ":") + ")"
+	default:
+		return "sub(" + t.name + ")"
+	}
+}
+
+func match(a, b tok) bool {
+	aCall := a.kind != "op"
+	bCall := b.kind != "op"
+	if aCall != bCall {
+		return false
+	}
+	if aCall {
+		return stripRecv(a.name) == stripRecv(b.name) || a.name == b.name
+	}
+	if a.name != b.name {
+		return false
+	}
+	return a.lit == "" || b.lit == "" || a.lit == b.lit
+}
+
+// stripRecv compares call and sub tokens on base name alone, so a locally
+// paired helper on one side can meet a cross-package sub-codec on the other.
+func stripRecv(name string) string {
+	if i := strings.LastIndex(name, ":"); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+// fnInfo is the per-function codec classification.
+type fnInfo struct {
+	decl *ast.FuncDecl
+	obj  *types.Func
+	side side
+	recv string
+	base string
+	// paired is the decode counterpart (set on encode-side infos).
+	paired *fnInfo
+	// ops is the flattened sequence (computed lazily, memoized).
+	ops     []tok
+	opsDone bool
+	inWork  bool
+	spliced bool
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	infos map[*types.Func]*fnInfo
+	byKey map[[2]string]map[side]*fnInfo
+}
+
+func run(pass *analysis.Pass) error {
+	// The codec package itself implements the primitives; field symmetry is
+	// a property of its users.
+	if pkgPathHasSuffix(pass.Pkg.Path(), codecPkgSuffix) {
+		return nil
+	}
+	c := &checker{
+		pass:  pass,
+		infos: make(map[*types.Func]*fnInfo),
+		byKey: make(map[[2]string]map[side]*fnInfo),
+	}
+	var order []*fnInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := c.classify(fn, obj)
+			if info.side == sideNone || info.side == sideBoth {
+				continue
+			}
+			c.infos[obj] = info
+			order = append(order, info)
+		}
+	}
+	if len(order) == 0 {
+		return nil
+	}
+
+	// Pair by (receiver, side-stripped base). Ambiguous keys (two encoders
+	// with the same key) pair nothing rather than guessing.
+	for _, info := range order {
+		key := [2]string{info.recv, info.base}
+		if c.byKey[key] == nil {
+			c.byKey[key] = make(map[side]*fnInfo)
+		}
+		if _, dup := c.byKey[key][info.side]; dup {
+			c.byKey[key][info.side] = nil
+		} else {
+			c.byKey[key][info.side] = info
+		}
+	}
+	for _, info := range order {
+		if info.side != sideEncode {
+			continue
+		}
+		if dec := c.byKey[[2]string{info.recv, info.base}][sideDecode]; dec != nil {
+			info.paired = dec
+		}
+	}
+
+	// Extract every sequence (marks splice targets), then compare.
+	for _, info := range order {
+		c.extract(info)
+	}
+	for _, info := range order {
+		if info.side != sideEncode {
+			continue
+		}
+		if info.paired == nil {
+			if len(info.ops) > 0 && !info.spliced {
+				c.pass.Reportf(info.decl.Name.Pos(),
+					"%s writes %d checkpoint field(s) but has no decode counterpart (no %s-side function pairs with receiver %q, base %q); a one-sided addition silently corrupts restores",
+					info.decl.Name.Name, len(info.ops), "decode", info.recv, info.base)
+			}
+			continue
+		}
+		c.compare(info, info.paired)
+	}
+	return nil
+}
+
+func (c *checker) compare(enc, dec *fnInfo) {
+	a, b := enc.ops, dec.ops
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		at, bt := tok{kind: "op", name: "<end>"}, tok{kind: "op", name: "<end>"}
+		if i < len(a) {
+			at = a[i]
+		}
+		if i < len(b) {
+			bt = b[i]
+		}
+		if at.name == "<end>" && bt.name == "<end>" {
+			continue
+		}
+		if (at.name == "<end>") != (bt.name == "<end>") || !match(at, bt) {
+			c.pass.Reportf(enc.decl.Name.Pos(),
+				"encode/decode asymmetry: %s writes %s at step %d but %s reads %s; the field sequences must stay symmetric or restores corrupt",
+				enc.decl.Name.Name, at, i+1, dec.decl.Name.Name, bt)
+			return
+		}
+	}
+}
+
+// classify determines which codec side a function belongs to, from its
+// signature first and its body's codec-typed values second.
+func (c *checker) classify(fn *ast.FuncDecl, obj *types.Func) *fnInfo {
+	info := &fnInfo{decl: fn, obj: obj, recv: recvName(fn)}
+	usesEnc, usesDec := false, false
+	if sig, ok := obj.Type().(*types.Signature); ok {
+		for i := 0; i < sig.Params().Len(); i++ {
+			t := sig.Params().At(i).Type()
+			usesEnc = usesEnc || isCodecType(t, "Encoder")
+			usesDec = usesDec || isCodecType(t, "Decoder")
+		}
+	}
+	if !usesEnc && !usesDec {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			o := c.pass.TypesInfo.Uses[id]
+			if o == nil {
+				o = c.pass.TypesInfo.Defs[id]
+			}
+			if v, ok := o.(*types.Var); ok {
+				usesEnc = usesEnc || isCodecType(v.Type(), "Encoder")
+				usesDec = usesDec || isCodecType(v.Type(), "Decoder")
+			}
+			return true
+		})
+	}
+	switch {
+	case usesEnc && usesDec:
+		info.side = sideBoth
+	case usesEnc:
+		info.side = sideEncode
+		info.base = stripSide(fn.Name.Name, encodePrefixes)
+	case usesDec:
+		info.side = sideDecode
+		info.base = stripSide(fn.Name.Name, decodePrefixes)
+	}
+	return info
+}
+
+// extract flattens one function's codec op sequence (memoized; cycles in
+// helper splicing fall back to an opaque call token).
+func (c *checker) extract(info *fnInfo) []tok {
+	if info.opsDone {
+		return info.ops
+	}
+	if info.inWork {
+		return nil
+	}
+	info.inWork = true
+	var prefixes []string
+	if info.side == sideEncode {
+		prefixes = encodePrefixes
+	} else {
+		prefixes = decodePrefixes
+	}
+	var ops []tok
+	ast.Inspect(info.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if t, ok := c.primitiveOp(call); ok {
+			ops = append(ops, t)
+			return true
+		}
+		if t, spliced, ok := c.subCodec(call, prefixes); ok {
+			if spliced != nil {
+				ops = append(ops, spliced...)
+			} else {
+				ops = append(ops, t)
+			}
+		}
+		return true
+	})
+	info.ops = ops
+	info.opsDone = true
+	info.inWork = false
+	return ops
+}
+
+// primitiveOp recognizes a direct Encoder/Decoder method call and
+// canonicalizes it.
+func (c *checker) primitiveOp(call *ast.CallExpr) (tok, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return tok{}, false
+	}
+	tv, ok := c.pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return tok{}, false
+	}
+	name := sel.Sel.Name
+	if isCodecType(tv.Type, "Encoder") {
+		canon, watched := encoderOps[name]
+		if !watched {
+			return tok{}, false
+		}
+		t := tok{kind: "op", name: canon}
+		if canon == "String" {
+			t.lit = stringLit(call)
+		}
+		return t, true
+	}
+	if isCodecType(tv.Type, "Decoder") {
+		canon, watched := decoderOps[name]
+		if !watched {
+			return tok{}, false
+		}
+		t := tok{kind: "op", name: canon}
+		if name == "Expect" {
+			t.lit = stringLit(call)
+		}
+		return t, true
+	}
+	return tok{}, false
+}
+
+// subCodec recognizes a call that hands the codec to another function:
+// paired same-package callees become call tokens, unpaired same-package
+// helpers are spliced, everything else (cross-package functions, interface
+// methods) becomes a normalized sub token. Codec constructors are ignored.
+func (c *checker) subCodec(call *ast.CallExpr, prefixes []string) (tok, []tok, bool) {
+	passes := false
+	for _, arg := range call.Args {
+		if tv, ok := c.pass.TypesInfo.Types[arg]; ok && isCodec(tv.Type) {
+			passes = true
+			break
+		}
+	}
+	callee := c.callee(call)
+	returnsCodec := false
+	if callee != nil {
+		if sig, ok := callee.Type().(*types.Signature); ok {
+			for i := 0; i < sig.Results().Len(); i++ {
+				if isCodec(sig.Results().At(i).Type()) {
+					returnsCodec = true
+				}
+			}
+		}
+	}
+	if !passes && !returnsCodec {
+		return tok{}, nil, false
+	}
+	if callee != nil && callee.Pkg() != nil && pkgPathHasSuffix(callee.Pkg().Path(), codecPkgSuffix) {
+		// NewEncoder/NewDecoder and the codec package's own surface: the
+		// preamble and trailer are symmetric by construction.
+		return tok{}, nil, false
+	}
+	if callee != nil && callee.Pkg() == c.pass.Pkg {
+		if info, ok := c.infos[callee]; ok {
+			paired := info.paired != nil
+			if info.side == sideDecode {
+				key := [2]string{info.recv, info.base}
+				if e := c.byKey[key][sideEncode]; e != nil && e.paired == info {
+					paired = true
+				}
+			}
+			if paired {
+				return tok{kind: "call", name: info.recv + ":" + info.base}, nil, true
+			}
+			info.spliced = true
+			return tok{}, c.extract(info), true
+		}
+	}
+	name := "?"
+	if callee != nil {
+		name = callee.Name()
+	} else if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		name = sel.Sel.Name
+	} else if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		name = id.Name
+	}
+	return tok{kind: "sub", name: stripSide(name, prefixes)}, nil, true
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	f, _ := obj.(*types.Func)
+	return f
+}
+
+func stringLit(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return ""
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return ""
+	}
+	return s
+}
+
+// stripSide lowercases the name and strips the longest matching side prefix,
+// yielding the pairing base ("SnapshotState" -> "state", "Snapshot" -> "").
+func stripSide(name string, prefixes []string) string {
+	l := strings.ToLower(name)
+	best := ""
+	for _, p := range prefixes {
+		if strings.HasPrefix(l, p) && len(p) > len(best) {
+			best = p
+		}
+	}
+	return l[len(best):]
+}
+
+func recvName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func isCodec(t types.Type) bool {
+	return isCodecType(t, "Encoder") || isCodecType(t, "Decoder")
+}
+
+// isCodecType reports whether t is (a pointer to) the named codec type
+// declared in a package whose import path ends in internal/checkpoint.
+func isCodecType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	return pkgPathHasSuffix(obj.Pkg().Path(), codecPkgSuffix)
+}
+
+func pkgPathHasSuffix(path, sfx string) bool {
+	return path == sfx || strings.HasSuffix(path, "/"+sfx)
+}

@@ -1,0 +1,12 @@
+package codecsym_test
+
+import (
+	"testing"
+
+	"firehose/internal/lint/analysistest"
+	"firehose/internal/lint/analyzers/codecsym"
+)
+
+func TestCodecsym(t *testing.T) {
+	analysistest.Run(t, "testdata", codecsym.Analyzer, "./...")
+}

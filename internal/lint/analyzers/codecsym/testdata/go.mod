@@ -1,0 +1,3 @@
+module codectest
+
+go 1.22

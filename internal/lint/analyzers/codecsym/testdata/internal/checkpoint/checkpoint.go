@@ -1,0 +1,36 @@
+// Package checkpoint is a minimal stand-in for the real FHCK codec: the
+// analyzer recognizes Encoder/Decoder by name under any import path ending
+// in internal/checkpoint, so this module is hermetic.
+package checkpoint
+
+import "io"
+
+type Encoder struct{ w io.Writer }
+
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+func (e *Encoder) Uvarint(v uint64) {}
+func (e *Encoder) Varint(v int64)   {}
+func (e *Encoder) U64(v uint64)     {}
+func (e *Encoder) F64(v float64)    {}
+func (e *Encoder) Bool(v bool)      {}
+func (e *Encoder) String(s string)  {}
+func (e *Encoder) Err() error       { return nil }
+func (e *Encoder) Finish() error    { return nil }
+
+type Decoder struct{ r io.Reader }
+
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+func (d *Decoder) Uvarint() uint64               { return 0 }
+func (d *Decoder) Varint() int64                 { return 0 }
+func (d *Decoder) U64() uint64                   { return 0 }
+func (d *Decoder) F64() float64                  { return 0 }
+func (d *Decoder) Bool() bool                    { return false }
+func (d *Decoder) String(max int) string         { return "" }
+func (d *Decoder) Expect(s string)               {}
+func (d *Decoder) Len(label string, max int) int { return 0 }
+func (d *Decoder) Kind() string                  { return "" }
+func (d *Decoder) Failf(f string, a ...any)      {}
+func (d *Decoder) Err() error                    { return nil }
+func (d *Decoder) Finish() error                 { return nil }

@@ -1,0 +1,193 @@
+// Package state seeds codecsym violations next to the clean shapes the
+// analyzer must not flag: a one-sided field addition, a literal tag
+// mismatch, a reordered pair, an encoder with no decode counterpart — and
+// the sanctioned idioms (Len-for-Uvarint, Expect-for-String, paired helper
+// calls, interface sub-codecs, spliced open-style helpers) staying silent.
+package state
+
+import (
+	"io"
+
+	"codectest/internal/checkpoint"
+)
+
+type Item struct {
+	ID uint64
+	W  float64
+}
+
+func encodeItem(enc *checkpoint.Encoder, it Item) {
+	enc.Uvarint(it.ID)
+	enc.F64(it.W)
+}
+
+func decodeItem(dec *checkpoint.Decoder) Item {
+	var it Item
+	it.ID = dec.Uvarint()
+	it.W = dec.F64()
+	return it
+}
+
+// Snapper is a sub-codec reached through an interface: both sides resolve
+// to normalized sub tokens by stripped base name.
+type Snapper interface {
+	SnapshotState(enc *checkpoint.Encoder) error
+	RestoreState(dec *checkpoint.Decoder) error
+}
+
+// Thing is the full clean shape: tag literal, scalar fields, a counted
+// loop over a paired helper, and an interface sub-codec.
+type Thing struct {
+	items []Item
+	on    bool
+	inner Snapper
+}
+
+func (t *Thing) SnapshotState(enc *checkpoint.Encoder) error {
+	enc.String("thing")
+	enc.Bool(t.on)
+	enc.Uvarint(uint64(len(t.items)))
+	for _, it := range t.items {
+		encodeItem(enc, it)
+	}
+	return t.inner.SnapshotState(enc)
+}
+
+func (t *Thing) RestoreState(dec *checkpoint.Decoder) error {
+	dec.Expect("thing")
+	t.on = dec.Bool()
+	n := dec.Len("items", 1<<20)
+	t.items = make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		t.items = append(t.items, decodeItem(dec))
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	return t.inner.RestoreState(dec)
+}
+
+// Meta mirrors the real tree's snapMeta: write/check pair on one receiver,
+// plus an unpaired open-style helper whose ops splice into its callers.
+type Meta struct {
+	version uint64
+	created uint64
+}
+
+func (m *Meta) writeHeader(enc *checkpoint.Encoder) {
+	enc.String("FHCK")
+	enc.Uvarint(m.version)
+	enc.U64(m.created)
+}
+
+func (m *Meta) checkHeader(dec *checkpoint.Decoder) {
+	dec.Expect("FHCK")
+	m.version = dec.Uvarint()
+	m.created = dec.U64()
+}
+
+// openBlob is decode-side with no encode counterpart: unpaired decode
+// helpers are validators and stay silent, and their ops splice into
+// callers so Service.Snapshot/Restore below still compare symmetric.
+func openBlob(r io.Reader, m *Meta) (*checkpoint.Decoder, error) {
+	dec := checkpoint.NewDecoder(r)
+	if dec.Kind() == "" {
+		dec.Failf("empty kind")
+	}
+	m.checkHeader(dec)
+	return dec, dec.Err()
+}
+
+type Service struct {
+	meta Meta
+	n    uint64
+	sub  Snapper
+}
+
+func (s *Service) Snapshot(w io.Writer) error {
+	enc := checkpoint.NewEncoder(w)
+	s.meta.writeHeader(enc)
+	enc.Uvarint(s.n)
+	if err := s.sub.SnapshotState(enc); err != nil {
+		return err
+	}
+	return enc.Finish()
+}
+
+func (s *Service) Restore(r io.Reader) error {
+	dec, err := openBlob(r, &s.meta)
+	if err != nil {
+		return err
+	}
+	s.n = dec.Uvarint()
+	if err := s.sub.RestoreState(dec); err != nil {
+		return err
+	}
+	return dec.Finish()
+}
+
+// Pair's encoder grew a field its decoder never learned to read: the
+// classic one-sided addition.
+type Pair struct {
+	a uint64
+	b uint64
+}
+
+func (p *Pair) SnapshotState(enc *checkpoint.Encoder) error { // want `encode/decode asymmetry: SnapshotState writes U64 at step 3 but RestoreState reads <end>`
+	enc.String("pair")
+	enc.Uvarint(p.a)
+	enc.U64(p.b)
+	return enc.Err()
+}
+
+func (p *Pair) RestoreState(dec *checkpoint.Decoder) error {
+	dec.Expect("pair")
+	p.a = dec.Uvarint()
+	return dec.Err()
+}
+
+// Lit writes one tag and expects another.
+type Lit struct{}
+
+func (l *Lit) SnapshotState(enc *checkpoint.Encoder) error { // want `encode/decode asymmetry: SnapshotState writes String\("alpha"\) at step 1 but RestoreState reads String\("beta"\)`
+	enc.String("alpha")
+	return enc.Err()
+}
+
+func (l *Lit) RestoreState(dec *checkpoint.Decoder) error {
+	dec.Expect("beta")
+	return dec.Err()
+}
+
+// Swapped reads its two fields in the opposite order it wrote them.
+type Swapped struct {
+	x uint64
+	y uint64
+}
+
+func (s *Swapped) SnapshotState(enc *checkpoint.Encoder) error { // want `encode/decode asymmetry: SnapshotState writes Uvarint at step 1 but RestoreState reads U64`
+	enc.Uvarint(s.x)
+	enc.U64(s.y)
+	return enc.Err()
+}
+
+func (s *Swapped) RestoreState(dec *checkpoint.Decoder) error {
+	s.y = dec.U64()
+	s.x = dec.Uvarint()
+	return dec.Err()
+}
+
+// Orphan writes state nothing can read back.
+type Orphan struct{ v uint64 }
+
+func (o *Orphan) SnapshotState(enc *checkpoint.Encoder) error { // want `SnapshotState writes 1 checkpoint field\(s\) but has no decode counterpart`
+	enc.U64(o.v)
+	return enc.Err()
+}
+
+// Refusal is the adaptive-engine shape: both sides exist and neither
+// touches a field, which is symmetric.
+type Refusal struct{}
+
+func (r *Refusal) SnapshotState(enc *checkpoint.Encoder) error { return nil }
+func (r *Refusal) RestoreState(dec *checkpoint.Decoder) error  { return nil }

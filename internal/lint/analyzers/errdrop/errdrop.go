@@ -1,9 +1,9 @@
 // Package errdrop flags silently discarded error returns at the engine's
 // lifecycle, delivery and durability boundaries: calls to functions or
-// methods named Offer, Publish, Close, Shutdown, Serve, ListenAndServe,
-// ListenAndServeTLS, Snapshot, SnapshotState, Restore, RestoreState or Sync
-// whose error result is ignored by using the call as a bare statement (or a
-// bare `go` statement). A dropped Offer error loses a post without trace; a
+// methods named Offer, OfferBatch, Swap, Ack, Publish, Close, Shutdown,
+// Serve, ListenAndServe, ListenAndServeTLS, Snapshot, SnapshotState,
+// Restore, RestoreState or Sync whose error result is ignored by using the
+// call as a bare statement (or a bare `go` statement). A dropped Offer error loses a post without trace; a
 // dropped Close error hides an unflushed resource; a dropped Serve error
 // turns a dead listener into a silent hang; a dropped Snapshot, Restore or
 // Sync error turns a failed checkpoint into silent data loss — the file looks
@@ -25,7 +25,7 @@ import (
 // Analyzer is the errdrop analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc:  "flags discarded error returns from Offer, Publish, Close, Shutdown, Serve-family, Snapshot/Restore and Sync call sites",
+	Doc:  "flags discarded error returns from Offer/OfferBatch, Swap, Ack, Publish, Close, Shutdown, Serve-family, Snapshot/Restore and Sync call sites",
 	Run:  run,
 }
 
@@ -33,7 +33,14 @@ var Analyzer = &analysis.Analyzer{
 // Matching is case-insensitive on the first rune so unexported variants
 // (broker.publish) are covered.
 var watchedNames = map[string]bool{
-	"offer":             true,
+	"offer": true,
+	// Batch and handoff variants of the delivery boundary: a dropped
+	// OfferBatch error loses a whole batch, a dropped Swap error strands the
+	// double-buffer mid-exchange, a dropped Ack error un-acknowledges a
+	// delivery the sender believes settled.
+	"offerbatch":        true,
+	"swap":              true,
+	"ack":               true,
 	"publish":           true,
 	"close":             true,
 	"shutdown":          true,

@@ -8,10 +8,18 @@ import "errors"
 
 type conn struct{}
 
-func (c *conn) Close() error              { return errors.New("unflushed") }
-func (c *conn) Offer(v int) (bool, error) { return false, nil }
-func (c *conn) publish(v int) error       { return nil }
-func (c *conn) Flush() error              { return nil }
+func (c *conn) Close() error                     { return errors.New("unflushed") }
+func (c *conn) Offer(v int) (bool, error)        { return false, nil }
+func (c *conn) OfferBatch(vs []int) (int, error) { return 0, nil }
+func (c *conn) Swap(v int) (int, error)          { return 0, nil }
+func (c *conn) Ack(id uint64) error              { return nil }
+func (c *conn) publish(v int) error              { return nil }
+func (c *conn) Flush() error                     { return nil }
+
+// swapOnly's Swap returns a value, not an error; bare calls are fine.
+type swapOnly struct{}
+
+func (s *swapOnly) Swap(v int) int { return v }
 
 type server struct{}
 
@@ -40,6 +48,10 @@ func (q *quiet) Close() {}
 func bad(c *conn, s *server, k *ckpt) {
 	c.Close()             // want `error return of Close is silently discarded`
 	c.Offer(1)            // want `error return of Offer is silently discarded`
+	c.OfferBatch(nil)     // want `error return of OfferBatch is silently discarded`
+	c.Swap(1)             // want `error return of Swap is silently discarded`
+	c.Ack(7)              // want `error return of Ack is silently discarded`
+	go c.Ack(8)           // want `error return of Ack is silently discarded`
 	c.publish(2)          // want `error return of publish is silently discarded`
 	go c.Close()          // want `error return of Close is silently discarded`
 	go s.ListenAndServe() // want `error return of ListenAndServe is silently discarded`
@@ -60,9 +72,14 @@ func goodCkpt(k *ckpt, m *memSnap) error {
 	return k.Snapshot(nil)
 }
 
-func good(c *conn, s *server, q *quiet) error {
+func good(c *conn, s *server, q *quiet, so *swapOnly) error {
 	_ = c.Close()
 	defer c.Close()
+	_ = c.Ack(7)
+	so.Swap(1) // value result, not an error: nothing is dropped.
+	if _, err := c.OfferBatch(nil); err != nil {
+		return err
+	}
 	if err := c.publish(1); err != nil {
 		return err
 	}

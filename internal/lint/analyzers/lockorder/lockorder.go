@@ -1,0 +1,708 @@
+// Package lockorder builds an acquired-before graph over the repo's
+// `// mu guards:`-annotated mutexes and enforces the lock-acquisition
+// discipline the concurrent engines rely on:
+//
+//   - acquiring lock B while holding lock A records the acquired-before edge
+//     A -> B; a cycle among those edges (within a package) is a potential
+//     deadlock and is reported
+//   - acquiring a lock already held through the same expression is an
+//     immediate self-deadlock and is reported
+//   - a lock acquired in a function must be released on every path: holding
+//     it at a return (without a `defer mu.Unlock()`) is reported, which
+//     catches Lock-without-Unlock on branchy paths while leaving the
+//     early-unlock-and-return hot-path idiom (ParallelMultiEngine.Offer)
+//     silent
+//
+// The analysis reuses guardcheck's branch-aware interpretation (Lock/RLock
+// add, Unlock/RUnlock remove, joins intersect, closures start cold) and adds
+// a per-package interprocedural layer: every function gets a summary of the
+// lock classes it may acquire and may still hold when it returns, and calls
+// to same-package functions apply that summary — so the quiesce protocol
+// (quiesce returns holding e.mu; SnapshotState then takes each worker's mu)
+// contributes the ParallelMultiEngine.mu -> parallelWorker.mu edge even
+// though the two acquisitions sit in different functions.
+//
+// Graph nodes are lock classes named `pkg.Struct.mutexField`; the merged
+// graph across every analyzed package is exported through GraphDot and
+// committed as docs/lockgraph.dot, so ordering changes show up in review.
+// Transfer-of-ownership shapes the interpreter cannot see (returning a
+// release closure, unlocking in a deferred closure) need a
+// `//lint:ignore lockorder <reason>` directive.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"firehose/internal/lint/analysis"
+	"firehose/internal/lint/guards"
+)
+
+// Analyzer is the lockorder analysis.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "builds the acquired-before graph over annotated mutexes; reports lock-order cycles, self-deadlocks, and locks still held at return",
+	Run:  run,
+}
+
+// The merged acquired-before graph, accumulated across every package the
+// analyzer runs over in this process. The framework has no cross-package
+// fact mechanism, so the multichecker (and the golden-graph test) read the
+// union here after running the suite; ResetGraph starts a fresh run.
+var (
+	graphMu    sync.Mutex
+	graphNodes = make(map[string]bool)
+	graphEdges = make(map[[2]string]bool)
+)
+
+// ResetGraph clears the accumulated graph before a fresh run.
+func ResetGraph() {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	graphNodes = make(map[string]bool)
+	graphEdges = make(map[[2]string]bool)
+}
+
+// GraphDot renders the accumulated graph in dot form with deterministic
+// ordering, suitable both for `dot -Tsvg` and for golden-file review.
+func GraphDot() string {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	var b strings.Builder
+	b.WriteString("// Acquired-before lock graph over the `// mu guards:`-annotated mutexes,\n")
+	b.WriteString("// observed by firehose-lint's lockorder analyzer. A node is one lock\n")
+	b.WriteString("// class (pkg.Struct.field); an edge A -> B means some code path acquires\n")
+	b.WriteString("// B while holding A, so A must always be taken first. Regenerate with:\n")
+	b.WriteString("//\n")
+	b.WriteString("//\tgo run ./cmd/firehose-lint -lockgraph ./... > docs/lockgraph.dot\n")
+	b.WriteString("digraph lockorder {\n")
+	nodes := make([]string, 0, len(graphNodes))
+	for n := range graphNodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		b.WriteString("\t\"" + n + "\";\n")
+	}
+	edges := make([][2]string, 0, len(graphEdges))
+	for e := range graphEdges {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	for _, e := range edges {
+		b.WriteString("\t\"" + e[0] + "\" -> \"" + e[1] + "\";\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func addGlobalNode(n string) {
+	graphMu.Lock()
+	graphNodes[n] = true
+	graphMu.Unlock()
+}
+
+func addGlobalEdge(from, to string) {
+	graphMu.Lock()
+	graphNodes[from] = true
+	graphNodes[to] = true
+	graphEdges[[2]string{from, to}] = true
+	graphMu.Unlock()
+}
+
+func run(pass *analysis.Pass) error {
+	// guardcheck owns the malformed-annotation diagnostics.
+	info := guards.Collect(pass, nil)
+	if len(info.Mutexes) == 0 {
+		return nil
+	}
+	c := &checker{
+		pass:      pass,
+		guards:    info,
+		summaries: make(map[*types.Func]*summary),
+		decls:     make(map[*types.Func]*ast.FuncDecl),
+		edges:     make(map[[2]string]token.Pos),
+	}
+	for v := range info.Mutexes {
+		addGlobalNode(c.nodeLabel(v))
+	}
+	var order []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			c.decls[obj] = fn
+			c.summaries[obj] = newSummary()
+			order = append(order, obj)
+		}
+	}
+
+	// Interprocedural fixpoint: a summary can grow through calls to other
+	// functions whose summaries grew in a previous round.
+	for range order {
+		changed := false
+		for _, obj := range order {
+			if c.interpret(obj, false) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	c.report = true
+	for _, obj := range order {
+		c.interpret(obj, true)
+	}
+	c.reportCycles()
+	return nil
+}
+
+// lockKey identifies a held acquisition: the textual base expression the
+// mutex is reached through, plus the mutex field name. Inherited holds (from
+// a callee summary) use the node label itself as a synthetic key.
+type lockKey struct {
+	base  string
+	mutex string
+}
+
+// held is one entry of the abstract lock state.
+type held struct {
+	// node is the lock class (`pkg.Struct.field`).
+	node string
+	// syntactic marks locks acquired by a Lock call in this very function;
+	// only those are subject to the released-on-every-path discipline.
+	// Inherited holds (a callee returned still holding, like quiesce) only
+	// feed the acquired-before edges.
+	syntactic bool
+}
+
+type lockState map[lockKey]held
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+func intersect(a, b lockState) lockState {
+	out := make(lockState)
+	for k, v := range a {
+		if _, ok := b[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// summary is what a function's callers need to know: which lock classes it
+// may acquire, and which it may still hold when it returns.
+type summary struct {
+	acquires    map[string]bool
+	holdsAtExit map[string]bool
+}
+
+func newSummary() *summary {
+	return &summary{acquires: make(map[string]bool), holdsAtExit: make(map[string]bool)}
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	guards    *guards.Info
+	summaries map[*types.Func]*summary
+	decls     map[*types.Func]*ast.FuncDecl
+	report    bool
+	// edges are this package's acquired-before edges with a representative
+	// position, for cycle reporting.
+	edges map[[2]string]token.Pos
+
+	// per-interpretation scratch
+	cur          *summary
+	inLit        int
+	deferRelease map[lockKey]bool
+	reportedExit map[lockKey]bool
+	changed      bool
+}
+
+// interpret runs the abstract interpretation over one function. In summary
+// mode it grows the function's summary and reports nothing; in report mode
+// summaries are final and diagnostics fire. Returns whether the summary
+// changed.
+func (c *checker) interpret(obj *types.Func, reporting bool) bool {
+	fn := c.decls[obj]
+	c.cur = c.summaries[obj]
+	c.inLit = 0
+	c.deferRelease = make(map[lockKey]bool)
+	c.reportedExit = make(map[lockKey]bool)
+	c.changed = false
+	st, term := c.scanBlock(fn.Body.List, make(lockState))
+	if !term {
+		c.atExit(st, fn.Body.Rbrace)
+	}
+	return c.changed
+}
+
+// atExit handles one function exit point: locks still held (and not
+// defer-released) flow into the summary and, when acquired syntactically
+// here, violate the released-on-every-path discipline.
+func (c *checker) atExit(st lockState, pos token.Pos) {
+	for key, h := range st {
+		if c.deferRelease[key] {
+			continue
+		}
+		if c.inLit == 0 && !c.cur.holdsAtExit[h.node] {
+			c.cur.holdsAtExit[h.node] = true
+			c.changed = true
+		}
+		if c.report && h.syntactic && !c.reportedExit[key] {
+			c.reportedExit[key] = true
+			c.pass.Reportf(pos, "%s.%s is still held at this return; unlock it on every path or `defer %s.%s.Unlock()` (transfer-of-ownership shapes need a //lint:ignore lockorder directive)",
+				key.base, key.mutex, key.base, key.mutex)
+		}
+	}
+}
+
+func (c *checker) scanBlock(stmts []ast.Stmt, st lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = c.scanStmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) scanStmt(stmt ast.Stmt, st lockState) (lockState, bool) {
+	switch s := stmt.(type) {
+	case nil, *ast.EmptyStmt:
+		return st, false
+	case *ast.ExprStmt:
+		c.scanExpr(s.X, st, true)
+		return st, c.isTerminatingCall(s.X)
+	case *ast.SendStmt:
+		c.scanExpr(s.Chan, st, true)
+		c.scanExpr(s.Value, st, true)
+		return st, false
+	case *ast.IncDecStmt:
+		c.scanExpr(s.X, st, true)
+		return st, false
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.scanExpr(e, st, true)
+		}
+		return st, false
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.scanExpr(v, st, true)
+					}
+				}
+			}
+		}
+		return st, false
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.scanExpr(e, st, true)
+		}
+		c.atExit(st, s.Pos())
+		return st, true
+	case *ast.BranchStmt:
+		return st, true
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at every exit; mark it so atExit treats
+		// the lock as released. Other deferred calls have no effect now.
+		if key, _, locks, ok := c.lockOp(s.Call); ok && !locks {
+			c.deferRelease[key] = true
+		}
+		c.scanExpr(s.Call, st, false)
+		return st, false
+	case *ast.GoStmt:
+		c.scanExpr(s.Call, st, false)
+		return st, false
+	case *ast.BlockStmt:
+		return c.scanBlock(s.List, st)
+	case *ast.LabeledStmt:
+		return c.scanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		c.scanExpr(s.Cond, st, true)
+		thenSt, thenTerm := c.scanBlock(s.Body.List, st.clone())
+		elseSt, elseTerm := st, false
+		if s.Else != nil {
+			elseSt, elseTerm = c.scanStmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return intersect(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.scanExpr(s.Cond, st, true)
+		}
+		bodySt, bodyTerm := c.scanBlock(s.Body.List, st.clone())
+		if s.Post != nil {
+			c.scanStmt(s.Post, bodySt)
+		}
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.RangeStmt:
+		c.scanExpr(s.X, st, true)
+		bodySt, bodyTerm := c.scanBlock(s.Body.List, st.clone())
+		if bodyTerm {
+			return st, false
+		}
+		return intersect(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.scanExpr(s.Tag, st, true)
+		}
+		return c.scanClauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.scanStmt(s.Init, st)
+		}
+		c.scanStmt(s.Assign, st)
+		return c.scanClauses(s.Body.List, st, hasDefaultClause(s.Body.List))
+	case *ast.SelectStmt:
+		return c.scanClauses(s.Body.List, st, true)
+	default:
+		return st, false
+	}
+}
+
+func (c *checker) scanClauses(clauses []ast.Stmt, st lockState, exhaustive bool) (lockState, bool) {
+	var exits []lockState
+	for _, cl := range clauses {
+		clSt := st.clone()
+		var body []ast.Stmt
+		switch cc := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cc.List {
+				c.scanExpr(e, clSt, true)
+			}
+			body = cc.Body
+		case *ast.CommClause:
+			if cc.Comm != nil {
+				clSt, _ = c.scanStmt(cc.Comm, clSt)
+			}
+			body = cc.Body
+		}
+		exit, term := c.scanBlock(body, clSt)
+		if !term {
+			exits = append(exits, exit)
+		}
+	}
+	if !exhaustive {
+		exits = append(exits, st)
+	}
+	if len(exits) == 0 {
+		return st, true
+	}
+	merged := exits[0]
+	for _, e := range exits[1:] {
+		merged = intersect(merged, e)
+	}
+	return merged, false
+}
+
+func hasDefaultClause(clauses []ast.Stmt) bool {
+	for _, cl := range clauses {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// scanExpr walks one expression, applying lock operations and same-package
+// call summaries when effects is true. Function literals are interpreted
+// cold (a closure may run outside the critical section); their exits do not
+// feed the enclosing function's summary.
+func (c *checker) scanExpr(e ast.Expr, st lockState, effects bool) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.inLit++
+			c.scanBlock(x.Body.List, make(lockState))
+			c.inLit--
+			return false
+		case *ast.CallExpr:
+			if key, v, locks, ok := c.lockOp(x); ok {
+				if effects {
+					c.applyLockOp(x, key, v, locks, st)
+				}
+				return false
+			}
+			if effects {
+				if f := c.callee(x); f != nil {
+					if sum, ok := c.summaries[f]; ok {
+						c.applyCall(x, sum, st)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (c *checker) applyLockOp(call *ast.CallExpr, key lockKey, v *types.Var, locks bool, st lockState) {
+	if !locks {
+		delete(st, key)
+		return
+	}
+	node := c.nodeLabel(v)
+	if _, dup := st[key]; dup && c.report {
+		c.pass.Reportf(call.Pos(), "%s.%s is acquired while already held through the same expression: guaranteed self-deadlock", key.base, key.mutex)
+	}
+	for _, h := range st {
+		if h.node != node {
+			c.addEdge(h.node, node, call.Pos())
+		}
+	}
+	st[key] = held{node: node, syntactic: true}
+	if c.inLit == 0 && !c.cur.acquires[node] {
+		c.cur.acquires[node] = true
+		c.changed = true
+	}
+}
+
+// applyCall folds a same-package callee's summary into the caller: edges
+// from everything held here to everything the callee may acquire, and
+// inherited holds for locks the callee keeps past its return (quiesce).
+func (c *checker) applyCall(call *ast.CallExpr, sum *summary, st lockState) {
+	for node := range sum.acquires {
+		for _, h := range st {
+			if h.node != node {
+				c.addEdge(h.node, node, call.Pos())
+			}
+		}
+		if c.inLit == 0 && !c.cur.acquires[node] {
+			c.cur.acquires[node] = true
+			c.changed = true
+		}
+	}
+	for node := range sum.holdsAtExit {
+		key := lockKey{base: "\x00summary", mutex: node}
+		if _, ok := st[key]; !ok {
+			st[key] = held{node: node, syntactic: false}
+		}
+	}
+}
+
+func (c *checker) addEdge(from, to string, pos token.Pos) {
+	if !c.report {
+		return
+	}
+	e := [2]string{from, to}
+	if _, ok := c.edges[e]; !ok {
+		c.edges[e] = pos
+	}
+	addGlobalEdge(from, to)
+}
+
+// reportCycles finds cycles among this package's acquired-before edges. Each
+// distinct cycle is reported once, anchored at its lexicographically
+// greatest edge (typically the site that reversed an established order).
+func (c *checker) reportCycles() {
+	if len(c.edges) == 0 {
+		return
+	}
+	adj := make(map[string][]string)
+	for e := range c.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	for _, succ := range adj {
+		sort.Strings(succ)
+	}
+	edges := make([][2]string, 0, len(c.edges))
+	for e := range c.edges {
+		edges = append(edges, e)
+	}
+	// Descending order, so the greatest edge of a cycle claims the report.
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] > edges[j][0]
+		}
+		return edges[i][1] > edges[j][1]
+	})
+	seen := make(map[string]bool)
+	for _, e := range edges {
+		path := findPath(adj, e[1], e[0])
+		if path == nil {
+			continue
+		}
+		cycle := append([]string{e[0]}, path...)
+		sig := cycleSig(cycle[:len(cycle)-1])
+		if seen[sig] {
+			continue
+		}
+		seen[sig] = true
+		c.pass.Reportf(c.edges[e], "lock-order cycle: %s; these mutexes are acquired in inconsistent order on different paths, which can deadlock", strings.Join(cycle, " -> "))
+	}
+}
+
+// findPath returns a shortest node path from -> ... -> to, or nil.
+func findPath(adj map[string][]string, from, to string) []string {
+	if from == to {
+		return []string{from}
+	}
+	parent := map[string]string{from: ""}
+	queue := []string{from}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range adj[n] {
+			if _, ok := parent[next]; ok {
+				continue
+			}
+			parent[next] = n
+			if next == to {
+				var path []string
+				for cur := to; cur != ""; cur = parent[cur] {
+					path = append([]string{cur}, path...)
+				}
+				return path
+			}
+			queue = append(queue, next)
+		}
+	}
+	return nil
+}
+
+// cycleSig canonicalizes a cycle (no repeated endpoint) by rotating it to
+// start at its smallest node.
+func cycleSig(nodes []string) string {
+	if len(nodes) == 0 {
+		return ""
+	}
+	min := 0
+	for i, n := range nodes {
+		if n < nodes[min] {
+			min = i
+		}
+	}
+	rotated := append(append([]string{}, nodes[min:]...), nodes[:min]...)
+	return strings.Join(rotated, "|")
+}
+
+// lockOp recognizes x.mu.Lock()/Unlock()/RLock()/RUnlock() on an annotated
+// mutex, returning the state key and the mutex field object.
+func (c *checker) lockOp(call *ast.CallExpr) (lockKey, *types.Var, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, nil, false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+		locks = false
+	default:
+		return lockKey{}, nil, false, false
+	}
+	mutexSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, nil, false, false
+	}
+	v := c.fieldObj(mutexSel)
+	if v == nil || !c.guards.Mutexes[v] {
+		return lockKey{}, nil, false, false
+	}
+	return lockKey{base: types.ExprString(ast.Unparen(mutexSel.X)), mutex: mutexSel.Sel.Name}, v, locks, true
+}
+
+// nodeLabel names a lock class after the struct declaring the mutex field.
+func (c *checker) nodeLabel(v *types.Var) string {
+	if owner := c.guards.Owner[v]; owner != nil {
+		pkg := c.pass.Pkg.Name()
+		if owner.Pkg() != nil {
+			pkg = owner.Pkg().Name()
+		}
+		return pkg + "." + owner.Name() + "." + v.Name()
+	}
+	return c.pass.Pkg.Name() + ".?." + v.Name()
+}
+
+// callee resolves a call to a function or method declared in this package.
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[fun.Sel]
+	}
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return f
+}
+
+func (c *checker) fieldObj(sel *ast.SelectorExpr) *types.Var {
+	s, ok := c.pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+func (c *checker) isTerminatingCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		_, builtin := c.pass.TypesInfo.Uses[fun].(*types.Builtin)
+		return builtin && fun.Name == "panic"
+	case *ast.SelectorExpr:
+		obj := c.pass.TypesInfo.Uses[fun.Sel]
+		if obj == nil || obj.Pkg() == nil {
+			return false
+		}
+		switch obj.Pkg().Path() + "." + obj.Name() {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,3 @@
+module locktest
+
+go 1.22

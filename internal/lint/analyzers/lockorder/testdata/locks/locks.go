@@ -1,0 +1,80 @@
+// Package locks seeds lockorder violations next to the clean shapes they
+// must not flag: a two-lock cycle, a self-deadlock, a branchy path that
+// leaks a lock at return, and the sanctioned idioms (defer unlock,
+// early-unlock-and-return) staying silent.
+package locks
+
+import "sync"
+
+type A struct {
+	// mu guards: n
+	mu sync.Mutex
+	n  int
+}
+
+type B struct {
+	// mu guards: n
+	mu sync.Mutex
+	n  int
+}
+
+// lockBoth establishes the A-before-B order; on its own this is clean.
+func lockBoth(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// lockBothReversed acquires in the opposite order, closing the cycle; the
+// report anchors on the edge that reversed the established order.
+func lockBothReversed(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock() // want `lock-order cycle: locks\.B\.mu -> locks\.A\.mu -> locks\.B\.mu`
+	defer a.mu.Unlock()
+	a.n++
+	b.n++
+}
+
+// doubleLock re-acquires a mutex it already holds.
+func doubleLock(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `acquired while already held .* self-deadlock`
+	a.n++
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// leak unlocks on the hot path but not on the slow one.
+func leak(a *A, hot bool) int {
+	a.mu.Lock()
+	if hot {
+		n := a.n
+		a.mu.Unlock()
+		return n
+	}
+	return a.n // want `a\.mu is still held at this return`
+}
+
+// earlyUnlock is the sanctioned hot-path idiom: every path unlocks.
+func earlyUnlock(a *A, hot bool) int {
+	a.mu.Lock()
+	if hot {
+		n := a.n
+		a.mu.Unlock()
+		return n
+	}
+	n := a.n
+	a.mu.Unlock()
+	return n
+}
+
+// deferred is the easiest clean shape.
+func deferred(a *A) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}

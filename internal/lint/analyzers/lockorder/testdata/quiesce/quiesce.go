@@ -1,0 +1,56 @@
+// Package quiesce mirrors the parallel engine's quiesce protocol: a helper
+// acquires the engine lock and transfers ownership to its caller by
+// returning the release func. The helper itself trips the held-at-return
+// discipline (the real tree carries a reasoned //lint:ignore there); its
+// summary then makes callers' later acquisitions contribute
+// engine-before-worker edges even though the two Lock calls live in
+// different functions.
+package quiesce
+
+import "sync"
+
+type Engine struct {
+	// mu guards: state
+	mu    sync.Mutex
+	state int
+}
+
+type Worker struct {
+	// mu guards: md
+	mu sync.Mutex
+	md int
+}
+
+// acquire returns holding e.mu: ownership transfers to the caller through
+// the returned release func, which the interpreter cannot see.
+func acquire(e *Engine) func() {
+	e.mu.Lock()
+	e.state++
+	return e.mu.Unlock // want `e\.mu is still held at this return`
+}
+
+// snapshot inherits the engine lock from acquire's summary, so taking each
+// worker's mu records the Engine.mu -> Worker.mu acquired-before edge.
+// Inherited holds are exempt from the held-at-return discipline: no finding
+// here.
+func snapshot(e *Engine, ws []*Worker) int {
+	release := acquire(e)
+	defer release()
+	total := 0
+	for _, w := range ws {
+		w.mu.Lock()
+		total += w.md
+		w.mu.Unlock()
+	}
+	return total
+}
+
+// reversed takes a worker's mu and then the engine's through acquire's
+// summary: that closes the cycle against snapshot's order.
+func reversed(e *Engine, w *Worker) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	release := acquire(e) // want `lock-order cycle: quiesce\.Worker\.mu -> quiesce\.Engine\.mu -> quiesce\.Worker\.mu`
+	defer release()
+	w.md++
+}

@@ -45,6 +45,11 @@ type Info struct {
 	Guarded map[*types.Var]Guard
 	// Mutexes holds the field objects of every annotated mutex.
 	Mutexes map[*types.Var]bool
+	// Owner maps each annotated mutex field to the struct type that declares
+	// it, so analyses that reason about lock identity (lockorder's
+	// acquired-before graph) can name a lock class `pkg.Struct.mutexField`
+	// independent of the expression it was reached through.
+	Owner map[*types.Var]*types.TypeName
 }
 
 // annotationRE matches one grammar line after comment markers are stripped.
@@ -59,6 +64,7 @@ func Collect(pass *analysis.Pass, report func(analysis.Diagnostic)) *Info {
 	info := &Info{
 		Guarded: make(map[*types.Var]Guard),
 		Mutexes: make(map[*types.Var]bool),
+		Owner:   make(map[*types.Var]*types.TypeName),
 	}
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
@@ -117,6 +123,9 @@ func collectStruct(pass *analysis.Pass, info *Info, ts *ast.TypeSpec, st *ast.St
 					continue
 				}
 				info.Mutexes[mutexVar] = true
+				if tn != nil {
+					info.Owner[mutexVar] = tn
+				}
 				for _, name := range strings.Split(list, ", ") {
 					ident, ok := fieldIdents[name]
 					if !ok {

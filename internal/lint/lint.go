@@ -15,8 +15,11 @@ import (
 	"strings"
 
 	"firehose/internal/lint/analysis"
+	"firehose/internal/lint/analyzers/aliascheck"
+	"firehose/internal/lint/analyzers/codecsym"
 	"firehose/internal/lint/analyzers/errdrop"
 	"firehose/internal/lint/analyzers/guardcheck"
+	"firehose/internal/lint/analyzers/lockorder"
 	"firehose/internal/lint/analyzers/nowcheck"
 	"firehose/internal/lint/analyzers/observecheck"
 	"firehose/internal/lint/analyzers/snapshotcheck"
@@ -31,7 +34,22 @@ func Suite() []*analysis.Analyzer {
 		nowcheck.Analyzer,
 		snapshotcheck.Analyzer,
 		errdrop.Analyzer,
+		aliascheck.Analyzer,
+		lockorder.Analyzer,
+		codecsym.Analyzer,
 	}
+}
+
+// LockGraph runs only the lockorder analyzer over pkgs (discarding
+// diagnostics) and returns the accumulated acquired-before graph in dot
+// form. The graph is process-global in the lockorder package, so the
+// accumulator is reset first: the dump reflects exactly the packages given.
+func LockGraph(fset *token.FileSet, pkgs []*loader.Package) (string, error) {
+	lockorder.ResetGraph()
+	if _, err := Run(fset, pkgs, []*analysis.Analyzer{lockorder.Analyzer}); err != nil {
+		return "", err
+	}
+	return lockorder.GraphDot(), nil
 }
 
 // Finding is one unsuppressed diagnostic, resolved to a file position.

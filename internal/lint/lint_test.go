@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"go/token"
+	"os"
 	"strings"
 	"testing"
 
@@ -28,8 +29,10 @@ func TestSuiteCleanOnRepo(t *testing.T) {
 }
 
 // TestIgnoreDirective checks both halves of the suppression contract: a
-// reasoned //lint:ignore silences the named analyzer, and a reason-less one
-// suppresses nothing while being reported itself.
+// reasoned //lint:ignore silences the named analyzer — exercised once per
+// dataflow analyzer (aliascheck, lockorder, codecsym) plus guardcheck in the
+// testdata module — and a reason-less one suppresses nothing while being
+// reported itself. Exactly the two unsuppressed findings must survive.
 func TestIgnoreDirective(t *testing.T) {
 	fset := token.NewFileSet()
 	pkgs, err := loader.Load(fset, "testdata", "./...")
@@ -57,6 +60,54 @@ func TestIgnoreDirective(t *testing.T) {
 	}
 	if !sawUnsuppressed {
 		t.Errorf("the reason-less directive must not suppress the guardcheck finding:\n%s", format(findings))
+	}
+}
+
+// TestRosterPinned keeps the committed analyzer roster in sync with the
+// suite: CI diffs `firehose-lint -list` against docs/lint-roster.txt, and
+// this test fails first (with a better message) when an analyzer is added or
+// removed without updating the roster.
+func TestRosterPinned(t *testing.T) {
+	data, err := os.ReadFile("../../docs/lint-roster.txt")
+	if err != nil {
+		t.Fatalf("reading roster: %v", err)
+	}
+	var want []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line = strings.TrimSpace(line); line != "" && !strings.HasPrefix(line, "#") {
+			want = append(want, line)
+		}
+	}
+	var got []string
+	for _, a := range lint.Suite() {
+		got = append(got, a.Name)
+	}
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("suite roster drifted from docs/lint-roster.txt:\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}
+
+// TestLockGraphGolden regenerates the whole-program lock acquired-before
+// graph and compares it to the committed artifact, so every change to the
+// locking structure shows up as a reviewable docs/lockgraph.dot diff
+// (regenerate with `make lockgraph`).
+func TestLockGraphGolden(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, "../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repo: %v", err)
+	}
+	dot, err := lint.LockGraph(fset, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../docs/lockgraph.dot")
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if dot != string(golden) {
+		t.Errorf("lock graph drifted from docs/lockgraph.dot; regenerate with `make lockgraph`\ngot:\n%s\ngolden:\n%s", dot, golden)
 	}
 }
 

@@ -1,0 +1,19 @@
+// Package checkpoint gives the ignore-directive module a codec surface for
+// codecsym (recognized by the internal/checkpoint import-path suffix).
+package checkpoint
+
+import "io"
+
+type Encoder struct{ w io.Writer }
+
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+func (e *Encoder) U64(v uint64) {}
+func (e *Encoder) Err() error   { return nil }
+
+type Decoder struct{ r io.Reader }
+
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+func (d *Decoder) U64() uint64 { return 0 }
+func (d *Decoder) Err() error  { return nil }

@@ -1,0 +1,17 @@
+// Package core gives the ignore-directive module an aliascheck source: any
+// Offer declared under an internal/core suffix returning a slice is
+// scratch.
+package core
+
+type Post struct{ ID int }
+
+type MultiUser struct {
+	users []int32
+}
+
+// Offer returns per-instance scratch, valid until the next Offer.
+func (m *MultiUser) Offer(p *Post) []int32 {
+	m.users = m.users[:0]
+	m.users = append(m.users, int32(p.ID))
+	return m.users
+}

@@ -119,6 +119,7 @@ func (e *ParallelMultiEngine) quiesce() (release func(), err error) {
 	for _, b := range barriers {
 		<-b
 	}
+	//lint:ignore lockorder quiesce transfers e.mu ownership to the caller via the returned release func; SnapshotState defers it
 	return e.mu.Unlock, nil
 }
 
