@@ -45,7 +45,7 @@ func metaFor(algorithm string, g *AuthorGraph, subscriptions [][]AuthorID, cfgs 
 		for i := range b {
 			b[i] = byte(v >> (8 * i))
 		}
-		h.Write(b[:])
+		_, _ = h.Write(b[:]) // hash.Hash.Write never fails
 	}
 	for _, cfg := range cfgs {
 		w64(uint64(cfg.LambdaC))

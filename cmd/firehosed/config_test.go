@@ -1,0 +1,173 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firehose/internal/connector"
+)
+
+// loadConfig is the daemon's whole command-line contract: the deprecated
+// flags fold into the same connector.Config the -config file decodes into,
+// and both funnel through Validate. These tests pin that contract per flag —
+// a bad value must fail at startup with a message naming the config knob.
+
+func TestLoadConfigDefaults(t *testing.T) {
+	cfg, err := loadConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := connector.DefaultConfig()
+	if cfg.HTTP.Addr != want.HTTP.Addr || cfg.Engine.Algorithm != want.Engine.Algorithm ||
+		cfg.Engine.LambdaC != want.Engine.LambdaC || cfg.Input.Type != connector.InputHTTP {
+		t.Fatalf("no flags should yield the defaults, got %+v", cfg)
+	}
+	if len(cfg.Outputs) != 1 || cfg.Outputs[0].Type != connector.OutputSSE {
+		t.Fatalf("default outputs = %+v, want the single sse output", cfg.Outputs)
+	}
+}
+
+// TestLoadConfigFoldsFlags: every deprecated flag lands on its config field,
+// durations in milliseconds.
+func TestLoadConfigFoldsFlags(t *testing.T) {
+	cfg, err := loadConfig([]string{
+		"-addr", ":9090",
+		"-authors", "40", "-seed", "7",
+		"-alg", "neighborbin", "-workers", "2", "-lambda-c", "20", "-index", "off",
+		"-drain", "3s", "-pprof",
+		"-checkpoint-dir", "/tmp/ckpt", "-checkpoint-interval", "5s", "-checkpoint-retain", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HTTP.Addr != ":9090" || !cfg.HTTP.PProf || cfg.HTTP.DrainMillis != 3000 {
+		t.Fatalf("http flags not folded: %+v", cfg.HTTP)
+	}
+	e := cfg.Engine
+	if e.Authors != 40 || e.Seed != 7 || e.Algorithm != "neighborbin" ||
+		e.Workers != 2 || e.LambdaC != 20 || e.Index != "off" {
+		t.Fatalf("engine flags not folded: %+v", e)
+	}
+	if e.Checkpoint.Dir != "/tmp/ckpt" || e.Checkpoint.IntervalMillis != 5000 || e.Checkpoint.Retain != 2 {
+		t.Fatalf("checkpoint flags not folded: %+v", e.Checkpoint)
+	}
+}
+
+func TestLoadConfigFoldsAdaptiveFlags(t *testing.T) {
+	cfg, err := loadConfig([]string{
+		"-adaptive-budget", "10", "-adaptive-window", "30s",
+		"-adaptive-max-lambda-c", "26", "-adaptive-max-lambda-t", "1h",
+		"-adaptive-step-lambda-c", "3", "-adaptive-step-lambda-t", "10m",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cfg.Engine.Adaptive
+	if a.BudgetPosts != 10 || a.WindowMillis != 30_000 ||
+		a.MaxLambdaC != 26 || a.MaxLambdaTMillis != 3_600_000 ||
+		a.StepLambdaC != 3 || a.StepLambdaTMillis != 600_000 {
+		t.Fatalf("adaptive flags not folded: %+v", a)
+	}
+}
+
+// TestLoadConfigRejects: one case per misusable flag; each error must name
+// the offending knob so the operator can find it.
+func TestLoadConfigRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"positional argument", []string{"whoops"}, `unexpected argument "whoops"`},
+		{"empty addr", []string{"-addr", ""}, "http.addr must not be empty"},
+		{"zero drain", []string{"-drain", "0s"}, "http.drain_millis must be positive"},
+		{"negative drain", []string{"-drain", "-5ms"}, "http.drain_millis must be positive"},
+		{"bad algorithm", []string{"-alg", "quantum"}, "engine.algorithm must be unibin, neighborbin or cliquebin"},
+		{"bad index policy", []string{"-index", "sideways"}, "engine.index must be auto, on or off"},
+		{"negative workers", []string{"-workers", "-1"}, "engine.workers must be non-negative"},
+		{"zero authors", []string{"-authors", "0"}, "engine.authors must be positive"},
+		{"negative retain", []string{"-checkpoint-retain", "-1"}, "engine.checkpoint.retain must be non-negative"},
+		{"negative interval", []string{"-checkpoint-interval", "-1s"}, "engine.checkpoint.interval_millis must be non-negative"},
+		{"adaptive steps both zero", []string{
+			"-adaptive-budget", "5", "-adaptive-step-lambda-c", "0", "-adaptive-step-lambda-t", "0s",
+		}, "step_lambda_c or step_lambda_t_millis"},
+		{"adaptive plus checkpoint", []string{
+			"-adaptive-budget", "5", "-checkpoint-dir", "/tmp/x",
+		}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := loadConfig(tc.args)
+			if err == nil {
+				t.Fatalf("loadConfig(%v) succeeded", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestLoadConfigExclusiveWithFlags: -config refuses to merge with the
+// deprecated flags and names the first offender.
+func TestLoadConfigExclusiveWithFlags(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pipeline.json")
+	if err := os.WriteFile(path, []byte(`{"name": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := loadConfig([]string{"-config", path, "-addr", ":1"})
+	if err == nil {
+		t.Fatal("-config plus -addr accepted")
+	}
+	if !strings.Contains(err.Error(), "mutually exclusive") || !strings.Contains(err.Error(), "-addr") {
+		t.Fatalf("error %q should name the conflicting flag", err)
+	}
+}
+
+// TestLoadConfigFile: the -config path returns the loaded document, and its
+// validation errors carry the file name.
+func TestLoadConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	doc := `{
+		"input": {"type": "tcp", "addr": "127.0.0.1:0"},
+		"outputs": [{"type": "sse"}]
+	}`
+	if err := os.WriteFile(good, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := loadConfig([]string{"-config", good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Input.Type != connector.InputTCP || cfg.Input.Addr != "127.0.0.1:0" {
+		t.Fatalf("config file not applied: %+v", cfg.Input)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"engine": {"algorithm": "bogus"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadConfig([]string{"-config", bad}); err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("bad config error %v does not name the file", err)
+	}
+}
+
+// TestLoadConfigFlagsMatchConfigMessages: the same mistake made through a
+// flag and through a config file produces the same validation message — both
+// paths share Validate.
+func TestLoadConfigFlagsMatchConfigMessages(t *testing.T) {
+	_, flagErr := loadConfig([]string{"-checkpoint-retain", "-1"})
+	if flagErr == nil {
+		t.Fatal("flag path accepted a negative retain")
+	}
+	_, cfgErr := connector.Parse([]byte(`{"engine": {"checkpoint": {"retain": -1}}}`))
+	if cfgErr == nil {
+		t.Fatal("config path accepted a negative retain")
+	}
+	if flagErr.Error() != cfgErr.Error() {
+		t.Fatalf("paths diverge:\n flag: %v\n json: %v", flagErr, cfgErr)
+	}
+}

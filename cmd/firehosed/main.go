@@ -3,42 +3,52 @@
 // engine diversifies the timeline of every user so clients need no
 // post-processing.
 //
+// The daemon runs one connector pipeline: input → engine → outputs.
+// Declaratively, via -config pipeline.json (see internal/connector.Config for
+// the schema):
+//
+//	{
+//	  "input":   {"type": "file", "path": "posts.ndjson", "tail": true},
+//	  "engine":  {"algorithm": "unibin", "checkpoint": {"dir": "/var/lib/firehose"}},
+//	  "outputs": [{"type": "sse"}, {"type": "webhook", "url": "https://sink.example/posts"}]
+//	}
+//
+// Or through the historical flags, which remain as deprecated aliases for the
+// default http-push → sse pipeline; -config and the other flags are mutually
+// exclusive. Either way the config is strictly validated: unknown fields,
+// fields foreign to a plugin type, and out-of-range values are all startup
+// errors.
+//
 // Endpoints (canonical paths are versioned under /v1; the unversioned
 // aliases are deprecated but still served):
 //
 //	POST /v1/ingest {"author":12,"text":"...","timeMillis":1458000000000}
 //	                → {"delivered":[0,7,19]} (users whose timeline got the post)
+//	                (503 ingest_disabled when a file/tcp input owns the stream)
 //	POST /v1/ingest/batch
 //	                {"posts":[{"author":12,...},...]} (time-ordered)
 //	                → {"results":[{"id":1,"delivered":[...]},...]} in batch order
 //	GET  /v1/timeline?user=7&n=20
 //	                → {"user":7,"posts":[{...},...]}
 //	GET  /v1/stats  → cost counters
-//	GET  /v1/metrics → Prometheus text exposition (decision latency, worker queues, SSE)
+//	GET  /v1/metrics → Prometheus text exposition (decision latency, worker
+//	                queues, SSE, firehose_connector_* pipeline counters)
 //	GET  /v1/healthz → ok
-//	POST /v1/admin/checkpoint   → write a checkpoint now (needs -checkpoint-dir)
+//	POST /v1/admin/checkpoint   → write a checkpoint now (needs a checkpoint dir)
 //	GET  /v1/admin/checkpoints  → list retained checkpoints
 //
-// With -adaptive-budget N the daemon wraps the solver in the adaptive
-// per-user threshold controller: each user's delivery rate is held near N
-// posts per -adaptive-window by tightening the user's effective λc/λt under
-// flood (capped by -adaptive-max-lambda-c/-t) and relaxing back toward the
-// baseline when demand subsides. /v1/metrics then exposes per-user
-// firehose_adaptive_* gauges. Controller state is a re-convergent transient
-// and does not checkpoint, so -adaptive-budget and -checkpoint-dir are
-// mutually exclusive.
+// With a checkpoint directory the daemon restores at boot, writes a
+// checkpoint at every interval tick and one at shutdown, and retains the
+// newest N files. Durable inputs (file) resume exactly at the restored
+// checkpoint's watermark: the input's ack cursor only advances when a
+// durable checkpoint covers the acked posts, so a SIGKILLed daemon replays
+// the un-checkpointed suffix with identical ids and deliveries —
+// at-least-once egress with the post id as the dedup key.
 //
-// With -checkpoint-dir the daemon restores the newest checkpoint at boot,
-// writes one at every -checkpoint-interval tick and one at shutdown, and
-// retains the newest -checkpoint-retain files. A SIGKILLed daemon restarted
-// on the same directory resumes from the last completed checkpoint.
-//
-// The process shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// finish, open SSE streams are closed, and the listener drains within a
-// bounded timeout.
-//
-// For demonstration the author universe and subscriptions are synthetic
-// (seeded); a production deployment would load its own follower graph.
+// The process shuts down gracefully on SIGINT/SIGTERM: the input stops
+// first, a final checkpoint is written (advancing the ack cursor), in-flight
+// requests finish, open SSE streams are closed, the listener drains within a
+// bounded timeout, and the outputs flush last.
 package main
 
 import (
@@ -57,6 +67,7 @@ import (
 
 	"firehose/internal/authorsim"
 	"firehose/internal/checkpoint"
+	"firehose/internal/connector"
 	"firehose/internal/core"
 	"firehose/internal/corpusio"
 	"firehose/internal/httpapi"
@@ -65,58 +76,110 @@ import (
 )
 
 func main() {
-	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		authors   = flag.Int("authors", 500, "number of authors (= users)")
-		seed      = flag.Int64("seed", 1, "generation seed")
-		algName   = flag.String("alg", "unibin", "unibin | neighborbin | cliquebin")
-		lambdaC   = flag.Int("lambda-c", 18, "content threshold λc: max SimHash Hamming distance in bits")
-		indexPol  = flag.String("index", "auto", "content-index policy: auto | on | off (auto indexes UniBin's global bin when λc permits; on forces the index everywhere and rejects infeasible λc; off always scans)")
-		followees = flag.String("followees", "", "load followee vectors from this JSONL file instead of generating")
-		drain     = flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
-		workers   = flag.Int("workers", 0, "parallel decision workers sharded by author component (0 = NumCPU, 1 = sequential engine)")
-		pprofOn   = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
-		ckptDir   = flag.String("checkpoint-dir", "", "durable checkpoint directory; enables restore-on-boot and /v1/admin/checkpoint")
-		ckptEvery = flag.Duration("checkpoint-interval", 0, "periodic checkpoint interval (0 = on demand and at shutdown only)")
-		ckptKeep  = flag.Int("checkpoint-retain", 3, "checkpoints kept after each write (0 = keep all)")
-
-		adBudget = flag.Int("adaptive-budget", 0, "per-user delivery budget per window; enables the adaptive threshold controller (0 = off)")
-		adWindow = flag.Duration("adaptive-window", time.Minute, "adaptive budget accounting window (stream time)")
-		adMaxC   = flag.Int("adaptive-max-lambda-c", 28, "adaptive cap on the effective λc, in bits")
-		adMaxT   = flag.Duration("adaptive-max-lambda-t", 2*time.Hour, "adaptive cap on the effective λt")
-		adStepC  = flag.Int("adaptive-step-lambda-c", 2, "adaptive per-adjustment λc increment, in bits")
-		adStepT  = flag.Duration("adaptive-step-lambda-t", 15*time.Minute, "adaptive per-adjustment λt increment")
-	)
-	flag.Parse()
-
-	var alg core.Algorithm
-	switch *algName {
-	case "unibin":
-		alg = core.AlgUniBin
-	case "neighborbin":
-		alg = core.AlgNeighborBin
-	case "cliquebin":
-		alg = core.AlgCliqueBin
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -alg %q\n", *algName)
+	cfg, err := loadConfig(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "firehosed: %v\n", err)
 		os.Exit(2)
 	}
+	if err := runDaemon(cfg); err != nil {
+		log.Fatalf("firehosed: %v", err)
+	}
+}
 
+// loadConfig turns a command line into a validated pipeline config: either
+// -config <file> (the declarative path) or the deprecated flag aliases, which
+// overlay the same defaults. The two are mutually exclusive, and both funnel
+// through connector.Config.Validate, so they reject the same mistakes with
+// the same messages.
+func loadConfig(args []string) (*connector.Config, error) {
+	def := connector.DefaultConfig()
+	fs := flag.NewFlagSet("firehosed", flag.ContinueOnError)
 	var (
-		fs   [][]int32
-		subs [][]int32
+		configPath = fs.String("config", "", "pipeline config file (JSON: input → engine → outputs); mutually exclusive with every other flag")
+
+		addr      = fs.String("addr", def.HTTP.Addr, "deprecated alias of http.addr: listen address")
+		authors   = fs.Int("authors", def.Engine.Authors, "deprecated alias of engine.authors: number of authors (= users)")
+		seed      = fs.Int64("seed", def.Engine.Seed, "deprecated alias of engine.seed: generation seed")
+		algName   = fs.String("alg", def.Engine.Algorithm, "deprecated alias of engine.algorithm: unibin | neighborbin | cliquebin")
+		lambdaC   = fs.Int("lambda-c", def.Engine.LambdaC, "deprecated alias of engine.lambda_c: content threshold λc in bits")
+		indexPol  = fs.String("index", def.Engine.Index, "deprecated alias of engine.index: content-index policy auto | on | off")
+		followees = fs.String("followees", "", "deprecated alias of engine.followees_path: load followee vectors from this JSONL file")
+		drain     = fs.Duration("drain", time.Duration(def.HTTP.DrainMillis)*time.Millisecond, "deprecated alias of http.drain_millis: graceful shutdown timeout")
+		workers   = fs.Int("workers", def.Engine.Workers, "deprecated alias of engine.workers: parallel decision workers (0 = NumCPU, 1 = sequential)")
+		pprofOn   = fs.Bool("pprof", def.HTTP.PProf, "deprecated alias of http.pprof: expose net/http/pprof under /debug/pprof/")
+		ckptDir   = fs.String("checkpoint-dir", def.Engine.Checkpoint.Dir, "deprecated alias of engine.checkpoint.dir: durable checkpoint directory")
+		ckptEvery = fs.Duration("checkpoint-interval", time.Duration(def.Engine.Checkpoint.IntervalMillis)*time.Millisecond, "deprecated alias of engine.checkpoint.interval_millis: periodic checkpoint interval (0 = on demand only)")
+		ckptKeep  = fs.Int("checkpoint-retain", def.Engine.Checkpoint.Retain, "deprecated alias of engine.checkpoint.retain: checkpoints kept after each write (0 = keep all)")
+
+		adBudget = fs.Int("adaptive-budget", def.Engine.Adaptive.BudgetPosts, "deprecated alias of engine.adaptive.budget_posts: per-user delivery budget per window (0 = off)")
+		adWindow = fs.Duration("adaptive-window", time.Duration(def.Engine.Adaptive.WindowMillis)*time.Millisecond, "deprecated alias of engine.adaptive.window_millis: budget accounting window (stream time)")
+		adMaxC   = fs.Int("adaptive-max-lambda-c", def.Engine.Adaptive.MaxLambdaC, "deprecated alias of engine.adaptive.max_lambda_c: cap on the effective λc, in bits")
+		adMaxT   = fs.Duration("adaptive-max-lambda-t", time.Duration(def.Engine.Adaptive.MaxLambdaTMillis)*time.Millisecond, "deprecated alias of engine.adaptive.max_lambda_t_millis: cap on the effective λt")
+		adStepC  = fs.Int("adaptive-step-lambda-c", def.Engine.Adaptive.StepLambdaC, "deprecated alias of engine.adaptive.step_lambda_c: per-adjustment λc increment, in bits")
+		adStepT  = fs.Duration("adaptive-step-lambda-t", time.Duration(def.Engine.Adaptive.StepLambdaTMillis)*time.Millisecond, "deprecated alias of engine.adaptive.step_lambda_t_millis: per-adjustment λt increment")
 	)
-	if *followees != "" {
-		f, err := os.Open(*followees)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	var setFlags []string
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name != "config" {
+			setFlags = append(setFlags, f.Name)
+		}
+	})
+	if *configPath != "" {
+		if len(setFlags) > 0 {
+			return nil, fmt.Errorf("-config is mutually exclusive with the deprecated flags (got -%s); move the setting into the config file", setFlags[0])
+		}
+		return connector.Load(*configPath)
+	}
+
+	cfg := def
+	cfg.HTTP.Addr = *addr
+	cfg.HTTP.PProf = *pprofOn
+	cfg.HTTP.DrainMillis = drain.Milliseconds()
+	cfg.Engine.Algorithm = *algName
+	cfg.Engine.Workers = *workers
+	cfg.Engine.LambdaC = *lambdaC
+	cfg.Engine.Index = *indexPol
+	cfg.Engine.Authors = *authors
+	cfg.Engine.Seed = *seed
+	cfg.Engine.FolloweesPath = *followees
+	cfg.Engine.Checkpoint.Dir = *ckptDir
+	cfg.Engine.Checkpoint.IntervalMillis = ckptEvery.Milliseconds()
+	cfg.Engine.Checkpoint.Retain = *ckptKeep
+	cfg.Engine.Adaptive.BudgetPosts = *adBudget
+	cfg.Engine.Adaptive.WindowMillis = adWindow.Milliseconds()
+	cfg.Engine.Adaptive.MaxLambdaC = *adMaxC
+	cfg.Engine.Adaptive.MaxLambdaTMillis = adMaxT.Milliseconds()
+	cfg.Engine.Adaptive.StepLambdaC = *adStepC
+	cfg.Engine.Adaptive.StepLambdaTMillis = adStepT.Milliseconds()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// buildGraph loads or generates the follower graph: followee vectors plus the
+// derived subscription lists.
+func buildGraph(ec *connector.EngineConfig) (fs, subs [][]int32, err error) {
+	if ec.FolloweesPath != "" {
+		f, err := os.Open(ec.FolloweesPath)
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		fs, err = corpusio.ReadFollowees(f)
 		if cerr := f.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
-			log.Fatal(err)
+			return nil, nil, err
 		}
 		// Subscriptions: followees that are themselves authors.
 		n := int32(len(fs))
@@ -130,112 +193,239 @@ func main() {
 				}
 			}
 		}
-	} else {
-		rng := rand.New(rand.NewSource(*seed))
-		social, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(*authors))
-		if err != nil {
-			log.Fatal(err)
-		}
-		fs = social.Followees
-		subs = social.Subscriptions()
+		return fs, subs, nil
 	}
-
-	pol, err := core.ParseIndexPolicy(*indexPol)
+	rng := rand.New(rand.NewSource(ec.Seed))
+	social, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(ec.Authors))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(2)
+		return nil, nil, err
 	}
+	return social.Followees, social.Subscriptions(), nil
+}
 
+func runDaemon(cfg *connector.Config) error {
+	var alg core.Algorithm
+	switch cfg.Engine.Algorithm {
+	case "unibin":
+		alg = core.AlgUniBin
+	case "neighborbin":
+		alg = core.AlgNeighborBin
+	case "cliquebin":
+		alg = core.AlgCliqueBin
+	default:
+		return fmt.Errorf("unknown algorithm %q", cfg.Engine.Algorithm)
+	}
+	pol, err := core.ParseIndexPolicy(cfg.Engine.Index)
+	if err != nil {
+		return err
+	}
+	fs, subs, err := buildGraph(&cfg.Engine)
+	if err != nil {
+		return err
+	}
 	g := authorsim.BuildGraph(authorsim.NewVectors(fs), 0.7)
-	th := core.Thresholds{LambdaC: *lambdaC, LambdaT: 30 * 60 * 1000, LambdaA: 0.7, Index: pol}
+	th := core.Thresholds{
+		LambdaC: cfg.Engine.LambdaC,
+		LambdaT: cfg.Engine.LambdaTMillis,
+		LambdaA: cfg.Engine.LambdaA,
+		Index:   pol,
+	}
 	if err := th.Validate(); err != nil {
 		// -index on at an infeasible λc (e.g. the paper default 18) fails
 		// here with the Section 3 explanation instead of deep in a constructor.
-		fmt.Fprintf(os.Stderr, "%v\n", err)
-		os.Exit(2)
+		return err
 	}
-
-	// The adaptive controller's state is a deliberately non-checkpointable
-	// transient (it re-converges within a few windows), so -adaptive-budget
-	// and -checkpoint-dir are mutually exclusive — better refused at boot
-	// than at the first snapshot attempt.
 	var adPol *core.AdaptivePolicy
-	if *adBudget > 0 {
-		if *ckptDir != "" {
-			fmt.Fprintln(os.Stderr, "firehosed: -adaptive-budget and -checkpoint-dir are mutually exclusive: adaptive controller state does not checkpoint")
-			os.Exit(2)
-		}
+	if cfg.Engine.Adaptive.BudgetPosts > 0 {
+		a := cfg.Engine.Adaptive
 		adPol = &core.AdaptivePolicy{
-			BudgetPosts:  *adBudget,
-			WindowMillis: adWindow.Milliseconds(),
-			MaxLambdaC:   *adMaxC,
-			MaxLambdaT:   adMaxT.Milliseconds(),
-			StepLambdaC:  *adStepC,
-			StepLambdaT:  adStepT.Milliseconds(),
+			BudgetPosts:  a.BudgetPosts,
+			WindowMillis: a.WindowMillis,
+			MaxLambdaC:   a.MaxLambdaC,
+			MaxLambdaT:   a.MaxLambdaTMillis,
+			StepLambdaC:  a.StepLambdaC,
+			StepLambdaT:  a.StepLambdaTMillis,
 		}
 		if err := adPol.Validate(th); err != nil {
-			fmt.Fprintf(os.Stderr, "firehosed: %v\n", err)
-			os.Exit(2)
+			return err
 		}
 	}
 
-	nw := *workers
+	nw := cfg.Engine.Workers
 	if nw == 0 {
 		nw = runtime.NumCPU()
 	}
-	var (
-		api     *httpapi.Server
-		engine  string
-		solvers string
-	)
-	if nw > 1 {
-		pe, err := stream.NewParallelMultiEngineOpts(alg, g, subs, th, nw, stream.ParallelOptions{Adaptive: adPol})
-		if err != nil {
-			log.Fatal(err)
+	// The restore-matching loop for durable inputs may need several fresh
+	// engines, so construction is a closure, not straight-line code.
+	buildAPI := func() (*httpapi.Server, string, string, error) {
+		if nw > 1 {
+			pe, err := stream.NewParallelMultiEngineOpts(alg, g, subs, th, nw, stream.ParallelOptions{Adaptive: adPol})
+			if err != nil {
+				return nil, "", "", err
+			}
+			return httpapi.NewParallel(pe), pe.Name(), fmt.Sprintf("%d workers", pe.NumWorkers()), nil
 		}
-		api = httpapi.NewParallel(pe)
-		engine, solvers = pe.Name(), fmt.Sprintf("%d workers", pe.NumWorkers())
-	} else {
 		md, err := core.NewSharedMultiUser(alg, g, subs, th)
 		if err != nil {
-			log.Fatal(err)
+			return nil, "", "", err
 		}
 		var solver core.MultiDiversifier = md
 		if adPol != nil {
 			solver, err = core.NewAdaptiveMultiUser(md, g, th, *adPol)
 			if err != nil {
-				log.Fatal(err)
+				return nil, "", "", err
 			}
 		}
-		api = httpapi.New(solver)
-		engine, solvers = solver.Name(), "sequential"
-	}
-	if *pprofOn {
-		api.EnablePProf()
+		return httpapi.New(solver), solver.Name(), "sequential", nil
 	}
 
-	// Durability: restore the newest checkpoint before serving (the engine
-	// must be idle during Restore), then arm the admin endpoints and the
-	// optional periodic writer.
-	var ckptMgr *checkpoint.Manager
-	if *ckptDir != "" {
-		if f, ok, err := checkpoint.RestoreLatest(*ckptDir, api.Restore); err != nil {
-			log.Fatalf("firehosed: %v", err)
+	// The input connects before any restore: a durable input's ack cursors
+	// decide which checkpoint the daemon may resume from.
+	input, pacer, err := connector.BuildInput(cfg.Input)
+	if err != nil {
+		return err
+	}
+	if input != nil {
+		if err := input.Connect(context.Background()); err != nil {
+			return err
+		}
+		defer func() { _ = input.Close() }()
+	}
+	fileIn, _ := input.(*connector.FileInput)
+
+	ckptDir := cfg.Engine.Checkpoint.Dir
+	var (
+		api     *httpapi.Server
+		engine  string
+		solvers string
+	)
+	switch {
+	case ckptDir != "" && fileIn != nil:
+		// Durable input: resume is only correct at a (checkpoint, cursor)
+		// pair that names the same watermark — an unmatched cursor would
+		// either lose posts or replay checkpointed ones under fresh ids. Try
+		// the retained checkpoints newest-first (a fresh engine per attempt;
+		// Restore replaces state, it cannot be peeked) and fall back to a
+		// cold boot replaying the whole file.
+		files, err := checkpoint.List(ckptDir)
+		if err != nil {
+			return err
+		}
+		matched := false
+		for i := len(files) - 1; i >= 0 && !matched; i-- {
+			f := files[i]
+			if api, engine, solvers, err = buildAPI(); err != nil {
+				return err
+			}
+			fh, err := os.Open(f.Path)
+			if err != nil {
+				return err
+			}
+			err = api.Restore(fh)
+			if cerr := fh.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fmt.Errorf("restoring %s: %w", f.Path, err)
+			}
+			w := api.SnapshotWatermark()
+			if err := fileIn.Rewind(w); err == nil {
+				log.Printf("firehosed: restored checkpoint %d (%s), resuming input at watermark %d", f.Seq, f.Path, w)
+				matched = true
+			} else {
+				log.Printf("firehosed: checkpoint %d has no matching ack cursor (watermark %d); trying older", f.Seq, w)
+			}
+		}
+		if !matched {
+			if api, engine, solvers, err = buildAPI(); err != nil {
+				return err
+			}
+			if err := fileIn.Rewind(0); err != nil {
+				return err
+			}
+			log.Printf("firehosed: no checkpoint/ack-cursor match in %s, cold boot from the start of %s", ckptDir, cfg.Input.Path)
+		}
+	case ckptDir != "":
+		if api, engine, solvers, err = buildAPI(); err != nil {
+			return err
+		}
+		if f, ok, err := checkpoint.RestoreLatest(ckptDir, api.Restore); err != nil {
+			return err
 		} else if ok {
 			log.Printf("firehosed: restored checkpoint %d (%s)", f.Seq, f.Path)
 		} else {
-			log.Printf("firehosed: no checkpoint in %s, cold boot", *ckptDir)
+			log.Printf("firehosed: no checkpoint in %s, cold boot", ckptDir)
 		}
-		m, err := checkpoint.NewManager(*ckptDir, *ckptKeep, api.Snapshot)
+	default:
+		if api, engine, solvers, err = buildAPI(); err != nil {
+			return err
+		}
+		if fileIn != nil {
+			// Without checkpoints nothing durable covers acked posts; any
+			// leftover sidecar cursor refers to state this run does not
+			// have. Replay from the start.
+			if err := fileIn.Rewind(0); err != nil {
+				return err
+			}
+		}
+	}
+	if cfg.HTTP.PProf {
+		api.EnablePProf()
+	}
+
+	// Egress: every delivery (from HTTP push or the pipeline runner) routes
+	// through the dispatcher; the "sse" output feeds the broker the delivery
+	// hook used to feed directly.
+	publishSSE := func(d connector.Delivery) {
+		api.PublishSSE(httpapi.TimelinePost{ID: d.ID, Author: d.Author, TimeMillis: d.TimeMillis, Text: d.Text}, d.Users)
+	}
+	dispatch := connector.NewDispatcher()
+	for _, oc := range cfg.Outputs {
+		out, err := connector.BuildOutput(oc, publishSSE)
 		if err != nil {
-			log.Fatalf("firehosed: %v", err)
+			return err
 		}
+		dispatch.Add(string(oc.Type), out)
+	}
+	if err := dispatch.Connect(context.Background()); err != nil {
+		return err
+	}
+	api.SetDeliveryHook(func(p httpapi.TimelinePost, users []int32) {
+		dispatch.Dispatch(context.Background(), connector.Delivery{
+			ID: p.ID, Author: p.Author, TimeMillis: p.TimeMillis, Text: p.Text, Users: users,
+		})
+	})
+
+	pipe := &connector.Pipeline{Dispatch: dispatch}
+	if input != nil {
+		runner, err := connector.NewRunner("input:"+string(cfg.Input.Type), input, api.IngestPost, connector.RunnerOptions{Pacer: pacer})
+		if err != nil {
+			return err
+		}
+		pipe.Runner = runner
+		// The pipeline owns the stream's time order; interleaved HTTP pushes
+		// would corrupt it.
+		api.DisableHTTPIngest()
+	}
+	api.MountConnectorMetrics(pipe)
+
+	var ckptMgr *checkpoint.Manager
+	if ckptDir != "" {
+		m, err := checkpoint.NewManager(ckptDir, cfg.Engine.Checkpoint.Retain, api.Snapshot)
+		if err != nil {
+			return err
+		}
+		// After every durable checkpoint, ack the input up to the captured
+		// watermark — the at-least-once pivot.
+		m.SetOnCheckpoint(func(checkpoint.File) {
+			pipe.Acknowledge(api.SnapshotWatermark())
+		})
 		ckptMgr = m
 		api.EnableCheckpoints(m)
 	}
 
 	server := &http.Server{
-		Addr:              *addr,
+		Addr:              cfg.HTTP.Addr,
 		Handler:           api,
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
@@ -249,11 +439,24 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("firehosed: %s (%s) over %d authors/users on %s", engine, solvers, len(fs), *addr)
+	name := cfg.Name
+	if name == "" {
+		name = "pipeline"
+	}
+	log.Printf("firehosed: %s: %s → %s (%s) → %d output(s) over %d authors/users on %s",
+		name, cfg.Input.Type, engine, solvers, len(cfg.Outputs), len(fs), cfg.HTTP.Addr)
 
-	if ckptMgr != nil && *ckptEvery > 0 {
+	if pipe.Runner != nil {
 		go func() {
-			ticker := time.NewTicker(*ckptEvery)
+			if err := pipe.Runner.Run(context.Background()); err != nil {
+				log.Printf("firehosed: input runner: %v", err)
+			}
+		}()
+	}
+
+	if ckptMgr != nil && cfg.Engine.Checkpoint.IntervalMillis > 0 {
+		go func() {
+			ticker := time.NewTicker(time.Duration(cfg.Engine.Checkpoint.IntervalMillis) * time.Millisecond)
 			defer ticker.Stop()
 			for {
 				select {
@@ -273,14 +476,23 @@ func main() {
 	select {
 	case err := <-errCh:
 		// Listener failed before any shutdown signal.
-		log.Fatal(err)
+		return err
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("firehosed: shutting down (draining up to %v)", *drain)
+	drain := time.Duration(cfg.HTTP.DrainMillis) * time.Millisecond
+	log.Printf("firehosed: shutting down (draining up to %v)", drain)
 
-	// A last checkpoint before the engine closes — after api.Close() the
-	// parallel engine can no longer quiesce.
+	// Shutdown order matters: stop the input first so no post enters the
+	// engine after the final checkpoint below (posts ingested after it would
+	// be acked by a checkpoint that does not contain them on the next ack —
+	// they would replay, which is correct, but stopping intake first keeps
+	// the final state exact). Then checkpoint (the hook acks the input),
+	// then close the engine and drain the listener, and flush the outputs
+	// last so every delivery the engine produced gets its transmit attempt.
+	if pipe.Runner != nil {
+		pipe.Runner.Stop()
+	}
 	if ckptMgr != nil {
 		if f, err := ckptMgr.Checkpoint(); err != nil {
 			log.Printf("firehosed: shutdown checkpoint: %v", err)
@@ -292,7 +504,7 @@ func main() {
 	// Release the SSE streams first — Shutdown waits for active handlers,
 	// and /stream handlers only return once their subscription closes.
 	api.Close()
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := server.Shutdown(shutdownCtx); err != nil {
 		log.Printf("firehosed: forced shutdown: %v", err)
@@ -300,5 +512,9 @@ func main() {
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("firehosed: serve: %v", err)
 	}
+	if err := dispatch.Close(); err != nil {
+		log.Printf("firehosed: output flush: %v", err)
+	}
 	log.Printf("firehosed: stopped")
+	return nil
 }

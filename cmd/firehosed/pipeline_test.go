@@ -1,0 +1,437 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/connector"
+	"firehose/internal/core"
+	"firehose/internal/httpapi"
+	"firehose/internal/twittergen"
+)
+
+// These tests drive the declarative pipeline end to end with the real binary
+// and the committed example config: a twittergen post file replays through
+// the file input, the engine diversifies it, and a webhook sink receives the
+// deliveries. TestPipelineFileToWebhookKillRecover is the at-least-once
+// proof: SIGKILL mid-stream, restart on the same checkpoint directory, and
+// every delivery the oracle expects still reaches the sink — no
+// acked-but-undelivered posts, no id reuse.
+
+const pipelineConfig = "testdata/pipeline_file_to_webhook.json"
+
+func buildFirehosed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "firehosed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building firehosed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// expectedDelivery is the oracle's verdict for one accepted post.
+type expectedDelivery struct {
+	author int32
+	text   string
+	users  []int32
+}
+
+// pipelineOracle replays the posts through an in-process engine built exactly
+// like the daemon builds its own from the committed config (unibin, one
+// worker, 40 authors, seed 7, paper-default thresholds), recording what every
+// id must deliver. ids[i] is the id assigned to posts[i], 0 if rejected.
+func pipelineOracle(t *testing.T, posts []*core.Post, social *twittergen.SocialGraph) (map[uint64]expectedDelivery, []uint64) {
+	t.Helper()
+	g := authorsim.BuildGraph(authorsim.NewVectors(social.Followees), 0.7)
+	pol, err := core.ParseIndexPolicy("auto")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := core.Thresholds{LambdaC: 18, LambdaT: 30 * 60 * 1000, LambdaA: 0.7, Index: pol}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, g, social.Subscriptions(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := httpapi.New(md)
+	defer oracle.Close()
+
+	want := make(map[uint64]expectedDelivery, len(posts))
+	ids := make([]uint64, len(posts))
+	for i, p := range posts {
+		id, users, err := oracle.IngestPost(p.Author, p.Time, p.Text)
+		if err != nil {
+			// The runner skips the same deterministic rejects; nothing to
+			// expect for this post.
+			continue
+		}
+		want[id] = expectedDelivery{author: p.Author, text: p.Text, users: users}
+		ids[i] = id
+	}
+	return want, ids
+}
+
+// webhookSink collects the deliveries the daemon POSTs.
+type webhookSink struct {
+	mu   sync.Mutex
+	recs []connector.Delivery
+}
+
+func (s *webhookSink) handler(w http.ResponseWriter, r *http.Request) {
+	var d connector.Delivery
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.recs = append(s.recs, d)
+	s.mu.Unlock()
+}
+
+func (s *webhookSink) deliveries() []connector.Delivery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]connector.Delivery(nil), s.recs...)
+}
+
+func (s *webhookSink) seenIDs() map[uint64]bool {
+	ids := make(map[uint64]bool)
+	for _, d := range s.deliveries() {
+		ids[d.ID] = true
+	}
+	return ids
+}
+
+// daemonMetric scrapes one series from /v1/metrics; false if absent.
+func daemonMetric(t *testing.T, base, series string) (float64, bool) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/metrics")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparseable metric line %q: %v", line, err)
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func waitForDaemon(t *testing.T, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func appendLines(t *testing.T, path string, posts []*core.Post) {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, p := range posts {
+		line, err := json.Marshal(map[string]any{
+			"author": p.Author, "timeMillis": p.Time, "text": p.Text,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameUserSet(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[int32]int, len(a))
+	for _, u := range a {
+		set[u]++
+	}
+	for _, u := range b {
+		if set[u] == 0 {
+			return false
+		}
+		set[u]--
+	}
+	return true
+}
+
+// TestPipelineFileToWebhookKillRecover is the connector layer's crash test.
+// Life 1 replays the first half of a twittergen workload, checkpoints (which
+// advances the file input's durable ack cursor), starts on the second half
+// and dies by SIGKILL. Life 2 restores the checkpoint, rewinds the input to
+// the matching cursor and replays the suffix under identical ids. The sink
+// must end up with every (id, user) delivery the oracle expects — the
+// at-least-once contract — and no id may ever name two different posts.
+func TestPipelineFileToWebhookKillRecover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and execs the daemon; skipped in -short")
+	}
+	bin := buildFirehosed(t)
+
+	// The workload: same graph parameters the committed config makes the
+	// daemon generate (authors=40, seed=7), so the oracle's engine and the
+	// daemon's engine are byte-identical.
+	rng := rand.New(rand.NewSource(7))
+	social, err := twittergen.GenerateGraph(rng, twittergen.DefaultGraphConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := authorsim.BuildGraph(authorsim.NewVectors(social.Followees), 0.7)
+	vocab := twittergen.NewVocab(rand.New(rand.NewSource(8)), 2000)
+	gen, err := twittergen.GenerateStream(rand.New(rand.NewSource(9)), social, g, vocab,
+		twittergen.DefaultStreamConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posts := gen.Posts
+	if len(posts) < 40 {
+		t.Fatalf("workload too small to be interesting: %d posts", len(posts))
+	}
+	want, postIDs := pipelineOracle(t, posts, social)
+
+	cut := len(posts) * 3 / 5
+	chunk1, chunk2 := posts[:cut], posts[cut:]
+	accepted1 := 0
+	for _, id := range postIDs[:cut] {
+		if id != 0 {
+			accepted1++
+		}
+	}
+	var chunk2Delivered []uint64
+	for _, id := range postIDs[cut:] {
+		if id != 0 && len(want[id].users) > 0 {
+			chunk2Delivered = append(chunk2Delivered, id)
+		}
+	}
+	if accepted1 == 0 || len(chunk2Delivered) < 3 {
+		t.Fatalf("degenerate split: %d accepted in chunk1, %d delivered in chunk2", accepted1, len(chunk2Delivered))
+	}
+
+	sink := &webhookSink{}
+	sinkSrv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer sinkSrv.Close()
+
+	dir := t.TempDir()
+	postsPath := filepath.Join(dir, "posts.ndjson")
+	ckptDir := filepath.Join(dir, "checkpoints")
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	daemon := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-config", pipelineConfig)
+		cmd.Env = append(os.Environ(),
+			"FIREHOSED_ADDR="+addr,
+			"FIREHOSED_CKPT_DIR="+ckptDir,
+			"FIREHOSED_POSTS="+postsPath,
+			"WEBHOOK_URL="+sinkSrv.URL,
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting firehosed: %v", err)
+		}
+		waitHealthy(t, base)
+		return cmd
+	}
+
+	// --- Life 1: replay chunk1, checkpoint, start on chunk2, die hard.
+	appendLines(t, postsPath, chunk1)
+	first := daemon()
+	defer func() { _ = first.Process.Kill() }()
+
+	ingestedSeries := `firehose_connector_ingested_total{component="input:file"}`
+	waitForDaemon(t, "chunk1 ingested", 60*time.Second, func() bool {
+		v, ok := daemonMetric(t, base, ingestedSeries)
+		return ok && v == float64(accepted1)
+	})
+	resp, err := http.Post(base+"/v1/admin/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admin checkpoint: status %d", resp.StatusCode)
+	}
+
+	// The doomed suffix: appended after the checkpoint, partially processed,
+	// lost by SIGKILL. Wait until some of it demonstrably reached the sink so
+	// the crash window contains real deliveries.
+	appendLines(t, postsPath, chunk2)
+	waitForDaemon(t, "first chunk2 deliveries", 60*time.Second, func() bool {
+		ids := sink.seenIDs()
+		n := 0
+		for _, id := range chunk2Delivered {
+			if ids[id] {
+				n++
+			}
+		}
+		return n >= 3
+	})
+	if err := first.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = first.Wait()
+
+	// --- Life 2: restore, rewind to the matching ack cursor, replay.
+	second := daemon()
+	defer func() { _ = second.Process.Kill() }()
+
+	waitForDaemon(t, "full delivery coverage after recovery", 60*time.Second, func() bool {
+		ids := sink.seenIDs()
+		for id, e := range want {
+			if len(e.users) > 0 && !ids[id] {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Every sink record must match the oracle verdict for its id: same post
+	// (ids are the dedup key, so an id must never name two different posts)
+	// and the same delivered-user set, replays included.
+	for _, d := range sink.deliveries() {
+		e, ok := want[d.ID]
+		if !ok {
+			t.Errorf("sink got id %d the oracle never assigned", d.ID)
+			continue
+		}
+		if d.Author != e.author || d.Text != e.text {
+			t.Errorf("id %d names author %d %q, oracle says author %d %q (id reuse)",
+				d.ID, d.Author, d.Text, e.author, e.text)
+		}
+		if !sameUserSet(d.Users, e.users) {
+			t.Errorf("id %d delivered to %v, oracle says %v", d.ID, d.Users, e.users)
+		}
+	}
+
+	// Graceful shutdown still works after a recovery and leaves the admin
+	// checkpoint plus a shutdown checkpoint behind.
+	if err := second.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Wait(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	files, err := os.ReadDir(ckptDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("checkpoint dir holds %d files, want the admin checkpoint plus a shutdown checkpoint", len(files))
+	}
+}
+
+// TestPipelineConfigSmoke boots the daemon from the committed example config
+// and checks the pipeline shape from the outside: healthy, connector metrics
+// exposed, push ingest 503-disabled (the file input owns the stream), clean
+// SIGTERM exit.
+func TestPipelineConfigSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds and execs the daemon; skipped in -short")
+	}
+	bin := buildFirehosed(t)
+
+	dir := t.TempDir()
+	postsPath := filepath.Join(dir, "posts.ndjson")
+	var posts []*core.Post
+	for i := 0; i < 5; i++ {
+		posts = append(posts, &core.Post{
+			Author: int32(i), Time: int64(1000 * (i + 1)),
+			Text: fmt.Sprintf("smoke post %d: harbor bridge reopens to traffic", i),
+		})
+	}
+	appendLines(t, postsPath, posts)
+
+	sink := &webhookSink{}
+	sinkSrv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer sinkSrv.Close()
+
+	addr := freeAddr(t)
+	base := "http://" + addr
+	cmd := exec.Command(bin, "-config", pipelineConfig)
+	cmd.Env = append(os.Environ(),
+		"FIREHOSED_ADDR="+addr,
+		"FIREHOSED_CKPT_DIR="+filepath.Join(dir, "checkpoints"),
+		"FIREHOSED_POSTS="+postsPath,
+		"WEBHOOK_URL="+sinkSrv.URL,
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting firehosed: %v", err)
+	}
+	defer func() { _ = cmd.Process.Kill() }()
+	waitHealthy(t, base)
+
+	waitForDaemon(t, "smoke posts ingested", 30*time.Second, func() bool {
+		v, ok := daemonMetric(t, base, `firehose_connector_ingested_total{component="input:file"}`)
+		return ok && v == float64(len(posts))
+	})
+	if _, ok := daemonMetric(t, base, `firehose_connector_read_total{component="input:file"}`); !ok {
+		t.Error("metrics do not expose firehose_connector_read_total for the input")
+	}
+	if _, ok := daemonMetric(t, base, `firehose_connector_write_total{component="output:webhook#1"}`); !ok {
+		t.Error("metrics do not expose firehose_connector_write_total for the webhook output")
+	}
+
+	// The pipeline owns the stream: push ingest must be 503 ingest_disabled.
+	resp, err := http.Post(base+"/v1/ingest", "application/json",
+		strings.NewReader(`{"author":0,"text":"x","timeMillis":99000}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e struct {
+		Code string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || e.Code != "ingest_disabled" {
+		t.Fatalf("push ingest: status %d code %q, want 503 ingest_disabled", resp.StatusCode, e.Code)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+}

@@ -94,7 +94,7 @@ func (e *Encoder) write(p []byte) {
 	}
 	// bufio.Writer never returns a short write without an error, and the
 	// CRC hash never errors.
-	e.crc.Write(p)
+	_, _ = e.crc.Write(p)
 }
 
 // Uvarint writes an unsigned varint.
@@ -205,7 +205,7 @@ func (d *Decoder) read(p []byte) error {
 		d.err = err
 		return d.err
 	}
-	d.crc.Write(p)
+	_, _ = d.crc.Write(p)
 	return nil
 }
 

@@ -200,7 +200,21 @@ type Manager struct {
 
 	// mu serializes Checkpoint calls so two triggers cannot race the same
 	// sequence number or interleave prunes.
-	mu sync.Mutex
+	// mu guards: onCheckpoint
+	mu           sync.Mutex
+	onCheckpoint func(File)
+}
+
+// SetOnCheckpoint installs a hook invoked after every durable checkpoint
+// write (post-rename, post-fsync — the state the File describes survives a
+// crash), still inside the manager's serialization. The connector layer uses
+// it to advance input ack cursors to the checkpointed watermark. The hook
+// must not call Checkpoint (it would deadlock); set it before the first
+// checkpoint.
+func (m *Manager) SetOnCheckpoint(fn func(File)) {
+	m.mu.Lock()
+	m.onCheckpoint = fn
+	m.mu.Unlock()
 }
 
 // NewManager builds a manager writing checkpoints of target into dir,
@@ -231,6 +245,11 @@ func (m *Manager) Checkpoint() (File, error) {
 	f, err := Write(m.dir, m.target)
 	if err != nil {
 		return File{}, err
+	}
+	if m.onCheckpoint != nil {
+		// The write is durable at this point; acks derived from it are safe
+		// even if the prune below fails.
+		m.onCheckpoint(f)
 	}
 	if _, err := Prune(m.dir, m.retain); err != nil {
 		// The new checkpoint is durable; a failed prune only leaks old files.

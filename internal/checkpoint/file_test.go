@@ -133,6 +133,66 @@ func TestManagerRetention(t *testing.T) {
 	}
 }
 
+// TestManagerOnCheckpointHook: the hook fires after every durable write with
+// the written File — readable from disk at hook time, and before the prune
+// (the connector layer acks input cursors in it; an ack against a file the
+// prune already removed would be premature).
+func TestManagerOnCheckpointHook(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	mgr, err := NewManager(dir, 1, func(w io.Writer) error {
+		n++
+		if n == 3 {
+			return errors.New("snapshot exploded")
+		}
+		return snapshotBytes(fmt.Sprintf("state-%d", n))(w)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hooked []File
+	mgr.SetOnCheckpoint(func(f File) {
+		// The write is durable here: the named file must decode.
+		fh, err := os.Open(f.Path)
+		if err != nil {
+			t.Errorf("hook for seq %d: file not readable: %v", f.Seq, err)
+			return
+		}
+		payload, perr := readPayload(fh)
+		fh.Close()
+		if perr != nil {
+			t.Errorf("hook for seq %d: %v", f.Seq, perr)
+		}
+		if want := fmt.Sprintf("state-%d", f.Seq); payload != want {
+			t.Errorf("hook for seq %d read %q, want %q", f.Seq, payload, want)
+		}
+		// Pre-prune: with retain 1 the previous checkpoint is still on disk
+		// while the hook for its successor runs.
+		if f.Seq == 2 {
+			if _, err := os.Stat(filepath.Join(dir, "checkpoint-1.fhc")); err != nil {
+				t.Errorf("hook for seq 2 ran after the prune: %v", err)
+			}
+		}
+		hooked = append(hooked, f)
+	})
+
+	for i := 0; i < 2; i++ {
+		if _, err := mgr.Checkpoint(); err != nil {
+			t.Fatalf("Checkpoint #%d: %v", i+1, err)
+		}
+	}
+	if len(hooked) != 2 || hooked[0].Seq != 1 || hooked[1].Seq != 2 {
+		t.Fatalf("hook calls = %+v, want seqs 1 and 2", hooked)
+	}
+	// A failed snapshot writes nothing durable, so the hook must not fire.
+	if _, err := mgr.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint with failing snapshot succeeded")
+	}
+	if len(hooked) != 2 {
+		t.Fatalf("hook fired for a failed checkpoint: %+v", hooked)
+	}
+}
+
 func TestWrittenFileIsValidStream(t *testing.T) {
 	dir := t.TempDir()
 	f, err := Write(dir, snapshotBytes("payload"))

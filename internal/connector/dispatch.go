@@ -1,0 +1,121 @@
+package connector
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Dispatcher fans each delivery out to a set of named Outputs. A failing
+// output is counted, not fatal: the other sinks still get the delivery, and
+// the at-least-once replay covers the gap after a restart.
+type Dispatcher struct {
+	names   []string
+	outputs []Output
+
+	// mu guards: connected, closed, written, errs
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+	written   []uint64
+	errs      []uint64
+}
+
+// NewDispatcher builds a dispatcher over outputs in fan-out order.
+func NewDispatcher() *Dispatcher {
+	return &Dispatcher{}
+}
+
+// Add registers an output under name (names need not be unique; the stat
+// component is "output:<name>#<index>").
+func (d *Dispatcher) Add(name string, out Output) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.names = append(d.names, name)
+	d.outputs = append(d.outputs, out)
+	d.written = append(d.written, 0)
+	d.errs = append(d.errs, 0)
+}
+
+// Connect connects every output; the first failure closes the already
+// connected prefix and reports the error.
+func (d *Dispatcher) Connect(ctx context.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if d.connected {
+		return nil
+	}
+	for i, out := range d.outputs {
+		if err := out.Connect(ctx); err != nil {
+			for j := 0; j < i; j++ {
+				_ = d.outputs[j].Close()
+			}
+			return fmt.Errorf("connector: output %s#%d: %w", d.names[i], i, err)
+		}
+	}
+	d.connected = true
+	return nil
+}
+
+// Dispatch writes one delivery to every output, tallying per-output results.
+func (d *Dispatcher) Dispatch(ctx context.Context, del Delivery) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	outputs := d.outputs
+	d.mu.Unlock()
+	for i, out := range outputs {
+		err := out.Write(ctx, del)
+		d.mu.Lock()
+		if err != nil {
+			d.errs[i]++
+		} else {
+			d.written[i]++
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Close closes every output, joining their errors. Idempotent.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	outputs := d.outputs
+	d.mu.Unlock()
+	var errs []error
+	for i, out := range outputs {
+		if err := out.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("connector: output %s#%d: %w", d.names[i], i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Stats reports per-output counters, merging each output's own Stat (if it
+// exposes one) with the dispatcher's write/error tallies.
+func (d *Dispatcher) Stats() []Stat {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	stats := make([]Stat, len(d.outputs))
+	for i, out := range d.outputs {
+		st := Stat{}
+		if s, ok := out.(interface{ Stats() Stat }); ok {
+			st = s.Stats()
+		}
+		st.Component = fmt.Sprintf("output:%s#%d", d.names[i], i)
+		st.Written = d.written[i]
+		st.Errors += d.errs[i]
+		stats[i] = st
+	}
+	return stats
+}

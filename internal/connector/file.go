@@ -1,0 +1,469 @@
+package connector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// FileInput replays (and optionally tails) an NDJSON post file: one JSON
+// object per line, strict-decoded as {"author":N,"timeMillis":N,"text":"…"}.
+// Malformed lines are counted and skipped — a replay skips them again, so
+// they never perturb the ack cursor's meaning.
+//
+// The ack cursor is durable: Ack persists (watermark seq, byte offset just
+// past the acked message) into a crash-safely written sidecar (<path>.ack),
+// and Connect resumes from the newest entry. The sidecar keeps a short
+// history of recent entries because a crash can land between "checkpoint
+// durable" and "ack durable": the newest checkpoint may then have no
+// matching cursor. CursorFor lets the daemon pair each retained checkpoint's
+// watermark with its exact offset and Rewind to the match — resuming at any
+// other offset would either lose posts (engine behind the cursor) or replay
+// already-checkpointed posts under fresh ids (engine ahead of it).
+//
+// In tail mode Read blocks at end-of-file and polls for growth, following
+// log-style rotation: when the path's inode changes or the file shrinks
+// below the read offset, the input reopens the new file from the start and
+// resets the ack cursor (the rotated-away bytes are gone; their acks are
+// meaningless against the new file).
+type FileInput struct {
+	path    string
+	ackPath string
+	tail    bool
+	poll    time.Duration
+
+	// mu guards: connected, closed, f
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+	f         *os.File
+	closeCh   chan struct{}
+
+	buf   []byte // bytes read from f, not yet consumed as lines
+	pos   int64  // absolute offset of buf[0] in the current file
+	atEOF bool   // a non-tail source has delivered its final partial line
+	chunk []byte
+
+	// ackMu guards: ackFloor, cursors
+	ackMu    sync.Mutex
+	ackFloor int64       // highest offset durably acked for the current file
+	cursors  []ackCursor // recent durable (seq, offset) pairs, newest last
+
+	malformed atomicCounter
+}
+
+// FileInputOptions configures a FileInput.
+type FileInputOptions struct {
+	// Tail keeps reading past end-of-file, polling for appended lines and
+	// following rotation. Without it the input ends with io.EOF.
+	Tail bool
+	// PollInterval is the tail-mode poll period (default 100ms).
+	PollInterval time.Duration
+	// AckPath overrides the ack sidecar location (default <path>.ack).
+	AckPath string
+}
+
+// NewFileInput builds a file input over path.
+func NewFileInput(path string, opts FileInputOptions) (*FileInput, error) {
+	if path == "" {
+		return nil, fmt.Errorf("connector: file input needs a path")
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 100 * time.Millisecond
+	}
+	if opts.AckPath == "" {
+		opts.AckPath = path + ".ack"
+	}
+	return &FileInput{
+		path:    path,
+		ackPath: opts.AckPath,
+		tail:    opts.Tail,
+		poll:    opts.PollInterval,
+		closeCh: make(chan struct{}),
+		chunk:   make([]byte, 32*1024),
+	}, nil
+}
+
+// Connect opens the file and seeks to the newest durably acked offset. A
+// cursor pointing past the end of the file means the file was rotated since
+// the last run; the input restarts from the beginning of the new file.
+func (in *FileInput) Connect(context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	if in.connected {
+		return nil
+	}
+	f, err := os.Open(in.path)
+	if err != nil {
+		return fmt.Errorf("connector: file input: %w", err)
+	}
+	cursors := in.loadAck()
+	var offset int64
+	if len(cursors) > 0 {
+		offset = cursors[len(cursors)-1].Offset
+	}
+	if st, err := f.Stat(); err != nil || offset > st.Size() {
+		offset = 0
+		cursors = nil
+	}
+	if offset > 0 {
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			_ = f.Close()
+			return fmt.Errorf("connector: file input: seeking to acked offset %d: %w", offset, err)
+		}
+	}
+	in.f = f
+	in.pos = offset
+	in.ackMu.Lock()
+	in.ackFloor = offset
+	in.cursors = cursors
+	in.ackMu.Unlock()
+	in.connected = true
+	return nil
+}
+
+// CursorFor reports the durably acked byte offset recorded for the watermark
+// seq, if the sidecar still holds it. Seq 0 (nothing checkpointed) is always
+// offset 0. Call after Connect.
+func (in *FileInput) CursorFor(seq uint64) (int64, bool) {
+	if seq == 0 {
+		return 0, true
+	}
+	in.ackMu.Lock()
+	defer in.ackMu.Unlock()
+	for _, c := range in.cursors {
+		if c.Seq == seq {
+			return c.Offset, true
+		}
+	}
+	return 0, false
+}
+
+// Rewind re-seeks the connected input to the cursor recorded for the
+// watermark seq, discarding read-ahead state. The daemon calls it between
+// Connect and the first Read, after deciding which checkpoint it restored.
+func (in *FileInput) Rewind(seq uint64) error {
+	offset, ok := in.CursorFor(seq)
+	if !ok {
+		return fmt.Errorf("connector: file input: no ack cursor recorded for watermark %d", seq)
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	if !in.connected {
+		return fmt.Errorf("connector: file input: Rewind before Connect")
+	}
+	if _, err := in.f.Seek(offset, io.SeekStart); err != nil {
+		return fmt.Errorf("connector: file input: rewinding to offset %d: %w", offset, err)
+	}
+	in.pos = offset
+	in.buf = nil
+	in.atEOF = false
+	in.ackMu.Lock()
+	in.ackFloor = offset
+	in.ackMu.Unlock()
+	return nil
+}
+
+// Read returns the next decodable message, io.EOF at the end of a non-tail
+// file, ctx.Err() on cancellation, or ErrClosed after Close.
+func (in *FileInput) Read(ctx context.Context) (*Message, error) {
+	for {
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			return nil, ErrClosed
+		}
+		if !in.connected {
+			in.mu.Unlock()
+			return nil, fmt.Errorf("connector: file input: Read before Connect")
+		}
+		f := in.f
+		in.mu.Unlock()
+
+		if msg, ok := in.nextBuffered(); ok {
+			return msg, nil
+		}
+		if in.atEOF {
+			return nil, io.EOF
+		}
+
+		n, rerr := f.Read(in.chunk)
+		if n > 0 {
+			in.buf = append(in.buf, in.chunk[:n]...)
+			continue
+		}
+		switch {
+		case rerr == nil:
+			continue
+		case errors.Is(rerr, io.EOF):
+			if !in.tail {
+				// A final line without a trailing newline still counts.
+				in.atEOF = true
+				continue
+			}
+			if err := in.followRotation(); err != nil {
+				return nil, err
+			}
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-in.closeCh:
+				return nil, ErrClosed
+			case <-time.After(in.poll):
+			}
+		case errors.Is(rerr, os.ErrClosed):
+			return nil, ErrClosed
+		default:
+			return nil, fmt.Errorf("connector: file input: %w", rerr)
+		}
+	}
+}
+
+// nextBuffered consumes buffered bytes line by line until one decodes (or,
+// at the end of a non-tail file, consumes the unterminated final line).
+func (in *FileInput) nextBuffered() (*Message, bool) {
+	for {
+		var line []byte
+		if i := bytes.IndexByte(in.buf, '\n'); i >= 0 {
+			line = in.buf[:i]
+			in.buf = in.buf[i+1:]
+			in.pos += int64(i + 1)
+		} else if in.atEOF && len(in.buf) > 0 {
+			line = in.buf
+			in.pos += int64(len(in.buf))
+			in.buf = nil
+		} else {
+			return nil, false
+		}
+		if msg, ok := in.decodeLine(line); ok {
+			msg.Pos = in.pos
+			return msg, true
+		}
+	}
+}
+
+// fileRecord is the strict NDJSON line schema — the ingest request shape.
+type fileRecord struct {
+	Author     int32  `json:"author"`
+	TimeMillis int64  `json:"timeMillis"`
+	Text       string `json:"text"`
+}
+
+func (in *FileInput) decodeLine(line []byte) (*Message, bool) {
+	trimmed := bytes.TrimSpace(line)
+	if len(trimmed) == 0 {
+		return nil, false // blank lines are structure, not data
+	}
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	var rec fileRecord
+	if err := dec.Decode(&rec); err != nil {
+		in.malformed.inc()
+		return nil, false
+	}
+	if dec.More() {
+		in.malformed.inc()
+		return nil, false
+	}
+	return &Message{Author: rec.Author, TimeMillis: rec.TimeMillis, Text: rec.Text}, true
+}
+
+// followRotation reopens the file when the path points at a new inode or the
+// file shrank below the read offset (copytruncate-style rotation).
+func (in *FileInput) followRotation() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	cur, err := in.f.Stat()
+	if err != nil {
+		return fmt.Errorf("connector: file input: %w", err)
+	}
+	st, err := os.Stat(in.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil // mid-rotation gap; keep polling the old handle
+		}
+		return fmt.Errorf("connector: file input: %w", err)
+	}
+	read := in.pos + int64(len(in.buf))
+	if os.SameFile(cur, st) && st.Size() >= read {
+		return nil
+	}
+	f, err := os.Open(in.path)
+	if err != nil {
+		return fmt.Errorf("connector: file input: reopening after rotation: %w", err)
+	}
+	_ = in.f.Close()
+	in.f = f
+	in.buf = nil
+	in.pos = 0
+	in.ackMu.Lock()
+	in.ackFloor = 0
+	in.cursors = nil
+	in.ackMu.Unlock()
+	return nil
+}
+
+// Ack durably records that every byte up to and including msg's line is
+// processed under the watermark msg.Seq: the (seq, offset) pair joins the
+// sidecar's recent-cursor history, written with the write-temp, fsync,
+// rename, fsync-dir dance, so a crash leaves either the old cursor set or
+// the new one, never a torn file.
+func (in *FileInput) Ack(msg *Message) error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return ErrClosed
+	}
+	in.mu.Unlock()
+
+	in.ackMu.Lock()
+	defer in.ackMu.Unlock()
+	if msg.Pos <= in.ackFloor {
+		return nil // stale (already covered, or pre-rotation)
+	}
+	cursors := append(append([]ackCursor(nil), in.cursors...), ackCursor{Seq: msg.Seq, Offset: msg.Pos})
+	if len(cursors) > maxAckCursors {
+		cursors = cursors[len(cursors)-maxAckCursors:]
+	}
+	if err := writeAckFile(in.ackPath, cursors); err != nil {
+		return err
+	}
+	in.cursors = cursors
+	in.ackFloor = msg.Pos
+	return nil
+}
+
+// Close releases the file. Idempotent.
+func (in *FileInput) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil
+	}
+	in.closed = true
+	close(in.closeCh)
+	if in.f != nil {
+		return in.f.Close()
+	}
+	return nil
+}
+
+// MalformedLines counts skipped undecodable lines.
+func (in *FileInput) MalformedLines() uint64 { return in.malformed.get() }
+
+// ackCursor is one durable (checkpoint watermark, byte offset) pair.
+type ackCursor struct {
+	Seq    uint64 `json:"seq"`
+	Offset int64  `json:"offset"`
+}
+
+// maxAckCursors bounds the sidecar's recent-cursor history. It only needs to
+// outlast the checkpoint retention bound (default 3), so a restored
+// checkpoint can always find its offset.
+const maxAckCursors = 16
+
+// ackRecord is the sidecar schema: recent cursors, newest last.
+type ackRecord struct {
+	Cursors []ackCursor `json:"cursors"`
+}
+
+// loadAck reads the sidecar's cursor history; missing or corrupt sidecars
+// mean "start from the beginning" (replaying more than acked is always
+// safe).
+func (in *FileInput) loadAck() []ackCursor {
+	data, err := os.ReadFile(in.ackPath)
+	if err != nil {
+		return nil
+	}
+	var rec ackRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil
+	}
+	var last int64 = -1
+	for _, c := range rec.Cursors {
+		if c.Offset < 0 || c.Offset < last {
+			return nil // corrupt: offsets must be non-negative and ascending
+		}
+		last = c.Offset
+	}
+	return rec.Cursors
+}
+
+func writeAckFile(path string, cursors []ackCursor) error {
+	data, err := json.Marshal(ackRecord{Cursors: cursors})
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("connector: ack cursor: %w", err)
+	}
+	cleanup := func(err error) error {
+		_ = tmp.Close()
+		_ = os.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(fmt.Errorf("connector: ack cursor: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("connector: ack cursor: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("connector: ack cursor: %w", err))
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("connector: ack cursor: %w", err)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("connector: ack cursor: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("connector: ack cursor: fsync %s: %w", dir, err)
+	}
+	return nil
+}
+
+// atomicCounter is a tiny mutex-guarded counter for cross-goroutine tallies.
+type atomicCounter struct {
+	// mu guards: n
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *atomicCounter) inc() { c.add(1) }
+
+func (c *atomicCounter) add(n uint64) {
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+func (c *atomicCounter) get() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}

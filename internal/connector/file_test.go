@@ -1,0 +1,253 @@
+package connector_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"firehose/internal/connector"
+)
+
+func writeLines(t *testing.T, path string, lines ...string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, l := range lines {
+		if _, err := fmt.Fprintln(f, l); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func postLine(author int, tm int64, text string) string {
+	return fmt.Sprintf(`{"author":%d,"timeMillis":%d,"text":%q}`, author, tm, text)
+}
+
+func openFileInput(t *testing.T, path string, opts connector.FileInputOptions) *connector.FileInput {
+	t.Helper()
+	in, err := connector.NewFileInput(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = in.Close() })
+	if err := in.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func readPost(t *testing.T, in *connector.FileInput) *connector.Message {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	msg, err := in.Read(ctx)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return msg
+}
+
+// TestFileInputCursorHistory is the crash-window contract: the sidecar keeps
+// every recent (watermark, offset) pair, so after a restart the daemon can
+// pair any retained checkpoint with its exact resume offset and Rewind there.
+func TestFileInputCursorHistory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	var lines []string
+	for i := 0; i < 5; i++ {
+		lines = append(lines, postLine(i, int64(1000*(i+1)), fmt.Sprintf("post %d", i)))
+	}
+	writeLines(t, path, lines...)
+
+	in1 := openFileInput(t, path, connector.FileInputOptions{})
+	var msgs []*connector.Message
+	for i := 0; i < 5; i++ {
+		m := readPost(t, in1)
+		m.Seq = uint64(i + 1)
+		msgs = append(msgs, m)
+	}
+	// Two checkpoints covered watermarks 2 and 4.
+	if err := in1.Ack(msgs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Ack(msgs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := openFileInput(t, path, connector.FileInputOptions{})
+	if off, ok := in2.CursorFor(2); !ok || off != msgs[1].Pos {
+		t.Fatalf("CursorFor(2) = (%d, %v), want (%d, true)", off, ok, msgs[1].Pos)
+	}
+	if off, ok := in2.CursorFor(4); !ok || off != msgs[3].Pos {
+		t.Fatalf("CursorFor(4) = (%d, %v), want (%d, true)", off, ok, msgs[3].Pos)
+	}
+	if _, ok := in2.CursorFor(3); ok {
+		t.Fatal("CursorFor(3) matched a watermark that was never acked")
+	}
+	if off, ok := in2.CursorFor(0); !ok || off != 0 {
+		t.Fatalf("CursorFor(0) = (%d, %v), want (0, true) — nothing checkpointed always matches", off, ok)
+	}
+
+	// Restoring the older checkpoint (watermark 2) rewinds to post 3.
+	if err := in2.Rewind(2); err != nil {
+		t.Fatal(err)
+	}
+	if m := readPost(t, in2); m.Text != "post 2" {
+		t.Fatalf("after Rewind(2): read %q, want \"post 2\"", m.Text)
+	}
+	if err := in2.Rewind(7); err == nil {
+		t.Fatal("Rewind to an unrecorded watermark succeeded; resuming there would lose or duplicate posts")
+	}
+}
+
+// TestFileInputConnectResumesNewestCursor: without an explicit Rewind the
+// input resumes after the newest acked message.
+func TestFileInputConnectResumesNewestCursor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	writeLines(t, path,
+		postLine(0, 1000, "one"), postLine(1, 2000, "two"), postLine(2, 3000, "three"))
+
+	in1 := openFileInput(t, path, connector.FileInputOptions{})
+	m1, m2 := readPost(t, in1), readPost(t, in1)
+	_ = m1
+	m2.Seq = 2
+	if err := in1.Ack(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	in2 := openFileInput(t, path, connector.FileInputOptions{})
+	if m := readPost(t, in2); m.Text != "three" {
+		t.Fatalf("resumed read %q, want \"three\"", m.Text)
+	}
+}
+
+// TestFileInputCorruptSidecar: an unreadable sidecar must fail open (replay
+// from the start), never fail the boot.
+func TestFileInputCorruptSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	writeLines(t, path, postLine(0, 1000, "one"))
+	if err := os.WriteFile(path+".ack", []byte("not json{{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in := openFileInput(t, path, connector.FileInputOptions{})
+	if m := readPost(t, in); m.Text != "one" {
+		t.Fatalf("read %q, want \"one\"", m.Text)
+	}
+}
+
+// TestFileInputMalformedLinesSkipped: undecodable lines are counted and
+// skipped without perturbing the readable stream.
+func TestFileInputMalformedLinesSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	writeLines(t, path,
+		postLine(0, 1000, "one"),
+		`{"author":1,"timeMillis":2000,"text":"x","extra":true}`, // unknown field
+		"garbage",
+		postLine(2, 3000, "two"))
+	in := openFileInput(t, path, connector.FileInputOptions{})
+	if m := readPost(t, in); m.Text != "one" {
+		t.Fatalf("read %q, want \"one\"", m.Text)
+	}
+	if m := readPost(t, in); m.Text != "two" {
+		t.Fatalf("read %q, want \"two\"", m.Text)
+	}
+	if got := in.MalformedLines(); got != 2 {
+		t.Fatalf("MalformedLines = %d, want 2", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := in.Read(ctx); !connector.IsEOF(err) {
+		t.Fatalf("Read past end: %v, want io.EOF", err)
+	}
+}
+
+// TestFileInputFollowsRotation: in tail mode, swapping a new file under the
+// path (new inode) restarts reading from the new file's beginning and resets
+// the ack cursor.
+func TestFileInputFollowsRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "posts.ndjson")
+	writeLines(t, path, postLine(0, 1000, "old-one"))
+
+	in := openFileInput(t, path, connector.FileInputOptions{Tail: true, PollInterval: 5 * time.Millisecond})
+	m := readPost(t, in)
+	if m.Text != "old-one" {
+		t.Fatalf("read %q, want \"old-one\"", m.Text)
+	}
+	m.Seq = 1
+	if err := in.Ack(m); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rotate: a brand-new file replaces the path.
+	next := filepath.Join(dir, "posts.next")
+	writeLines(t, next, postLine(5, 9000, "new-one"))
+	if err := os.Rename(next, path); err != nil {
+		t.Fatal(err)
+	}
+
+	if m := readPost(t, in); m.Text != "new-one" {
+		t.Fatalf("after rotation read %q, want \"new-one\"", m.Text)
+	}
+	// The pre-rotation cursor is meaningless against the new file.
+	if _, ok := in.CursorFor(1); ok {
+		t.Fatal("pre-rotation ack cursor survived rotation")
+	}
+}
+
+// TestFileInputStaleCursorResets: a sidecar pointing past the file's end
+// (rotation while the daemon was down) must restart from the beginning.
+func TestFileInputStaleCursorResets(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	writeLines(t, path, postLine(0, 1000, "one"), postLine(1, 2000, "two"))
+
+	in1 := openFileInput(t, path, connector.FileInputOptions{})
+	m1, m2 := readPost(t, in1), readPost(t, in1)
+	_, m2.Seq = m1, 2
+	if err := in1.Ack(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := in1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Offline rotation: the file is replaced by a shorter one.
+	if err := os.WriteFile(path, []byte(postLine(7, 500, "fresh")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in2 := openFileInput(t, path, connector.FileInputOptions{})
+	if m := readPost(t, in2); m.Text != "fresh" {
+		t.Fatalf("read %q, want \"fresh\"", m.Text)
+	}
+}
+
+// TestFileInputRewindBeforeConnect: Rewind's preconditions hold.
+func TestFileInputRewindBeforeConnect(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "posts.ndjson")
+	writeLines(t, path, postLine(0, 1000, "one"))
+	in, err := connector.NewFileInput(path, connector.FileInputOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rewind(0); err == nil {
+		t.Fatal("Rewind before Connect succeeded")
+	}
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Rewind(0); !errors.Is(err, connector.ErrClosed) {
+		t.Fatalf("Rewind after Close: %v, want ErrClosed", err)
+	}
+}

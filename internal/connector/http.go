@@ -1,0 +1,138 @@
+package connector
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// HTTPIngestInput adapts push-style ingestion (the daemon's historical POST
+// /v1/ingest surface) to the Input contract: Submit blocks the submitting
+// handler until the pipeline runner has ingested the message and reports the
+// outcome back, so the HTTP response still carries the post id and the
+// delivered users, exactly as the pre-connector handler did.
+//
+// The synchronous reply is also the ack: a sender that got its 200 knows the
+// post was decided, and a sender that did not retries — so, like the TCP
+// input, Ack is a trivial success.
+//
+// The daemon special-cases this input in-process (handlers call the engine
+// seam directly) to keep concurrent HTTP ingest parallel across author
+// components; the adapter exists so embedded pipelines — and the conformance
+// suite — can drive the same contract through a real Input.
+type HTTPIngestInput struct {
+	msgs    chan *Message
+	closeCh chan struct{}
+
+	// mu guards: connected, closed
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+}
+
+// SubmitResult is the ingest outcome delivered back to a submitter.
+type SubmitResult struct {
+	// Seq is the assigned post id (zero when Err is non-nil).
+	Seq uint64
+	// Users are the subscribers whose timelines got the post.
+	Users []int32
+	// Err is the ingest failure (disorder, empty text, engine closed).
+	Err error
+}
+
+// NewHTTPIngestInput builds the adapter with the given submit buffer.
+func NewHTTPIngestInput(buffer int) *HTTPIngestInput {
+	if buffer < 0 {
+		buffer = 0
+	}
+	return &HTTPIngestInput{
+		msgs:    make(chan *Message, buffer),
+		closeCh: make(chan struct{}),
+	}
+}
+
+// Connect marks the adapter ready. There is no external resource to open.
+func (in *HTTPIngestInput) Connect(context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	in.connected = true
+	return nil
+}
+
+// Submit enqueues one post and blocks until the runner reports its outcome,
+// ctx is cancelled, or the input closes.
+func (in *HTTPIngestInput) Submit(ctx context.Context, author int32, timeMillis int64, text string) (SubmitResult, error) {
+	res := make(chan SubmitResult, 1)
+	msg := &Message{
+		Author:     author,
+		TimeMillis: timeMillis,
+		Text:       text,
+		done: func(seq uint64, users []int32, err error) {
+			res <- SubmitResult{Seq: seq, Users: users, Err: err}
+		},
+	}
+	select {
+	case in.msgs <- msg:
+	case <-ctx.Done():
+		return SubmitResult{}, ctx.Err()
+	case <-in.closeCh:
+		return SubmitResult{}, ErrClosed
+	}
+	select {
+	case r := <-res:
+		return r, nil
+	case <-ctx.Done():
+		return SubmitResult{}, ctx.Err()
+	case <-in.closeCh:
+		return SubmitResult{}, ErrClosed
+	}
+}
+
+// Read blocks until a submitted message arrives, ctx is cancelled, or Close.
+func (in *HTTPIngestInput) Read(ctx context.Context) (*Message, error) {
+	in.mu.Lock()
+	connected := in.connected
+	in.mu.Unlock()
+	if !connected {
+		return nil, fmt.Errorf("connector: http input: Read before Connect")
+	}
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-in.closeCh:
+		return nil, ErrClosed
+	}
+}
+
+// Ack is a trivial success: the synchronous Submit reply already settled the
+// exchange with the sender.
+func (in *HTTPIngestInput) Ack(msg *Message) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close unblocks pending Submits and Reads. Idempotent.
+func (in *HTTPIngestInput) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil
+	}
+	in.closed = true
+	close(in.closeCh)
+	return nil
+}

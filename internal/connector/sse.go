@@ -1,0 +1,67 @@
+package connector
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// SSEOutput adapts the HTTP layer's in-process SSE broker to the Output
+// contract: each delivery is handed to a publish callback (httpapi's
+// Server.PublishSSE) which fans it out to the per-user event streams. The
+// broker's own bounded per-subscriber buffers absorb slow clients, so Write
+// never blocks.
+type SSEOutput struct {
+	publish func(d Delivery)
+
+	// mu guards: closed
+	mu     sync.Mutex
+	closed bool
+
+	written atomicCounter
+}
+
+// NewSSEOutput wraps a broker publish callback.
+func NewSSEOutput(publish func(d Delivery)) (*SSEOutput, error) {
+	if publish == nil {
+		return nil, fmt.Errorf("connector: sse output needs a publish func")
+	}
+	return &SSEOutput{publish: publish}, nil
+}
+
+// Connect is a no-op: the broker lives inside the HTTP server.
+func (o *SSEOutput) Connect(context.Context) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Write publishes one delivery to the broker.
+func (o *SSEOutput) Write(ctx context.Context, d Delivery) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return ErrClosed
+	}
+	o.mu.Unlock()
+	o.publish(d)
+	o.written.inc()
+	return nil
+}
+
+// Close stops publishing. Idempotent. The broker itself is owned — and shut
+// down — by the HTTP server.
+func (o *SSEOutput) Close() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.closed = true
+	return nil
+}
+
+// Stats reports the output's counters.
+func (o *SSEOutput) Stats() Stat {
+	return Stat{Component: "output:sse", Written: o.written.get()}
+}

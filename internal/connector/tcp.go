@@ -1,0 +1,186 @@
+package connector
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPInput accepts NDJSON post streams over TCP: any number of clients
+// connect and write one JSON object per line (the same strict schema as the
+// file input). Lines from concurrent connections interleave at line
+// granularity; time-ordering across connections is the senders' contract,
+// exactly as it is for concurrent HTTP ingest — out-of-order posts are
+// rejected by the engine and counted as skips.
+//
+// A TCP socket is not replayable, so Ack is a trivial success: the
+// at-least-once window is the sender's own retry (send, await TCP ack,
+// resend on reconnect), which is all a socket can promise.
+type TCPInput struct {
+	addr string
+
+	// mu guards: connected, closed, ln, conns
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+
+	msgs      chan *Message
+	closeCh   chan struct{}
+	wg        sync.WaitGroup
+	malformed atomicCounter
+}
+
+// NewTCPInput builds a TCP input listening on addr once connected.
+func NewTCPInput(addr string) (*TCPInput, error) {
+	if addr == "" {
+		return nil, fmt.Errorf("connector: tcp input needs a listen address")
+	}
+	return &TCPInput{
+		addr:    addr,
+		conns:   make(map[net.Conn]struct{}),
+		msgs:    make(chan *Message, 256),
+		closeCh: make(chan struct{}),
+	}, nil
+}
+
+// Connect binds the listener and starts accepting clients.
+func (in *TCPInput) Connect(context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	if in.connected {
+		return nil
+	}
+	ln, err := net.Listen("tcp", in.addr)
+	if err != nil {
+		return fmt.Errorf("connector: tcp input: %w", err)
+	}
+	in.ln = ln
+	in.connected = true
+	in.wg.Add(1)
+	go in.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (useful when addr had port 0).
+func (in *TCPInput) Addr() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.ln == nil {
+		return in.addr
+	}
+	return in.ln.Addr().String()
+}
+
+func (in *TCPInput) acceptLoop(ln net.Listener) {
+	defer in.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		in.mu.Lock()
+		if in.closed {
+			in.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		in.conns[conn] = struct{}{}
+		in.mu.Unlock()
+		in.wg.Add(1)
+		go in.readConn(conn)
+	}
+}
+
+func (in *TCPInput) readConn(conn net.Conn) {
+	defer in.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		in.mu.Lock()
+		delete(in.conns, conn)
+		in.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		var rec fileRecord
+		if err := dec.Decode(&rec); err != nil || dec.More() {
+			in.malformed.inc()
+			continue
+		}
+		msg := &Message{Author: rec.Author, TimeMillis: rec.TimeMillis, Text: rec.Text}
+		select {
+		case in.msgs <- msg:
+		case <-in.closeCh:
+			return
+		}
+	}
+}
+
+// Read blocks until a client line arrives, ctx is cancelled, or Close.
+func (in *TCPInput) Read(ctx context.Context) (*Message, error) {
+	// Buffered messages drain before the closed signal wins, so lines
+	// accepted before Close are not lost to its race.
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-in.closeCh:
+		return nil, ErrClosed
+	}
+}
+
+// Ack is a trivial success: sockets are not replayable, so there is no
+// durable cursor to advance.
+func (in *TCPInput) Ack(msg *Message) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close stops the listener and every client connection. Idempotent.
+func (in *TCPInput) Close() error {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil
+	}
+	in.closed = true
+	close(in.closeCh)
+	var err error
+	if in.ln != nil {
+		err = in.ln.Close()
+	}
+	for conn := range in.conns {
+		_ = conn.Close()
+	}
+	in.mu.Unlock()
+	in.wg.Wait()
+	return err
+}
+
+// MalformedLines counts skipped undecodable lines.
+func (in *TCPInput) MalformedLines() uint64 { return in.malformed.get() }

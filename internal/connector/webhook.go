@@ -1,0 +1,251 @@
+package connector
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// WebhookOutput POSTs each delivery as JSON to a fixed URL. Writes land in a
+// bounded queue; a single sender goroutine transmits them in order with
+// bounded exponential-backoff retry (network errors and 5xx responses retry,
+// 4xx responses are the receiver's verdict and drop immediately). A delivery
+// that exhausts its retries is dropped and counted — the output never wedges
+// the pipeline on a dead sink, and the at-least-once replay after a restart
+// gives the sink another chance at everything after the watermark.
+type WebhookOutput struct {
+	cfg    WebhookConfig
+	client *http.Client
+
+	q       chan Delivery
+	closeCh chan struct{}
+	done    chan struct{}
+
+	// mu guards: connected, closed
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+
+	written atomicCounter
+	retries atomicCounter
+	dropped atomicCounter
+	errs    atomicCounter
+}
+
+// WebhookConfig configures a WebhookOutput.
+type WebhookConfig struct {
+	// URL is the POST target. Required; must be http or https.
+	URL string
+	// QueueSize bounds buffered deliveries awaiting transmit (default 256).
+	QueueSize int
+	// MaxRetries bounds transmit retries per delivery after the first attempt
+	// (default 4).
+	MaxRetries int
+	// Backoff is the first retry delay, doubled per retry and capped at
+	// sixteen times itself (default 100ms).
+	Backoff time.Duration
+	// Timeout bounds each HTTP attempt (default 5s).
+	Timeout time.Duration
+	// FlushTimeout bounds how long Close waits for the queue to drain
+	// (default 5s).
+	FlushTimeout time.Duration
+}
+
+func (c *WebhookConfig) withDefaults() WebhookConfig {
+	out := *c
+	if out.QueueSize <= 0 {
+		out.QueueSize = 256
+	}
+	if out.MaxRetries < 0 {
+		out.MaxRetries = 0
+	}
+	if out.MaxRetries == 0 {
+		out.MaxRetries = 4
+	}
+	if out.Backoff <= 0 {
+		out.Backoff = 100 * time.Millisecond
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.FlushTimeout <= 0 {
+		out.FlushTimeout = 5 * time.Second
+	}
+	return out
+}
+
+// NewWebhookOutput builds a webhook egress for cfg.URL.
+func NewWebhookOutput(cfg WebhookConfig) (*WebhookOutput, error) {
+	u, err := url.Parse(cfg.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return nil, fmt.Errorf("connector: webhook output needs an http(s) url, got %q", cfg.URL)
+	}
+	cfg = cfg.withDefaults()
+	return &WebhookOutput{
+		cfg:     cfg,
+		client:  &http.Client{Timeout: cfg.Timeout},
+		q:       make(chan Delivery, cfg.QueueSize),
+		closeCh: make(chan struct{}),
+		done:    make(chan struct{}),
+	}, nil
+}
+
+// Connect starts the sender goroutine.
+func (o *WebhookOutput) Connect(context.Context) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return ErrClosed
+	}
+	if o.connected {
+		return nil
+	}
+	o.connected = true
+	go o.sendLoop()
+	return nil
+}
+
+// Write queues one delivery, blocking while the queue is full (the sender's
+// bounded retry guarantees the queue drains) unless ctx cancels first.
+func (o *WebhookOutput) Write(ctx context.Context, d Delivery) error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return ErrClosed
+	}
+	if !o.connected {
+		o.mu.Unlock()
+		return fmt.Errorf("connector: webhook output: Write before Connect")
+	}
+	o.mu.Unlock()
+	select {
+	case o.q <- d:
+		o.written.inc()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-o.closeCh:
+		return ErrClosed
+	}
+}
+
+// sendLoop transmits queued deliveries in order; after Close it drains what
+// is already queued, then exits. The queue channel is never closed — Close
+// signals via closeCh, so a racing Write can never panic.
+func (o *WebhookOutput) sendLoop() {
+	defer close(o.done)
+	for {
+		select {
+		case d := <-o.q:
+			o.send(d)
+		case <-o.closeCh:
+			for {
+				select {
+				case d := <-o.q:
+					o.send(d)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// send POSTs one delivery with bounded exponential backoff.
+func (o *WebhookOutput) send(d Delivery) {
+	body, err := json.Marshal(d)
+	if err != nil {
+		o.errs.inc()
+		o.dropped.inc()
+		return
+	}
+	backoff := o.cfg.Backoff
+	maxBackoff := 16 * o.cfg.Backoff
+	for attempt := 0; ; attempt++ {
+		retryable, err := o.post(body)
+		if err == nil {
+			return
+		}
+		o.errs.inc()
+		if !retryable || attempt >= o.cfg.MaxRetries {
+			o.dropped.inc()
+			return
+		}
+		o.retries.inc()
+		select {
+		case <-time.After(backoff):
+		case <-o.closeCh:
+			// Shutdown flush: one immediate final attempt, then give up.
+			if _, err := o.post(body); err != nil {
+				o.errs.inc()
+				o.dropped.inc()
+			}
+			return
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// post makes one attempt; the bool reports whether a failure is retryable.
+func (o *WebhookOutput) post(body []byte) (bool, error) {
+	req, err := http.NewRequest(http.MethodPost, o.cfg.URL, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := o.client.Do(req)
+	if err != nil {
+		return true, err // network-level: retry
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode >= 200 && resp.StatusCode < 300:
+		return false, nil
+	case resp.StatusCode >= 500:
+		return true, fmt.Errorf("connector: webhook output: %s", resp.Status)
+	default:
+		// 4xx is the receiver rejecting the payload; retrying cannot help.
+		return false, fmt.Errorf("connector: webhook output: %s", resp.Status)
+	}
+}
+
+// Close stops accepting writes, waits (bounded by FlushTimeout) for the
+// sender to drain the queue, and releases the client. Idempotent.
+func (o *WebhookOutput) Close() error {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		return nil
+	}
+	o.closed = true
+	connected := o.connected
+	close(o.closeCh)
+	o.mu.Unlock()
+	if !connected {
+		return nil
+	}
+	select {
+	case <-o.done:
+		return nil
+	case <-time.After(o.cfg.FlushTimeout):
+		return fmt.Errorf("connector: webhook output: flush timed out after %v", o.cfg.FlushTimeout)
+	}
+}
+
+// Stats reports the output's counters.
+func (o *WebhookOutput) Stats() Stat {
+	return Stat{
+		Component: "output:webhook",
+		Written:   o.written.get(),
+		Retries:   o.retries.get(),
+		Dropped:   o.dropped.get(),
+		Errors:    o.errs.get(),
+	}
+}

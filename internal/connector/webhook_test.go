@@ -1,0 +1,161 @@
+package connector_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"firehose/internal/connector"
+)
+
+// countingSink scripts per-attempt HTTP statuses and counts attempts.
+type countingSink struct {
+	mu       sync.Mutex
+	statuses []int // consumed per attempt; empty → 200
+	attempts int
+}
+
+func (s *countingSink) handler(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.attempts++
+	status := http.StatusOK
+	if len(s.statuses) > 0 {
+		status, s.statuses = s.statuses[0], s.statuses[1:]
+	}
+	s.mu.Unlock()
+	w.WriteHeader(status)
+}
+
+func (s *countingSink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attempts
+}
+
+func newWebhook(t *testing.T, url string, cfg connector.WebhookConfig) *connector.WebhookOutput {
+	t.Helper()
+	cfg.URL = url
+	out, err := connector.NewWebhookOutput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = out.Close() })
+	if err := out.Connect(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestWebhookRetries5xx: server errors retry with backoff until success.
+func TestWebhookRetries5xx(t *testing.T) {
+	sink := &countingSink{statuses: []int{502, 503}}
+	srv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer srv.Close()
+
+	out := newWebhook(t, srv.URL, connector.WebhookConfig{Backoff: time.Millisecond})
+	if err := out.Write(context.Background(), connector.Delivery{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the retry ladder to finish before Close: closing mid-backoff
+	// legitimately short-circuits to one final attempt.
+	waitFor(t, "three attempts", func() bool { return sink.count() == 3 })
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := out.Stats()
+	if st.Retries != 2 || st.Dropped != 0 {
+		t.Fatalf("stats retries=%d dropped=%d, want 2 and 0", st.Retries, st.Dropped)
+	}
+}
+
+// TestWebhook4xxIsTerminal: a 4xx is the receiver's verdict — no retry, the
+// delivery is dropped and counted.
+func TestWebhook4xxIsTerminal(t *testing.T) {
+	sink := &countingSink{statuses: []int{400}}
+	srv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer srv.Close()
+
+	out := newWebhook(t, srv.URL, connector.WebhookConfig{Backoff: time.Millisecond})
+	if err := out.Write(context.Background(), connector.Delivery{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "terminal drop", func() bool { return out.Stats().Dropped == 1 })
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != 1 {
+		t.Fatalf("sink saw %d attempts, want 1 (4xx must not retry)", got)
+	}
+	st := out.Stats()
+	if st.Dropped != 1 || st.Retries != 0 {
+		t.Fatalf("stats dropped=%d retries=%d, want 1 and 0", st.Dropped, st.Retries)
+	}
+}
+
+// TestWebhookBoundedRetry: a persistently failing sink drops the delivery
+// after MaxRetries instead of wedging the pipeline.
+func TestWebhookBoundedRetry(t *testing.T) {
+	sink := &countingSink{statuses: []int{500, 500, 500, 500, 500, 500, 500, 500}}
+	srv := httptest.NewServer(http.HandlerFunc(sink.handler))
+	defer srv.Close()
+
+	out := newWebhook(t, srv.URL, connector.WebhookConfig{Backoff: time.Millisecond, MaxRetries: 2})
+	if err := out.Write(context.Background(), connector.Delivery{ID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "bounded-retry drop", func() bool { return out.Stats().Dropped == 1 })
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.count(); got != 3 {
+		t.Fatalf("sink saw %d attempts, want 3 (first + MaxRetries)", got)
+	}
+	if st := out.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats dropped=%d, want 1", st.Dropped)
+	}
+}
+
+// TestWebhookRejectsBadURL: construction validates the target.
+func TestWebhookRejectsBadURL(t *testing.T) {
+	for _, url := range []string{"", "ftp://x", "not a url", "http://"} {
+		if _, err := connector.NewWebhookOutput(connector.WebhookConfig{URL: url}); err == nil {
+			t.Errorf("NewWebhookOutput(%q) succeeded", url)
+		} else if !strings.Contains(err.Error(), "http(s) url") {
+			t.Errorf("NewWebhookOutput(%q): %v", url, err)
+		}
+	}
+}
+
+// TestWebhookCloseFlushesQueue: deliveries buffered at Close still transmit.
+func TestWebhookCloseFlushesQueue(t *testing.T) {
+	var mu sync.Mutex
+	var got int
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		mu.Lock()
+		got++
+		mu.Unlock()
+	}))
+	defer srv.Close()
+
+	out := newWebhook(t, srv.URL, connector.WebhookConfig{Backoff: time.Millisecond})
+	for i := 1; i <= 5; i++ {
+		if err := out.Write(context.Background(), connector.Delivery{ID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release) // let the sink accept; Close must wait for the drain
+	if err := out.Close(); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if got != 5 {
+		t.Fatalf("sink saw %d deliveries after Close, want 5", got)
+	}
+}

@@ -29,16 +29,19 @@ type stateEngine interface {
 // drain, shards serialize under their owner locks) followed by the HTTP
 // layer's id/time watermarks.
 //
-// Section order matters for crash recovery: the engine state is captured
-// first and the watermarks after, so the recorded nextID is >= every post id
-// inside the engine state (ids are allocated before posts enter the engine).
-// An ingest racing the snapshot may burn an id that the restored server skips
-// — ids stay unique, which is what the recovery guarantee needs.
+// Snapshot holds ingestMu exclusively, so no ingest is mid-flight while the
+// state is captured: every allocated id's post is inside the engine state,
+// and the recorded nextID is an exact watermark (it also becomes
+// SnapshotWatermark, the connector layer's ack boundary). Before ingestMu,
+// a racing ingest could burn an id the restored server would skip; the
+// exclusive section removes that gap entirely.
 func (s *Server) Snapshot(w io.Writer) error {
 	se, ok := s.engine.(stateEngine)
 	if !ok {
 		return fmt.Errorf("httpapi: engine %s does not support checkpointing", s.engine.Name())
 	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	enc := checkpoint.NewEncoder(w, serverKind)
 	if err := se.SnapshotState(enc); err != nil {
 		return err
@@ -49,7 +52,13 @@ func (s *Server) Snapshot(w io.Writer) error {
 	enc.String("server")
 	enc.Uvarint(nextID)
 	enc.Varint(lastT)
-	return enc.Finish()
+	if err := enc.Finish(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.snapSeq = nextID
+	s.mu.Unlock()
+	return nil
 }
 
 // Restore replaces the server's state with a snapshot previously written by
@@ -62,6 +71,8 @@ func (s *Server) Restore(r io.Reader) error {
 	if !ok {
 		return fmt.Errorf("httpapi: engine %s does not support checkpointing", s.engine.Name())
 	}
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
 	dec, err := checkpoint.NewDecoder(r)
 	if err != nil {
 		return err
@@ -84,6 +95,7 @@ func (s *Server) Restore(r io.Reader) error {
 	s.mu.Lock()
 	s.nextID = nextID
 	s.lastT = lastT
+	s.snapSeq = nextID
 	s.mu.Unlock()
 	return nil
 }

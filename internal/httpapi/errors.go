@@ -33,6 +33,9 @@ const (
 	// CodeEngineError: the engine rejected the post for an unanticipated
 	// reason; see the message.
 	CodeEngineError = "engine_error"
+	// CodeIngestDisabled: the daemon runs a connector input (file or tcp)
+	// that owns the stream; push ingestion over HTTP is turned off.
+	CodeIngestDisabled = "ingest_disabled"
 	// CodeStreamingUnsupported: the connection cannot carry server-sent events.
 	CodeStreamingUnsupported = "streaming_unsupported"
 	// CodeCheckpointsDisabled: the server runs without a checkpoint directory.

@@ -76,6 +76,19 @@ func goldenCases() []goldenCase {
 			arm:        func(_ *testing.T, s *Server) { s.engine.Close() },
 		},
 		{
+			name:   "ingest_disabled",
+			method: "POST", path: "/v1/ingest", body: `{"author":0,"text":"x","timeMillis":6000}`,
+			wantStatus: http.StatusServiceUnavailable,
+			arm:        func(_ *testing.T, s *Server) { s.DisableHTTPIngest() },
+		},
+		{
+			name:   "batch_ingest_disabled",
+			method: "POST", path: "/v1/ingest/batch",
+			body:       `{"posts":[{"author":0,"text":"a","timeMillis":6000}]}`,
+			wantStatus: http.StatusServiceUnavailable,
+			arm:        func(_ *testing.T, s *Server) { s.DisableHTTPIngest() },
+		},
+		{
 			name:   "batch_bad_json",
 			method: "POST", path: "/v1/ingest/batch", body: `[`,
 			wantStatus: http.StatusBadRequest,

@@ -6,6 +6,7 @@ package httpapi
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -60,10 +61,20 @@ type Server struct {
 	registry *metrics.Registry
 	ckpt     *checkpoint.Manager // nil until EnableCheckpoints
 
-	// mu guards: nextID, lastT
-	mu     sync.Mutex
-	nextID uint64
-	lastT  int64
+	// ingestMu serializes ingestion against snapshots: every ingest path
+	// (single, batch, connector runner) holds it shared across {watermark
+	// check, id allocation, engine offer, delivery}, and Snapshot/Restore
+	// hold it exclusively — so a captured nextID is an exact watermark, with
+	// no allocated-but-unoffered ids in flight.
+	ingestMu sync.RWMutex
+
+	// mu guards: nextID, lastT, snapSeq, deliveryHook, httpOnlyErr
+	mu           sync.Mutex
+	nextID       uint64
+	lastT        int64
+	snapSeq      uint64 // nextID captured by the most recent Snapshot/Restore
+	deliveryHook func(p TimelinePost, users []int32)
+	httpOnlyErr  error // non-nil once DisableHTTPIngest ran
 }
 
 // New builds a Server around a multi-user diversifier, running decisions on
@@ -150,43 +161,28 @@ type IngestResponse struct {
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.httpIngestDisabled() {
+		writeError(w, http.StatusServiceUnavailable, CodeIngestDisabled, "%v", ErrIngestDisabled)
+		return
+	}
 	var req IngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON: %v", err)
 		return
 	}
-	if req.Text == "" {
-		writeError(w, http.StatusBadRequest, CodeEmptyText, "empty text")
-		return
-	}
-
-	s.mu.Lock()
-	if last := s.lastT; req.TimeMillis < last {
-		// Capture lastT before unlocking: a concurrent ingest may advance it
-		// the moment the lock is released.
-		s.mu.Unlock()
-		writeDisorder(w, last,
-			"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, last)
-		return
-	}
-	s.lastT = req.TimeMillis
-	s.nextID++
-	id := s.nextID
-	s.mu.Unlock()
-
-	post := core.NewPost(id, req.Author, req.TimeMillis, req.Text)
-	users, err := s.engine.Offer(post)
+	id, users, err := s.IngestPost(req.Author, req.TimeMillis, req.Text)
 	if err != nil {
-		writeOfferError(w, err)
+		var de *DisorderError
+		switch {
+		case errors.Is(err, ErrEmptyText):
+			writeError(w, http.StatusBadRequest, CodeEmptyText, "empty text")
+		case errors.As(err, &de):
+			writeDisorder(w, de.Watermark,
+				"post at %d arrived after %d; the stream must be time-ordered", req.TimeMillis, de.Watermark)
+		default:
+			writeOfferError(w, err)
+		}
 		return
-	}
-	if users == nil {
-		users = []int32{}
-	}
-	if len(users) > 0 {
-		s.broker.publish(users, TimelinePost{
-			ID: post.ID, Author: post.Author, TimeMillis: post.Time, Text: post.Text,
-		})
 	}
 	writeJSON(w, IngestResponse{ID: id, Delivered: users})
 }
@@ -204,6 +200,10 @@ type BatchIngestResponse struct {
 }
 
 func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	if s.httpIngestDisabled() {
+		writeError(w, http.StatusServiceUnavailable, CodeIngestDisabled, "%v", ErrIngestDisabled)
+		return
+	}
 	var req BatchIngestRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadJSON, "bad JSON: %v", err)
@@ -226,6 +226,11 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// Like IngestPost, the whole batch step holds ingestMu shared so a
+	// snapshot's captured nextID covers exactly the posts inside the engine.
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+
 	s.mu.Lock()
 	if last := s.lastT; req.Posts[0].TimeMillis < last {
 		s.mu.Unlock()
@@ -245,15 +250,20 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	deliveries, err := s.engine.OfferBatch(posts)
 	if err != nil {
+		s.mu.Lock()
+		if s.nextID == firstID+uint64(len(posts))-1 {
+			s.nextID = firstID - 1
+		}
+		s.mu.Unlock()
 		writeOfferError(w, err)
 		return
 	}
 	resp := BatchIngestResponse{Results: make([]IngestResponse, len(posts))}
 	for i, users := range deliveries {
 		if len(users) > 0 {
-			s.broker.publish(users, TimelinePost{
+			s.deliver(TimelinePost{
 				ID: posts[i].ID, Author: posts[i].Author, TimeMillis: posts[i].Time, Text: posts[i].Text,
-			})
+			}, users)
 		} else {
 			users = []int32{}
 		}

@@ -1,0 +1,139 @@
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+
+	"firehose/internal/core"
+)
+
+// This file is the single ingest seam shared by the HTTP handlers and the
+// connector layer's pipeline runner: every post enters the engine through
+// IngestPost (or the batch handler's equivalent section), every delivery
+// leaves through deliver(), and both run under ingestMu so a snapshot can
+// quiesce the whole surface and capture an exact id watermark.
+
+// ErrEmptyText rejects a post with no content. The rejection is deterministic:
+// a replayed stream rejects it again.
+var ErrEmptyText = errors.New("httpapi: empty text")
+
+// ErrIngestDisabled rejects push ingestion when the daemon runs a connector
+// input (file or tcp): the pipeline owns the stream's time order, and
+// interleaved pushes would corrupt it.
+var ErrIngestDisabled = errors.New("httpapi: push ingest is disabled: posts arrive through the configured pipeline input")
+
+// DisorderError rejects a post that precedes the stream's time watermark. The
+// rejection is deterministic for a replayed prefix: the watermark at that
+// point in the stream is a pure function of the posts before it.
+type DisorderError struct {
+	// Watermark is the stream time (Unix milliseconds) the post must not
+	// precede.
+	Watermark int64
+}
+
+func (e *DisorderError) Error() string {
+	return fmt.Sprintf("httpapi: post precedes the stream time watermark %d; the stream must be time-ordered", e.Watermark)
+}
+
+// IngestPost validates, identifies and offers one post, returning its
+// assigned id and the users whose timelines received it. It is the
+// connector runner's IngestFunc and the POST /v1/ingest handler's core.
+//
+// The whole step — watermark check, id allocation, engine offer, delivery
+// fan-out — holds ingestMu (shared), so Snapshot's exclusive acquisition
+// cannot observe an allocated id whose post has not entered the engine: the
+// captured nextID is an exact watermark. An offer the engine refuses rolls
+// the id allocation back when no concurrent ingest has allocated past it,
+// so single-writer pipelines (the connector runner) burn no ids on
+// transient backpressure and replays reproduce identical ids.
+func (s *Server) IngestPost(author int32, timeMillis int64, text string) (uint64, []int32, error) {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	if text == "" {
+		return 0, nil, ErrEmptyText
+	}
+
+	s.mu.Lock()
+	if last := s.lastT; timeMillis < last {
+		s.mu.Unlock()
+		return 0, nil, &DisorderError{Watermark: last}
+	}
+	s.lastT = timeMillis
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+
+	post := core.NewPost(id, author, timeMillis, text)
+	users, err := s.engine.Offer(post)
+	if err != nil {
+		s.mu.Lock()
+		if s.nextID == id {
+			s.nextID--
+		}
+		s.mu.Unlock()
+		return 0, nil, err
+	}
+	if users == nil {
+		users = []int32{}
+	}
+	if len(users) > 0 {
+		s.deliver(TimelinePost{ID: post.ID, Author: post.Author, TimeMillis: post.Time, Text: post.Text}, users)
+	}
+	return id, users, nil
+}
+
+// deliver routes one delivered post through the delivery hook (the connector
+// dispatcher when one is mounted, the SSE broker otherwise).
+func (s *Server) deliver(p TimelinePost, users []int32) {
+	s.mu.Lock()
+	hook := s.deliveryHook
+	s.mu.Unlock()
+	if hook != nil {
+		hook(p, users)
+		return
+	}
+	s.broker.publish(users, p)
+}
+
+// SetDeliveryHook replaces the default delivery fan-out (publish to the SSE
+// broker) with fn — the connector dispatcher's entry point. Pass nil to
+// restore the default. Set it before serving traffic; the hook runs on
+// ingest goroutines and must not block indefinitely.
+func (s *Server) SetDeliveryHook(fn func(p TimelinePost, users []int32)) {
+	s.mu.Lock()
+	s.deliveryHook = fn
+	s.mu.Unlock()
+}
+
+// PublishSSE publishes one delivery to the SSE broker directly, bypassing the
+// delivery hook. The connector layer's "sse" output wraps it, so mounting a
+// dispatcher as the hook keeps SSE fan-out working without recursion.
+func (s *Server) PublishSSE(p TimelinePost, users []int32) {
+	s.broker.publish(users, p)
+}
+
+// DisableHTTPIngest makes POST /v1/ingest and /v1/ingest/batch answer 503
+// ingest_disabled: the daemon runs a connector input that owns the stream,
+// and pushed posts would interleave with it. Read endpoints are unaffected.
+func (s *Server) DisableHTTPIngest() {
+	s.mu.Lock()
+	s.httpOnlyErr = ErrIngestDisabled
+	s.mu.Unlock()
+}
+
+// httpIngestDisabled reports whether push ingestion was disabled.
+func (s *Server) httpIngestDisabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.httpOnlyErr != nil
+}
+
+// SnapshotWatermark returns the id watermark captured by the most recent
+// Snapshot (or Restore): every post with id <= watermark is inside that
+// durable state, and no post outside it has a smaller id. The daemon turns
+// it into connector acks after each durable checkpoint.
+func (s *Server) SnapshotWatermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapSeq
+}

@@ -3,10 +3,12 @@ package httpapi
 import (
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"sync"
 
 	"firehose/internal/checkpoint"
+	"firehose/internal/connector"
 	"firehose/internal/core"
 	"firehose/internal/metrics"
 	"firehose/internal/stream"
@@ -297,12 +299,76 @@ func (s *Server) buildRegistry() *metrics.Registry {
 			return []metrics.Sample{{Value: float64(published)}}
 		})
 	r.MustRegister("firehose_sse_events_dropped_total",
-		"Timeline events dropped because a subscriber's buffer was full.",
+		"Timeline events a subscriber never received: buffer-full discards plus events still buffered at disconnect.",
 		metrics.KindCounter, func() []metrics.Sample {
 			_, dropped := s.broker.eventCounts()
 			return []metrics.Sample{{Value: float64(dropped)}}
 		})
+	r.MustRegister("firehose_sse_user_dropped_total",
+		"Timeline events a subscriber never received, per user.",
+		metrics.KindCounter, func() []metrics.Sample {
+			drops := s.broker.userDrops()
+			users := make([]int32, 0, len(drops))
+			for u := range drops {
+				users = append(users, u)
+			}
+			sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+			out := make([]metrics.Sample, len(users))
+			for i, u := range users {
+				out[i] = metrics.Sample{
+					Labels: []metrics.Label{{Name: "user", Value: strconv.Itoa(int(u))}},
+					Value:  float64(drops[u]),
+				}
+			}
+			return out
+		})
 	return r
+}
+
+// MountConnectorMetrics registers the firehose_connector_* families over a
+// connector stats source (the daemon's assembled pipeline). Call it once,
+// before serving traffic.
+func (s *Server) MountConnectorMetrics(src connector.StatsSource) {
+	componentLabel := func(c string) []metrics.Label {
+		return []metrics.Label{{Name: "component", Value: c}}
+	}
+	each := func(pick func(connector.Stat) float64) func() []metrics.Sample {
+		return func() []metrics.Sample {
+			stats := src.ConnectorStats()
+			out := make([]metrics.Sample, len(stats))
+			for i, st := range stats {
+				out[i] = metrics.Sample{Labels: componentLabel(st.Component), Value: pick(st)}
+			}
+			return out
+		}
+	}
+	s.registry.MustRegister("firehose_connector_read_total",
+		"Messages read from connector inputs.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Read) }))
+	s.registry.MustRegister("firehose_connector_ingested_total",
+		"Connector messages the engine accepted for a decision.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Ingested) }))
+	s.registry.MustRegister("firehose_connector_skipped_total",
+		"Connector messages dropped before a decision (malformed, disorder, empty).",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Skipped) }))
+	s.registry.MustRegister("firehose_connector_ack_total",
+		"Connector messages acked to their input after a durable checkpoint.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Acked) }))
+	s.registry.MustRegister("firehose_connector_ack_seq",
+		"Highest durable checkpoint watermark acked per component.",
+		metrics.KindGauge, each(func(st connector.Stat) float64 { return float64(st.AckSeq) }))
+	s.registry.MustRegister("firehose_connector_write_total",
+		"Deliveries written to connector outputs.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Written) }))
+	s.registry.MustRegister("firehose_connector_retry_total",
+		"Connector output transmit retries.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Retries) }))
+	s.registry.MustRegister("firehose_connector_dropped_total",
+		"Deliveries abandoned by a connector output after bounded retry.",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Dropped) }))
+	s.registry.MustRegister("firehose_connector_error_total",
+		"Connector component errors (failed writes, failed acks).",
+		metrics.KindCounter, each(func(st connector.Stat) float64 { return float64(st.Errors) }))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

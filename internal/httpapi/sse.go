@@ -23,20 +23,26 @@ type subscriber struct {
 // broker fans deliveries out to SSE subscribers, indexed by user id so
 // publishing costs O(delivered users), not O(subscribers × delivered users).
 type broker struct {
-	// mu guards: byUser, closed, subscribers, published, dropped
+	// mu guards: byUser, closed, subscribers, published, dropped, droppedByUser
 	mu     sync.Mutex
 	byUser map[int32]map[*subscriber]struct{}
 	closed bool
 	// subscribers tracks open subscriptions; published counts events placed
-	// into subscriber buffers and dropped counts events discarded because a
-	// buffer was full. All are surfaced on /metrics.
-	subscribers int
-	published   uint64
-	dropped     uint64
+	// into subscriber buffers and dropped counts events a subscriber never
+	// received — discarded because its buffer was full, or still buffered
+	// (undelivered) when it disconnected. droppedByUser splits the same
+	// count by user. All are surfaced on /metrics.
+	subscribers   int
+	published     uint64
+	dropped       uint64
+	droppedByUser map[int32]uint64
 }
 
 func newBroker() *broker {
-	return &broker{byUser: make(map[int32]map[*subscriber]struct{})}
+	return &broker{
+		byUser:        make(map[int32]map[*subscriber]struct{}),
+		droppedByUser: make(map[int32]uint64),
+	}
 }
 
 func (b *broker) subscribe(user int32) *subscriber {
@@ -66,6 +72,16 @@ func (b *broker) unsubscribe(s *subscriber) {
 		if _, present := set[s]; present {
 			delete(set, s)
 			b.subscribers--
+			// Events still buffered in the channel were counted as published
+			// but the client disconnected before reading them: they are drops,
+			// not deliveries. (After close the subscriber is already gone from
+			// byUser and the handler drains the closed channel instead, so
+			// shutdown does not inflate the count.) No publish can race in —
+			// we hold mu and the subscriber just left the index.
+			if n := uint64(len(s.ch)); n > 0 {
+				b.dropped += n
+				b.droppedByUser[s.user] += n
+			}
 		}
 		if len(set) == 0 {
 			delete(b.byUser, s.user)
@@ -86,6 +102,7 @@ func (b *broker) publish(users []int32, p TimelinePost) {
 				b.published++
 			default:
 				b.dropped++
+				b.droppedByUser[u]++
 			}
 		}
 	}
@@ -121,6 +138,17 @@ func (b *broker) eventCounts() (published, dropped uint64) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.published, b.dropped
+}
+
+// userDrops copies the per-user drop counts for /metrics.
+func (b *broker) userDrops() map[int32]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int32]uint64, len(b.droppedByUser))
+	for u, n := range b.droppedByUser {
+		out[u] = n
+	}
+	return out
 }
 
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {

@@ -1,8 +1,8 @@
 // Package errdrop flags silently discarded error returns at the engine's
 // lifecycle, delivery and durability boundaries: calls to functions or
-// methods named Offer, OfferBatch, Swap, Ack, Publish, Close, Shutdown,
-// Serve, ListenAndServe, ListenAndServeTLS, Snapshot, SnapshotState,
-// Restore, RestoreState or Sync whose error result is ignored by using the
+// methods named Offer, OfferBatch, Swap, Ack, Publish, Connect, Write, Close,
+// Shutdown, Serve, ListenAndServe, ListenAndServeTLS, Snapshot,
+// SnapshotState, Restore, RestoreState or Sync whose error result is ignored by using the
 // call as a bare statement (or a bare `go` statement). A dropped Offer error loses a post without trace; a
 // dropped Close error hides an unflushed resource; a dropped Serve error
 // turns a dead listener into a silent hang; a dropped Snapshot, Restore or
@@ -25,7 +25,7 @@ import (
 // Analyzer is the errdrop analysis.
 var Analyzer = &analysis.Analyzer{
 	Name: "errdrop",
-	Doc:  "flags discarded error returns from Offer/OfferBatch, Swap, Ack, Publish, Close, Shutdown, Serve-family, Snapshot/Restore and Sync call sites",
+	Doc:  "flags discarded error returns from Offer/OfferBatch, Swap, Ack, Publish, Connect, Write, Close, Shutdown, Serve-family, Snapshot/Restore and Sync call sites",
 	Run:  run,
 }
 
@@ -38,10 +38,15 @@ var watchedNames = map[string]bool{
 	// OfferBatch error loses a whole batch, a dropped Swap error strands the
 	// double-buffer mid-exchange, a dropped Ack error un-acknowledges a
 	// delivery the sender believes settled.
-	"offerbatch":        true,
-	"swap":              true,
-	"ack":               true,
-	"publish":           true,
+	"offerbatch": true,
+	"swap":       true,
+	"ack":        true,
+	"publish":    true,
+	// Connector boundary: a dropped Connect error runs a pipeline against an
+	// input or output that never attached, and a dropped Write error loses an
+	// egress delivery the at-least-once machinery believes was attempted.
+	"connect":           true,
+	"write":             true,
 	"close":             true,
 	"shutdown":          true,
 	"serve":             true,

@@ -14,6 +14,8 @@ func (c *conn) OfferBatch(vs []int) (int, error) { return 0, nil }
 func (c *conn) Swap(v int) (int, error)          { return 0, nil }
 func (c *conn) Ack(id uint64) error              { return nil }
 func (c *conn) publish(v int) error              { return nil }
+func (c *conn) Connect() error                   { return nil }
+func (c *conn) Write(v int) error                { return nil }
 func (c *conn) Flush() error                     { return nil }
 
 // swapOnly's Swap returns a value, not an error; bare calls are fine.
@@ -52,6 +54,8 @@ func bad(c *conn, s *server, k *ckpt) {
 	c.Swap(1)             // want `error return of Swap is silently discarded`
 	c.Ack(7)              // want `error return of Ack is silently discarded`
 	go c.Ack(8)           // want `error return of Ack is silently discarded`
+	c.Connect()           // want `error return of Connect is silently discarded`
+	c.Write(3)            // want `error return of Write is silently discarded`
 	c.publish(2)          // want `error return of publish is silently discarded`
 	go c.Close()          // want `error return of Close is silently discarded`
 	go s.ListenAndServe() // want `error return of ListenAndServe is silently discarded`
@@ -76,6 +80,10 @@ func good(c *conn, s *server, q *quiet, so *swapOnly) error {
 	_ = c.Close()
 	defer c.Close()
 	_ = c.Ack(7)
+	_ = c.Connect()
+	if err := c.Write(3); err != nil {
+		return err
+	}
 	so.Swap(1) // value result, not an error: nothing is dropped.
 	if _, err := c.OfferBatch(nil); err != nil {
 		return err

@@ -7,13 +7,13 @@ import (
 	"firehose/internal/core"
 )
 
-// Replay adapts a recorded, time-ordered source into a "live" one: Next
-// blocks until each post's timestamp is due under a configurable speedup, so
-// a one-day corpus can drive the engine as a real-time feed (at Speedup
-// 1440, a day replays in a minute). The zero clock uses the wall clock;
-// tests inject a virtual one.
-type Replay struct {
-	src     Source
+// Pacer converts recorded post timestamps into wall-clock waits under a
+// configurable speedup: the first timestamp it sees anchors the schedule, and
+// Wait blocks until each subsequent timestamp is due. Replay uses it to turn
+// a corpus into a live feed; the connector file input uses it to replay an
+// NDJSON stream at recorded (or compressed) speed. The zero clock uses the
+// wall clock; tests inject a virtual one via SetClock.
+type Pacer struct {
 	speedup float64
 
 	now   func() time.Time
@@ -21,17 +21,16 @@ type Replay struct {
 
 	started   bool
 	startWall time.Time
-	startPost int64 // first post's timestamp (millis)
+	startPost int64 // first timestamp seen (millis)
 }
 
-// NewReplay wraps src with pacing. speedup must be positive; 1 replays in
-// real time, larger values compress time.
-func NewReplay(src Source, speedup float64) (*Replay, error) {
+// NewPacer builds a pacer. speedup must be positive; 1 replays in real time,
+// larger values compress time.
+func NewPacer(speedup float64) (*Pacer, error) {
 	if speedup <= 0 {
 		return nil, fmt.Errorf("stream: speedup must be positive, got %v", speedup)
 	}
-	return &Replay{
-		src:     src,
+	return &Pacer{
 		speedup: speedup,
 		now:     time.Now,
 		sleep:   time.Sleep,
@@ -39,9 +38,48 @@ func NewReplay(src Source, speedup float64) (*Replay, error) {
 }
 
 // SetClock injects a virtual clock (for tests). Both funcs must be non-nil.
+func (p *Pacer) SetClock(now func() time.Time, sleep func(time.Duration)) {
+	p.now = now
+	p.sleep = sleep
+}
+
+// Wait blocks until the post timestamp timeMillis is due. The first call
+// returns immediately and anchors the schedule.
+func (p *Pacer) Wait(timeMillis int64) {
+	if !p.started {
+		p.started = true
+		p.startWall = p.now()
+		p.startPost = timeMillis
+		return
+	}
+	due := p.startWall.Add(time.Duration(float64(timeMillis-p.startPost)/p.speedup) * time.Millisecond)
+	if wait := due.Sub(p.now()); wait > 0 {
+		p.sleep(wait)
+	}
+}
+
+// Replay adapts a recorded, time-ordered source into a "live" one: Next
+// blocks until each post's timestamp is due under a configurable speedup, so
+// a one-day corpus can drive the engine as a real-time feed (at Speedup
+// 1440, a day replays in a minute).
+type Replay struct {
+	src  Source
+	pace *Pacer
+}
+
+// NewReplay wraps src with pacing. speedup must be positive; 1 replays in
+// real time, larger values compress time.
+func NewReplay(src Source, speedup float64) (*Replay, error) {
+	pace, err := NewPacer(speedup)
+	if err != nil {
+		return nil, err
+	}
+	return &Replay{src: src, pace: pace}, nil
+}
+
+// SetClock injects a virtual clock (for tests). Both funcs must be non-nil.
 func (r *Replay) SetClock(now func() time.Time, sleep func(time.Duration)) {
-	r.now = now
-	r.sleep = sleep
+	r.pace.SetClock(now, sleep)
 }
 
 // Next implements Source, blocking until the next post is due.
@@ -50,15 +88,6 @@ func (r *Replay) Next() (*core.Post, bool) {
 	if !ok {
 		return nil, false
 	}
-	if !r.started {
-		r.started = true
-		r.startWall = r.now()
-		r.startPost = p.Time
-		return p, true
-	}
-	due := r.startWall.Add(time.Duration(float64(p.Time-r.startPost)/r.speedup) * time.Millisecond)
-	if wait := due.Sub(r.now()); wait > 0 {
-		r.sleep(wait)
-	}
+	r.pace.Wait(p.Time)
 	return p, true
 }
