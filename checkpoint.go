@@ -29,6 +29,47 @@ type snapMeta struct {
 	users      int
 	workers    int    // parallel only; 0 otherwise
 	cfgHash    uint64 // FNV-1a over thresholds and subscription lists
+	// Shard topology (ServiceOptions.Topology): which horizontal shard of a
+	// partitioned deployment this service is. A non-sharded service is the
+	// normalized (0, 1, 0) so its snapshots and a shard-0-of-1 deployment's
+	// interchange, but a shard worker's snapshot can never restore into a
+	// differently placed service.
+	shard      int
+	shards     int
+	topoDigest uint64
+}
+
+// Topology identifies a service's place in a horizontally sharded deployment
+// (see internal/shard and firehosed's -shard flag): a post stream partitioned
+// by author component, one service per shard. It participates in the snapshot
+// fingerprint so a checkpoint names the exact shard that wrote it — Restore
+// refuses a snapshot from a different shard index, shard count or assignment
+// digest with a descriptive shard_mismatch error.
+type Topology struct {
+	// Shard is this service's shard index in [0, Shards).
+	Shard int
+	// Shards is the deployment's total shard count.
+	Shards int
+	// Digest fingerprints the author → shard assignment (and the graph it was
+	// derived from); every participant must agree on it.
+	Digest uint64
+}
+
+// applyTopology validates and stamps opts' topology into the fingerprint; nil
+// normalizes to the single-node (0, 1, 0).
+func (m *snapMeta) applyTopology(t *Topology) error {
+	if t == nil {
+		m.shard, m.shards, m.topoDigest = 0, 1, 0
+		return nil
+	}
+	if t.Shards < 1 {
+		return fmt.Errorf("firehose: Topology.Shards must be at least 1, got %d", t.Shards)
+	}
+	if t.Shard < 0 || t.Shard >= t.Shards {
+		return fmt.Errorf("firehose: Topology.Shard must be in [0,%d), got %d", t.Shards, t.Shard)
+	}
+	m.shard, m.shards, m.topoDigest = t.Shard, t.Shards, t.Digest
+	return nil
 }
 
 // metaFor fingerprints a service's construction inputs. The hash covers the
@@ -63,6 +104,7 @@ func metaFor(algorithm string, g *AuthorGraph, subscriptions [][]AuthorID, cfgs 
 		numAuthors: g.NumAuthors(),
 		users:      len(subscriptions),
 		cfgHash:    h.Sum64(),
+		shards:     1,
 	}
 }
 
@@ -74,6 +116,9 @@ func (m snapMeta) writeHeader(enc *checkpoint.Encoder) {
 	enc.Uvarint(uint64(m.users))
 	enc.Uvarint(uint64(m.workers))
 	enc.U64(m.cfgHash)
+	enc.Varint(int64(m.shard))
+	enc.Uvarint(uint64(m.shards))
+	enc.U64(m.topoDigest)
 }
 
 // checkHeader validates a snapshot's fingerprint section against this
@@ -97,6 +142,14 @@ func (m snapMeta) checkHeader(dec *checkpoint.Decoder) {
 	}
 	if hash := dec.U64(); dec.Err() == nil && hash != m.cfgHash {
 		dec.Failf("snapshot configuration fingerprint %016x does not match this service's %016x (different thresholds or subscriptions)", hash, m.cfgHash)
+		return
+	}
+	snapShard := int(dec.Varint())
+	snapShards := int(dec.Uvarint())
+	snapDigest := dec.U64()
+	if dec.Err() == nil && (snapShard != m.shard || snapShards != m.shards || snapDigest != m.topoDigest) {
+		dec.Failf("shard_mismatch: snapshot was taken by shard %d/%d (topology digest %016x), this service is shard %d/%d (digest %016x); restore it into a service with the matching Topology",
+			snapShard, snapShards, snapDigest, m.shard, m.shards, m.topoDigest)
 	}
 }
 

@@ -381,6 +381,117 @@ func TestRestoreRejectsMismatches(t *testing.T) {
 	})
 }
 
+// TestTopologyFingerprint: ServiceOptions.Topology stamps a service's place
+// in a horizontally sharded deployment into its snapshot fingerprint. A
+// snapshot restores only into a service holding the exact same placement —
+// shard index, shard count and assignment digest — and every refusal names
+// shard_mismatch. Nil normalizes to the single-node (0, 1, 0) so plain and
+// explicitly-single-node services interchange snapshots.
+func TestTopologyFingerprint(t *testing.T) {
+	graph, posts, subs := checkpointScenario(t)
+	cfg := DefaultConfig()
+	topo := &Topology{Shard: 0, Shards: 2, Digest: 0x5eedf00d}
+
+	sharded, err := NewService(graph, subs, ServiceOptions{Config: cfg, Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(posts) / 2
+	for _, p := range posts[:cut] {
+		sharded.Offer(p)
+	}
+	var snap bytes.Buffer
+	if err := sharded.Snapshot(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("same placement restores and continues", func(t *testing.T) {
+		twin, err := NewService(graph, subs, ServiceOptions{Config: cfg, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := twin.Restore(bytes.NewReader(snap.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range posts[cut:] {
+			if a, b := sharded.Offer(p), twin.Offer(p); !slices.Equal(a, b) {
+				t.Fatalf("decision diverged at suffix post %d: %v vs %v", i, a, b)
+			}
+		}
+	})
+	refuses := func(name string, opts ServiceOptions) {
+		t.Run(name, func(t *testing.T) {
+			svc, err := NewService(graph, subs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = svc.Restore(bytes.NewReader(snap.Bytes()))
+			if err == nil || !strings.Contains(err.Error(), "shard_mismatch") {
+				t.Fatalf("err = %v, want a shard_mismatch refusal", err)
+			}
+		})
+	}
+	refuses("non-sharded service refuses", ServiceOptions{Config: cfg})
+	refuses("different shard index refuses", ServiceOptions{Config: cfg, Topology: &Topology{Shard: 1, Shards: 2, Digest: topo.Digest}})
+	refuses("different shard count refuses", ServiceOptions{Config: cfg, Topology: &Topology{Shard: 0, Shards: 4, Digest: topo.Digest}})
+	refuses("different digest refuses", ServiceOptions{Config: cfg, Topology: &Topology{Shard: 0, Shards: 2, Digest: 0xbadc0ffee}})
+
+	t.Run("nil normalizes to single node", func(t *testing.T) {
+		plain, err := NewService(graph, subs, ServiceOptions{Config: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range posts[:cut] {
+			plain.Offer(p)
+		}
+		var psnap bytes.Buffer
+		if err := plain.Snapshot(&psnap); err != nil {
+			t.Fatal(err)
+		}
+		explicit, err := NewService(graph, subs, ServiceOptions{Config: cfg, Topology: &Topology{Shard: 0, Shards: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := explicit.Restore(bytes.NewReader(psnap.Bytes())); err != nil {
+			t.Fatalf("an explicit 0/1 topology rejected a plain snapshot: %v", err)
+		}
+	})
+	t.Run("invalid placements rejected at construction", func(t *testing.T) {
+		for _, bad := range []*Topology{
+			{Shard: 0, Shards: 0},
+			{Shard: 2, Shards: 2},
+			{Shard: -1, Shards: 2},
+		} {
+			if _, err := NewService(graph, subs, ServiceOptions{Config: cfg, Topology: bad}); err == nil || !strings.Contains(err.Error(), "Topology") {
+				t.Fatalf("NewService(Topology %+v): err = %v", bad, err)
+			}
+			if _, err := NewParallel(graph, subs, ParallelServiceOptions{Config: cfg, Workers: 2, Topology: bad}); err == nil || !strings.Contains(err.Error(), "Topology") {
+				t.Fatalf("NewParallel(Topology %+v): err = %v", bad, err)
+			}
+		}
+	})
+	t.Run("parallel service carries topology", func(t *testing.T) {
+		p1, err := NewParallel(graph, subs, ParallelServiceOptions{Config: cfg, Workers: 2, Topology: topo})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p1.Close()
+		var psnap bytes.Buffer
+		if err := p1.Snapshot(&psnap); err != nil {
+			t.Fatal(err)
+		}
+		p2, err := NewParallel(graph, subs, ParallelServiceOptions{Config: cfg, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p2.Close()
+		err = p2.Restore(bytes.NewReader(psnap.Bytes()))
+		if err == nil || !strings.Contains(err.Error(), "shard_mismatch") {
+			t.Fatalf("err = %v, want a shard_mismatch refusal", err)
+		}
+	})
+}
+
 // TestDeprecatedConstructorsDelegate: the legacy constructors must keep
 // working and build services indistinguishable from the canonical ones.
 func TestDeprecatedConstructorsDelegate(t *testing.T) {

@@ -96,6 +96,20 @@ func TestLoadConfigRejects(t *testing.T) {
 		{"adaptive plus checkpoint", []string{
 			"-adaptive-budget", "5", "-checkpoint-dir", "/tmp/x",
 		}, "mutually exclusive"},
+		{"malformed shard", []string{"-shard", "2"}, `-shard must look like "0/2"`},
+		{"non-numeric shard", []string{"-shard", "a/b"}, `-shard must look like "0/2"`},
+		{"shard index out of range", []string{"-shard", "2/2"}, "shard.index must be in [0,2)"},
+		{"shard zero count", []string{"-shard", "0/0"}, "shard.count must be at least 1"},
+		{"shard plus router", []string{
+			"-shard", "0/2", "-router-peers", "http://127.0.0.1:9001,http://127.0.0.1:9002",
+		}, "shard and router are mutually exclusive"},
+		{"shard plus adaptive", []string{
+			"-shard", "0/2", "-adaptive-budget", "5",
+		}, "shard and engine.adaptive are mutually exclusive"},
+		{"shard plus periodic checkpoint", []string{
+			"-shard", "0/2", "-checkpoint-dir", "/tmp/x", "-checkpoint-interval", "5s",
+		}, "must not checkpoint periodically"},
+		{"router bad peer", []string{"-router-peers", "not a url"}, "router.peers[0] must be an http(s) base URL"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -107,6 +121,43 @@ func TestLoadConfigRejects(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestLoadConfigFoldsShardFlags: the deprecated -shard and -router-peers
+// aliases land on the strict-JSON shard/router config sections.
+func TestLoadConfigFoldsShardFlags(t *testing.T) {
+	cfg, err := loadConfig([]string{"-shard", "1/3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Shard == nil || cfg.Shard.Index != 1 || cfg.Shard.Count != 3 {
+		t.Fatalf("-shard not folded: %+v", cfg.Shard)
+	}
+	if cfg.Router != nil {
+		t.Fatalf("-shard must not set router: %+v", cfg.Router)
+	}
+
+	cfg, err = loadConfig([]string{"-router-peers", "http://127.0.0.1:9001,http://127.0.0.1:9002"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Router == nil || len(cfg.Router.Peers) != 2 ||
+		cfg.Router.Peers[0] != "http://127.0.0.1:9001" || cfg.Router.Peers[1] != "http://127.0.0.1:9002" {
+		t.Fatalf("-router-peers not folded: %+v", cfg.Router)
+	}
+
+	// The same sections decode from a strict-JSON config file through the same
+	// Validate path.
+	cfg2, err := connector.Parse([]byte(`{"shard": {"index": 1, "count": 3}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg2.Shard == nil || cfg2.Shard.Index != 1 || cfg2.Shard.Count != 3 {
+		t.Fatalf("config-file shard section = %+v", cfg2.Shard)
+	}
+	if _, err := connector.Parse([]byte(`{"shard": {"index": 1, "count": 3, "bogus": true}}`)); err == nil {
+		t.Fatal("strict JSON accepted an unknown shard key")
 	}
 }
 

@@ -62,6 +62,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -71,6 +73,7 @@ import (
 	"firehose/internal/core"
 	"firehose/internal/corpusio"
 	"firehose/internal/httpapi"
+	"firehose/internal/shard"
 	"firehose/internal/stream"
 	"firehose/internal/twittergen"
 )
@@ -120,6 +123,9 @@ func loadConfig(args []string) (*connector.Config, error) {
 		adMaxT   = fs.Duration("adaptive-max-lambda-t", time.Duration(def.Engine.Adaptive.MaxLambdaTMillis)*time.Millisecond, "deprecated alias of engine.adaptive.max_lambda_t_millis: cap on the effective λt")
 		adStepC  = fs.Int("adaptive-step-lambda-c", def.Engine.Adaptive.StepLambdaC, "deprecated alias of engine.adaptive.step_lambda_c: per-adjustment λc increment, in bits")
 		adStepT  = fs.Duration("adaptive-step-lambda-t", time.Duration(def.Engine.Adaptive.StepLambdaTMillis)*time.Millisecond, "deprecated alias of engine.adaptive.step_lambda_t_millis: per-adjustment λt increment")
+
+		shardID     = fs.String("shard", "", "deprecated alias of shard.index/shard.count: run as shard worker \"i/N\" of an author-partitioned deployment")
+		routerPeers = fs.String("router-peers", "", "deprecated alias of router.peers: comma-separated worker base URLs; run as the shard router")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -160,6 +166,18 @@ func loadConfig(args []string) (*connector.Config, error) {
 	cfg.Engine.Adaptive.MaxLambdaTMillis = adMaxT.Milliseconds()
 	cfg.Engine.Adaptive.StepLambdaC = *adStepC
 	cfg.Engine.Adaptive.StepLambdaTMillis = adStepT.Milliseconds()
+	if *shardID != "" {
+		idxRaw, cntRaw, found := strings.Cut(*shardID, "/")
+		idx, err1 := strconv.Atoi(idxRaw)
+		cnt, err2 := strconv.Atoi(cntRaw)
+		if !found || err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("-shard must look like \"0/2\" (index/count), got %q", *shardID)
+		}
+		cfg.Shard = &connector.ShardConfig{Index: idx, Count: cnt}
+	}
+	if *routerPeers != "" {
+		cfg.Router = &connector.RouterConfig{Peers: strings.Split(*routerPeers, ",")}
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -251,13 +269,41 @@ func runDaemon(cfg *connector.Config) error {
 		}
 	}
 
+	// A sharded process — worker or router — plans the author-partitioned
+	// assignment from its own config; the digest it derives must match every
+	// peer's, which the shard layer verifies on each cross-process request.
+	var assign *shard.Assignment
+	if cfg.Shard != nil || cfg.Router != nil {
+		n := 0
+		if cfg.Shard != nil {
+			n = cfg.Shard.Count
+		} else {
+			n = len(cfg.Router.Peers)
+		}
+		if assign, err = shard.Plan(g, n); err != nil {
+			return err
+		}
+	}
+
 	nw := cfg.Engine.Workers
 	if nw == 0 {
 		nw = runtime.NumCPU()
 	}
 	// The restore-matching loop for durable inputs may need several fresh
 	// engines, so construction is a closure, not straight-line code.
+	var rtr *shard.Router // router mode: the most recently built router engine
 	buildAPI := func() (*httpapi.Server, string, string, error) {
+		if cfg.Router != nil {
+			r, err := shard.NewRouter(shard.RouterOptions{Peers: cfg.Router.Peers, Assignment: assign})
+			if err != nil {
+				return nil, "", "", err
+			}
+			srv := httpapi.NewFromEngine(r)
+			srv.SetTopology(-1, assign.NumShards(), assign.Digest())
+			srv.SetTopologyProvider(r.Topology)
+			rtr = r
+			return srv, r.Name(), fmt.Sprintf("%d shards", assign.NumShards()), nil
+		}
 		if nw > 1 {
 			pe, err := stream.NewParallelMultiEngineOpts(alg, g, subs, th, nw, stream.ParallelOptions{Adaptive: adPol})
 			if err != nil {
@@ -293,6 +339,22 @@ func runDaemon(cfg *connector.Config) error {
 	}
 	fileIn, _ := input.(*connector.FileInput)
 
+	// A router blocks until every worker answers with the matching assignment
+	// digest — a misconfigured peer set is refused before any restore or
+	// forward touches it.
+	if cfg.Router != nil {
+		probe, err := shard.NewRouter(shard.RouterOptions{Peers: cfg.Router.Peers, Assignment: assign})
+		if err != nil {
+			return err
+		}
+		awaitCtx, cancelAwait := context.WithTimeout(context.Background(), 60*time.Second)
+		err = probe.AwaitPeers(awaitCtx)
+		cancelAwait()
+		if err != nil {
+			return err
+		}
+	}
+
 	ckptDir := cfg.Engine.Checkpoint.Dir
 	var (
 		api     *httpapi.Server
@@ -300,6 +362,14 @@ func runDaemon(cfg *connector.Config) error {
 		solvers string
 	)
 	switch {
+	case cfg.Shard != nil:
+		// Worker durability is router-coordinated: watermark-tagged
+		// checkpoints are written and restored on router command, never
+		// self-served at boot — a worker that restored on its own would
+		// disagree with the router about the replay suffix.
+		if api, engine, solvers, err = buildAPI(); err != nil {
+			return err
+		}
 	case ckptDir != "" && fileIn != nil:
 		// Durable input: resume is only correct at a (checkpoint, cursor)
 		// pair that names the same watermark — an unmatched cursor would
@@ -369,6 +439,20 @@ func runDaemon(cfg *connector.Config) error {
 			}
 		}
 	}
+	var wk *shard.Worker
+	if cfg.Shard != nil {
+		wk, err = shard.NewWorker(shard.WorkerOptions{
+			Server:        api,
+			Shard:         cfg.Shard.Index,
+			Assignment:    assign,
+			CheckpointDir: ckptDir,
+			Retain:        cfg.Engine.Checkpoint.Retain,
+		})
+		if err != nil {
+			return err
+		}
+		engine = fmt.Sprintf("shard %d/%d worker over %s", cfg.Shard.Index, assign.NumShards(), engine)
+	}
 	if cfg.HTTP.PProf {
 		api.EnablePProf()
 	}
@@ -409,8 +493,11 @@ func runDaemon(cfg *connector.Config) error {
 	}
 	api.MountConnectorMetrics(pipe)
 
+	// A shard worker runs no checkpoint manager of its own: its tagged
+	// checkpoints are written on router command, and the router's manager is
+	// the one whose post-write hook advances the ack cursor.
 	var ckptMgr *checkpoint.Manager
-	if ckptDir != "" {
+	if ckptDir != "" && cfg.Shard == nil {
 		m, err := checkpoint.NewManager(ckptDir, cfg.Engine.Checkpoint.Retain, api.Snapshot)
 		if err != nil {
 			return err
@@ -436,6 +523,16 @@ func runDaemon(cfg *connector.Config) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if rtr != nil {
+		// Seed the rollback target before any traffic: a coordination round
+		// at the current watermark gives every worker a tagged checkpoint to
+		// restore from even before the first periodic round. No-op for
+		// workers running without a checkpoint directory.
+		if err := rtr.InitialCoordination(); err != nil {
+			return err
+		}
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
@@ -502,7 +599,12 @@ func runDaemon(cfg *connector.Config) error {
 	}
 
 	// Release the SSE streams first — Shutdown waits for active handlers,
-	// and /stream handlers only return once their subscription closes.
+	// and /stream handlers only return once their subscription closes. A
+	// shard worker also stops its forwarded-ingest loop, failing in-flight
+	// router forwards with 503 (the router resyncs if it restarts us).
+	if wk != nil {
+		_ = wk.Close()
+	}
 	api.Close()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()

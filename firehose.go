@@ -532,6 +532,10 @@ type ServiceOptions struct {
 	// Config baseline and is therefore mutually exclusive with UserConfigs,
 	// whose per-user thresholds already express static customization.
 	Adaptive *AdaptiveConfig
+	// Topology, when non-nil, stamps the service's place in a horizontally
+	// sharded deployment into its snapshot fingerprint; see Topology. Nil is
+	// the single-node deployment.
+	Topology *Topology
 }
 
 // NewService builds a multi-user diversification service. subscriptions[u]
@@ -563,7 +567,11 @@ func NewService(g *AuthorGraph, subscriptions [][]AuthorID, opts ServiceOptions)
 		if err != nil {
 			return nil, err
 		}
-		return &MultiUserService{inner: inner, meta: metaFor(inner.Name(), g, subscriptions, opts.UserConfigs)}, nil
+		meta := metaFor(inner.Name(), g, subscriptions, opts.UserConfigs)
+		if err := meta.applyTopology(opts.Topology); err != nil {
+			return nil, err
+		}
+		return &MultiUserService{inner: inner, meta: meta}, nil
 	}
 	if err := checkConfig(opts.Config, g); err != nil {
 		return nil, err
@@ -595,7 +603,11 @@ func NewService(g *AuthorGraph, subscriptions [][]AuthorID, opts ServiceOptions)
 			return nil, err
 		}
 	}
-	return &MultiUserService{inner: inner, meta: metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})}, nil
+	meta := metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})
+	if err := meta.applyTopology(opts.Topology); err != nil {
+		return nil, err
+	}
+	return &MultiUserService{inner: inner, meta: meta}, nil
 }
 
 // MultiUserOptions configures NewMultiUserService.

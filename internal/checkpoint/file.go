@@ -86,9 +86,6 @@ func Latest(dir string) (f File, ok bool, err error) {
 // newest existing + 1) and made durable by an fsync of the directory. On any
 // error the temp file is removed and the checkpoint set is untouched.
 func Write(dir string, snapshot func(w io.Writer) error) (File, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return File{}, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
-	}
 	latest, ok, err := Latest(dir)
 	if err != nil {
 		return File{}, err
@@ -96,6 +93,17 @@ func Write(dir string, snapshot func(w io.Writer) error) (File, error) {
 	seq := uint64(1)
 	if ok {
 		seq = latest.Seq + 1
+	}
+	return publish(dir, fileName(seq), seq, snapshot)
+}
+
+// publish runs the crash-safe write dance for one checkpoint file: stream
+// into a temp file, fsync it, rename to name (atomically replacing any
+// previous file of that name), fsync the directory. Shared by the sequential
+// checkpoint set and the watermark-tagged shard checkpoints.
+func publish(dir, name string, seq uint64, snapshot func(w io.Writer) error) (File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return File{}, fmt.Errorf("checkpoint: creating %s: %w", dir, err)
 	}
 	tmp, err := os.CreateTemp(dir, "checkpoint-*.tmp")
 	if err != nil {
@@ -117,7 +125,7 @@ func Write(dir string, snapshot func(w io.Writer) error) (File, error) {
 	if err := tmp.Close(); err != nil {
 		return cleanup(fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err))
 	}
-	path := filepath.Join(dir, fileName(seq))
+	path := filepath.Join(dir, name)
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		_ = os.Remove(tmp.Name())
 		return File{}, fmt.Errorf("checkpoint: publishing %s: %w", path, err)

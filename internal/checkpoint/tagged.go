@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Watermark-tagged checkpoints back the sharded deployment's coordinated
+// durability: a shard worker's local checkpoint is keyed by the ROUTER's
+// global id watermark at the coordination round that requested it, not by a
+// local sequence number. The router only publishes its own meta checkpoint
+// (and only acks its input) after every worker durably wrote the round's
+// tagged file — so "a router checkpoint at watermark w exists" implies
+// "every shard holds shard-<w>.fhc", which is exactly the file a crashed
+// worker is rolled back to before the router replays the suffix. Files share
+// the crash-safe publish dance (and the directory) with the sequential set;
+// the name prefixes keep the two namespaces disjoint.
+
+// taggedName formats the canonical file name for a watermark tag.
+func taggedName(tag uint64) string { return fmt.Sprintf("shard-%d%s", tag, Ext) }
+
+// taggedRe matches canonical tagged names, capturing the watermark.
+var taggedRe = regexp.MustCompile(`^shard-(\d{1,19})\.fhc$`)
+
+// WriteTagged durably writes one watermark-tagged checkpoint to dir,
+// atomically replacing any previous checkpoint with the same tag. The
+// returned File carries the tag in Seq.
+func WriteTagged(dir string, tag uint64, snapshot func(w io.Writer) error) (File, error) {
+	return publish(dir, taggedName(tag), tag, snapshot)
+}
+
+// ListTagged returns the tagged checkpoints in dir sorted by ascending
+// watermark (File.Seq holds the tag). A missing directory is an empty list.
+func ListTagged(dir string) ([]File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("checkpoint: listing %s: %w", dir, err)
+	}
+	var out []File
+	for _, ent := range entries {
+		m := taggedRe.FindStringSubmatch(ent.Name())
+		if m == nil || ent.IsDir() {
+			continue
+		}
+		tag, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil {
+			continue // 20-digit overflow; not ours
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue // raced a concurrent prune
+		}
+		out = append(out, File{Seq: tag, Path: filepath.Join(dir, ent.Name()), Size: info.Size(), ModTime: info.ModTime()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out, nil
+}
+
+// LatestTaggedAtMost returns the newest tagged checkpoint whose watermark is
+// <= max; ok=false when none qualifies.
+func LatestTaggedAtMost(dir string, max uint64) (f File, ok bool, err error) {
+	files, err := ListTagged(dir)
+	if err != nil {
+		return File{}, false, err
+	}
+	for i := len(files) - 1; i >= 0; i-- {
+		if files[i].Seq <= max {
+			return files[i], true, nil
+		}
+	}
+	return File{}, false, nil
+}
+
+// PruneTagged deletes the oldest tagged checkpoints beyond keep and returns
+// the ones removed. keep <= 0 keeps everything.
+func PruneTagged(dir string, keep int) ([]File, error) {
+	if keep <= 0 {
+		return nil, nil
+	}
+	files, err := ListTagged(dir)
+	if err != nil || len(files) <= keep {
+		return nil, err
+	}
+	victims := files[:len(files)-keep]
+	for _, f := range victims {
+		if err := os.Remove(f.Path); err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint: pruning %s: %w", f.Path, err)
+		}
+	}
+	return victims, nil
+}

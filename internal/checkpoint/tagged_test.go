@@ -1,0 +1,125 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestTaggedWriteListRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, tag := range []uint64{0, 7, 3} {
+		f, err := WriteTagged(dir, tag, snapshotBytes(fmt.Sprintf("w-%d", tag)))
+		if err != nil {
+			t.Fatalf("WriteTagged(%d): %v", tag, err)
+		}
+		if f.Seq != tag {
+			t.Fatalf("WriteTagged(%d): Seq = %d", tag, f.Seq)
+		}
+		if want := fmt.Sprintf("shard-%d.fhc", tag); filepath.Base(f.Path) != want {
+			t.Fatalf("WriteTagged(%d): path = %s, want base %s", tag, f.Path, want)
+		}
+	}
+	files, err := ListTagged(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 || files[0].Seq != 0 || files[1].Seq != 3 || files[2].Seq != 7 {
+		t.Fatalf("ListTagged = %+v, want tags [0 3 7]", files)
+	}
+	// Tagged and sequential checkpoints share the directory without
+	// colliding: the sequential lister must not see shard files and vice
+	// versa.
+	if _, err := Write(dir, snapshotBytes("seq")); err != nil {
+		t.Fatal(err)
+	}
+	if files, err = ListTagged(dir); err != nil || len(files) != 3 {
+		t.Fatalf("ListTagged after sequential Write = %+v, %v", files, err)
+	}
+	seq, err := List(dir)
+	if err != nil || len(seq) != 1 {
+		t.Fatalf("List sees %d sequential files, want 1 (%v)", len(seq), err)
+	}
+}
+
+func TestTaggedReplaceSameTag(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteTagged(dir, 5, snapshotBytes("first")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteTagged(dir, 5, snapshotBytes("second")); err != nil {
+		t.Fatal(err)
+	}
+	files, err := ListTagged(dir)
+	if err != nil || len(files) != 1 {
+		t.Fatalf("ListTagged = %+v, %v; want exactly one file", files, err)
+	}
+	r, err := os.Open(files[0].Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := readPayload(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "second" {
+		t.Fatalf("payload = %q, want the replacing write", got)
+	}
+}
+
+func TestLatestTaggedAtMost(t *testing.T) {
+	dir := t.TempDir()
+	if _, ok, err := LatestTaggedAtMost(dir, 100); ok || err != nil {
+		t.Fatalf("empty dir: ok=%v err=%v", ok, err)
+	}
+	for _, tag := range []uint64{0, 10, 20} {
+		if _, err := WriteTagged(dir, tag, snapshotBytes("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cases := []struct {
+		max    uint64
+		want   uint64
+		wantOK bool
+	}{
+		{max: 25, want: 20, wantOK: true},
+		{max: 20, want: 20, wantOK: true},
+		{max: 19, want: 10, wantOK: true},
+		{max: 0, want: 0, wantOK: true},
+	}
+	for _, c := range cases {
+		f, ok, err := LatestTaggedAtMost(dir, c.max)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != c.wantOK || (ok && f.Seq != c.want) {
+			t.Fatalf("LatestTaggedAtMost(%d) = seq %d ok %v, want %d %v", c.max, f.Seq, ok, c.want, c.wantOK)
+		}
+	}
+}
+
+func TestPruneTagged(t *testing.T) {
+	dir := t.TempDir()
+	for tag := uint64(1); tag <= 5; tag++ {
+		if _, err := WriteTagged(dir, tag, snapshotBytes("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims, err := PruneTagged(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(victims) != 3 || victims[0].Seq != 1 || victims[2].Seq != 3 {
+		t.Fatalf("victims = %+v, want tags [1 2 3]", victims)
+	}
+	files, err := ListTagged(dir)
+	if err != nil || len(files) != 2 || files[0].Seq != 4 || files[1].Seq != 5 {
+		t.Fatalf("survivors = %+v, %v; want tags [4 5]", files, err)
+	}
+	// keep <= 0 keeps everything.
+	if victims, err = PruneTagged(dir, 0); err != nil || victims != nil {
+		t.Fatalf("PruneTagged(0) = %+v, %v; want no-op", victims, err)
+	}
+}

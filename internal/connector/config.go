@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net/url"
 	"os"
 )
 
@@ -162,6 +163,27 @@ type EngineConfig struct {
 	Adaptive   AdaptiveConfig   `json:"adaptive"`
 }
 
+// ShardConfig makes the daemon one worker of a sharded deployment: it serves
+// the /v1/shard endpoints for the router that owns the stream, and its ids
+// are router-assigned. The worker still needs the FULL engine configuration
+// (whole graph, whole subscriptions, same thresholds) — the shard boundary is
+// which posts it sees, never which state it holds.
+type ShardConfig struct {
+	// Index is this worker's shard in [0, count).
+	Index int `json:"index"`
+	// Count is the total shard count; every worker and the router must agree.
+	Count int `json:"count"`
+}
+
+// RouterConfig makes the daemon the router of a sharded deployment: posts are
+// forwarded to the worker owning the author's component and delivery streams
+// merge back into this process's outputs.
+type RouterConfig struct {
+	// Peers are the worker base URLs, indexed by shard
+	// ("http://host:9001" — exactly count entries, peer i is shard i).
+	Peers []string `json:"peers"`
+}
+
 // Config is the top-level pipeline document: input → engine → outputs.
 type Config struct {
 	// Name labels the pipeline in logs; optional.
@@ -170,6 +192,10 @@ type Config struct {
 	Engine  EngineConfig   `json:"engine"`
 	Input   InputConfig    `json:"input"`
 	Outputs []OutputConfig `json:"outputs"`
+	// Shard, when present, runs this daemon as one shard worker.
+	Shard *ShardConfig `json:"shard,omitempty"`
+	// Router, when present, runs this daemon as the shard router.
+	Router *RouterConfig `json:"router,omitempty"`
 }
 
 // DefaultConfig mirrors the historical flag defaults: HTTP push input, SSE
@@ -223,6 +249,40 @@ func (c *Config) Validate() error {
 	for i := range c.Outputs {
 		if err := c.Outputs[i].validate(); err != nil {
 			return fmt.Errorf("connector: config: outputs[%d]: %w", i, err)
+		}
+	}
+	if c.Shard != nil && c.Router != nil {
+		return fmt.Errorf("connector: config: shard and router are mutually exclusive: a process is a worker or the router, never both")
+	}
+	if s := c.Shard; s != nil {
+		if s.Count < 1 {
+			return fmt.Errorf("connector: config: shard.count must be at least 1, got %d", s.Count)
+		}
+		if s.Index < 0 || s.Index >= s.Count {
+			return fmt.Errorf("connector: config: shard.index must be in [0,%d), got %d", s.Count, s.Index)
+		}
+		if c.Input.Type != InputHTTP {
+			return fmt.Errorf("connector: config: a shard worker's input must be http (the router owns the stream), got %q", string(c.Input.Type))
+		}
+		if c.Engine.Adaptive.BudgetPosts != 0 {
+			return fmt.Errorf("connector: config: shard and engine.adaptive are mutually exclusive: per-user budgets span shards and would diverge from a single node")
+		}
+		if c.Engine.Checkpoint.IntervalMillis != 0 {
+			return fmt.Errorf("connector: config: a shard worker must not checkpoint periodically (engine.checkpoint.interval_millis must be 0): the router coordinates every round")
+		}
+	}
+	if r := c.Router; r != nil {
+		if len(r.Peers) == 0 {
+			return fmt.Errorf("connector: config: router.peers must not be empty")
+		}
+		for i, p := range r.Peers {
+			u, err := url.Parse(p)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				return fmt.Errorf("connector: config: router.peers[%d] must be an http(s) base URL, got %q", i, p)
+			}
+		}
+		if c.Engine.Adaptive.BudgetPosts != 0 {
+			return fmt.Errorf("connector: config: router and engine.adaptive are mutually exclusive: the router runs no local solver to adapt")
 		}
 	}
 	return nil

@@ -68,6 +68,15 @@ func (m *Message) Complete(seq uint64, users []int32, err error) {
 	}
 }
 
+// NewSubmitMessage builds a message wired to a synchronous submitter:
+// Complete invokes onComplete with the ingest outcome. This is the
+// construction seam for push-style inputs outside this package (the shard
+// transport input, out-of-tree plugins) — the completion callback is
+// otherwise private so readers cannot forge a second completion path.
+func NewSubmitMessage(author int32, timeMillis int64, text string, onComplete func(seq uint64, users []int32, err error)) *Message {
+	return &Message{Author: author, TimeMillis: timeMillis, Text: text, done: onComplete}
+}
+
 // Delivery is one delivered post fanned out to every Output.
 type Delivery struct {
 	// ID is the post's pipeline sequence number — the idempotency key a

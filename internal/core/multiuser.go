@@ -219,6 +219,12 @@ func (m *MultiUser) UserCounters(user int32) *metrics.Counters {
 // author set implies an identical subgraph, which is the paper's strict
 // condition for reuse. Posts from authors outside every similarity relation
 // still flow through their (singleton) components.
+//
+// The per-component decision independence this type exploits for sharing is
+// also what makes the engine partitionable: internal/stream spreads
+// components across goroutines and internal/shard spreads them across
+// processes, both relying on the fact that a component's decision sequence
+// never observes posts from outside the component.
 type SharedMultiUser struct {
 	alg           Algorithm
 	comps         []*sharedComponent

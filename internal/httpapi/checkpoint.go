@@ -24,6 +24,15 @@ type stateEngine interface {
 	core.StateSnapshotter
 }
 
+// topology returns the server's normalized shard identity for fingerprints:
+// a plain server is shard 0 of 1 with digest 0.
+func (s *Server) topology() (shard, shards int, digest uint64) {
+	if s.topoShards == 0 {
+		return 0, 1, 0
+	}
+	return s.topoShard, s.topoShards, s.topoDigest
+}
+
 // Snapshot writes the server's complete state to w: the engine's decision
 // state (the parallel backend quiesces — intake pauses, in-flight decisions
 // drain, shards serialize under their owner locks) followed by the HTTP
@@ -52,6 +61,10 @@ func (s *Server) Snapshot(w io.Writer) error {
 	enc.String("server")
 	enc.Uvarint(nextID)
 	enc.Varint(lastT)
+	shard, shards, digest := s.topology()
+	enc.Varint(int64(shard))
+	enc.Uvarint(uint64(shards))
+	enc.U64(digest)
 	if err := enc.Finish(); err != nil {
 		return err
 	}
@@ -86,8 +99,16 @@ func (s *Server) Restore(r io.Reader) error {
 	dec.Expect("server")
 	nextID := dec.Uvarint()
 	lastT := dec.Varint()
+	snapShard := int(dec.Varint())
+	snapShards := int(dec.Uvarint())
+	snapDigest := dec.U64()
 	if err := dec.Err(); err != nil {
 		return err
+	}
+	if shard, shards, digest := s.topology(); snapShard != shard || snapShards != shards || snapDigest != digest {
+		return fmt.Errorf(
+			"httpapi: %s: snapshot was taken by shard %d/%d (topology %016x), this server is shard %d/%d (topology %016x); restore it on a node with the matching -shard and graph configuration",
+			CodeShardMismatch, snapShard, snapShards, snapDigest, shard, shards, digest)
 	}
 	if err := dec.Finish(); err != nil {
 		return err

@@ -1,0 +1,38 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// TestAliasDeprecationHeaders pins the RFC 9745/8594 deprecation metadata on
+// the unversioned alias routes: every alias response carries Deprecation and
+// Sunset, the canonical /v1 routes never do, and the values are the fixed
+// constants (byte-stable so clients can match on them).
+func TestAliasDeprecationHeaders(t *testing.T) {
+	s := newAPIServer(t)
+	paths := []struct{ method, alias, canonical string }{
+		{"GET", "/timeline?user=0", "/v1/timeline?user=0"},
+		{"GET", "/stats", "/v1/stats"},
+		{"POST", "/ingest", "/v1/ingest"},
+	}
+	for _, p := range paths {
+		alias := httptest.NewRecorder()
+		s.ServeHTTP(alias, httptest.NewRequest(p.method, p.alias, nil))
+		if got := alias.Header().Get("Deprecation"); got != aliasDeprecation {
+			t.Errorf("%s %s: Deprecation = %q, want %q", p.method, p.alias, got, aliasDeprecation)
+		}
+		if got := alias.Header().Get("Sunset"); got != aliasSunset {
+			t.Errorf("%s %s: Sunset = %q, want %q", p.method, p.alias, got, aliasSunset)
+		}
+
+		canon := httptest.NewRecorder()
+		s.ServeHTTP(canon, httptest.NewRequest(p.method, p.canonical, nil))
+		if got := canon.Header().Get("Deprecation"); got != "" {
+			t.Errorf("%s %s: unexpected Deprecation header %q on canonical route", p.method, p.canonical, got)
+		}
+		if got := canon.Header().Get("Sunset"); got != "" {
+			t.Errorf("%s %s: unexpected Sunset header %q on canonical route", p.method, p.canonical, got)
+		}
+	}
+}

@@ -43,6 +43,19 @@ const (
 	// CodeCheckpointFailed: writing or listing checkpoints failed; see the
 	// message.
 	CodeCheckpointFailed = "checkpoint_failed"
+	// CodeShardMismatch: the request (a forwarded shard ingest, a coordinated
+	// checkpoint/restore, or a checkpoint file) names a shard topology this
+	// node does not run — different digest, shard index or shard count.
+	CodeShardMismatch = "shard_mismatch"
+	// CodeShardDesync: a forwarded shard ingest named the id watermark it
+	// expected the worker to hold, and the worker's watermark disagrees — the
+	// worker lost state (a crash-and-restart the router has not noticed yet)
+	// or holds state the router never recorded. The router heals it by rolling
+	// the worker back to the last coordinated round and replaying.
+	CodeShardDesync = "shard_desync"
+	// CodeNotRouter: a shard-topology endpoint was called on a node running no
+	// shard topology (a plain single-node daemon).
+	CodeNotRouter = "not_router"
 )
 
 // ErrorResponse is the JSON error envelope of every non-2xx response.
@@ -71,6 +84,18 @@ func writeError(w http.ResponseWriter, status int, code, format string, args ...
 	writeEnvelope(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...), Code: code})
 }
 
+// WriteError is the exported face of writeError for handlers mounted from
+// outside the package (the shard worker/router endpoints), so every error
+// they emit goes through the same envelope choke point as the built-in
+// routes.
+func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeError(w, status, code, format, args...)
+}
+
+// WriteJSON writes a 200 JSON response body, matching the built-in handlers'
+// encoding; exported for externally mounted handlers.
+func WriteJSON(w http.ResponseWriter, v any) { writeJSON(w, v) }
+
 // writeDisorder emits the 409 time-order violation envelope, carrying the
 // watermark the client must not precede.
 func writeDisorder(w http.ResponseWriter, watermark int64, format string, args ...any) {
@@ -79,6 +104,28 @@ func writeDisorder(w http.ResponseWriter, watermark int64, format string, args .
 		Code:  CodeDisorder,
 		Seq:   &watermark,
 	})
+}
+
+// WriteIngestError maps an IngestPost/IngestAssigned error to its envelope —
+// the exported face of the handlers' own mapping, for the shard worker's
+// forwarded-ingest endpoints: deterministic rejections (empty text, time
+// disorder, stale id) keep their 4xx codes and transient engine conditions
+// keep their 503s, so a router can branch on exactly the codes a direct
+// client would see.
+func WriteIngestError(w http.ResponseWriter, err error) {
+	var de *DisorderError
+	var se *StaleIDError
+	switch {
+	case errors.Is(err, ErrEmptyText):
+		writeError(w, http.StatusBadRequest, CodeEmptyText, "empty text")
+	case errors.As(err, &de):
+		writeDisorder(w, de.Watermark,
+			"post precedes the stream time watermark %d; the stream must be time-ordered", de.Watermark)
+	case errors.As(err, &se):
+		writeError(w, http.StatusConflict, CodeDisorder, "%v", se)
+	default:
+		writeOfferError(w, err)
+	}
 }
 
 // writeOfferError maps an engine Offer/OfferBatch error to its envelope:

@@ -147,6 +147,11 @@ func goldenCases() []goldenCase {
 			wantStatus: http.StatusServiceUnavailable,
 		},
 		{
+			name:   "admin_topology_not_router",
+			method: "GET", path: "/v1/admin/topology",
+			wantStatus: http.StatusServiceUnavailable,
+		},
+		{
 			name:   "admin_checkpoint_failed",
 			method: "POST", path: "/v1/admin/checkpoint",
 			wantStatus: http.StatusInternalServerError,

@@ -8,6 +8,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strconv"
 	"sync"
@@ -18,11 +19,13 @@ import (
 	"firehose/internal/stream"
 )
 
-// engine is the seam between the HTTP surface and a diversification engine:
-// the sequential stream.MultiEngine and the worker-sharded parallel adapter
-// both satisfy it, so every endpoint (including /metrics) works unchanged
-// over either backend.
-type engine interface {
+// Engine is the seam between the HTTP surface and a diversification engine:
+// the sequential stream.MultiEngine, the worker-sharded parallel adapter and
+// the shard router all satisfy it, so every endpoint (including /metrics)
+// works unchanged over any backend. Out-of-package backends plug in through
+// NewFromEngine; one that additionally implements core.StateSnapshotter gets
+// Snapshot/Restore support.
+type Engine interface {
 	Offer(p *core.Post) ([]int32, error)
 	// OfferBatch ingests a time-ordered batch as one unit, returning per-post
 	// deliveries in batch order. Backends amortize their per-post costs (lock
@@ -33,6 +36,9 @@ type engine interface {
 	Name() string
 	Close()
 }
+
+// engine is the historical internal name of the seam.
+type engine = Engine
 
 // workerSource is the optional per-worker instrumentation surface; only the
 // parallel engine provides it, and /metrics exposes per-worker series when
@@ -60,6 +66,15 @@ type Server struct {
 	broker   *broker
 	registry *metrics.Registry
 	ckpt     *checkpoint.Manager // nil until EnableCheckpoints
+
+	// Shard topology, set once before serving (SetTopology /
+	// SetTopologyProvider) and read-only afterwards. The zero values are a
+	// plain single-node server: topology (0, 1, 0) in snapshots and 503
+	// not_router from /v1/admin/topology.
+	topoFn     func() TopologyResponse
+	topoShard  int
+	topoShards int
+	topoDigest uint64
 
 	// ingestMu serializes ingestion against snapshots: every ingest path
 	// (single, batch, connector runner) holds it shared across {watermark
@@ -91,6 +106,12 @@ func NewParallel(pe *stream.ParallelMultiEngine) *Server {
 	return newServer(newParallelTimelines(pe))
 }
 
+// NewFromEngine builds a Server over any Engine implementation — the seam
+// the shard router plugs into, so a router process serves the identical HTTP
+// surface (id allocation, disorder checks, SSE, checkpoint admin) as a
+// single node.
+func NewFromEngine(e Engine) *Server { return newServer(e) }
+
 func newServer(e engine) *Server {
 	s := &Server{
 		mux:    http.NewServeMux(),
@@ -106,11 +127,21 @@ func newServer(e engine) *Server {
 	s.registry = s.buildRegistry()
 	// Every endpoint is served under the versioned /v1 prefix — the canonical
 	// paths — and under its historical unversioned alias. The aliases are
-	// deprecated: new clients should call /v1, and a future major release may
-	// drop the aliases.
+	// deprecated: responses carry RFC 9745 Deprecation and RFC 8594 Sunset
+	// headers, the first hit on each alias is logged, and the sunset release
+	// may drop them. The alias body stays byte-identical to /v1's.
 	route := func(method, path string, h http.HandlerFunc) {
 		s.mux.HandleFunc(method+" /v1"+path, h)
-		s.mux.HandleFunc(method+" "+path, h)
+		var once sync.Once
+		s.mux.HandleFunc(method+" "+path, func(w http.ResponseWriter, r *http.Request) {
+			once.Do(func() {
+				log.Printf("httpapi: deprecated unversioned route %s %s was called; use %s /v1%s (alias sunset: %s)",
+					method, path, method, path, aliasSunset)
+			})
+			w.Header().Set("Deprecation", aliasDeprecation)
+			w.Header().Set("Sunset", aliasSunset)
+			h(w, r)
+		})
 	}
 	route("POST", "/ingest", s.handleIngest)
 	route("POST", "/ingest/batch", s.handleIngestBatch)
@@ -125,8 +156,24 @@ func newServer(e engine) *Server {
 	// Admin endpoints exist only under /v1 — they were born versioned.
 	s.mux.HandleFunc("POST /v1/admin/checkpoint", s.handleCheckpoint)
 	s.mux.HandleFunc("GET /v1/admin/checkpoints", s.handleCheckpoints)
+	s.mux.HandleFunc("GET /v1/admin/topology", s.handleTopology)
 	return s
 }
+
+// Handle mounts an additional handler on the server's mux under the given
+// net/http pattern (e.g. "POST /v1/shard/ingest"). The shard worker and
+// router use it to add their topology endpoints without the package
+// importing them.
+func (s *Server) Handle(pattern string, h http.HandlerFunc) { s.mux.HandleFunc(pattern, h) }
+
+// Alias deprecation metadata (RFC 9745 Deprecation, RFC 8594 Sunset): the
+// unversioned routes were superseded by /v1 when the surface was versioned
+// (PR 5); the sunset names the earliest date a major release may remove
+// them. Both values are fixed constants so responses stay byte-stable.
+const (
+	aliasDeprecation = "@1735689600" // 2025-01-01T00:00:00Z, when /v1 became canonical
+	aliasSunset      = "Thu, 01 Jan 2026 00:00:00 GMT"
+)
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }

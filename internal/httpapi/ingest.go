@@ -82,6 +82,69 @@ func (s *Server) IngestPost(author int32, timeMillis int64, text string) (uint64
 	return id, users, nil
 }
 
+// StaleIDError rejects an assigned-id ingest whose id does not advance the
+// server's id watermark: the post was already ingested (a duplicate replay
+// beyond the resync window) or the ids arrived out of order.
+type StaleIDError struct {
+	// ID is the rejected assigned id.
+	ID uint64
+	// Watermark is the server's current id watermark; assigned ids must
+	// exceed it.
+	Watermark uint64
+}
+
+func (e *StaleIDError) Error() string {
+	return fmt.Sprintf("httpapi: assigned id %d does not advance the id watermark %d; shard ingest ids must be strictly increasing", e.ID, e.Watermark)
+}
+
+// IngestAssigned offers one post under a caller-assigned id — the shard
+// worker's ingest seam, where the router owns the global id space and each
+// worker sees a strictly increasing (not dense) subsequence of it. The same
+// quiesce discipline as IngestPost applies: the whole step holds ingestMu
+// shared, ids advance monotonically, and a refused offer rolls the
+// watermarks back so a retried forward burns nothing. Time-order and
+// stale-id violations are deterministic rejections.
+func (s *Server) IngestAssigned(id uint64, author int32, timeMillis int64, text string) ([]int32, error) {
+	s.ingestMu.RLock()
+	defer s.ingestMu.RUnlock()
+	if text == "" {
+		return nil, ErrEmptyText
+	}
+
+	s.mu.Lock()
+	if id <= s.nextID {
+		w := s.nextID
+		s.mu.Unlock()
+		return nil, &StaleIDError{ID: id, Watermark: w}
+	}
+	if last := s.lastT; timeMillis < last {
+		s.mu.Unlock()
+		return nil, &DisorderError{Watermark: last}
+	}
+	prevID, prevT := s.nextID, s.lastT
+	s.nextID = id
+	s.lastT = timeMillis
+	s.mu.Unlock()
+
+	post := core.NewPost(id, author, timeMillis, text)
+	users, err := s.engine.Offer(post)
+	if err != nil {
+		s.mu.Lock()
+		if s.nextID == id {
+			s.nextID, s.lastT = prevID, prevT
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	if users == nil {
+		users = []int32{}
+	}
+	if len(users) > 0 {
+		s.deliver(TimelinePost{ID: post.ID, Author: post.Author, TimeMillis: post.Time, Text: post.Text}, users)
+	}
+	return users, nil
+}
+
 // deliver routes one delivered post through the delivery hook (the connector
 // dispatcher when one is mounted, the SSE broker otherwise).
 func (s *Server) deliver(p TimelinePost, users []int32) {
@@ -126,6 +189,16 @@ func (s *Server) httpIngestDisabled() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.httpOnlyErr != nil
+}
+
+// IDWatermark returns the current id watermark: the id of the most recently
+// ingested post (0 before the first). The shard worker reports it as the
+// shard's watermark and its restore endpoint uses it to tell a fresh worker
+// from one holding un-coordinated state.
+func (s *Server) IDWatermark() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextID
 }
 
 // SnapshotWatermark returns the id watermark captured by the most recent

@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"firehose/internal/connector"
+	"firehose/internal/connector/connectortest"
+)
+
+// ingestWorld binds the inter-shard transport input to the connectortest
+// conformance suite. Like the plain HTTP push adapter, submits are synchronous
+// — Feed runs them in one goroutine so each blocks until the suite completes
+// the read message. The suite stamps seq i+1 on every read; the router side
+// assigns the same ids here, so the round trip matches.
+type ingestWorld struct{}
+
+func (ingestWorld) New(t *testing.T) connector.Input { return NewIngestInput(4) }
+
+func (ingestWorld) Feed(t *testing.T, in connector.Input, msgs []connector.Message) {
+	ii := in.(*IngestInput)
+	go func() {
+		for i, m := range msgs {
+			// ErrClosed here just means the test tore the input down early.
+			_, _ = ii.Submit(context.Background(), uint64(i+1), m.Author, m.TimeMillis, m.Text)
+		}
+	}()
+}
+
+func TestIngestInputConformance(t *testing.T) {
+	connectortest.RunInput(t, connectortest.InputHarness{
+		Name:  "shard-ingest",
+		Setup: func(t *testing.T) connectortest.InputWorld { return ingestWorld{} },
+	})
+}

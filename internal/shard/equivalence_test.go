@@ -1,0 +1,415 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/core"
+	"firehose/internal/httpapi"
+)
+
+// The router property: plugged into httpapi.NewFromEngine, a sharded
+// deployment answers the byte-identical ingest decisions of a single node —
+// same ids, same delivered-user sets, same timelines — for any shard count,
+// because components of G(λa) never interact and every worker runs the full
+// engine configuration. The tests here run the whole stack in-process (real
+// HTTP between router and workers via httptest servers); the multi-process
+// SIGKILL variant lives in cmd/firehosed.
+
+// equivSubscriptions spreads users across the test graph's six components so
+// the router's per-user merge is exercised: every user spans shards at any
+// shard count > 1.
+func equivSubscriptions() [][]int32 {
+	return [][]int32{
+		{0, 1, 3, 5, 9},
+		{2, 4, 6, 8, 10},
+		{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11},
+		{5, 8},
+		{7, 11},
+	}
+}
+
+// newEquivServer builds one full-configuration engine server (the same
+// construction for the single node and for every worker).
+func newEquivServer(t *testing.T) *httpapi.Server {
+	t.Helper()
+	th := core.Thresholds{LambdaC: 3, LambdaT: 30 * 60 * 1000, LambdaA: 0.7}
+	md, err := core.NewSharedMultiUser(core.AlgUniBin, testGraph(), equivSubscriptions(), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return httpapi.New(md)
+}
+
+// equivPost is the deterministic workload: author walks an LCG over the full
+// universe (so similar authors post close together in time), time strictly
+// increases, text cycles a few templates.
+func equivPost(i int) (author int32, timeMillis int64, text string) {
+	state := uint64(i)*6364136223846793005 + 1442695040888963407
+	author = int32((state >> 33) % 12)
+	return author, int64(1000 * (i + 1)), fmt.Sprintf("post %d from author %d", i, author)
+}
+
+// shardedStack is one in-process deployment: n workers behind httptest
+// servers, a router engine, and the router's own API server.
+type shardedStack struct {
+	assign  *Assignment
+	workers []*Worker
+	servers []*httptest.Server
+	router  *Router
+	api     *httpapi.Server
+}
+
+func newShardedStack(t *testing.T, shards int) *shardedStack {
+	t.Helper()
+	assign, err := Plan(testGraph(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &shardedStack{assign: assign}
+	peers := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		srv := newEquivServer(t)
+		w, err := NewWorker(WorkerOptions{
+			Server:        srv,
+			Shard:         s,
+			Assignment:    assign,
+			CheckpointDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+		t.Cleanup(ts.Close)
+		t.Cleanup(func() { _ = w.Close() })
+		st.workers = append(st.workers, w)
+		st.servers = append(st.servers, ts)
+		peers[s] = ts.URL
+	}
+	rt, err := NewRouter(RouterOptions{
+		Peers:         peers,
+		Assignment:    assign,
+		RetryInterval: 5 * time.Millisecond,
+		ResyncTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InitialCoordination(); err != nil {
+		t.Fatal(err)
+	}
+	st.router = rt
+	st.api = httpapi.NewFromEngine(rt)
+	st.api.SetTopology(-1, shards, assign.Digest())
+	st.api.SetTopologyProvider(rt.Topology)
+	return st
+}
+
+// do drives one request against a server's mux and decodes the response.
+func do(t *testing.T, s *httpapi.Server, method, path, body string, out any) (int, string) {
+	t.Helper()
+	var r *strings.Reader
+	if body != "" {
+		r = strings.NewReader(body)
+	} else {
+		r = strings.NewReader("")
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(method, path, r))
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: decoding %s: %v", method, path, rec.Body, err)
+		}
+	}
+	return rec.Code, rec.Body.String()
+}
+
+func ingestBody(author int32, timeMillis int64, text string) string {
+	b, _ := json.Marshal(map[string]any{"author": author, "timeMillis": timeMillis, "text": text})
+	return string(b)
+}
+
+func timelineIDs(t *testing.T, s *httpapi.Server, user int) []uint64 {
+	t.Helper()
+	var resp struct {
+		Posts []struct {
+			ID uint64 `json:"id"`
+		} `json:"posts"`
+	}
+	code, body := do(t, s, "GET", fmt.Sprintf("/v1/timeline?user=%d&n=100000", user), "", &resp)
+	if code != http.StatusOK {
+		t.Fatalf("timeline user %d: %d %s", user, code, body)
+	}
+	ids := make([]uint64, len(resp.Posts))
+	for i, p := range resp.Posts {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+func TestShardedDecisionEquivalence(t *testing.T) {
+	const posts = 150
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			single := newEquivServer(t)
+			st := newShardedStack(t, shards)
+
+			lastSeen := make(map[int32]uint64) // per-user delivery monotonicity
+			for i := 0; i < posts; i++ {
+				author, tm, text := equivPost(i)
+				body := ingestBody(author, tm, text)
+
+				var want, got httpapi.IngestResponse
+				wantCode, wantBody := do(t, single, "POST", "/v1/ingest", body, &want)
+				gotCode, gotBody := do(t, st.api, "POST", "/v1/ingest", body, &got)
+				if wantCode != gotCode {
+					t.Fatalf("post %d: single answered %d (%s), sharded %d (%s)", i, wantCode, wantBody, gotCode, gotBody)
+				}
+				if wantCode != http.StatusOK {
+					continue
+				}
+				if want.ID != got.ID {
+					t.Fatalf("post %d: id %d vs %d", i, want.ID, got.ID)
+				}
+				if fmt.Sprint(want.Delivered) != fmt.Sprint(got.Delivered) {
+					t.Fatalf("post %d (id %d): delivered %v on single, %v sharded", i, want.ID, want.Delivered, got.Delivered)
+				}
+				for _, u := range got.Delivered {
+					if got.ID <= lastSeen[u] {
+						t.Fatalf("post id %d delivered to user %d after id %d: merge not seq-monotone", got.ID, u, lastSeen[u])
+					}
+					lastSeen[u] = got.ID
+				}
+			}
+
+			for u := range equivSubscriptions() {
+				w, g := timelineIDs(t, single, u), timelineIDs(t, st.api, u)
+				if fmt.Sprint(w) != fmt.Sprint(g) {
+					t.Fatalf("user %d timeline: single %v, sharded %v", u, w, g)
+				}
+			}
+		})
+	}
+}
+
+func TestShardedBatchEquivalence(t *testing.T) {
+	const posts, batch = 120, 8
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("%dshards", shards), func(t *testing.T) {
+			single := newEquivServer(t)
+			st := newShardedStack(t, shards)
+
+			for i := 0; i < posts; i += batch {
+				var reqs []map[string]any
+				for j := i; j < i+batch && j < posts; j++ {
+					author, tm, text := equivPost(j)
+					reqs = append(reqs, map[string]any{"author": author, "timeMillis": tm, "text": text})
+				}
+				raw, _ := json.Marshal(map[string]any{"posts": reqs})
+
+				var want, got httpapi.BatchIngestResponse
+				wantCode, wantBody := do(t, single, "POST", "/v1/ingest/batch", string(raw), &want)
+				gotCode, gotBody := do(t, st.api, "POST", "/v1/ingest/batch", string(raw), &got)
+				if wantCode != gotCode {
+					t.Fatalf("batch at %d: single %d (%s), sharded %d (%s)", i, wantCode, wantBody, gotCode, gotBody)
+				}
+				if wantCode != http.StatusOK {
+					continue
+				}
+				if len(want.Results) != len(got.Results) {
+					t.Fatalf("batch at %d: %d vs %d results", i, len(want.Results), len(got.Results))
+				}
+				for k := range want.Results {
+					if want.Results[k].ID != got.Results[k].ID ||
+						fmt.Sprint(want.Results[k].Delivered) != fmt.Sprint(got.Results[k].Delivered) {
+						t.Fatalf("batch at %d result %d: single %+v, sharded %+v", i, k, want.Results[k], got.Results[k])
+					}
+				}
+			}
+
+			for u := range equivSubscriptions() {
+				w, g := timelineIDs(t, single, u), timelineIDs(t, st.api, u)
+				if fmt.Sprint(w) != fmt.Sprint(g) {
+					t.Fatalf("user %d timeline: single %v, sharded %v", u, w, g)
+				}
+			}
+		})
+	}
+}
+
+// TestRouterRecoversCrashedWorker is the in-process crash drill: a worker
+// process dies (its server stops, all engine state lost) and comes back cold
+// on the same address; the next forward must transparently roll it back to
+// the last coordinated round, replay the pending suffix, and produce the
+// exact decisions an uninterrupted single node produces.
+func TestRouterRecoversCrashedWorker(t *testing.T) {
+	const shards = 2
+	assign, err := Plan(testGraph(), shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := newEquivServer(t)
+
+	dirs := make([]string, shards)
+	addrs := make([]string, shards)
+	peers := make([]string, shards)
+	servers := make([]*httptest.Server, shards)
+	workers := make([]*Worker, shards)
+	start := func(s int) {
+		t.Helper()
+		srv := newEquivServer(t)
+		w, err := NewWorker(WorkerOptions{Server: srv, Shard: s, Assignment: assign, CheckpointDir: dirs[s]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", addrs[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewUnstartedServer(srv)
+		ts.Listener.Close()
+		ts.Listener = ln
+		ts.Start()
+		servers[s], workers[s] = ts, w
+	}
+	for s := 0; s < shards; s++ {
+		dirs[s] = t.TempDir()
+		addrs[s] = "127.0.0.1:0"
+		start(s)
+		addrs[s] = servers[s].Listener.Addr().String() // restarts rebind here
+		peers[s] = "http://" + addrs[s]
+	}
+	defer func() {
+		for s := range servers {
+			servers[s].Close()
+			_ = workers[s].Close()
+		}
+	}()
+
+	rt, err := NewRouter(RouterOptions{
+		Peers:         peers,
+		Assignment:    assign,
+		RetryInterval: 10 * time.Millisecond,
+		ResyncTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.InitialCoordination(); err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewFromEngine(rt)
+
+	offer := func(i int) {
+		t.Helper()
+		author, tm, text := equivPost(i)
+		body := ingestBody(author, tm, text)
+		var want, got httpapi.IngestResponse
+		wantCode, _ := do(t, single, "POST", "/v1/ingest", body, &want)
+		gotCode, gotBody := do(t, api, "POST", "/v1/ingest", body, &got)
+		if wantCode != gotCode || (wantCode == http.StatusOK &&
+			(want.ID != got.ID || fmt.Sprint(want.Delivered) != fmt.Sprint(got.Delivered))) {
+			t.Fatalf("post %d: single %d %+v, sharded %d %+v (%s)", i, wantCode, want, gotCode, got, gotBody)
+		}
+	}
+
+	for i := 0; i < 40; i++ {
+		offer(i)
+	}
+	// Coordinate mid-stream (as the periodic checkpoint would), then keep
+	// ingesting so the crash loses both checkpointed and pending state.
+	if _, _, err := rt.coordinate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 70; i++ {
+		offer(i)
+	}
+
+	// Crash shard 0: the server stops, the engine state evaporates. Restart it
+	// cold over the same checkpoint directory and address.
+	servers[0].Close()
+	_ = workers[0].Close()
+	start(0)
+
+	// The next forwards recover transparently and stay bit-identical.
+	for i := 70; i < 110; i++ {
+		offer(i)
+	}
+
+	// Decision state recovers exactly; timeline view state follows the repo's
+	// restore semantics (timelines are deliberately not checkpointed — see
+	// internal/stream/checkpoint.go), so the restarted shard serves only its
+	// post-restore suffix. Assert the merged timeline is an ordered subset of
+	// the single node's and misses nothing delivered after the crash.
+	const crashWatermark = 70 // ids 1..70 were ingested before the crash
+	for u := range equivSubscriptions() {
+		w, g := timelineIDs(t, single, u), timelineIDs(t, api, u)
+		j := 0
+		for _, id := range g {
+			for j < len(w) && w[j] != id {
+				j++
+			}
+			if j == len(w) {
+				t.Fatalf("user %d: sharded timeline %v is not an ordered subset of single %v", u, g, w)
+			}
+			j++
+		}
+		inSharded := make(map[uint64]bool, len(g))
+		for _, id := range g {
+			inSharded[id] = true
+		}
+		for _, id := range w {
+			if id > crashWatermark && !inSharded[id] {
+				t.Fatalf("user %d: post %d delivered after the crash is missing from the sharded timeline %v", u, id, g)
+			}
+		}
+	}
+}
+
+// TestRouterRefusesForeignTopology pins the first-request refusal: a worker
+// answers a router planned over a different graph with 409 shard_mismatch and
+// never touches its engine.
+func TestRouterRefusesForeignTopology(t *testing.T) {
+	assign, err := Plan(testGraph(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newEquivServer(t)
+	w, err := NewWorker(WorkerOptions{Server: srv, Shard: 0, Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	otherGraph := authorsim.NewGraph(12, []authorsim.SimPair{{A: 2, B: 3}}, 0.7)
+	other, err := Plan(otherGraph, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(IngestRequest{ID: 1, Author: 0, TimeMillis: 1000, Text: "x"})
+	req := httptest.NewRequest("POST", "/v1/shard/ingest", bytes.NewReader(body))
+	req.Header.Set(TopologyHeader, formatTopology(other.Digest(), 0, 2))
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("status = %d, want 409 (%s)", rec.Code, rec.Body)
+	}
+	var env httpapi.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Code != httpapi.CodeShardMismatch {
+		t.Fatalf("code = %q, want %q", env.Code, httpapi.CodeShardMismatch)
+	}
+	if got := srv.IDWatermark(); got != 0 {
+		t.Fatalf("engine ingested %d posts through a refused request", got)
+	}
+}

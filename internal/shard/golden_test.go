@@ -1,0 +1,120 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"firehose/internal/httpapi"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// The inter-shard endpoints answer with the same JSON error envelope as the
+// rest of the API; these goldens pin the sharding-specific codes
+// (shard_mismatch, shard_desync) byte for byte, the same way the httpapi
+// suite pins the single-node codes. The test graph and its assignment digest
+// are deterministic, so the messages are stable.
+
+func TestShardErrorEnvelopesGolden(t *testing.T) {
+	assign, err := Plan(testGraph(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodTopo := formatTopology(assign.Digest(), 0, 2)
+	cases := []struct {
+		name       string
+		path, body string
+		topo       string // Firehose-Topology header; empty omits it
+		wantStatus int
+		wantCode   string
+	}{
+		{
+			name: "shard_ingest_no_topology",
+			path: "/v1/shard/ingest", body: `{"id":1,"author":0,"timeMillis":1000,"text":"x"}`,
+			wantStatus: http.StatusConflict, wantCode: httpapi.CodeShardMismatch,
+		},
+		{
+			name: "shard_ingest_wrong_digest",
+			path: "/v1/shard/ingest", body: `{"id":1,"author":0,"timeMillis":1000,"text":"x"}`,
+			topo:       formatTopology(0xbadc0ffee, 0, 2),
+			wantStatus: http.StatusConflict, wantCode: httpapi.CodeShardMismatch,
+		},
+		{
+			name: "shard_ingest_foreign_author",
+			path: "/v1/shard/ingest", body: `{"id":1,"author":9,"timeMillis":1000,"text":"x"}`,
+			topo:       goodTopo,
+			wantStatus: http.StatusConflict, wantCode: httpapi.CodeShardMismatch,
+		},
+		{
+			name: "shard_ingest_desync",
+			path: "/v1/shard/ingest", body: `{"id":7,"prev":5,"author":0,"timeMillis":1000,"text":"x"}`,
+			topo:       goodTopo,
+			wantStatus: http.StatusConflict, wantCode: httpapi.CodeShardDesync,
+		},
+		{
+			name: "shard_restore_no_checkpoint",
+			path: "/v1/shard/restore", body: `{"watermark":42}`,
+			topo:       goodTopo,
+			wantStatus: http.StatusConflict, wantCode: httpapi.CodeShardMismatch,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := newEquivServer(t)
+			w, err := NewWorker(WorkerOptions{Server: srv, Shard: 0, Assignment: assign, CheckpointDir: t.TempDir()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer w.Close()
+
+			req := httptest.NewRequest("POST", tc.path, strings.NewReader(tc.body))
+			if tc.topo != "" {
+				req.Header.Set(TopologyHeader, tc.topo)
+			}
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d, want %d (body %s)", rec.Code, tc.wantStatus, rec.Body)
+			}
+			compareGolden(t, tc.name, rec.Body.Bytes())
+			var env httpapi.ErrorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("envelope does not parse: %v", err)
+			}
+			if env.Code != tc.wantCode {
+				t.Fatalf("code = %q, want %q", env.Code, tc.wantCode)
+			}
+		})
+	}
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name+".json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("golden file %s missing; run with -update", path)
+		}
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("envelope drifted from golden %s:\n got: %s\nwant: %s", path, got, want)
+	}
+}

@@ -1,0 +1,729 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"firehose/internal/checkpoint"
+	"firehose/internal/core"
+	"firehose/internal/httpapi"
+	"firehose/internal/metrics"
+	"firehose/internal/stream"
+)
+
+// RouterOptions configures NewRouter. Peers and Assignment are required, and
+// len(Peers) must equal Assignment.NumShards() — peer i is shard i.
+type RouterOptions struct {
+	// Peers are the worker base URLs, indexed by shard
+	// ("http://host:port", no trailing slash).
+	Peers []string
+	// Assignment is the routing table, planned from the same engine config the
+	// workers were started with.
+	Assignment *Assignment
+	// Client is the HTTP client for all worker traffic; nil uses a client with
+	// a 30s request timeout.
+	Client *http.Client
+	// RetryInterval paces transient-failure retries and crash-recovery polls
+	// (default 200ms).
+	RetryInterval time.Duration
+	// ResyncTimeout bounds how long a forward waits for a crashed worker to
+	// come back before giving up (default 60s).
+	ResyncTimeout time.Duration
+}
+
+// Router is the fan-out half of a sharded deployment: an httpapi.Engine whose
+// Offer forwards each post to the shard owning its author's component and
+// whose reads merge the workers' answers back into one surface. Plugged into
+// httpapi.NewFromEngine, a router process serves the byte-identical HTTP API
+// of a single node — same id allocation, same disorder checks, same SSE and
+// connector egress — while the decisions happen on the workers.
+//
+// # Merge ordering
+//
+// Offer is a turnstile: a post may only forward once every smaller id has
+// completed (successfully or not), so deliveries leave the router in strictly
+// increasing global id order and every user's merged stream is seq-monotone —
+// exactly the order a single node produces. OfferBatch holds one turn for the
+// whole batch and fans the per-shard sub-batches out concurrently, then
+// reassembles the results in batch order, so cross-shard batches still
+// parallelize under the turnstile.
+//
+// # Crash recovery
+//
+// The router keeps, per shard, every post forwarded since the last
+// coordinated checkpoint (the pending replay buffer). When a forward fails
+// ambiguously — connection refused, timeout, a worker restart — the router
+// polls the worker back to health, verifies its topology digest, rolls it
+// back to the last coordinated round (POST /v1/shard/restore), replays the
+// pending suffix, and then retries the in-flight post. Decisions are
+// deterministic, so the replayed suffix rebuilds the identical worker state
+// and the retried post gets the identical answer a crash-free run would have
+// produced.
+type Router struct {
+	peers    []string
+	assign   *Assignment
+	client   *http.Client
+	retryIvl time.Duration
+	resyncTO time.Duration
+
+	// mu guards: lastDone, ckptW, closed, pending, base, forwarded
+	mu   sync.Mutex
+	cond *sync.Cond
+	// lastDone is the largest post id whose forward has completed (the
+	// turnstile's gate); equal to the server's id watermark when quiescent.
+	lastDone uint64
+	// ckptW is the watermark of the newest coordinated checkpoint round.
+	ckptW  uint64
+	closed bool
+	// pending[s] holds the posts forwarded to shard s since the last
+	// coordination round, in id order — the crash-replay buffer.
+	pending [][]IngestRequest
+	// base[s] is shard s's own id watermark at the last coordination round;
+	// base[s] (or the last pending id) is the watermark a healthy worker must
+	// report.
+	base []uint64
+	// forwarded[s] is the highest id ever forwarded to shard s (topology
+	// reporting only).
+	forwarded []uint64
+}
+
+// NewRouter validates the options and builds the router. Call AwaitPeers
+// before serving traffic.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if opts.Assignment == nil {
+		return nil, fmt.Errorf("shard: RouterOptions.Assignment is required")
+	}
+	if len(opts.Peers) == 0 {
+		return nil, fmt.Errorf("shard: RouterOptions.Peers is required")
+	}
+	if len(opts.Peers) != opts.Assignment.NumShards() {
+		return nil, fmt.Errorf("shard: %d peers for %d shards; the router needs exactly one worker URL per shard",
+			len(opts.Peers), opts.Assignment.NumShards())
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	retry := opts.RetryInterval
+	if retry <= 0 {
+		retry = 200 * time.Millisecond
+	}
+	resync := opts.ResyncTimeout
+	if resync <= 0 {
+		resync = 60 * time.Second
+	}
+	rt := &Router{
+		peers:     append([]string(nil), opts.Peers...),
+		assign:    opts.Assignment,
+		client:    client,
+		retryIvl:  retry,
+		resyncTO:  resync,
+		pending:   make([][]IngestRequest, len(opts.Peers)),
+		base:      make([]uint64, len(opts.Peers)),
+		forwarded: make([]uint64, len(opts.Peers)),
+	}
+	rt.cond = sync.NewCond(&rt.mu)
+	return rt, nil
+}
+
+// Name implements httpapi.Engine.
+func (rt *Router) Name() string {
+	return fmt.Sprintf("router(%d shards, digest %016x)", len(rt.peers), rt.assign.Digest())
+}
+
+// Close unblocks waiting turns; subsequent Offers fail with stream.ErrClosed.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// acquireTurn blocks until every id below id has completed. The comparison is
+// "wait while id > lastDone+1" rather than an exact match: a terminally
+// failed forward still advances lastDone past its id (the HTTP layer rolls
+// the allocation back and may hand the same id out again), so both a burned
+// id and a reused one pass the gate instead of deadlocking it.
+func (rt *Router) acquireTurn(id uint64) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for !rt.closed && id > rt.lastDone+1 {
+		rt.cond.Wait()
+	}
+	if rt.closed {
+		return stream.ErrClosed
+	}
+	return nil
+}
+
+// completeTurn releases the turnstile after a forward completed (either way).
+func (rt *Router) completeTurn(id uint64) {
+	rt.mu.Lock()
+	if id > rt.lastDone {
+		rt.lastDone = id
+	}
+	rt.cond.Broadcast()
+	rt.mu.Unlock()
+}
+
+// Offer implements httpapi.Engine: route the post to its author's shard,
+// forward it (with crash recovery), and record it in the replay buffer.
+func (rt *Router) Offer(p *core.Post) ([]int32, error) {
+	if err := rt.acquireTurn(p.ID); err != nil {
+		return nil, err
+	}
+	defer rt.completeTurn(p.ID)
+	shard := rt.assign.ShardOf(p.Author)
+	// Prev pins the worker watermark this forward must land on; it stays valid
+	// across resyncs (recovery restores the worker to exactly this watermark)
+	// because pending[shard] only grows after this forward succeeds.
+	req := IngestRequest{ID: p.ID, Author: p.Author, TimeMillis: p.Time, Text: p.Text, Prev: rt.expected(shard)}
+	users, err := rt.forwardOne(shard, req)
+	if err != nil {
+		return nil, err
+	}
+	rt.recordForwarded(shard, req)
+	return users, nil
+}
+
+// OfferBatch implements httpapi.Engine: one turn for the whole batch,
+// per-shard sub-batches forwarded concurrently, results reassembled in batch
+// order.
+func (rt *Router) OfferBatch(posts []*core.Post) ([][]int32, error) {
+	if len(posts) == 0 {
+		return nil, nil
+	}
+	if err := rt.acquireTurn(posts[0].ID); err != nil {
+		return nil, err
+	}
+	defer rt.completeTurn(posts[len(posts)-1].ID)
+
+	// Partition into per-shard sub-batches, remembering each post's batch
+	// position so the per-shard results reassemble in order.
+	sub := make(map[int][]IngestRequest)
+	subIdx := make(map[int][]int)
+	for i, p := range posts {
+		s := rt.assign.ShardOf(p.Author)
+		prev := rt.expected(s)
+		if reqs := sub[s]; len(reqs) > 0 {
+			prev = reqs[len(reqs)-1].ID
+		}
+		sub[s] = append(sub[s], IngestRequest{ID: p.ID, Author: p.Author, TimeMillis: p.Time, Text: p.Text, Prev: prev})
+		subIdx[s] = append(subIdx[s], i)
+	}
+
+	results := make([][]int32, len(posts))
+	var wg sync.WaitGroup
+	errs := make(map[int]error)
+	var errMu sync.Mutex
+	for s, reqs := range sub {
+		wg.Add(1)
+		go func(s int, reqs []IngestRequest) {
+			defer wg.Done()
+			users, err := rt.forwardBatch(s, reqs)
+			if err != nil {
+				errMu.Lock()
+				errs[s] = err
+				errMu.Unlock()
+				return
+			}
+			for i, u := range users {
+				results[subIdx[s][i]] = u
+			}
+		}(s, reqs)
+	}
+	wg.Wait()
+	if len(errs) > 0 {
+		// Deterministic pick: lowest failing shard. The engine contract treats
+		// a batch as one unit; the HTTP layer rolls the ids back and shards
+		// that did ingest their sub-batch are rolled back on the next
+		// coordination or resync.
+		var worst int = -1
+		for s := range errs {
+			if worst == -1 || s < worst {
+				worst = s
+			}
+		}
+		return nil, fmt.Errorf("shard %d: %w", worst, errs[worst])
+	}
+	for s, reqs := range sub {
+		for _, r := range reqs {
+			rt.recordForwarded(s, r)
+		}
+	}
+	return results, nil
+}
+
+// recordForwarded appends a successfully forwarded post to the shard's replay
+// buffer.
+func (rt *Router) recordForwarded(shard int, req IngestRequest) {
+	rt.mu.Lock()
+	rt.pending[shard] = append(rt.pending[shard], req)
+	if req.ID > rt.forwarded[shard] {
+		rt.forwarded[shard] = req.ID
+	}
+	rt.mu.Unlock()
+}
+
+// expected returns the id watermark a healthy worker for shard s must report:
+// its watermark at the last coordination round, advanced by every pending
+// forward since.
+func (rt *Router) expected(s int) uint64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	exp := rt.base[s]
+	if n := len(rt.pending[s]); n > 0 {
+		exp = rt.pending[s][n-1].ID
+	}
+	return exp
+}
+
+// fwdClass classifies one forward attempt's outcome.
+type fwdClass int
+
+const (
+	fwdOK       fwdClass = iota
+	fwdRetry             // transient with intact worker state (queue_full): plain retry
+	fwdResync            // ambiguous or crashed: recover the worker, then retry
+	fwdTerminal          // deterministic refusal: give up
+)
+
+// forwardOne forwards a single post with bounded recovery.
+func (rt *Router) forwardOne(shard int, req IngestRequest) ([]int32, error) {
+	deadline := time.Now().Add(rt.resyncTO)
+	for {
+		var resp IngestResponse
+		class, err := rt.postShard(shard, "/v1/shard/ingest", req, &resp)
+		switch class {
+		case fwdOK:
+			return resp.Users, nil
+		case fwdTerminal:
+			return nil, err
+		case fwdRetry:
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("shard: giving up on shard %d after %v: %w", shard, rt.resyncTO, err)
+			}
+			time.Sleep(rt.retryIvl)
+		case fwdResync:
+			if rerr := rt.resync(shard, deadline); rerr != nil {
+				return nil, fmt.Errorf("shard: forward to shard %d failed (%v) and recovery failed: %w", shard, err, rerr)
+			}
+		}
+	}
+}
+
+// forwardBatch forwards one per-shard sub-batch. Any non-terminal failure
+// goes through resync — a partially ingested batch is rolled back to the last
+// coordination round and replayed, so the clean retry path always starts from
+// a consistent worker.
+func (rt *Router) forwardBatch(shard int, reqs []IngestRequest) ([][]int32, error) {
+	deadline := time.Now().Add(rt.resyncTO)
+	for {
+		var resp IngestBatchResponse
+		class, err := rt.postShard(shard, "/v1/shard/ingest/batch", IngestBatchRequest{Posts: reqs, Prev: reqs[0].Prev}, &resp)
+		switch class {
+		case fwdOK:
+			if len(resp.Results) != len(reqs) {
+				return nil, fmt.Errorf("shard: shard %d answered %d results for a %d-post batch", shard, len(resp.Results), len(reqs))
+			}
+			users := make([][]int32, len(reqs))
+			for i, r := range resp.Results {
+				users[i] = r.Users
+			}
+			return users, nil
+		case fwdTerminal:
+			return nil, err
+		default: // fwdRetry, fwdResync: a mid-batch queue_full leaves a prefix
+			// ingested, so both classes recover through the rollback path.
+			if rerr := rt.resync(shard, deadline); rerr != nil {
+				return nil, fmt.Errorf("shard: batch forward to shard %d failed (%v) and recovery failed: %w", shard, err, rerr)
+			}
+		}
+	}
+}
+
+// resync brings one shard back to the router's view of its state: poll it
+// healthy, verify its topology digest, roll it back to the last coordinated
+// round, and replay the pending suffix. Safe to call on a healthy worker (it
+// detects the intact state and skips the rollback).
+func (rt *Router) resync(shard int, deadline time.Time) error {
+	// 1. Poll the worker back to reachability and verify its identity.
+	var topo httpapi.TopologyResponse
+	for {
+		if err := rt.getJSON(rt.peers[shard]+"/v1/admin/topology", &topo); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("shard %d (%s) unreachable", shard, rt.peers[shard])
+		}
+		time.Sleep(rt.retryIvl)
+	}
+	want := fmt.Sprintf("%016x", rt.assign.Digest())
+	if topo.Digest != want || topo.Shard != shard || topo.Shards != len(rt.peers) {
+		return fmt.Errorf("%s: peer %s reports shard %d/%d digest %s, want shard %d/%d digest %s",
+			httpapi.CodeShardMismatch, rt.peers[shard], topo.Shard, topo.Shards, topo.Digest, shard, len(rt.peers), want)
+	}
+
+	// 2. Intact state (e.g. a queue_full rollback, a blip that lost only the
+	// response of a post the worker never saw): nothing to replay.
+	if topo.Watermark == rt.expected(shard) {
+		return nil
+	}
+
+	// 3. Roll back to the last coordination round...
+	rt.mu.Lock()
+	w := rt.ckptW
+	replay := append([]IngestRequest(nil), rt.pending[shard]...)
+	rt.mu.Unlock()
+	var res RestoreResponse
+	class, err := rt.postShard(shard, "/v1/shard/restore", RestoreRequest{Watermark: w}, &res)
+	if class != fwdOK {
+		return fmt.Errorf("rolling shard %d back to coordinated watermark %d: %w", shard, w, err)
+	}
+	if res.Restored && res.Watermark != w {
+		return fmt.Errorf("%s: shard %d restored tag %d, want %d", httpapi.CodeShardMismatch, shard, res.Watermark, w)
+	}
+
+	// 4. ...and replay the pending suffix. Decisions are deterministic, so the
+	// answers are the ones already returned to clients; only the worker state
+	// matters here.
+	prev := res.ShardSeq
+	for _, req := range replay {
+		if req.ID <= res.ShardSeq {
+			continue // already inside the restored state
+		}
+		req.Prev = prev // re-chain from the restored watermark
+		prev = req.ID
+		for {
+			var ir IngestResponse
+			class, err := rt.postShard(shard, "/v1/shard/ingest", req, &ir)
+			if class == fwdOK {
+				break
+			}
+			if class == fwdTerminal {
+				return fmt.Errorf("replaying post %d to shard %d: %w", req.ID, shard, err)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replaying post %d to shard %d: %w", req.ID, shard, err)
+			}
+			time.Sleep(rt.retryIvl)
+		}
+	}
+	return nil
+}
+
+// Timeline implements httpapi.Engine: fetch the user's timeline from every
+// shard and merge by ascending id. Each shard holds exactly the user's posts
+// whose authors it owns, so the merge is a disjoint union. Unreachable
+// workers contribute nothing (best-effort, like a cache read).
+func (rt *Router) Timeline(user int32) []*core.Post {
+	type tlResp struct {
+		Posts []struct {
+			ID         uint64 `json:"id"`
+			Author     int32  `json:"author"`
+			TimeMillis int64  `json:"timeMillis"`
+			Text       string `json:"text"`
+		} `json:"posts"`
+	}
+	var mu sync.Mutex
+	var all []*core.Post
+	var wg sync.WaitGroup
+	for _, peer := range rt.peers {
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			var resp tlResp
+			if err := rt.getJSON(fmt.Sprintf("%s/v1/timeline?user=%d&n=%d", peer, user, 1<<30), &resp); err != nil {
+				return
+			}
+			mu.Lock()
+			for _, p := range resp.Posts {
+				all = append(all, core.NewPost(p.ID, p.Author, p.TimeMillis, p.Text))
+			}
+			mu.Unlock()
+		}(peer)
+	}
+	wg.Wait()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	return all
+}
+
+// Counters implements httpapi.Engine: the sum of the workers' counters.
+func (rt *Router) Counters() metrics.Counters {
+	var sum metrics.Counters
+	for _, peer := range rt.peers {
+		var resp httpapi.StatsResponse
+		if err := rt.getJSON(peer+"/v1/stats", &resp); err != nil {
+			continue
+		}
+		sum.Comparisons += resp.Comparisons
+		sum.Insertions += resp.Insertions
+		sum.Evictions += resp.Evictions
+		sum.Accepted += resp.Accepted
+		sum.Rejected += resp.Rejected
+		sum.StoredPeak += resp.PeakCopies
+	}
+	return sum
+}
+
+// SnapshotState implements core.StateSnapshotter: the coordinated checkpoint
+// round. The HTTP layer calls it under the exclusive ingest lock, so no
+// forward is in flight and lastDone is the exact global watermark. Order
+// matters for the durability invariant: every worker durably writes its
+// tagged checkpoint first, the router's own meta section is encoded second,
+// and the caller's ack (the connector cursor) only advances after the whole
+// file is on disk — so a router checkpoint at watermark w proves every shard
+// holds shard-<w>.fhc.
+func (rt *Router) SnapshotState(enc *checkpoint.Encoder) error {
+	w, seqs, err := rt.coordinate()
+	if err != nil {
+		return err
+	}
+	enc.String("router")
+	enc.Uvarint(uint64(len(rt.peers)))
+	enc.U64(rt.assign.Digest())
+	enc.Uvarint(w)
+	for _, q := range seqs {
+		enc.Uvarint(q)
+	}
+	return nil
+}
+
+// coordinate runs one coordination round: every worker durably writes its
+// tagged checkpoint at the router's current watermark, and the router adopts
+// the round (ckptW advances, the replay buffers clear, the per-shard bases
+// move to the workers' reported watermarks).
+func (rt *Router) coordinate() (uint64, []uint64, error) {
+	rt.mu.Lock()
+	w := rt.lastDone
+	rt.mu.Unlock()
+	seqs := make([]uint64, len(rt.peers))
+	for s := range rt.peers {
+		var resp CheckpointResponse
+		class, err := rt.postShard(s, "/v1/shard/checkpoint", CheckpointRequest{Watermark: w}, &resp)
+		if class != fwdOK {
+			return 0, nil, fmt.Errorf("shard: coordinated checkpoint at watermark %d: shard %d: %w", w, s, err)
+		}
+		seqs[s] = resp.ShardSeq
+	}
+	rt.mu.Lock()
+	rt.ckptW = w
+	for s := range rt.pending {
+		rt.pending[s] = rt.pending[s][:0]
+		rt.base[s] = seqs[s]
+	}
+	rt.mu.Unlock()
+	return w, seqs, nil
+}
+
+// RestoreState implements core.StateSnapshotter: verify the checkpoint's
+// topology, roll every worker back to the coordinated round it names, and
+// adopt its watermark. Workers that are still booting are polled within the
+// resync timeout.
+func (rt *Router) RestoreState(dec *checkpoint.Decoder) error {
+	dec.Expect("router")
+	shards := int(dec.Uvarint())
+	digest := dec.U64()
+	w := dec.Uvarint()
+	var seqs []uint64
+	if shards > 0 && shards <= 1<<20 {
+		seqs = make([]uint64, shards)
+		for i := range seqs {
+			seqs[i] = dec.Uvarint()
+		}
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if shards != len(rt.peers) || digest != rt.assign.Digest() {
+		return fmt.Errorf(
+			"shard: %s: checkpoint was written by a router over %d shards (assignment digest %016x), this router runs %d shards (digest %016x); restore it with the matching worker count and graph configuration",
+			httpapi.CodeShardMismatch, shards, digest, len(rt.peers), rt.assign.Digest())
+	}
+	deadline := time.Now().Add(rt.resyncTO)
+	for s := range rt.peers {
+		for {
+			var res RestoreResponse
+			class, err := rt.postShard(s, "/v1/shard/restore", RestoreRequest{Watermark: w}, &res)
+			if class == fwdOK {
+				if res.Restored && res.Watermark != w {
+					return fmt.Errorf("shard: %s: shard %d restored tag %d, want %d", httpapi.CodeShardMismatch, s, res.Watermark, w)
+				}
+				if res.ShardSeq != seqs[s] {
+					return fmt.Errorf(
+						"shard: %s: shard %d reports watermark %d inside coordinated round %d, the router checkpoint recorded %d; the worker's checkpoint directory does not match this router's",
+						httpapi.CodeShardMismatch, s, res.ShardSeq, w, seqs[s])
+				}
+				break
+			}
+			if class == fwdTerminal {
+				return fmt.Errorf("shard: restoring shard %d to coordinated watermark %d: %w", s, w, err)
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("shard: restoring shard %d to coordinated watermark %d: %w", s, w, err)
+			}
+			time.Sleep(rt.retryIvl)
+		}
+	}
+	rt.mu.Lock()
+	rt.lastDone = w
+	rt.ckptW = w
+	for s := range rt.pending {
+		rt.pending[s] = rt.pending[s][:0]
+		rt.base[s] = seqs[s]
+		rt.forwarded[s] = seqs[s]
+	}
+	rt.mu.Unlock()
+	return nil
+}
+
+// InitialCoordination runs a coordination round at the router's current
+// watermark. A cold router calls it once on boot so every worker holds a
+// tagged rollback target (shard-0.fhc) from the very first post — without
+// one, a crash before the first periodic checkpoint would have nowhere to
+// roll back to. Workers without a checkpoint directory make it a no-op
+// (recovery then relies on the fresh-restart path alone).
+func (rt *Router) InitialCoordination() error {
+	_, _, err := rt.coordinate()
+	if err != nil {
+		var envErr *envelopeError
+		if errors.As(err, &envErr) && envErr.code == httpapi.CodeCheckpointsDisabled {
+			return nil // uncoordinated deployment; nothing to pre-seed
+		}
+		return err
+	}
+	return nil
+}
+
+// AwaitPeers blocks until every worker answers its topology endpoint with the
+// matching digest, shard index and shard count, or ctx expires — the boot
+// barrier a router runs before restoring or serving.
+func (rt *Router) AwaitPeers(ctx context.Context) error {
+	want := fmt.Sprintf("%016x", rt.assign.Digest())
+	for s, peer := range rt.peers {
+		for {
+			var topo httpapi.TopologyResponse
+			err := rt.getJSON(peer+"/v1/admin/topology", &topo)
+			if err == nil {
+				if topo.Digest != want || topo.Shard != s || topo.Shards != len(rt.peers) {
+					return fmt.Errorf(
+						"shard: %s: peer %s reports shard %d/%d with assignment digest %s, this router planned shard %d/%d with digest %s; all processes must share the graph, thresholds and shard count",
+						httpapi.CodeShardMismatch, peer, topo.Shard, topo.Shards, topo.Digest, s, len(rt.peers), want)
+				}
+				break
+			}
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("shard: waiting for shard %d (%s): %w", s, peer, ctx.Err())
+			case <-time.After(rt.retryIvl):
+			}
+		}
+	}
+	return nil
+}
+
+// Topology is the router's GET /v1/admin/topology answer; install it with
+// Server.SetTopologyProvider.
+func (rt *Router) Topology() httpapi.TopologyResponse {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	resp := httpapi.TopologyResponse{
+		Mode:                 "router",
+		Shard:                -1,
+		Shards:               len(rt.peers),
+		Digest:               fmt.Sprintf("%016x", rt.assign.Digest()),
+		Watermark:            rt.lastDone,
+		CoordinatedWatermark: rt.ckptW,
+	}
+	for s, peer := range rt.peers {
+		resp.PerShard = append(resp.PerShard, httpapi.ShardStatus{
+			Shard:     s,
+			Peer:      peer,
+			Watermark: rt.forwarded[s],
+			Pending:   len(rt.pending[s]),
+		})
+	}
+	return resp
+}
+
+// envelopeError is a worker's JSON error envelope as a Go error, keeping the
+// machine code available to the retry classifier and the caller.
+type envelopeError struct {
+	status int
+	code   string
+	msg    string
+}
+
+func (e *envelopeError) Error() string {
+	return fmt.Sprintf("worker answered %d %s: %s", e.status, e.code, e.msg)
+}
+
+// postShard POSTs one protocol message to a shard and classifies the outcome.
+// out is decoded only on 200.
+func (rt *Router) postShard(shard int, path string, body, out any) (fwdClass, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return fwdTerminal, err
+	}
+	req, err := http.NewRequest(http.MethodPost, rt.peers[shard]+path, bytes.NewReader(buf))
+	if err != nil {
+		return fwdTerminal, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TopologyHeader, formatTopology(rt.assign.Digest(), shard, len(rt.peers)))
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return fwdResync, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<24))
+	if err != nil {
+		return fwdResync, err
+	}
+	if resp.StatusCode == http.StatusOK {
+		if out == nil {
+			return fwdOK, nil
+		}
+		if err := json.Unmarshal(raw, out); err != nil {
+			return fwdResync, fmt.Errorf("decoding shard %d response: %w", shard, err)
+		}
+		return fwdOK, nil
+	}
+	var env httpapi.ErrorResponse
+	if err := json.Unmarshal(raw, &env); err != nil || env.Code == "" {
+		return fwdResync, fmt.Errorf("shard %d answered %d with no envelope", shard, resp.StatusCode)
+	}
+	ee := &envelopeError{status: resp.StatusCode, code: env.Code, msg: env.Error}
+	switch env.Code {
+	case httpapi.CodeQueueFull:
+		return fwdRetry, ee
+	case httpapi.CodeEngineClosed, httpapi.CodeShardDesync:
+		// shard_desync: the worker's watermark disagrees with the replay
+		// buffer — typically a crash-and-restart the router has not noticed.
+		// Rollback-and-replay heals it.
+		return fwdResync, ee
+	default:
+		return fwdTerminal, ee
+	}
+}
+
+// getJSON fetches one JSON document from a worker.
+func (rt *Router) getJSON(url string, out any) error {
+	resp, err := rt.client.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,211 @@
+package shard
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"firehose/internal/authorsim"
+	"firehose/internal/checkpoint"
+	"firehose/internal/httpapi"
+)
+
+// testGraph builds a 12-author graph with six connected components of mixed
+// sizes: {0,1,2}, {3,4}, {6,7}, {9,10,11} and the singletons {5}, {8}.
+func testGraph() *authorsim.Graph {
+	return authorsim.NewGraph(12, []authorsim.SimPair{
+		{A: 0, B: 1}, {A: 1, B: 2},
+		{A: 3, B: 4},
+		{A: 6, B: 7},
+		{A: 9, B: 10}, {A: 10, B: 11}, {A: 9, B: 11},
+	}, 0.7)
+}
+
+func TestPlanPartitionInvariants(t *testing.T) {
+	g := testGraph()
+	for _, shards := range []int{1, 2, 3, 4} {
+		a, err := Plan(g, shards)
+		if err != nil {
+			t.Fatalf("Plan(%d): %v", shards, err)
+		}
+		if a.NumShards() != shards || a.NumAuthors() != 12 {
+			t.Fatalf("Plan(%d): shards %d authors %d", shards, a.NumShards(), a.NumAuthors())
+		}
+		// Every component lives wholly on one shard — the decision-independence
+		// unit is the routing unit.
+		for ci, comp := range a.Components() {
+			owner := a.ShardOfComponent(ci)
+			if owner < 0 || owner >= shards {
+				t.Fatalf("Plan(%d): component %d on shard %d", shards, ci, owner)
+			}
+			for _, author := range comp {
+				if a.ShardOf(author) != owner {
+					t.Fatalf("Plan(%d): author %d routes to %d, its component %d lives on %d",
+						shards, author, a.ShardOf(author), ci, owner)
+				}
+			}
+		}
+		// Planning twice over the same inputs is byte-identical routing.
+		b, err := Plan(testGraph(), shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Digest() != a.Digest() {
+			t.Fatalf("Plan(%d) digest not deterministic: %016x vs %016x", shards, a.Digest(), b.Digest())
+		}
+		for author := int32(0); author < 12; author++ {
+			if a.ShardOf(author) != b.ShardOf(author) {
+				t.Fatalf("Plan(%d): author %d routed to %d then %d", shards, author, a.ShardOf(author), b.ShardOf(author))
+			}
+		}
+	}
+}
+
+func TestPlanDigestDiscriminates(t *testing.T) {
+	g := testGraph()
+	a2, _ := Plan(g, 2)
+	a4, _ := Plan(g, 4)
+	if a2.Digest() == a4.Digest() {
+		t.Fatal("2-shard and 4-shard plans share a digest")
+	}
+	// A different edge set is a different digest even at the same shard count.
+	other := authorsim.NewGraph(12, []authorsim.SimPair{{A: 0, B: 1}}, 0.7)
+	b2, _ := Plan(other, 2)
+	if b2.Digest() == a2.Digest() {
+		t.Fatal("plans over different graphs share a digest")
+	}
+}
+
+func TestShardOfOutOfRange(t *testing.T) {
+	a, _ := Plan(testGraph(), 3)
+	if got := a.ShardOf(-1); got != 0 {
+		t.Fatalf("ShardOf(-1) = %d, want 0", got)
+	}
+	if got := a.ShardOf(99); got != 0 {
+		t.Fatalf("ShardOf(99) = %d, want 0", got)
+	}
+}
+
+func TestPlanRejectsBadInputs(t *testing.T) {
+	if _, err := Plan(nil, 2); err == nil {
+		t.Fatal("Plan(nil) succeeded")
+	}
+	if _, err := Plan(testGraph(), 0); err == nil {
+		t.Fatal("Plan(shards=0) succeeded")
+	}
+}
+
+func TestCoordinatorSlices(t *testing.T) {
+	g := testGraph()
+	c, err := NewCoordinator(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.Assignment()
+	seen := make(map[int32]int)
+	for s := 0; s < a.NumShards(); s++ {
+		sl, err := c.Slice(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sl.Shard != s {
+			t.Fatalf("Slice(%d).Shard = %d", s, sl.Shard)
+		}
+		for _, author := range sl.Authors {
+			if prev, dup := seen[author]; dup {
+				t.Fatalf("author %d owned by shards %d and %d", author, prev, s)
+			}
+			seen[author] = s
+			if a.ShardOf(author) != s {
+				t.Fatalf("slice %d holds author %d, assignment routes it to %d", s, author, a.ShardOf(author))
+			}
+		}
+		// A clique is mutually similar, hence inside one component: it must
+		// never straddle a slice boundary.
+		for _, q := range sl.Cliques {
+			for _, author := range q {
+				if a.ShardOf(author) != s {
+					t.Fatalf("slice %d clique %v includes author %d owned by shard %d", s, q, author, a.ShardOf(author))
+				}
+			}
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("slices cover %d of 12 authors", len(seen))
+	}
+	if _, err := c.Slice(3); err == nil {
+		t.Fatal("Slice(3) on a 3-shard plan succeeded")
+	}
+}
+
+func TestTopologyHeaderRoundTrip(t *testing.T) {
+	v := formatTopology(0xdeadbeefcafef00d, 2, 4)
+	if v != "deadbeefcafef00d/2/4" {
+		t.Fatalf("formatTopology = %q", v)
+	}
+	digest, shard, shards, err := parseTopology(v)
+	if err != nil || digest != 0xdeadbeefcafef00d || shard != 2 || shards != 4 {
+		t.Fatalf("parseTopology(%q) = %x/%d/%d, %v", v, digest, shard, shards, err)
+	}
+	for _, bad := range []string{"", "abc", "zz/1/2", "1/2", "0001/x/2", "0001/1/x", "1/2/3/4"} {
+		if _, _, _, err := parseTopology(bad); err == nil {
+			t.Errorf("parseTopology(%q) succeeded", bad)
+		}
+	}
+}
+
+// TestRouterRestoreRefusesForeignCheckpoint: a router checkpoint names the
+// shard count and assignment digest it was coordinated under; RestoreState
+// on a differently planned router must refuse with shard_mismatch before it
+// contacts a single worker. The peers here are unroutable on purpose — any
+// attempt to talk to them would hang past the test deadline.
+func TestRouterRestoreRefusesForeignCheckpoint(t *testing.T) {
+	two, err := Plan(testGraph(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Plan(testGraph(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-encode the state a 2-shard router would have snapshotted.
+	var buf bytes.Buffer
+	enc := checkpoint.NewEncoder(&buf, "test.Router")
+	enc.String("router")
+	enc.Uvarint(2)
+	enc.U64(two.Digest())
+	enc.Uvarint(10)
+	enc.Uvarint(6)
+	enc.Uvarint(4)
+	if err := enc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	rt, err := NewRouter(RouterOptions{
+		Peers: []string{
+			"http://192.0.2.1:1", "http://192.0.2.1:2",
+			"http://192.0.2.1:3", "http://192.0.2.1:4",
+		},
+		Assignment:    four,
+		RetryInterval: time.Millisecond,
+		ResyncTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	dec, err := checkpoint.NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoreErr := rt.RestoreState(dec)
+	if restoreErr == nil || !strings.Contains(restoreErr.Error(), httpapi.CodeShardMismatch) {
+		t.Fatalf("RestoreState = %v, want a shard_mismatch refusal", restoreErr)
+	}
+	if !strings.Contains(restoreErr.Error(), "2 shards") || !strings.Contains(restoreErr.Error(), "4 shards") {
+		t.Fatalf("refusal %q should name both shard counts", restoreErr)
+	}
+}

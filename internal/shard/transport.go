@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"firehose/internal/connector"
+)
+
+// IngestInput is the worker-facing half of the inter-shard transport: the
+// router POSTs forwarded posts to /v1/shard/ingest, the worker's handler
+// Submits them here, and the worker's ingest loop Reads them one at a time —
+// a connector.Input like any other, which is what keeps the multi-process
+// split on the PR-9 pipeline contract (and lets the connectortest
+// conformance suite drive the transport directly).
+//
+// Unlike the plain HTTP push adapter, a forwarded post arrives with its
+// global id already assigned by the router; Submit carries it in
+// Message.Seq. The single reader loop serializes the shard's ingests, so
+// per-shard id order is whatever order the router forwards in.
+//
+// Like the HTTP and TCP inputs, the synchronous Submit reply doubles as the
+// ack, so Ack is a trivial success.
+type IngestInput struct {
+	msgs    chan *connector.Message
+	closeCh chan struct{}
+
+	// mu guards: connected, closed
+	mu        sync.Mutex
+	connected bool
+	closed    bool
+}
+
+// NewIngestInput builds the transport input with the given submit buffer.
+func NewIngestInput(buffer int) *IngestInput {
+	if buffer < 0 {
+		buffer = 0
+	}
+	return &IngestInput{
+		msgs:    make(chan *connector.Message, buffer),
+		closeCh: make(chan struct{}),
+	}
+}
+
+// Connect marks the input ready. There is no external resource to open.
+func (in *IngestInput) Connect(context.Context) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return connector.ErrClosed
+	}
+	in.connected = true
+	return nil
+}
+
+// Submit enqueues one router-assigned post and blocks until the worker loop
+// reports its outcome, ctx is cancelled, or the input closes. id is the
+// post's global id (assigned by the router); it travels in Message.Seq.
+func (in *IngestInput) Submit(ctx context.Context, id uint64, author int32, timeMillis int64, text string) (connector.SubmitResult, error) {
+	res := make(chan connector.SubmitResult, 1)
+	msg := connector.NewSubmitMessage(author, timeMillis, text, func(seq uint64, users []int32, err error) {
+		res <- connector.SubmitResult{Seq: seq, Users: users, Err: err}
+	})
+	msg.Seq = id
+	select {
+	case in.msgs <- msg:
+	case <-ctx.Done():
+		return connector.SubmitResult{}, ctx.Err()
+	case <-in.closeCh:
+		return connector.SubmitResult{}, connector.ErrClosed
+	}
+	select {
+	case r := <-res:
+		return r, nil
+	case <-ctx.Done():
+		return connector.SubmitResult{}, ctx.Err()
+	case <-in.closeCh:
+		return connector.SubmitResult{}, connector.ErrClosed
+	}
+}
+
+// Read blocks until a submitted message arrives, ctx is cancelled, or Close.
+func (in *IngestInput) Read(ctx context.Context) (*connector.Message, error) {
+	in.mu.Lock()
+	connected := in.connected
+	in.mu.Unlock()
+	if !connected {
+		return nil, fmt.Errorf("shard: transport input: Read before Connect")
+	}
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-in.msgs:
+		return msg, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-in.closeCh:
+		return nil, connector.ErrClosed
+	}
+}
+
+// Ack is a trivial success: the synchronous Submit reply already settled the
+// exchange with the router, whose own durable cursor is the source of
+// replays.
+func (in *IngestInput) Ack(*connector.Message) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return connector.ErrClosed
+	}
+	return nil
+}
+
+// Close unblocks pending Submits and Reads. Idempotent.
+func (in *IngestInput) Close() error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.closed {
+		return nil
+	}
+	in.closed = true
+	close(in.closeCh)
+	return nil
+}

@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The router↔worker wire protocol is four JSON endpoints mounted on each
+// worker's existing HTTP server, so the inter-shard transport reuses the
+// daemon's listener, error envelope and golden-tested codes instead of
+// inventing a side channel:
+//
+//	POST /v1/shard/ingest        one forwarded post with its router-assigned id
+//	POST /v1/shard/ingest/batch  a per-shard sub-batch, ingested in order
+//	POST /v1/shard/checkpoint    write the coordinated tagged checkpoint
+//	POST /v1/shard/restore       roll back to a coordination round
+//
+// Every request carries the Firehose-Topology header; a worker refuses a
+// request from a router planned over a different graph, shard count or shard
+// index with 409 shard_mismatch before any state changes.
+
+// TopologyHeader carries the sender's view of the receiver's shard identity
+// on every inter-shard request: "<16-hex assignment digest>/<shard>/<shards>".
+const TopologyHeader = "Firehose-Topology"
+
+// IngestedHeader reports, on a failed batch forward, how many leading posts
+// of the batch were ingested before the failure, so the router resumes the
+// batch instead of double-ingesting its prefix.
+const IngestedHeader = "Firehose-Ingested"
+
+// formatTopology renders the TopologyHeader value for a request addressed to
+// the given shard.
+func formatTopology(digest uint64, shard, shards int) string {
+	return fmt.Sprintf("%016x/%d/%d", digest, shard, shards)
+}
+
+// parseTopology parses a TopologyHeader value.
+func parseTopology(v string) (digest uint64, shard, shards int, err error) {
+	parts := strings.Split(v, "/")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("shard: malformed %s header %q", TopologyHeader, v)
+	}
+	digest, err = strconv.ParseUint(parts[0], 16, 64)
+	if err == nil {
+		shard, err = strconv.Atoi(parts[1])
+	}
+	if err == nil {
+		shards, err = strconv.Atoi(parts[2])
+	}
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("shard: malformed %s header %q", TopologyHeader, v)
+	}
+	return digest, shard, shards, nil
+}
+
+// IngestRequest is the POST /v1/shard/ingest body: one post with the global
+// id the router assigned it.
+type IngestRequest struct {
+	// ID is the router-assigned global post id; a worker's ids are a strictly
+	// increasing (not dense) subsequence of the global space.
+	ID uint64 `json:"id"`
+	// Prev is the id watermark the worker must hold for this forward to land:
+	// the id of the last post the router successfully forwarded to this shard
+	// (its watermark at the last coordination round when nothing is pending).
+	// A worker whose watermark disagrees refuses with 409 shard_desync — the
+	// check that catches a worker that crashed and restarted cold between two
+	// forwards, which is otherwise indistinguishable from a healthy one
+	// (IngestAssigned accepts any id that advances its watermark, and per-shard
+	// ids are sparse by design so a gap proves nothing).
+	Prev uint64 `json:"prev"`
+	// Author is the posting author's dense id; it must route to this shard.
+	Author int32 `json:"author"`
+	// TimeMillis is the post timestamp (Unix milliseconds).
+	TimeMillis int64 `json:"timeMillis"`
+	// Text is the post content.
+	Text string `json:"text"`
+}
+
+// IngestResponse is the body of a successful forwarded ingest.
+type IngestResponse struct {
+	// ID echoes the post's global id.
+	ID uint64 `json:"id"`
+	// Users are the subscribers whose diversified timelines got the post
+	// (empty, not null, when the engine rejected it for everyone).
+	Users []int32 `json:"users"`
+}
+
+// IngestBatchRequest is the POST /v1/shard/ingest/batch body: the shard's
+// sub-batch of one client batch, in global id order.
+type IngestBatchRequest struct {
+	Posts []IngestRequest `json:"posts"`
+	// Prev is the watermark check for the whole sub-batch (see
+	// IngestRequest.Prev); the posts' own Prev fields are ignored — within one
+	// request the chain is implied by order.
+	Prev uint64 `json:"prev"`
+}
+
+// IngestBatchResponse mirrors a successful sub-batch, result per post.
+type IngestBatchResponse struct {
+	Results []IngestResponse `json:"results"`
+}
+
+// CheckpointRequest is the POST /v1/shard/checkpoint body: the router's
+// global id watermark naming the coordination round.
+type CheckpointRequest struct {
+	Watermark uint64 `json:"watermark"`
+}
+
+// CheckpointResponse confirms a durably written tagged checkpoint.
+type CheckpointResponse struct {
+	// Watermark echoes the round's tag.
+	Watermark uint64 `json:"watermark"`
+	// ShardSeq is the worker's own id watermark inside the written state —
+	// the highest global id this shard had ingested.
+	ShardSeq uint64 `json:"shardSeq"`
+	// File is the tagged checkpoint's file name.
+	File string `json:"file"`
+}
+
+// RestoreRequest is the POST /v1/shard/restore body: roll the worker back to
+// the coordination round tagged with the router's checkpointed watermark.
+type RestoreRequest struct {
+	Watermark uint64 `json:"watermark"`
+}
+
+// RestoreResponse confirms a rollback.
+type RestoreResponse struct {
+	// Restored is false only for the watermark-0 case: the router is cold and
+	// the worker confirmed it is fresh, so there was nothing to roll back.
+	Restored bool `json:"restored"`
+	// Watermark echoes the restored round's tag (0 when Restored is false).
+	Watermark uint64 `json:"watermark"`
+	// ShardSeq is the worker's id watermark after the rollback; the router
+	// replays exactly the pending posts with larger ids.
+	ShardSeq uint64 `json:"shardSeq"`
+}

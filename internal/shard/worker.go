@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"firehose/internal/checkpoint"
+	"firehose/internal/connector"
+	"firehose/internal/httpapi"
+)
+
+// WorkerOptions configures NewWorker. Server, Shard (with Assignment's shard
+// count) and Assignment are required; CheckpointDir is required for a worker
+// participating in coordinated checkpoints.
+type WorkerOptions struct {
+	// Server is the worker's HTTP server, already built over the full engine
+	// configuration (whole graph, whole subscription map, same thresholds as
+	// every other shard).
+	Server *httpapi.Server
+	// Shard is this worker's shard index in [0, Assignment.NumShards()).
+	Shard int
+	// Assignment is the deterministic routing table; the worker recomputes it
+	// from the same config as the router and refuses requests that disagree.
+	Assignment *Assignment
+	// CheckpointDir, when non-empty, holds the worker's watermark-tagged
+	// checkpoints. Empty disables coordinated durability (the checkpoint and
+	// restore endpoints answer 503 checkpoints_disabled).
+	CheckpointDir string
+	// Retain bounds the tagged checkpoints kept on disk; <= 0 keeps all.
+	Retain int
+	// Buffer is the transport input's submit queue length (default 64).
+	Buffer int
+}
+
+// Worker turns an httpapi.Server into one shard of a sharded deployment: it
+// mounts the /v1/shard/* endpoints the router drives, disables direct HTTP
+// push (the router owns the stream), stamps the server's checkpoint
+// fingerprint with the shard topology, and runs the single ingest loop that
+// serializes forwarded posts into the engine through the connector-style
+// transport input.
+type Worker struct {
+	srv    *httpapi.Server
+	shard  int
+	assign *Assignment
+	dir    string
+	retain int
+	input  *IngestInput
+
+	// ckptMu serializes coordinated checkpoint/restore rounds so a slow
+	// snapshot and a crash-recovery rollback cannot interleave.
+	ckptMu sync.Mutex
+
+	// mu guards: coordinated
+	mu          sync.Mutex
+	coordinated uint64
+
+	done chan struct{}
+}
+
+// NewWorker wires the shard surface onto opts.Server and starts the ingest
+// loop. The server must not be serving traffic yet.
+func NewWorker(opts WorkerOptions) (*Worker, error) {
+	if opts.Server == nil {
+		return nil, fmt.Errorf("shard: WorkerOptions.Server is required")
+	}
+	if opts.Assignment == nil {
+		return nil, fmt.Errorf("shard: WorkerOptions.Assignment is required")
+	}
+	if opts.Shard < 0 || opts.Shard >= opts.Assignment.NumShards() {
+		return nil, fmt.Errorf("shard: worker shard index %d out of range [0,%d)", opts.Shard, opts.Assignment.NumShards())
+	}
+	buffer := opts.Buffer
+	if buffer == 0 {
+		buffer = 64
+	}
+	w := &Worker{
+		srv:    opts.Server,
+		shard:  opts.Shard,
+		assign: opts.Assignment,
+		dir:    opts.CheckpointDir,
+		retain: opts.Retain,
+		input:  NewIngestInput(buffer),
+		done:   make(chan struct{}),
+	}
+	if err := w.input.Connect(context.Background()); err != nil {
+		return nil, err
+	}
+
+	srv := opts.Server
+	srv.SetTopology(w.shard, w.assign.NumShards(), w.assign.Digest())
+	srv.DisableHTTPIngest()
+	srv.SetTopologyProvider(w.topologyResponse)
+	srv.Handle("POST /v1/shard/ingest", w.handleIngest)
+	srv.Handle("POST /v1/shard/ingest/batch", w.handleIngestBatch)
+	srv.Handle("POST /v1/shard/checkpoint", w.handleCheckpoint)
+	srv.Handle("POST /v1/shard/restore", w.handleRestore)
+
+	go w.ingestLoop()
+	return w, nil
+}
+
+// ingestLoop is the shard's single writer: it drains the transport input and
+// pushes each forwarded post through IngestAssigned, serializing the shard's
+// ingests exactly as the connector runner serializes a pipeline's.
+func (w *Worker) ingestLoop() {
+	defer close(w.done)
+	for {
+		msg, err := w.input.Read(context.Background())
+		if err != nil {
+			return // closed
+		}
+		users, err := w.srv.IngestAssigned(msg.Seq, msg.Author, msg.TimeMillis, msg.Text)
+		msg.Complete(msg.Seq, users, err)
+	}
+}
+
+// Close stops the ingest loop and fails pending forwards with ErrClosed.
+func (w *Worker) Close() error {
+	err := w.input.Close()
+	<-w.done
+	return err
+}
+
+// Input exposes the transport input (for the conformance suite).
+func (w *Worker) Input() *IngestInput { return w.input }
+
+func (w *Worker) topologyResponse() httpapi.TopologyResponse {
+	w.mu.Lock()
+	coordinated := w.coordinated
+	w.mu.Unlock()
+	return httpapi.TopologyResponse{
+		Mode:                 "worker",
+		Shard:                w.shard,
+		Shards:               w.assign.NumShards(),
+		Digest:               fmt.Sprintf("%016x", w.assign.Digest()),
+		Watermark:            w.srv.IDWatermark(),
+		CoordinatedWatermark: coordinated,
+	}
+}
+
+// checkTopology refuses a request whose Firehose-Topology header names a
+// different assignment digest, shard index or shard count — the first line of
+// defense against a router and worker planned over different configs.
+func (w *Worker) checkTopology(r *http.Request) error {
+	v := r.Header.Get(TopologyHeader)
+	if v == "" {
+		return fmt.Errorf("request carries no %s header; only a firehosed router may call /v1/shard endpoints", TopologyHeader)
+	}
+	digest, shard, shards, err := parseTopology(v)
+	if err != nil {
+		return err
+	}
+	if digest != w.assign.Digest() || shard != w.shard || shards != w.assign.NumShards() {
+		return fmt.Errorf(
+			"request addressed shard %d/%d with assignment digest %016x, but this worker is shard %d/%d with digest %016x; router and workers must be started over the same graph, thresholds and shard count",
+			shard, shards, digest, w.shard, w.assign.NumShards(), w.assign.Digest())
+	}
+	return nil
+}
+
+// checkPrev verifies the forward lands on the watermark the router expects
+// this shard to hold. A disagreement means the worker lost state (crashed and
+// restarted cold between two forwards) or holds state the router never
+// recorded; either way the engine must not see the post — the router rolls
+// the worker back to the last coordinated round and replays. The check and
+// the subsequent submit are not atomic, but the router's turnstile serializes
+// forwards per shard, so nothing interleaves between them.
+func (w *Worker) checkPrev(prev uint64) error {
+	if got := w.srv.IDWatermark(); got != prev {
+		return fmt.Errorf(
+			"this forward expects shard %d's id watermark to be %d but it is %d; the worker's state and the router's replay buffer are out of step (did the worker restart?)",
+			w.shard, prev, got)
+	}
+	return nil
+}
+
+// submitOne routes one forwarded post through the transport input and maps
+// ownership violations before the engine ever sees the post.
+func (w *Worker) submitOne(ctx context.Context, req IngestRequest) (connector.SubmitResult, error) {
+	if req.ID == 0 {
+		return connector.SubmitResult{}, fmt.Errorf("forwarded post is missing its assigned id")
+	}
+	if owner := w.assign.ShardOf(req.Author); owner != w.shard {
+		return connector.SubmitResult{}, fmt.Errorf(
+			"author %d belongs to shard %d, not this worker (shard %d); the router's routing table disagrees with this worker's",
+			req.Author, owner, w.shard)
+	}
+	return w.input.Submit(ctx, req.ID, req.Author, req.TimeMillis, req.Text)
+}
+
+func (w *Worker) handleIngest(rw http.ResponseWriter, r *http.Request) {
+	if err := w.checkTopology(r); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch, "%v", err)
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeBadJSON, "invalid JSON body: %v", err)
+		return
+	}
+	if req.ID == 0 {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeBadParam, "forwarded post is missing its assigned id")
+		return
+	}
+	if owner := w.assign.ShardOf(req.Author); owner != w.shard {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch,
+			"author %d belongs to shard %d, not this worker (shard %d); the router's routing table disagrees with this worker's",
+			req.Author, owner, w.shard)
+		return
+	}
+	if err := w.checkPrev(req.Prev); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardDesync, "%v", err)
+		return
+	}
+	res, err := w.input.Submit(r.Context(), req.ID, req.Author, req.TimeMillis, req.Text)
+	if err != nil {
+		httpapi.WriteError(rw, http.StatusServiceUnavailable, httpapi.CodeEngineClosed, "%v", err)
+		return
+	}
+	if res.Err != nil {
+		httpapi.WriteIngestError(rw, res.Err)
+		return
+	}
+	users := res.Users
+	if users == nil {
+		users = []int32{}
+	}
+	httpapi.WriteJSON(rw, IngestResponse{ID: res.Seq, Users: users})
+}
+
+func (w *Worker) handleIngestBatch(rw http.ResponseWriter, r *http.Request) {
+	if err := w.checkTopology(r); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch, "%v", err)
+		return
+	}
+	var req IngestBatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeBadJSON, "invalid JSON body: %v", err)
+		return
+	}
+	if len(req.Posts) == 0 {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeEmptyBatch, "batch holds no posts")
+		return
+	}
+	if err := w.checkPrev(req.Prev); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardDesync, "%v", err)
+		return
+	}
+	resp := IngestBatchResponse{Results: make([]IngestResponse, 0, len(req.Posts))}
+	for i, p := range req.Posts {
+		res, err := w.submitOne(r.Context(), p)
+		if err != nil || res.Err != nil {
+			// The leading i posts are already inside the engine and cannot be
+			// rolled back; tell the router so it resumes the batch there.
+			rw.Header().Set(IngestedHeader, strconv.Itoa(i))
+			switch {
+			case err == nil:
+				httpapi.WriteIngestError(rw, res.Err)
+			case strings.Contains(err.Error(), "shard"):
+				httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch, "post %d: %v", i, err)
+			default:
+				httpapi.WriteError(rw, http.StatusServiceUnavailable, httpapi.CodeEngineClosed, "post %d: %v", i, err)
+			}
+			return
+		}
+		users := res.Users
+		if users == nil {
+			users = []int32{}
+		}
+		resp.Results = append(resp.Results, IngestResponse{ID: res.Seq, Users: users})
+	}
+	httpapi.WriteJSON(rw, resp)
+}
+
+func (w *Worker) handleCheckpoint(rw http.ResponseWriter, r *http.Request) {
+	if err := w.checkTopology(r); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch, "%v", err)
+		return
+	}
+	var req CheckpointRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeBadJSON, "invalid JSON body: %v", err)
+		return
+	}
+	if w.dir == "" {
+		httpapi.WriteError(rw, http.StatusServiceUnavailable, httpapi.CodeCheckpointsDisabled,
+			"this worker runs without a checkpoint directory; coordinated checkpoints need one on every shard")
+		return
+	}
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	f, err := checkpoint.WriteTagged(w.dir, req.Watermark, w.srv.Snapshot)
+	if err != nil {
+		httpapi.WriteError(rw, http.StatusInternalServerError, httpapi.CodeCheckpointFailed, "%v", err)
+		return
+	}
+	_, _ = checkpoint.PruneTagged(w.dir, w.retain) // best-effort; stale files are harmless
+	w.mu.Lock()
+	w.coordinated = req.Watermark
+	w.mu.Unlock()
+	httpapi.WriteJSON(rw, CheckpointResponse{
+		Watermark: f.Seq,
+		ShardSeq:  w.srv.SnapshotWatermark(),
+		File:      filepath.Base(f.Path),
+	})
+}
+
+func (w *Worker) handleRestore(rw http.ResponseWriter, r *http.Request) {
+	if err := w.checkTopology(r); err != nil {
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch, "%v", err)
+		return
+	}
+	var req RestoreRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpapi.WriteError(rw, http.StatusBadRequest, httpapi.CodeBadJSON, "invalid JSON body: %v", err)
+		return
+	}
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+	var f checkpoint.File
+	var ok bool
+	if w.dir != "" {
+		var err error
+		f, ok, err = checkpoint.LatestTaggedAtMost(w.dir, req.Watermark)
+		if err != nil {
+			httpapi.WriteError(rw, http.StatusInternalServerError, httpapi.CodeCheckpointFailed, "%v", err)
+			return
+		}
+	}
+	if req.Watermark == 0 && !(ok && f.Seq == 0) {
+		// The router is cold (no coordinated round, not even the boot-time
+		// tag-0 round): the worker must be fresh too, or the processes are
+		// out of step.
+		if got := w.srv.IDWatermark(); got != 0 {
+			httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch,
+				"router requested a rollback to the cold state but this worker already ingested up to id %d; restart the worker fresh or point the router at its coordinated checkpoint", got)
+			return
+		}
+		httpapi.WriteJSON(rw, RestoreResponse{Restored: false, Watermark: 0, ShardSeq: 0})
+		return
+	}
+	if w.dir == "" {
+		httpapi.WriteError(rw, http.StatusServiceUnavailable, httpapi.CodeCheckpointsDisabled,
+			"this worker runs without a checkpoint directory; coordinated restore needs one on every shard")
+		return
+	}
+	if !ok || f.Seq != req.Watermark {
+		newest := "none"
+		if ok {
+			newest = strconv.FormatUint(f.Seq, 10)
+		}
+		httpapi.WriteError(rw, http.StatusConflict, httpapi.CodeShardMismatch,
+			"no coordinated checkpoint tagged %d on shard %d (newest at or below it: %s); the router's checkpoint and this worker's disagree about the last coordination round",
+			req.Watermark, w.shard, newest)
+		return
+	}
+	file, err := os.Open(f.Path)
+	if err != nil {
+		httpapi.WriteError(rw, http.StatusInternalServerError, httpapi.CodeCheckpointFailed, "%v", err)
+		return
+	}
+	defer file.Close()
+	if err := w.srv.Restore(file); err != nil {
+		status, code := http.StatusInternalServerError, httpapi.CodeCheckpointFailed
+		if strings.Contains(err.Error(), httpapi.CodeShardMismatch) {
+			status, code = http.StatusConflict, httpapi.CodeShardMismatch
+		}
+		httpapi.WriteError(rw, status, code, "%v", err)
+		return
+	}
+	w.mu.Lock()
+	w.coordinated = req.Watermark
+	w.mu.Unlock()
+	httpapi.WriteJSON(rw, RestoreResponse{
+		Restored:  true,
+		Watermark: f.Seq,
+		ShardSeq:  w.srv.SnapshotWatermark(),
+	})
+}

@@ -62,6 +62,12 @@ const DefaultQueueDepth = 256
 // decision. For every user, the union of deliveries equals the sequential
 // SharedMultiUser's — property-tested against it.
 //
+// The same component-independence argument is applied at process scale by
+// internal/shard: a router partitions components across worker *processes*
+// the way this engine partitions them across goroutines, and the
+// bit-identical-decisions guarantee carries over unchanged. The two splits
+// compose — each shard process may itself run a ParallelMultiEngine.
+//
 // Concurrency contract: Offer, Close and Counters are safe to call from any
 // number of goroutines. The ingest boundary serializes routing and tags every
 // accepted post with a monotone sequence number, so concurrent producers get

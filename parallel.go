@@ -46,6 +46,11 @@ type ParallelServiceOptions struct {
 	// land on one shard, so the bound is exact for them). Adaptive services
 	// do not support checkpointing.
 	Adaptive *AdaptiveConfig
+	// Topology, when non-nil, stamps the service's place in a horizontally
+	// sharded deployment into its snapshot fingerprint; see Topology. Nil is
+	// the single-node deployment. (Workers above is goroutine-level
+	// parallelism inside one process; Topology is the process-level split.)
+	Topology *Topology
 }
 
 // ParallelOptions configures NewParallelServiceOpts.
@@ -125,6 +130,9 @@ func NewParallel(g *AuthorGraph, subscriptions [][]AuthorID, opts ParallelServic
 	}
 	meta := metaFor(inner.Name(), g, subscriptions, []Config{opts.Config})
 	meta.workers = workers
+	if err := meta.applyTopology(opts.Topology); err != nil {
+		return nil, err
+	}
 	return &ParallelService{inner: inner, meta: meta}, nil
 }
 
