@@ -109,7 +109,11 @@ func TestLoadConfigRejects(t *testing.T) {
 		{"shard plus periodic checkpoint", []string{
 			"-shard", "0/2", "-checkpoint-dir", "/tmp/x", "-checkpoint-interval", "5s",
 		}, "must not checkpoint periodically"},
+		{"shard without checkpoint dir", []string{"-shard", "0/2"}, "a shard worker needs engine.checkpoint.dir"},
 		{"router bad peer", []string{"-router-peers", "not a url"}, "router.peers[0] must be an http(s) base URL"},
+		{"router without checkpoint dir", []string{
+			"-router-peers", "http://127.0.0.1:9001,http://127.0.0.1:9002",
+		}, "a router needs engine.checkpoint.dir"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -127,7 +131,7 @@ func TestLoadConfigRejects(t *testing.T) {
 // TestLoadConfigFoldsShardFlags: the deprecated -shard and -router-peers
 // aliases land on the strict-JSON shard/router config sections.
 func TestLoadConfigFoldsShardFlags(t *testing.T) {
-	cfg, err := loadConfig([]string{"-shard", "1/3"})
+	cfg, err := loadConfig([]string{"-shard", "1/3", "-checkpoint-dir", "/tmp/ckpt"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +142,10 @@ func TestLoadConfigFoldsShardFlags(t *testing.T) {
 		t.Fatalf("-shard must not set router: %+v", cfg.Router)
 	}
 
-	cfg, err = loadConfig([]string{"-router-peers", "http://127.0.0.1:9001,http://127.0.0.1:9002"})
+	cfg, err = loadConfig([]string{
+		"-router-peers", "http://127.0.0.1:9001,http://127.0.0.1:9002",
+		"-checkpoint-dir", "/tmp/ckpt",
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +156,7 @@ func TestLoadConfigFoldsShardFlags(t *testing.T) {
 
 	// The same sections decode from a strict-JSON config file through the same
 	// Validate path.
-	cfg2, err := connector.Parse([]byte(`{"shard": {"index": 1, "count": 3}}`))
+	cfg2, err := connector.Parse([]byte(`{"shard": {"index": 1, "count": 3}, "engine": {"checkpoint": {"dir": "/tmp/ckpt"}}}`))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -509,6 +509,16 @@ func runDaemon(cfg *connector.Config) error {
 		})
 		ckptMgr = m
 		api.EnableCheckpoints(m)
+		if rtr != nil {
+			// A full replay buffer triggers the same coordination round a
+			// periodic checkpoint runs, so router memory stays bounded even
+			// between interval ticks (or with no interval configured at all).
+			rtr.SetPendingFullHook(func() {
+				if _, err := m.Checkpoint(); err != nil {
+					log.Printf("firehosed: buffers-full coordination: %v", err)
+				}
+			})
+		}
 	}
 
 	server := &http.Server{

@@ -234,6 +234,7 @@ func TestShardedEquivalence(t *testing.T) {
 	bad := exec.Command(bin, append(append([]string{}, engineFlags...),
 		"-addr", freeAddr(t),
 		"-router-peers", "http://"+workerAddrs[0]+",http://"+workerAddrs[1]+",http://"+workerAddrs[0],
+		"-checkpoint-dir", t.TempDir(),
 	)...)
 	out, err := bad.CombinedOutput()
 	if err == nil {

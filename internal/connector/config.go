@@ -167,7 +167,9 @@ type EngineConfig struct {
 // the /v1/shard endpoints for the router that owns the stream, and its ids
 // are router-assigned. The worker still needs the FULL engine configuration
 // (whole graph, whole subscriptions, same thresholds) — the shard boundary is
-// which posts it sees, never which state it holds.
+// which posts it sees, never which state it holds. A worker requires
+// engine.checkpoint.dir: router-driven crash recovery rolls it back to its
+// coordinated tagged checkpoint.
 type ShardConfig struct {
 	// Index is this worker's shard in [0, count).
 	Index int `json:"index"`
@@ -177,7 +179,9 @@ type ShardConfig struct {
 
 // RouterConfig makes the daemon the router of a sharded deployment: posts are
 // forwarded to the worker owning the author's component and delivery streams
-// merge back into this process's outputs.
+// merge back into this process's outputs. A router requires
+// engine.checkpoint.dir: coordination rounds (periodic, buffers-full, admin
+// and shutdown) run through its checkpoint manager.
 type RouterConfig struct {
 	// Peers are the worker base URLs, indexed by shard
 	// ("http://host:9001" — exactly count entries, peer i is shard i).
@@ -270,6 +274,9 @@ func (c *Config) Validate() error {
 		if c.Engine.Checkpoint.IntervalMillis != 0 {
 			return fmt.Errorf("connector: config: a shard worker must not checkpoint periodically (engine.checkpoint.interval_millis must be 0): the router coordinates every round")
 		}
+		if c.Engine.Checkpoint.Dir == "" {
+			return fmt.Errorf("connector: config: a shard worker needs engine.checkpoint.dir: the router recovers a desynced worker by rolling it back to its coordinated tagged checkpoint, and without a directory even routine backpressure would wedge the shard")
+		}
 	}
 	if r := c.Router; r != nil {
 		if len(r.Peers) == 0 {
@@ -283,6 +290,9 @@ func (c *Config) Validate() error {
 		}
 		if c.Engine.Adaptive.BudgetPosts != 0 {
 			return fmt.Errorf("connector: config: router and engine.adaptive are mutually exclusive: the router runs no local solver to adapt")
+		}
+		if c.Engine.Checkpoint.Dir == "" {
+			return fmt.Errorf("connector: config: a router needs engine.checkpoint.dir: coordination rounds — which clear the replay buffers and give every worker its rollback target — run through the router's checkpoint manager")
 		}
 	}
 	return nil

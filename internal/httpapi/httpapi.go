@@ -47,6 +47,23 @@ type workerSource interface {
 	WorkerSnapshots() []stream.WorkerSnapshot
 }
 
+// timelineErrSource is the optional failure-aware read surface: the shard
+// router implements it so a merged read over an unreachable worker becomes a
+// 503 shard_unavailable instead of a silently partial 200. Engines without it
+// (in-process backends, which cannot fail a read) serve Timeline directly.
+type timelineErrSource interface {
+	TimelineErr(user int32) ([]*core.Post, error)
+}
+
+// timeline reads one user's timeline through the engine, preferring the
+// failure-aware surface when the backend provides it.
+func (s *Server) timeline(user int32) ([]*core.Post, error) {
+	if te, ok := s.engine.(timelineErrSource); ok {
+		return te.TimelineErr(user)
+	}
+	return s.engine.Timeline(user), nil
+}
+
 // adaptiveSource is the optional adaptive-controller instrumentation surface.
 // Both engines implement the methods; an engine whose solver is not
 // adaptive-wrapped returns nil states, and /metrics registers the adaptive
@@ -348,7 +365,11 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	tl := s.engine.Timeline(int32(user))
+	tl, terr := s.timeline(int32(user))
+	if terr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeShardUnavailable, "%v", terr)
+		return
+	}
 	if len(tl) > n {
 		tl = tl[len(tl)-n:] // most recent n
 	}

@@ -202,7 +202,11 @@ func (s *Server) handleUserStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadParam, "bad user id")
 		return
 	}
-	tl := s.engine.Timeline(int32(user))
+	tl, terr := s.timeline(int32(user))
+	if terr != nil {
+		writeError(w, http.StatusServiceUnavailable, CodeShardUnavailable, "%v", terr)
+		return
+	}
 	resp := UserStatsResponse{User: int32(user), TimelineSize: len(tl)}
 	if len(tl) > 0 {
 		resp.LastTimeMilli = tl[len(tl)-1].Time

@@ -374,6 +374,190 @@ func TestRouterRecoversCrashedWorker(t *testing.T) {
 	}
 }
 
+// TestCoordinateRollsBackPhantomState pins the coordination round's
+// pre-checkpoint verification. A worker can hold state the router never
+// recorded — the canonical producer is a partially failed OfferBatch, where
+// one shard ingested its sub-batch, the batch failed as a unit, and the HTTP
+// layer rolled the ids back without anything landing in pending. A
+// coordination round must not bake that phantom state into the tagged
+// checkpoint: it verifies (and heals) every worker against the replay buffer
+// before requesting the checkpoint.
+func TestCoordinateRollsBackPhantomState(t *testing.T) {
+	single := newEquivServer(t)
+	st := newShardedStack(t, 2)
+
+	offer := func(i int) {
+		t.Helper()
+		author, tm, text := equivPost(i)
+		body := ingestBody(author, tm, text)
+		var want, got httpapi.IngestResponse
+		wantCode, _ := do(t, single, "POST", "/v1/ingest", body, &want)
+		gotCode, gotBody := do(t, st.api, "POST", "/v1/ingest", body, &got)
+		if wantCode != gotCode || (wantCode == http.StatusOK &&
+			(want.ID != got.ID || fmt.Sprint(want.Delivered) != fmt.Sprint(got.Delivered))) {
+			t.Fatalf("post %d: single %d %+v, sharded %d %+v (%s)", i, wantCode, want, gotCode, got, gotBody)
+		}
+	}
+
+	for i := 0; i < 30; i++ {
+		offer(i)
+	}
+	if _, _, err := st.router.coordinate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 30; i < 40; i++ {
+		offer(i)
+	}
+
+	// Inject the phantom: ingest a post directly into one worker, exactly as a
+	// failed batch's surviving sub-batch would have. The forward is wellformed
+	// (correct topology, correct Prev), so the worker accepts it — but the
+	// router never records it.
+	const phantomAuthor = 0
+	shard := st.assign.ShardOf(phantomAuthor)
+	exp := st.router.expected(shard)
+	raw, _ := json.Marshal(IngestRequest{ID: 1000, Prev: exp, Author: phantomAuthor, TimeMillis: 10_000_000, Text: "phantom sub-batch"})
+	req, err := http.NewRequest("POST", st.servers[shard].URL+"/v1/shard/ingest", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(TopologyHeader, formatTopology(st.assign.Digest(), shard, 2))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("phantom ingest: status %d", resp.StatusCode)
+	}
+
+	// The coordination round must succeed — healing the desynced worker first —
+	// and adopt exactly the watermark the replay buffer predicts, not the
+	// phantom one.
+	_, seqs, err := st.router.coordinate()
+	if err != nil {
+		t.Fatalf("coordinate over phantom worker state: %v", err)
+	}
+	if seqs[shard] != exp {
+		t.Fatalf("coordinate adopted watermark %d for shard %d, want the pre-phantom %d", seqs[shard], shard, exp)
+	}
+
+	// The stream continues in lockstep: the phantom post (and its far-future
+	// timestamp, which would poison the disorder checks if it survived) left no
+	// trace. Decision state heals exactly; timeline view state follows the
+	// repo's restore semantics (timelines are deliberately not checkpointed —
+	// see internal/stream/checkpoint.go), so the healed shard serves its
+	// post-rollback suffix: the merged timeline must be an ordered subset of
+	// the single node's and miss nothing delivered after the rollback round.
+	for i := 40; i < 70; i++ {
+		offer(i)
+	}
+	const rollbackWatermark = 30 // the phantom healed by rolling back to the round at id 30
+	for u := range equivSubscriptions() {
+		w, g := timelineIDs(t, single, u), timelineIDs(t, st.api, u)
+		j := 0
+		for _, id := range g {
+			for j < len(w) && w[j] != id {
+				j++
+			}
+			if j == len(w) {
+				t.Fatalf("user %d: sharded timeline %v is not an ordered subset of single %v", u, g, w)
+			}
+			j++
+		}
+		inSharded := make(map[uint64]bool, len(g))
+		for _, id := range g {
+			inSharded[id] = true
+		}
+		for _, id := range w {
+			if id > rollbackWatermark && !inSharded[id] {
+				t.Fatalf("user %d: post %d delivered after the rollback is missing from the sharded timeline %v", u, id, g)
+			}
+		}
+	}
+}
+
+// TestRouterPendingFullHook pins the replay-buffer bound: the buffers-full
+// callback fires once when total pending reaches MaxPending, stays quiet for
+// the rest of the round, and re-arms after a coordination round clears the
+// buffers.
+func TestRouterPendingFullHook(t *testing.T) {
+	assign, err := Plan(testGraph(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newEquivServer(t)
+	w, err := NewWorker(WorkerOptions{Server: srv, Shard: 0, Assignment: assign, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	rt, err := NewRouter(RouterOptions{
+		Peers:         []string{ts.URL},
+		Assignment:    assign,
+		RetryInterval: 5 * time.Millisecond,
+		ResyncTimeout: 5 * time.Second,
+		MaxPending:    5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := make(chan struct{}, 4)
+	rt.SetPendingFullHook(func() { fired <- struct{}{} })
+	if err := rt.InitialCoordination(); err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewFromEngine(rt)
+
+	offer := func(i int) {
+		t.Helper()
+		author, tm, text := equivPost(i)
+		if code, body := do(t, api, "POST", "/v1/ingest", ingestBody(author, tm, text), nil); code != http.StatusOK {
+			t.Fatalf("post %d: %d %s", i, code, body)
+		}
+	}
+	mustFire := func(when string) {
+		t.Helper()
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("buffers-full hook did not fire %s", when)
+		}
+	}
+	mustNotFire := func(when string) {
+		t.Helper()
+		select {
+		case <-fired:
+			t.Fatalf("buffers-full hook fired %s", when)
+		default:
+		}
+	}
+
+	for i := 0; i < 4; i++ {
+		offer(i)
+	}
+	mustNotFire("below MaxPending")
+	offer(4)
+	mustFire("at MaxPending")
+	for i := 5; i < 9; i++ {
+		offer(i)
+	}
+	mustNotFire("twice within one coordination round")
+
+	// A coordination round clears the buffers and re-arms the hook.
+	if _, _, err := rt.coordinate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 9; i < 14; i++ {
+		offer(i)
+	}
+	mustFire("after the coordination round re-armed it")
+}
+
 // TestRouterRefusesForeignTopology pins the first-request refusal: a worker
 // answers a router planned over a different graph with 409 shard_mismatch and
 // never touches its engine.

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"firehose/internal/httpapi"
 )
@@ -93,6 +94,42 @@ func TestShardErrorEnvelopesGolden(t *testing.T) {
 				t.Fatalf("code = %q, want %q", env.Code, tc.wantCode)
 			}
 		})
+	}
+}
+
+// TestRouterTimelineUnavailableGolden pins the router-side read failure: a
+// merged read that cannot reach every shard within the resync window answers
+// 503 shard_unavailable through the same envelope, naming the lowest failing
+// shard — never a silently partial timeline.
+func TestRouterTimelineUnavailableGolden(t *testing.T) {
+	assign, err := Plan(testGraph(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 1 and 2 refuse instantly, so the retry loop spins until the resync
+	// window closes and the message's duration renders stably as "50ms".
+	rt, err := NewRouter(RouterOptions{
+		Peers:         []string{"http://127.0.0.1:1", "http://127.0.0.1:2"},
+		Assignment:    assign,
+		RetryInterval: time.Millisecond,
+		ResyncTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	api := httpapi.NewFromEngine(rt)
+	rec := httptest.NewRecorder()
+	api.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/timeline?user=0", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503 (%s)", rec.Code, rec.Body)
+	}
+	compareGolden(t, "timeline_shard_unavailable", rec.Body.Bytes())
+	var env httpapi.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("envelope does not parse: %v", err)
+	}
+	if env.Code != httpapi.CodeShardUnavailable {
+		t.Fatalf("code = %q, want %q", env.Code, httpapi.CodeShardUnavailable)
 	}
 }
 

@@ -37,6 +37,13 @@ type RouterOptions struct {
 	// ResyncTimeout bounds how long a forward waits for a crashed worker to
 	// come back before giving up (default 60s).
 	ResyncTimeout time.Duration
+	// MaxPending bounds the total posts held across the per-shard replay
+	// buffers (default 8192). When the bound is reached the router fires the
+	// SetPendingFullHook callback (once per coordination round), asking the
+	// deployment to run a coordination round that clears the buffers — without
+	// it, a router that never checkpoints would buffer every forwarded post
+	// for the lifetime of the process.
+	MaxPending int
 }
 
 // Router is the fan-out half of a sharded deployment: an httpapi.Engine whose
@@ -68,13 +75,18 @@ type RouterOptions struct {
 // and the retried post gets the identical answer a crash-free run would have
 // produced.
 type Router struct {
-	peers    []string
-	assign   *Assignment
-	client   *http.Client
-	retryIvl time.Duration
-	resyncTO time.Duration
+	peers      []string
+	assign     *Assignment
+	client     *http.Client
+	retryIvl   time.Duration
+	resyncTO   time.Duration
+	maxPending int
+	// pendingFull is the buffers-full callback (SetPendingFullHook), invoked
+	// on its own goroutine when the replay buffers reach maxPending. Set once
+	// before serving traffic, read-only afterwards.
+	pendingFull func()
 
-	// mu guards: lastDone, ckptW, closed, pending, base, forwarded
+	// mu guards: lastDone, ckptW, closed, pending, base, forwarded, pendingFullFired
 	mu   sync.Mutex
 	cond *sync.Cond
 	// lastDone is the largest post id whose forward has completed (the
@@ -93,6 +105,9 @@ type Router struct {
 	// forwarded[s] is the highest id ever forwarded to shard s (topology
 	// reporting only).
 	forwarded []uint64
+	// pendingFullFired records that the buffers-full callback already ran for
+	// the current coordination round; coordinate() re-arms it.
+	pendingFullFired bool
 }
 
 // NewRouter validates the options and builds the router. Call AwaitPeers
@@ -120,19 +135,31 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	if resync <= 0 {
 		resync = 60 * time.Second
 	}
+	maxPending := opts.MaxPending
+	if maxPending <= 0 {
+		maxPending = 8192
+	}
 	rt := &Router{
-		peers:     append([]string(nil), opts.Peers...),
-		assign:    opts.Assignment,
-		client:    client,
-		retryIvl:  retry,
-		resyncTO:  resync,
-		pending:   make([][]IngestRequest, len(opts.Peers)),
-		base:      make([]uint64, len(opts.Peers)),
-		forwarded: make([]uint64, len(opts.Peers)),
+		peers:      append([]string(nil), opts.Peers...),
+		assign:     opts.Assignment,
+		client:     client,
+		retryIvl:   retry,
+		resyncTO:   resync,
+		maxPending: maxPending,
+		pending:    make([][]IngestRequest, len(opts.Peers)),
+		base:       make([]uint64, len(opts.Peers)),
+		forwarded:  make([]uint64, len(opts.Peers)),
 	}
 	rt.cond = sync.NewCond(&rt.mu)
 	return rt, nil
 }
+
+// SetPendingFullHook installs the callback fired (on its own goroutine, once
+// per coordination round) when the replay buffers reach MaxPending posts. The
+// daemon points it at the checkpoint manager, so a full buffer triggers the
+// same coordination round a periodic checkpoint runs — clearing the buffers.
+// Call before serving traffic.
+func (rt *Router) SetPendingFullHook(fn func()) { rt.pendingFull = fn }
 
 // Name implements httpapi.Engine.
 func (rt *Router) Name() string {
@@ -243,9 +270,12 @@ func (rt *Router) OfferBatch(posts []*core.Post) ([][]int32, error) {
 	wg.Wait()
 	if len(errs) > 0 {
 		// Deterministic pick: lowest failing shard. The engine contract treats
-		// a batch as one unit; the HTTP layer rolls the ids back and shards
-		// that did ingest their sub-batch are rolled back on the next
-		// coordination or resync.
+		// a batch as one unit: the HTTP layer rolls the ids back, and nothing
+		// lands in pending. A shard that did ingest its sub-batch now holds
+		// state the router never recorded — its next forward fails the Prev
+		// check (shard_desync) and resyncs, and coordinate() verifies and
+		// resyncs every shard before a checkpoint, so the phantom sub-batch is
+		// rolled back and replayed before anything is made durable.
 		var worst int = -1
 		for s := range errs {
 			if worst == -1 || s < worst {
@@ -263,14 +293,29 @@ func (rt *Router) OfferBatch(posts []*core.Post) ([][]int32, error) {
 }
 
 // recordForwarded appends a successfully forwarded post to the shard's replay
-// buffer.
+// buffer and fires the buffers-full callback when the total pending count
+// reaches MaxPending — the bound that keeps an infrequently-checkpointing
+// router from buffering the whole stream.
 func (rt *Router) recordForwarded(shard int, req IngestRequest) {
 	rt.mu.Lock()
 	rt.pending[shard] = append(rt.pending[shard], req)
 	if req.ID > rt.forwarded[shard] {
 		rt.forwarded[shard] = req.ID
 	}
+	total := 0
+	for s := range rt.pending {
+		total += len(rt.pending[s])
+	}
+	fire := total >= rt.maxPending && rt.pendingFull != nil && !rt.pendingFullFired
+	if fire {
+		rt.pendingFullFired = true
+	}
 	rt.mu.Unlock()
+	if fire {
+		// Own goroutine: the hook checkpoints, which takes the exclusive
+		// ingest lock, and this forward still holds it shared.
+		go rt.pendingFull()
+	}
 }
 
 // expected returns the id watermark a healthy worker for shard s must report:
@@ -420,11 +465,13 @@ func (rt *Router) resync(shard int, deadline time.Time) error {
 	return nil
 }
 
-// Timeline implements httpapi.Engine: fetch the user's timeline from every
-// shard and merge by ascending id. Each shard holds exactly the user's posts
-// whose authors it owns, so the merge is a disjoint union. Unreachable
-// workers contribute nothing (best-effort, like a cache read).
-func (rt *Router) Timeline(user int32) []*core.Post {
+// TimelineErr fetches the user's timeline from every shard and merges by
+// ascending id. Each shard holds exactly the user's posts whose authors it
+// owns, so the merge is a disjoint union. A failed shard fetch is retried
+// within the resync window, like forwards; a shard that stays unreachable
+// past it is an error — a silently partial merge would diverge from the
+// single-node read. The HTTP layer serves the error as 503 shard_unavailable.
+func (rt *Router) TimelineErr(user int32) ([]*core.Post, error) {
 	type tlResp struct {
 		Posts []struct {
 			ID         uint64 `json:"id"`
@@ -433,30 +480,63 @@ func (rt *Router) Timeline(user int32) []*core.Post {
 			Text       string `json:"text"`
 		} `json:"posts"`
 	}
+	deadline := time.Now().Add(rt.resyncTO)
 	var mu sync.Mutex
 	var all []*core.Post
+	errShard := -1
 	var wg sync.WaitGroup
-	for _, peer := range rt.peers {
+	for s, peer := range rt.peers {
 		wg.Add(1)
-		go func(peer string) {
+		go func(s int, peer string) {
 			defer wg.Done()
 			var resp tlResp
-			if err := rt.getJSON(fmt.Sprintf("%s/v1/timeline?user=%d&n=%d", peer, user, 1<<30), &resp); err != nil {
-				return
+			for {
+				if err := rt.getJSON(fmt.Sprintf("%s/v1/timeline?user=%d&n=%d", peer, user, 1<<30), &resp); err == nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					mu.Lock()
+					if errShard == -1 || s < errShard {
+						errShard = s
+					}
+					mu.Unlock()
+					return
+				}
+				time.Sleep(rt.retryIvl)
 			}
 			mu.Lock()
 			for _, p := range resp.Posts {
 				all = append(all, core.NewPost(p.ID, p.Author, p.TimeMillis, p.Text))
 			}
 			mu.Unlock()
-		}(peer)
+		}(s, peer)
 	}
 	wg.Wait()
+	if errShard != -1 {
+		return nil, fmt.Errorf("shard %d (%s) answered no timeline within %v; the merged timeline would be missing its posts",
+			errShard, rt.peers[errShard], rt.resyncTO)
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
-	return all
+	return all, nil
+}
+
+// Timeline implements httpapi.Engine. The HTTP layer prefers TimelineErr
+// (failures become 503 shard_unavailable); this error-less form answers nil
+// while any shard is unreachable.
+func (rt *Router) Timeline(user int32) []*core.Post {
+	tl, err := rt.TimelineErr(user)
+	if err != nil {
+		return nil
+	}
+	return tl
 }
 
 // Counters implements httpapi.Engine: the sum of the workers' counters.
+// Comparisons, insertions, evictions and the accept/reject tallies are exact
+// (each decision happens on exactly one shard). StoredPeak is an upper bound,
+// not the single-node metric: it sums per-shard peaks that were reached at
+// independent moments, so it can exceed the deployment-wide peak a single
+// node would have recorded.
 func (rt *Router) Counters() metrics.Counters {
 	var sum metrics.Counters
 	for _, peer := range rt.peers {
@@ -501,16 +581,45 @@ func (rt *Router) SnapshotState(enc *checkpoint.Encoder) error {
 // tagged checkpoint at the router's current watermark, and the router adopts
 // the round (ckptW advances, the replay buffers clear, the per-shard bases
 // move to the workers' reported watermarks).
+//
+// Before a worker's checkpoint is requested, its watermark is verified
+// against the router's replay buffer (and healed through resync on any
+// disagreement). A worker can hold state the router never recorded — a
+// partially failed OfferBatch ingests one shard's sub-batch, the HTTP layer
+// rolls the ids back, and nothing lands in pending. Checkpointing that
+// phantom state would bake it into the tagged checkpoint and the adopted
+// base, terminally rejecting the re-allocated ids; resyncing first rolls the
+// phantom sub-batch back and replays the recorded suffix, so only state the
+// router accounted for is ever made durable.
 func (rt *Router) coordinate() (uint64, []uint64, error) {
 	rt.mu.Lock()
 	w := rt.lastDone
 	rt.mu.Unlock()
+	// A coordination round is administrative — its callers (the periodic tick,
+	// the admin endpoint, the buffers-full hook, the shutdown checkpoint)
+	// retry or report, so an unreachable worker fails the round fast instead
+	// of riding out the full resync window the way a forward must. A
+	// shutdown-time round racing the workers' own exits would otherwise block
+	// the process for the whole ResyncTimeout.
+	deadline := time.Now().Add(2 * rt.retryIvl)
 	seqs := make([]uint64, len(rt.peers))
 	for s := range rt.peers {
+		if err := rt.resync(s, deadline); err != nil {
+			return 0, nil, fmt.Errorf("shard: coordinated checkpoint at watermark %d: resyncing shard %d: %w", w, s, err)
+		}
 		var resp CheckpointResponse
 		class, err := rt.postShard(s, "/v1/shard/checkpoint", CheckpointRequest{Watermark: w}, &resp)
 		if class != fwdOK {
 			return 0, nil, fmt.Errorf("shard: coordinated checkpoint at watermark %d: shard %d: %w", w, s, err)
+		}
+		// The caller holds the exclusive ingest lock and the shard was just
+		// resynced, so the checkpointed watermark must be exactly the one the
+		// replay buffer predicts; adopting anything else would desynchronize
+		// the rollback contract durably.
+		if exp := rt.expected(s); resp.ShardSeq != exp {
+			return 0, nil, fmt.Errorf(
+				"shard: coordinated checkpoint at watermark %d: shard %d checkpointed its watermark %d, the router expected %d; refusing to adopt the round",
+				w, s, resp.ShardSeq, exp)
 		}
 		seqs[s] = resp.ShardSeq
 	}
@@ -520,6 +629,7 @@ func (rt *Router) coordinate() (uint64, []uint64, error) {
 		rt.pending[s] = rt.pending[s][:0]
 		rt.base[s] = seqs[s]
 	}
+	rt.pendingFullFired = false
 	rt.mu.Unlock()
 	return w, seqs, nil
 }
@@ -581,6 +691,7 @@ func (rt *Router) RestoreState(dec *checkpoint.Decoder) error {
 		rt.base[s] = seqs[s]
 		rt.forwarded[s] = seqs[s]
 	}
+	rt.pendingFullFired = false
 	rt.mu.Unlock()
 	return nil
 }
